@@ -1,0 +1,88 @@
+// E10 (ablation): abort probability and cost of the vital set under
+// per-site failure. With failure probability p per vital subquery and k
+// vital databases, the global success probability is ~(1-p)^k — the
+// sweep shows the measured success rate and the makespan of the failure
+// paths (rollback work grows with k).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::BuildSyntheticFederation;
+using msql::core::GlobalOutcome;
+using msql::core::SyntheticFederationOptions;
+
+std::string VitalUpdate(int n, int vital_count) {
+  std::string scope = "USE";
+  for (int i = 0; i < n; ++i) {
+    scope += " db" + std::to_string(i);
+    if (i < vital_count) scope += " VITAL";
+  }
+  return scope + "\nUPDATE flight% SET rate = rate * 1.0";
+}
+
+/// Sweep: n = 8 databases, vital_count = arg0, per-statement failure
+/// probability (percent) = arg1.
+void BM_VitalSweep(benchmark::State& state) {
+  constexpr int kDatabases = 8;
+  int vital_count = static_cast<int>(state.range(0));
+  double fail_p = static_cast<double>(state.range(1)) / 100.0;
+
+  SyntheticFederationOptions options;
+  options.n_databases = kDatabases;
+  options.rows_per_table = 16;
+  auto sys = BuildSyntheticFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  uint64_t seed = 1;
+  for (int i = 0; i < kDatabases; ++i) {
+    auto engine =
+        *(**sys).GetEngine("db" + std::to_string(i) + "_svc");
+    engine->SetFailureProbability(fail_p, seed++);
+  }
+  std::string query = VitalUpdate(kDatabases, vital_count);
+
+  int64_t successes = 0;
+  int64_t aborts = 0;
+  int64_t sim_micros = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto report = (*sys)->Execute(query);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    switch (report->outcome) {
+      case GlobalOutcome::kSuccess: ++successes; break;
+      case GlobalOutcome::kAborted: ++aborts; break;
+      default: break;  // kIncorrect possible when commit itself fails
+    }
+    sim_micros += report->run.makespan_micros;
+    ++iterations;
+  }
+  state.counters["success_rate"] = benchmark::Counter(
+      iterations > 0 ? static_cast<double>(successes) / iterations : 0);
+  state.counters["abort_rate"] = benchmark::Counter(
+      iterations > 0 ? static_cast<double>(aborts) / iterations : 0);
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 /
+      (iterations > 0 ? iterations : 1));
+  state.counters["vitals"] = vital_count;
+}
+BENCHMARK(BM_VitalSweep)
+    ->Args({0, 5})
+    ->Args({2, 5})
+    ->Args({4, 5})
+    ->Args({8, 5})
+    ->Args({4, 0})
+    ->Args({4, 20});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// E12 (ablation): local access paths vs global latency. An index makes
+// the *local* point lookup dramatically cheaper (host µs and modelled
+// scan cost), but the *global* query latency barely moves — the
+// round-trip latency dominates. This demonstrates the paper's §5 claim
+// from the opposite direction: optimizing individual database
+// operations is the wrong lever for a loosely coupled MDBS.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/mdbs_system.h"
+#include "relational/engine.h"
+
+namespace {
+
+using msql::core::MultidatabaseSystem;
+using msql::relational::CapabilityProfile;
+using msql::relational::LocalEngine;
+using msql::relational::SessionId;
+
+constexpr int kRows = 4096;
+
+std::unique_ptr<LocalEngine> BigEngine(bool with_index) {
+  auto engine = std::make_unique<LocalEngine>(
+      "svc", CapabilityProfile::IngresLike());
+  if (!engine->CreateDatabase("db").ok()) return nullptr;
+  auto s = *engine->OpenSession("db");
+  if (!engine->Execute(s, "CREATE TABLE t (id INTEGER, v REAL)").ok()) {
+    return nullptr;
+  }
+  for (int chunk = 0; chunk < kRows; chunk += 512) {
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 512; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(chunk + i) + ", 1.0)";
+    }
+    if (!engine->Execute(s, insert).ok()) return nullptr;
+  }
+  if (with_index &&
+      !engine->Execute(s, "CREATE INDEX idx ON t (id)").ok()) {
+    return nullptr;
+  }
+  return engine;
+}
+
+/// Local point lookup, host time (scan vs probe).
+void BM_LocalLookup(benchmark::State& state) {
+  bool with_index = state.range(0) != 0;
+  auto engine = BigEngine(with_index);
+  SessionId s = *engine->OpenSession("db");
+  int i = 0;
+  int64_t scanned = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto rs = engine->Execute(
+        s, "SELECT v FROM t WHERE id = " + std::to_string(i++ % kRows));
+    if (!rs.ok()) state.SkipWithError("lookup failed");
+    scanned += rs->rows_scanned;
+    ++iterations;
+  }
+  state.counters["rows_scanned"] = benchmark::Counter(
+      static_cast<double>(scanned) / iterations);
+  state.counters["indexed"] = with_index ? 1 : 0;
+}
+BENCHMARK(BM_LocalLookup)->Arg(0)->Arg(1);
+
+/// The same lookup through the full MDBS stack: simulated makespan is
+/// dominated by the network round trips either way.
+void BM_GlobalLookup(benchmark::State& state) {
+  bool with_index = state.range(0) != 0;
+  MultidatabaseSystem sys;
+  auto engine = BigEngine(with_index);
+  if (engine == nullptr) {
+    state.SkipWithError("bootstrap failed");
+    return;
+  }
+  if (!sys.environment()
+           .AddService("svc", "site1", std::move(engine))
+           .ok()) {
+    state.SkipWithError("service failed");
+    return;
+  }
+  auto r1 = sys.Execute(
+      "INCORPORATE SERVICE svc SITE site1 CONNECTMODE CONNECT COMMITMODE "
+      "NOCOMMIT CREATE NOCOMMIT INSERT NOCOMMIT DROP NOCOMMIT");
+  auto r2 = sys.Execute("IMPORT DATABASE db FROM SERVICE svc");
+  if (!r1.ok() || !r2.ok()) {
+    state.SkipWithError("catalog failed");
+    return;
+  }
+  int i = 0;
+  int64_t sim_micros = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto report = sys.Execute("USE db SELECT v FROM t WHERE id = " +
+                              std::to_string(i++ % kRows));
+    if (!report.ok() ||
+        report->outcome != msql::core::GlobalOutcome::kSuccess) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    sim_micros += report->run.makespan_micros;
+    ++iterations;
+  }
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 / iterations);
+  state.counters["indexed"] = with_index ? 1 : 0;
+}
+BENCHMARK(BM_GlobalLookup)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

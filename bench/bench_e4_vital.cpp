@@ -1,0 +1,87 @@
+// E4 (§3.2): cost of vital-set enforcement on the fare-raise update.
+// Compares all-NON-VITAL (autocommit), mixed (the paper's query) and
+// all-VITAL (atomic) plans: 2PC adds a prepare + decision round per
+// vital database, visible in both simulated time and message count.
+#include <benchmark/benchmark.h>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::BuildPaperFederation;
+using msql::core::GlobalOutcome;
+using msql::core::PaperFederationOptions;
+
+/// The §3.2 update with a configurable vital set; *1.0 keeps the data
+/// numerically stable across iterations.
+std::string FareTouch(bool cont_vital, bool delta_vital,
+                      bool united_vital) {
+  std::string scope = "USE continental";
+  if (cont_vital) scope += " VITAL";
+  scope += " delta";
+  if (delta_vital) scope += " VITAL";
+  scope += " united";
+  if (united_vital) scope += " VITAL";
+  return scope +
+         "\nUPDATE flight% SET rate% = rate% * 1.0\n"
+         "WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+}
+
+void RunVitalBench(benchmark::State& state, const std::string& query) {
+  PaperFederationOptions options;
+  options.flights_per_airline = 32;
+  auto sys = BuildPaperFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  int64_t sim_micros = 0;
+  int64_t messages = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto report = (*sys)->Execute(query);
+    if (!report.ok() || report->outcome != GlobalOutcome::kSuccess) {
+      state.SkipWithError("update failed");
+      return;
+    }
+    sim_micros += report->run.makespan_micros;
+    messages += report->run.messages;
+    ++iterations;
+  }
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 / iterations);
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages) / iterations);
+}
+
+void BM_Vital_None(benchmark::State& state) {
+  RunVitalBench(state, FareTouch(false, false, false));
+}
+BENCHMARK(BM_Vital_None);
+
+void BM_Vital_PaperMix(benchmark::State& state) {
+  RunVitalBench(state, FareTouch(true, false, true));
+}
+BENCHMARK(BM_Vital_PaperMix);
+
+void BM_Vital_All(benchmark::State& state) {
+  RunVitalBench(state, FareTouch(true, true, true));
+}
+BENCHMARK(BM_Vital_All);
+
+/// Retrieval with and without vital designators — reads never need 2PC,
+/// so the gap should be nil (sanity ablation).
+void BM_Vital_Retrieval(benchmark::State& state) {
+  bool vital = state.range(0) != 0;
+  std::string query = vital ? "USE continental VITAL delta united\n"
+                              "SELECT rate% FROM flight%"
+                            : "USE continental delta united\n"
+                              "SELECT rate% FROM flight%";
+  RunVitalBench(state, query);
+}
+BENCHMARK(BM_Vital_Retrieval)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E5 (§3.3): the compensation paths. Measures the cost of each outcome
+// path of the compensated fare raise when Continental lacks 2PC —
+// success, compensate-Continental, rollback-United — against the
+// all-2PC baseline.
+#include <benchmark/benchmark.h>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::BuildPaperFederation;
+using msql::core::GlobalOutcome;
+using msql::core::PaperFederationOptions;
+using msql::core::PaperServiceOf;
+using msql::relational::FailPoint;
+
+constexpr const char* kCompensatedTouch =
+    "USE continental VITAL delta united VITAL\n"
+    "UPDATE flight% SET rate% = rate% * 1.0\n"
+    "WHERE sour% = 'Houston' AND dest% = 'San Antonio'\n"
+    "COMP continental\n"
+    "UPDATE flights SET rate = rate / 1.0\n"
+    "WHERE source = 'Houston' AND destination = 'San Antonio'";
+
+constexpr const char* kPlainTouch =
+    "USE continental VITAL delta united VITAL\n"
+    "UPDATE flight% SET rate% = rate% * 1.0\n"
+    "WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+enum class Inject { kNone, kUnitedStatement, kContinentalStatement };
+
+void RunPath(benchmark::State& state, bool continental_no_2pc,
+             const char* query, Inject inject,
+             GlobalOutcome expected_outcome) {
+  PaperFederationOptions options;
+  options.flights_per_airline = 32;
+  options.continental_autocommit_only = continental_no_2pc;
+  auto sys = BuildPaperFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  int64_t sim_micros = 0;
+  int64_t messages = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    switch (inject) {
+      case Inject::kNone:
+        break;
+      case Inject::kUnitedStatement:
+        (*(**sys).GetEngine(PaperServiceOf("united")))
+            ->InjectFailure(FailPoint::kNextStatement);
+        break;
+      case Inject::kContinentalStatement:
+        (*(**sys).GetEngine(PaperServiceOf("continental")))
+            ->InjectFailure(FailPoint::kNextStatement);
+        break;
+    }
+    auto report = (*sys)->Execute(query);
+    if (!report.ok() || report->outcome != expected_outcome) {
+      state.SkipWithError("unexpected outcome");
+      return;
+    }
+    sim_micros += report->run.makespan_micros;
+    messages += report->run.messages;
+    ++iterations;
+  }
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 / iterations);
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages) / iterations);
+}
+
+/// Baseline: everything 2PC, clean run.
+void BM_Comp_All2pc_Success(benchmark::State& state) {
+  RunPath(state, /*continental_no_2pc=*/false, kPlainTouch, Inject::kNone,
+          GlobalOutcome::kSuccess);
+}
+BENCHMARK(BM_Comp_All2pc_Success);
+
+/// Path 1: Continental committed, United prepared → commit United.
+void BM_Comp_Path1_Success(benchmark::State& state) {
+  RunPath(state, /*continental_no_2pc=*/true, kCompensatedTouch,
+          Inject::kNone, GlobalOutcome::kSuccess);
+}
+BENCHMARK(BM_Comp_Path1_Success);
+
+/// Path 2: United aborted → Continental compensated.
+void BM_Comp_Path2_Compensate(benchmark::State& state) {
+  RunPath(state, /*continental_no_2pc=*/true, kCompensatedTouch,
+          Inject::kUnitedStatement, GlobalOutcome::kAborted);
+}
+BENCHMARK(BM_Comp_Path2_Compensate);
+
+/// Path 3: Continental aborted → United rolled back.
+void BM_Comp_Path3_Rollback(benchmark::State& state) {
+  RunPath(state, /*continental_no_2pc=*/true, kCompensatedTouch,
+          Inject::kContinentalStatement, GlobalOutcome::kAborted);
+}
+BENCHMARK(BM_Comp_Path3_Rollback);
+
+/// All-2PC abort path for comparison: rollback of prepared branches.
+void BM_Comp_All2pc_Abort(benchmark::State& state) {
+  RunPath(state, /*continental_no_2pc=*/false, kPlainTouch,
+          Inject::kUnitedStatement, GlobalOutcome::kAborted);
+}
+BENCHMARK(BM_Comp_All2pc_Abort);
+
+}  // namespace
+
+BENCHMARK_MAIN();

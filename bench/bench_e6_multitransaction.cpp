@@ -1,0 +1,123 @@
+// E6 (§3.4): multitransaction execution — cost of the travel-agent
+// reservation against single queries, and sensitivity to how deep in
+// the acceptable-state preference list the winning state sits.
+#include <benchmark/benchmark.h>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::BuildPaperFederation;
+using msql::core::GlobalOutcome;
+using msql::core::PaperFederationOptions;
+using msql::core::PaperServiceOf;
+using msql::relational::FailPoint;
+
+/// A non-consuming variant of the §3.4 multitransaction (touches the
+/// chosen seat/car rows without flipping them to TAKEN, so iterations
+/// do not run out of inventory).
+constexpr const char* kTravelAgentTouch =
+    "BEGIN MULTITRANSACTION\n"
+    "USE continental delta\n"
+    "LET fitab.snu.sstat.clname BE\n"
+    "  f838.seatnu.seatstatus.clientname\n"
+    "  fnu747.snu.sstat.passname\n"
+    "UPDATE fitab SET sstat = 'FREE' "
+    "WHERE snu = (SELECT MIN(snu) FROM fitab WHERE sstat = 'FREE');\n"
+    "USE avis national\n"
+    "LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat\n"
+    "UPDATE cartab SET cstat = 'available' "
+    "WHERE ccode = (SELECT MIN(ccode) FROM cartab WHERE "
+    "cstat = 'available');\n"
+    "COMMIT\n"
+    "  continental AND national\n"
+    "  delta AND avis\n"
+    "END MULTITRANSACTION";
+
+void RunMt(benchmark::State& state, bool fail_continental) {
+  PaperFederationOptions options;
+  options.seats_per_airline = 64;
+  options.cars_per_company = 64;
+  auto sys = BuildPaperFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  int64_t sim_micros = 0;
+  int64_t messages = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    if (fail_continental) {
+      (*(**sys).GetEngine(PaperServiceOf("continental")))
+          ->InjectFailure(FailPoint::kNextStatement);
+    }
+    auto report = (*sys)->Execute(kTravelAgentTouch);
+    if (!report.ok() || report->outcome != GlobalOutcome::kSuccess) {
+      state.SkipWithError("multitransaction failed");
+      return;
+    }
+    sim_micros += report->run.makespan_micros;
+    messages += report->run.messages;
+    ++iterations;
+  }
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 / iterations);
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages) / iterations);
+}
+
+/// Preferred state reachable: continental AND national win.
+void BM_Mt_PreferredState(benchmark::State& state) {
+  RunMt(state, /*fail_continental=*/false);
+}
+BENCHMARK(BM_Mt_PreferredState);
+
+/// Preferred state unreachable: falls through to delta AND avis.
+void BM_Mt_FallbackState(benchmark::State& state) {
+  RunMt(state, /*fail_continental=*/true);
+}
+BENCHMARK(BM_Mt_FallbackState);
+
+/// Plan-size sensitivity: a multitransaction over n synthetic databases
+/// with n single-db acceptable states (worst-case decision cascade).
+void BM_Mt_StateCascade(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  msql::core::SyntheticFederationOptions options;
+  options.n_databases = n;
+  options.rows_per_table = 16;
+  auto sys = msql::core::BuildSyntheticFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  std::string mt = "BEGIN MULTITRANSACTION\n";
+  for (int i = 0; i < n; ++i) {
+    mt += "USE db" + std::to_string(i) + " UPDATE flight" +
+          std::to_string(i) + " SET rate = rate * 1.0;\n";
+  }
+  mt += "COMMIT\n";
+  // States in order dbn-1, ..., db0: all reachable; first wins.
+  for (int i = n - 1; i >= 0; --i) {
+    mt += "  db" + std::to_string(i) + "\n";
+  }
+  mt += "END MULTITRANSACTION";
+  int64_t sim_micros = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto report = (*sys)->Execute(mt);
+    if (!report.ok() || report->outcome != GlobalOutcome::kSuccess) {
+      state.SkipWithError("multitransaction failed");
+      return;
+    }
+    sim_micros += report->run.makespan_micros;
+    ++iterations;
+  }
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 / iterations);
+}
+BENCHMARK(BM_Mt_StateCascade)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E8 (§4.3 / §5): "the optimization is likely to be related more to
+// data flow control and parallelism than to database operations."
+// Compares PARBEGIN (parallel) against sequential task execution of the
+// same subqueries as the federation and the link latency grow: the
+// parallel plan's simulated makespan should stay near-flat in the
+// number of databases while the sequential one grows linearly.
+#include <benchmark/benchmark.h>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+#include "dol/engine.h"
+#include "dol/parser.h"
+
+namespace {
+
+using msql::core::BuildSyntheticFederation;
+using msql::core::SyntheticFederationOptions;
+
+/// Hand-built DOL program running one SELECT per database, either inside
+/// one PARBEGIN block or as a plain sequence.
+std::string ScanProgram(int n, bool parallel) {
+  std::string text = "DOLBEGIN\n";
+  // The parallel plan overlaps the connection phase too; the sequential
+  // baseline pays one round-trip per OPEN, like the §4.3 narrative.
+  if (parallel) text += "PARBEGIN\n";
+  for (int i = 0; i < n; ++i) {
+    std::string db = "db" + std::to_string(i);
+    text += "OPEN " + db + " AT " + db + "_svc AS " + db + ";\n";
+  }
+  if (parallel) text += "PAREND;\nPARBEGIN\n";
+  for (int i = 0; i < n; ++i) {
+    std::string db = "db" + std::to_string(i);
+    text += "TASK t" + std::to_string(i) + " FOR " + db +
+            " { SELECT fno, rate FROM flight" + std::to_string(i) +
+            " WHERE source = 'Houston' } ENDTASK;\n";
+  }
+  if (parallel) text += "PAREND;\n";
+  text += "CLOSE";
+  for (int i = 0; i < n; ++i) text += " db" + std::to_string(i);
+  text += ";\nDOLEND\n";
+  return text;
+}
+
+void RunScan(benchmark::State& state, bool parallel) {
+  int n = static_cast<int>(state.range(0));
+  int64_t latency = state.range(1);
+  SyntheticFederationOptions options;
+  options.n_databases = n;
+  options.rows_per_table = 64;
+  options.link_latency_micros = latency;
+  auto sys = BuildSyntheticFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  auto program = msql::dol::ParseDol(ScanProgram(n, parallel));
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  int64_t sim_micros = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    msql::dol::DolEngine engine(&(*sys)->environment());
+    auto result = engine.Run(*program);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    sim_micros += result->makespan_micros;
+    ++iterations;
+  }
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 / iterations);
+  state.counters["dbs"] = n;
+  state.counters["latency_us"] = static_cast<double>(latency);
+}
+
+void BM_Par_Parallel(benchmark::State& state) { RunScan(state, true); }
+void BM_Par_Sequential(benchmark::State& state) { RunScan(state, false); }
+
+BENCHMARK(BM_Par_Parallel)
+    ->Args({2, 1000})
+    ->Args({4, 1000})
+    ->Args({8, 1000})
+    ->Args({16, 1000})
+    ->Args({8, 100})
+    ->Args({8, 10000});
+BENCHMARK(BM_Par_Sequential)
+    ->Args({2, 1000})
+    ->Args({4, 1000})
+    ->Args({8, 1000})
+    ->Args({16, 1000})
+    ->Args({8, 100})
+    ->Args({8, 10000});
+
+}  // namespace
+
+BENCHMARK_MAIN();

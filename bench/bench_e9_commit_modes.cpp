@@ -1,0 +1,130 @@
+// E9 (§3.2.2): commit-protocol heterogeneity at the local engines.
+// Measures the raw cost of the protocols the AD records — autocommit vs
+// explicit transaction vs full 2PC — and the two DDL behaviours (Ingres
+// rollbackable vs Oracle commits-prior-work).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "relational/engine.h"
+
+namespace {
+
+using msql::relational::CapabilityProfile;
+using msql::relational::LocalEngine;
+using msql::relational::SessionId;
+
+std::unique_ptr<LocalEngine> SeededEngine(CapabilityProfile profile,
+                                          int rows) {
+  auto engine = std::make_unique<LocalEngine>("svc", std::move(profile));
+  if (!engine->CreateDatabase("db").ok()) return nullptr;
+  auto s = *engine->OpenSession("db");
+  if (!engine->Execute(s, "CREATE TABLE t (id INTEGER, v REAL)").ok()) {
+    return nullptr;
+  }
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 0; i < rows; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", 1.0)";
+  }
+  if (!engine->Execute(s, insert).ok()) return nullptr;
+  if (!engine->CloseSession(s).ok()) return nullptr;
+  return engine;
+}
+
+constexpr const char* kTouch = "UPDATE t SET v = v * 1.0 WHERE id < 64";
+
+void BM_Local_Autocommit(benchmark::State& state) {
+  auto engine = SeededEngine(CapabilityProfile::SybaseLike(), 256);
+  SessionId s = *engine->OpenSession("db");
+  for (auto _ : state) {
+    auto result = engine->Execute(s, kTouch);
+    if (!result.ok()) state.SkipWithError("update failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Local_Autocommit);
+
+void BM_Local_ExplicitTxnCommit(benchmark::State& state) {
+  auto engine = SeededEngine(CapabilityProfile::IngresLike(), 256);
+  SessionId s = *engine->OpenSession("db");
+  for (auto _ : state) {
+    bool ok = engine->Begin(s).ok() && engine->Execute(s, kTouch).ok() &&
+              engine->Commit(s).ok();
+    if (!ok) state.SkipWithError("txn failed");
+  }
+}
+BENCHMARK(BM_Local_ExplicitTxnCommit);
+
+void BM_Local_TwoPhaseCommit(benchmark::State& state) {
+  auto engine = SeededEngine(CapabilityProfile::IngresLike(), 256);
+  SessionId s = *engine->OpenSession("db");
+  for (auto _ : state) {
+    bool ok = engine->Begin(s).ok() && engine->Execute(s, kTouch).ok() &&
+              engine->Prepare(s).ok() && engine->Commit(s).ok();
+    if (!ok) state.SkipWithError("2pc failed");
+  }
+}
+BENCHMARK(BM_Local_TwoPhaseCommit);
+
+void BM_Local_Rollback(benchmark::State& state) {
+  auto engine = SeededEngine(CapabilityProfile::IngresLike(), 256);
+  SessionId s = *engine->OpenSession("db");
+  for (auto _ : state) {
+    bool ok = engine->Begin(s).ok() && engine->Execute(s, kTouch).ok() &&
+              engine->Rollback(s).ok();
+    if (!ok) state.SkipWithError("rollback failed");
+  }
+}
+BENCHMARK(BM_Local_Rollback);
+
+/// Rollback cost grows with the undo log (rows touched).
+void BM_Local_RollbackUndoDepth(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  auto engine = SeededEngine(CapabilityProfile::IngresLike(), rows);
+  SessionId s = *engine->OpenSession("db");
+  std::string touch_all = "UPDATE t SET v = v * 1.0";
+  for (auto _ : state) {
+    bool ok = engine->Begin(s).ok() &&
+              engine->Execute(s, touch_all).ok() &&
+              engine->Rollback(s).ok();
+    if (!ok) state.SkipWithError("rollback failed");
+  }
+  state.counters["rows"] = rows;
+}
+BENCHMARK(BM_Local_RollbackUndoDepth)->Arg(64)->Arg(512)->Arg(4096);
+
+/// Ingres-like DDL inside a transaction (rollbackable, undo-logged).
+void BM_Local_DdlIngresLike(benchmark::State& state) {
+  auto engine = SeededEngine(CapabilityProfile::IngresLike(), 16);
+  SessionId s = *engine->OpenSession("db");
+  for (auto _ : state) {
+    bool ok = engine->Begin(s).ok() &&
+              engine->Execute(s, "CREATE TABLE d2 (x INTEGER)").ok() &&
+              engine->Rollback(s).ok();  // the rollback drops d2 again
+    if (!ok) state.SkipWithError("ddl failed");
+  }
+}
+BENCHMARK(BM_Local_DdlIngresLike);
+
+/// Oracle-like DDL: commits prior work, then itself — the table must be
+/// dropped explicitly afterwards to keep iterations re-runnable.
+void BM_Local_DdlOracleLike(benchmark::State& state) {
+  auto engine = SeededEngine(CapabilityProfile::OracleLike(), 16);
+  SessionId s = *engine->OpenSession("db");
+  for (auto _ : state) {
+    bool ok = engine->Begin(s).ok() &&
+              engine->Execute(s, "CREATE TABLE d2 (x INTEGER)").ok() &&
+              engine->Rollback(s).ok() &&
+              engine->Execute(s, "DROP TABLE d2").ok();
+    if (!ok) {
+      state.SkipWithError("ddl failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_Local_DdlOracleLike);
+
+}  // namespace
+
+BENCHMARK_MAIN();

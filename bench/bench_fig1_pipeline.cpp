@@ -1,0 +1,150 @@
+// E1 (Figure 1): the system-component pipeline — MSQL translator → DOL
+// engine → LAMs → LDBMSs. Measures per-stage host cost and end-to-end
+// cost as the federation grows, plus the simulated wall-clock the
+// engine reports (sim_ms counter).
+#include <benchmark/benchmark.h>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+#include "msql/expander.h"
+#include "msql/parser.h"
+#include "translator/translator.h"
+
+namespace {
+
+using msql::core::BuildSyntheticFederation;
+using msql::core::SyntheticFederationOptions;
+
+std::string RetrievalQuery(int n_databases) {
+  std::string scope = "USE";
+  for (int i = 0; i < n_databases; ++i) {
+    scope += " db" + std::to_string(i);
+  }
+  return scope + "\nSELECT fno, rate FROM flight% WHERE source = 'Houston'";
+}
+
+/// Stage 1: MSQL parsing only.
+void BM_Stage_Parse(benchmark::State& state) {
+  std::string query = RetrievalQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto input = msql::lang::MsqlParser::ParseOne(query);
+    if (!input.ok()) state.SkipWithError(input.status().ToString().c_str());
+    benchmark::DoNotOptimize(input);
+  }
+}
+BENCHMARK(BM_Stage_Parse)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// Stage 2: multiple-identifier substitution + disambiguation.
+void BM_Stage_Expand(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  SyntheticFederationOptions options;
+  options.n_databases = n;
+  options.rows_per_table = 8;
+  auto sys = BuildSyntheticFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  auto input = msql::lang::MsqlParser::ParseOne(RetrievalQuery(n));
+  msql::lang::Expander expander(&(*sys)->gdd());
+  for (auto _ : state) {
+    auto expansion = expander.Expand(*input->query);
+    if (!expansion.ok()) {
+      state.SkipWithError(expansion.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(expansion);
+  }
+}
+BENCHMARK(BM_Stage_Expand)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// Stage 3: translation to a DOL evaluation plan.
+void BM_Stage_Translate(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  SyntheticFederationOptions options;
+  options.n_databases = n;
+  options.rows_per_table = 8;
+  auto sys = BuildSyntheticFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  auto input = msql::lang::MsqlParser::ParseOne(RetrievalQuery(n));
+  msql::lang::Expander expander(&(*sys)->gdd());
+  auto expansion = expander.Expand(*input->query);
+  msql::translator::Translator translator(&(*sys)->auxiliary_directory(),
+                                          &(*sys)->gdd());
+  for (auto _ : state) {
+    auto plan = translator.TranslateQuery(*expansion);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_Stage_Translate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// Full pipeline: parse → expand → translate → run through LAMs.
+void BM_Pipeline_EndToEnd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  SyntheticFederationOptions options;
+  options.n_databases = n;
+  options.rows_per_table = 64;
+  auto sys = BuildSyntheticFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  std::string query = RetrievalQuery(n);
+  int64_t sim_micros = 0;
+  int64_t messages = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto report = (*sys)->Execute(query);
+    if (!report.ok() ||
+        report->outcome != msql::core::GlobalOutcome::kSuccess) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    sim_micros += report->run.makespan_micros;
+    messages += report->run.messages;
+    ++iterations;
+  }
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 / iterations);
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(messages) / iterations);
+}
+BENCHMARK(BM_Pipeline_EndToEnd)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// Result-volume sensitivity: rows shipped per database.
+void BM_Pipeline_ResultVolume(benchmark::State& state) {
+  SyntheticFederationOptions options;
+  options.n_databases = 4;
+  options.rows_per_table = static_cast<int>(state.range(0));
+  auto sys = BuildSyntheticFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  std::string query = RetrievalQuery(4);
+  int64_t sim_micros = 0;
+  int64_t rows = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto report = (*sys)->Execute(query);
+    if (!report.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    sim_micros += report->run.makespan_micros;
+    rows += static_cast<int64_t>(report->multitable.TotalRows());
+    ++iterations;
+  }
+  state.counters["sim_ms"] = benchmark::Counter(
+      static_cast<double>(sim_micros) / 1000.0 / iterations);
+  state.counters["rows"] =
+      benchmark::Counter(static_cast<double>(rows) / iterations);
+}
+BENCHMARK(BM_Pipeline_ResultVolume)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// E2 (Figure 2): schema architecture — cost of INCORPORATE/IMPORT flows
+// and of GDD lookups / wildcard expansion as the federation grows.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+#include "mdbs/global_data_dictionary.h"
+#include "msql/expander.h"
+#include "msql/parser.h"
+#include "relational/engine.h"
+
+namespace {
+
+using msql::core::MultidatabaseSystem;
+using msql::relational::CapabilityProfile;
+
+/// A fresh service with `n_tables` tables of `n_columns` columns each.
+std::unique_ptr<MultidatabaseSystem> FederationWithSchema(int n_tables,
+                                                          int n_columns) {
+  auto sys = std::make_unique<MultidatabaseSystem>();
+  if (!sys->AddService("svc", "site1", CapabilityProfile::IngresLike())
+           .ok()) {
+    return nullptr;
+  }
+  auto engine = *sys->GetEngine("svc");
+  if (!engine->CreateDatabase("d").ok()) return nullptr;
+  std::string ddl;
+  for (int t = 0; t < n_tables; ++t) {
+    ddl += "CREATE TABLE table" + std::to_string(t) + " (";
+    for (int c = 0; c < n_columns; ++c) {
+      if (c > 0) ddl += ", ";
+      ddl += "col" + std::to_string(c) + " INTEGER";
+    }
+    ddl += ");";
+  }
+  if (!sys->RunLocalSql("svc", "d", ddl).ok()) return nullptr;
+  return sys;
+}
+
+void BM_Incorporate(benchmark::State& state) {
+  auto sys = FederationWithSchema(4, 4);
+  for (auto _ : state) {
+    auto report = sys->Execute(
+        "INCORPORATE SERVICE svc SITE site1 CONNECTMODE CONNECT "
+        "COMMITMODE NOCOMMIT CREATE NOCOMMIT INSERT NOCOMMIT "
+        "DROP NOCOMMIT");
+    if (!report.ok()) state.SkipWithError("incorporate failed");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_Incorporate);
+
+/// IMPORT DATABASE cost vs LCS size (tables × columns travel the wire).
+void BM_ImportDatabase(benchmark::State& state) {
+  int n_tables = static_cast<int>(state.range(0));
+  auto sys = FederationWithSchema(n_tables, 8);
+  auto incorporated = sys->Execute(
+      "INCORPORATE SERVICE svc SITE site1 CONNECTMODE CONNECT "
+      "COMMITMODE NOCOMMIT CREATE NOCOMMIT INSERT NOCOMMIT DROP NOCOMMIT");
+  if (!incorporated.ok()) {
+    state.SkipWithError("incorporate failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto report = sys->Execute("IMPORT DATABASE d FROM SERVICE svc");
+    if (!report.ok()) state.SkipWithError("import failed");
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["tables"] = n_tables;
+}
+BENCHMARK(BM_ImportDatabase)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// GDD point lookups stay cheap as the dictionary grows.
+void BM_GddLookup(benchmark::State& state) {
+  int n_tables = static_cast<int>(state.range(0));
+  auto sys = FederationWithSchema(n_tables, 8);
+  auto r1 = sys->Execute(
+      "INCORPORATE SERVICE svc SITE site1 CONNECTMODE CONNECT "
+      "COMMITMODE NOCOMMIT CREATE NOCOMMIT INSERT NOCOMMIT DROP NOCOMMIT");
+  auto r2 = sys->Execute("IMPORT DATABASE d FROM SERVICE svc");
+  if (!r1.ok() || !r2.ok()) {
+    state.SkipWithError("bootstrap failed");
+    return;
+  }
+  const auto& gdd = sys->gdd();
+  int i = 0;
+  for (auto _ : state) {
+    auto table =
+        gdd.GetTable("d", "table" + std::to_string(i++ % n_tables));
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_GddLookup)->Arg(16)->Arg(256);
+
+/// Wildcard table matching scans the dictionary: linear in #tables.
+void BM_GddWildcardMatch(benchmark::State& state) {
+  int n_tables = static_cast<int>(state.range(0));
+  auto sys = FederationWithSchema(n_tables, 8);
+  auto r1 = sys->Execute(
+      "INCORPORATE SERVICE svc SITE site1 CONNECTMODE CONNECT "
+      "COMMITMODE NOCOMMIT CREATE NOCOMMIT INSERT NOCOMMIT DROP NOCOMMIT");
+  auto r2 = sys->Execute("IMPORT DATABASE d FROM SERVICE svc");
+  if (!r1.ok() || !r2.ok()) {
+    state.SkipWithError("bootstrap failed");
+    return;
+  }
+  const auto& gdd = sys->gdd();
+  for (auto _ : state) {
+    auto tables = gdd.MatchTables("d", "table%");
+    benchmark::DoNotOptimize(tables);
+  }
+  state.counters["tables"] = n_tables;
+}
+BENCHMARK(BM_GddWildcardMatch)->Arg(16)->Arg(64)->Arg(256);
+
+/// Identifier expansion cost against a wide schema: the §4.3 phase the
+/// GDD exists for.
+void BM_ExpansionAgainstGdd(benchmark::State& state) {
+  int n_columns = static_cast<int>(state.range(0));
+  auto sys = FederationWithSchema(8, n_columns);
+  auto r1 = sys->Execute(
+      "INCORPORATE SERVICE svc SITE site1 CONNECTMODE CONNECT "
+      "COMMITMODE NOCOMMIT CREATE NOCOMMIT INSERT NOCOMMIT DROP NOCOMMIT");
+  auto r2 = sys->Execute("IMPORT DATABASE d FROM SERVICE svc");
+  if (!r1.ok() || !r2.ok()) {
+    state.SkipWithError("bootstrap failed");
+    return;
+  }
+  auto input = msql::lang::MsqlParser::ParseOne(
+      "USE d SELECT col0, %l7 FROM table3 WHERE col2 > 0");
+  if (!input.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  msql::lang::Expander expander(&sys->gdd());
+  for (auto _ : state) {
+    auto expansion = expander.Expand(*input->query);
+    if (!expansion.ok()) state.SkipWithError("expand failed");
+    benchmark::DoNotOptimize(expansion);
+  }
+  state.counters["columns"] = n_columns;
+}
+BENCHMARK(BM_ExpansionAgainstGdd)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

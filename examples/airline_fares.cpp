@@ -1,0 +1,131 @@
+// Airline-fares scenario (§3.2 and §3.3 of the paper): multidatabase
+// updates with VITAL designators, 2PC coordination, failure injection
+// and user-specified compensation. Prints the generated DOL programs
+// and walks the four execution paths of the §3.3 outcome matrix.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::GlobalOutcome;
+using msql::core::GlobalOutcomeName;
+using msql::core::MultidatabaseSystem;
+using msql::core::PaperFederationOptions;
+using msql::core::PaperServiceOf;
+using msql::relational::FailPoint;
+
+double HoustonFares(MultidatabaseSystem* sys, const std::string& db,
+                    const std::string& sql) {
+  auto engine = *sys->GetEngine(PaperServiceOf(db));
+  auto s = *engine->OpenSession(db);
+  auto rs = engine->Execute(s, sql);
+  double out = rs.ok() && !rs->rows.empty() && !rs->rows[0][0].is_null()
+                   ? rs->rows[0][0].NumericAsReal()
+                   : 0.0;
+  (void)engine->CloseSession(s);
+  return out;
+}
+
+void PrintFares(MultidatabaseSystem* sys, const char* label) {
+  std::printf("%-28s continental=%.2f delta=%.2f united=%.2f\n", label,
+              HoustonFares(sys, "continental",
+                           "SELECT SUM(rate) FROM flights WHERE source = "
+                           "'Houston' AND destination = 'San Antonio'"),
+              HoustonFares(sys, "delta",
+                           "SELECT SUM(rate) FROM flight WHERE source = "
+                           "'Houston' AND dest = 'San Antonio'"),
+              HoustonFares(sys, "united",
+                           "SELECT SUM(rates) FROM flight WHERE sour = "
+                           "'Houston' AND dest = 'San Antonio'"));
+}
+
+int Fail(const msql::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // ---- Part 1: the §3.2 vital update on an all-2PC federation --------
+  std::printf("== Part 1: VITAL update, all services provide 2PC ==\n\n");
+  auto sys_or = msql::core::BuildPaperFederation();
+  if (!sys_or.ok()) return Fail(sys_or.status());
+  auto sys = std::move(sys_or).value();
+
+  const std::string raise =
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1\n"
+      "WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+  std::printf("MSQL:\n%s\n\n", raise.c_str());
+  PrintFares(sys.get(), "before:");
+
+  auto clean = sys->Execute(raise);
+  if (!clean.ok()) return Fail(clean.status());
+  std::printf("clean run outcome: %s\n\n",
+              std::string(GlobalOutcomeName(clean->outcome)).c_str());
+  PrintFares(sys.get(), "after +10%:");
+  std::printf("\ngenerated DOL program (cf. the paper's 4.3 listing):\n%s\n",
+              clean->dol_text.c_str());
+
+  // Now inject a failure into United: both VITAL updates must roll back
+  // while NON-VITAL Delta keeps its (autocommitted) change.
+  (*sys->GetEngine(PaperServiceOf("united")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto aborted = sys->Execute(raise);
+  if (!aborted.ok()) return Fail(aborted.status());
+  std::printf("with United failing, outcome: %s\n",
+              std::string(GlobalOutcomeName(aborted->outcome)).c_str());
+  PrintFares(sys.get(), "after aborted run:");
+  std::printf("  (note: NON-VITAL delta kept its +10%% — §3.2.1)\n\n");
+
+  // ---- Part 2: §3.3 — Continental without 2PC, COMP clause -----------
+  std::printf("== Part 2: Continental lacks 2PC; COMP supplies undo ==\n\n");
+  PaperFederationOptions no2pc;
+  no2pc.continental_autocommit_only = true;
+  auto sys2_or = msql::core::BuildPaperFederation(no2pc);
+  if (!sys2_or.ok()) return Fail(sys2_or.status());
+  auto sys2 = std::move(sys2_or).value();
+
+  const std::string compensated =
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1\n"
+      "WHERE sour% = 'Houston' AND dest% = 'San Antonio'\n"
+      "COMP continental\n"
+      "UPDATE flights SET rate = rate / 1.1\n"
+      "WHERE source = 'Houston' AND destination = 'San Antonio'";
+  std::printf("MSQL:\n%s\n\n", compensated.c_str());
+
+  PrintFares(sys2.get(), "before:");
+  // Path: United aborts -> Continental (already committed) compensates.
+  (*sys2->GetEngine(PaperServiceOf("united")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto comp_run = sys2->Execute(compensated);
+  if (!comp_run.ok()) return Fail(comp_run.status());
+  std::printf("United aborted -> outcome: %s\n",
+              std::string(GlobalOutcomeName(comp_run->outcome)).c_str());
+  std::printf("continental task state: %s (semantically undone)\n",
+              std::string(msql::dol::DolTaskStateName(
+                  comp_run->run.FindTask("t_continental")->state))
+                  .c_str());
+  PrintFares(sys2.get(), "after compensation:");
+
+  // ---- Part 3: refusal when the vital set is unenforceable -----------
+  std::printf("\n== Part 3: refusal (two no-2PC VITALs, no COMP) ==\n\n");
+  auto incorporate = sys2->Execute(
+      "INCORPORATE SERVICE united_svc SITE site_united CONNECTMODE "
+      "CONNECT COMMITMODE COMMIT CREATE COMMIT INSERT COMMIT DROP COMMIT");
+  if (!incorporate.ok()) return Fail(incorporate.status());
+  auto refused = sys2->Execute(
+      "USE continental VITAL united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1");
+  if (!refused.ok()) return Fail(refused.status());
+  std::printf("outcome: %s\nreason: %s\n",
+              std::string(GlobalOutcomeName(refused->outcome)).c_str(),
+              refused->detail.message().c_str());
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Interactive MSQL shell over the paper's example federation.
+//
+//   $ msql_shell            — REPL on stdin
+//   $ msql_shell script.msql — run a file of ';'-separated MSQL inputs
+//
+// Inputs end at a ';' on its own or at end of line; multitransactions
+// end at END MULTITRANSACTION. Meta commands: \gdd (dump dictionary),
+// \dol (toggle printing generated DOL programs), \quit.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::ExecutionReport;
+using msql::core::GlobalOutcome;
+using msql::core::GlobalOutcomeName;
+using msql::core::MultidatabaseSystem;
+
+void PrintReport(const ExecutionReport& report, bool show_dol) {
+  std::printf("-- %s (DOLSTATUS=%d",
+              std::string(GlobalOutcomeName(report.outcome)).c_str(),
+              report.dol_status);
+  if (!report.detail.ok()) {
+    std::printf("; %s", report.detail.ToString().c_str());
+  }
+  std::printf(")\n");
+  if (report.is_join) {
+    std::printf("%s", report.join_result.ToString().c_str());
+  } else if (!report.multitable.empty()) {
+    std::printf("%s", report.multitable.ToString().c_str());
+  }
+  if (report.rows_transferred > 0) {
+    std::printf("(%lld rows transferred)\n",
+                static_cast<long long>(report.rows_transferred));
+  }
+  for (const auto& name : report.fired_triggers) {
+    std::printf("(trigger %s fired)\n", name.c_str());
+  }
+  if (!report.non_pertinent.empty()) {
+    std::printf("(non-pertinent:");
+    for (const auto& db : report.non_pertinent) {
+      std::printf(" %s", db.c_str());
+    }
+    std::printf(")\n");
+  }
+  if (show_dol && !report.dol_text.empty()) {
+    std::printf("%s", report.dol_text.c_str());
+  }
+}
+
+/// True when `buffer` holds a complete input (a ';' outside a pending
+/// BEGIN MULTITRANSACTION, or the END MULTITRANSACTION keyword pair).
+bool InputComplete(const std::string& buffer) {
+  std::string lower = msql::ToLower(buffer);
+  bool in_mt = lower.find("begin multitransaction") != std::string::npos;
+  if (in_mt) {
+    return lower.find("end multitransaction") != std::string::npos;
+  }
+  return buffer.find(';') != std::string::npos;
+}
+
+int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
+  bool show_dol = false;
+  std::string buffer;
+  std::string line;
+  if (echo) std::printf("msql> ");
+  while (std::getline(in, line)) {
+    std::string trimmed(msql::Trim(line));
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (trimmed == "\\gdd") {
+      std::printf("%s", sys->gdd().ToString().c_str());
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\dol") {
+      show_dol = !show_dol;
+      std::printf("(DOL printing %s)\n", show_dol ? "on" : "off");
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    if (!InputComplete(buffer)) {
+      if (echo) std::printf("  ... ");
+      continue;
+    }
+    std::string input = buffer;
+    buffer.clear();
+    if (msql::Trim(input).empty() || msql::Trim(input) == ";") {
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    auto report = sys->Execute(input);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+    } else {
+      PrintReport(*report, show_dol);
+    }
+    if (echo) std::printf("msql> ");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto sys_or = msql::core::BuildPaperFederation();
+  if (!sys_or.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n",
+                 sys_or.status().ToString().c_str());
+    return 1;
+  }
+  auto sys = std::move(sys_or).value();
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    return RunStream(sys.get(), file, /*echo=*/false);
+  }
+  std::printf(
+      "Extended MSQL shell — federation: continental delta united avis "
+      "national\nmeta: \\gdd \\dol \\quit; end inputs with ';'\n");
+  return RunStream(sys.get(), std::cin, /*echo=*/true);
+}

@@ -1,0 +1,122 @@
+// The travel-agent scenario of §3.4: an MSQL multitransaction exploiting
+// function replication (either airline, either rental company) with
+// preference-ordered acceptable termination states.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::GlobalOutcomeName;
+using msql::core::MultidatabaseSystem;
+using msql::core::PaperServiceOf;
+using msql::relational::FailPoint;
+
+// Who holds reservations where?
+void PrintReservations(MultidatabaseSystem* sys) {
+  struct Probe {
+    const char* db;
+    const char* sql;
+  };
+  const Probe probes[] = {
+      {"continental",
+       "SELECT COUNT(*) FROM f838 WHERE clientname = 'wenders'"},
+      {"delta", "SELECT COUNT(*) FROM fnu747 WHERE passname = 'wenders'"},
+      {"avis", "SELECT COUNT(*) FROM cars WHERE client = 'wenders'"},
+      {"national", "SELECT COUNT(*) FROM vehicle WHERE client = 'wenders'"},
+  };
+  for (const auto& probe : probes) {
+    auto engine = *sys->GetEngine(PaperServiceOf(probe.db));
+    auto s = *engine->OpenSession(probe.db);
+    auto rs = engine->Execute(s, probe.sql);
+    std::printf("  %-12s %lld reservation(s) for wenders\n", probe.db,
+                rs.ok() ? static_cast<long long>(rs->rows[0][0].AsInteger())
+                        : -1LL);
+    (void)engine->CloseSession(s);
+  }
+}
+
+constexpr const char* kTrip =
+    "BEGIN MULTITRANSACTION\n"
+    "USE continental delta\n"
+    "LET fitab.snu.sstat.clname BE\n"
+    "  f838.seatnu.seatstatus.clientname\n"
+    "  fnu747.snu.sstat.passname\n"
+    "UPDATE fitab SET sstat = 'TAKEN', clname = 'wenders'\n"
+    "WHERE snu = (SELECT MIN(snu) FROM fitab WHERE sstat = 'FREE');\n"
+    "USE avis national\n"
+    "LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat\n"
+    "UPDATE cartab SET cstat = 'TAKEN', cfrom = '07-04-92',\n"
+    "  cto = '04-16-93', client = 'wenders'\n"
+    "WHERE ccode = (SELECT MIN(ccode) FROM cartab WHERE "
+    "cstat = 'available');\n"
+    "COMMIT\n"
+    "  continental AND national\n"
+    "  delta AND avis\n"
+    "END MULTITRANSACTION";
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Travel agent: book a flight (Continental preferred, Delta "
+      "acceptable)\nand a car (National preferred, Avis acceptable); "
+      "never two of either.\n\nMSQL multitransaction:\n%s\n\n", kTrip);
+
+  // Run 1: everything up → the preferred state continental AND national.
+  {
+    auto sys = std::move(msql::core::BuildPaperFederation()).value();
+    auto report = sys->Execute(kTrip);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("run 1 (all services healthy): %s\n",
+                std::string(GlobalOutcomeName(report->outcome)).c_str());
+    PrintReservations(sys.get());
+    std::printf("  -> preferred state continental AND national chosen;\n"
+                "     delta/avis subqueries rolled back.\n\n");
+  }
+
+  // Run 2: Continental's reservation fails → fall back to delta AND avis.
+  {
+    auto sys = std::move(msql::core::BuildPaperFederation()).value();
+    (*sys->GetEngine(PaperServiceOf("continental")))
+        ->InjectFailure(FailPoint::kNextStatement);
+    auto report = sys->Execute(kTrip);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("run 2 (Continental fails): %s\n",
+                std::string(GlobalOutcomeName(report->outcome)).c_str());
+    PrintReservations(sys.get());
+    std::printf("  -> acceptable state delta AND avis reached instead.\n\n");
+  }
+
+  // Run 3: both a flight and a car source fail → total abort.
+  {
+    auto sys = std::move(msql::core::BuildPaperFederation()).value();
+    (*sys->GetEngine(PaperServiceOf("continental")))
+        ->InjectFailure(FailPoint::kNextStatement);
+    (*sys->GetEngine(PaperServiceOf("avis")))
+        ->InjectFailure(FailPoint::kNextStatement);
+    auto report = sys->Execute(kTrip);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("run 3 (Continental AND Avis fail): %s\n",
+                std::string(GlobalOutcomeName(report->outcome)).c_str());
+    PrintReservations(sys.get());
+    std::printf("  -> no acceptable state reachable: every subquery was\n"
+                "     rolled back; the trip is not half-booked.\n");
+  }
+  return 0;
+}

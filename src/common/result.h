@@ -1,0 +1,84 @@
+#ifndef MSQL_COMMON_RESULT_H_
+#define MSQL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace msql {
+
+/// Either a value of type T or a non-OK Status (Arrow/absl idiom).
+///
+/// A Result is never both: constructing from an OK status is an internal
+/// error. Access to the value when `!ok()` asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value — lets functions `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status — lets functions `return status;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK when a value is held, the stored error otherwise.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+}  // namespace msql
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds
+/// the value to `lhs`. `lhs` may include a declaration, e.g.
+/// MSQL_ASSIGN_OR_RETURN(auto plan, translator.Translate(q));
+#define MSQL_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  MSQL_ASSIGN_OR_RETURN_IMPL_(                                 \
+      MSQL_RESULT_CONCAT_(_msql_result_, __LINE__), lhs, rexpr)
+
+#define MSQL_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define MSQL_RESULT_CONCAT_(a, b) MSQL_RESULT_CONCAT_IMPL_(a, b)
+#define MSQL_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MSQL_COMMON_RESULT_H_

@@ -1,0 +1,48 @@
+#ifndef MSQL_COMMON_RNG_H_
+#define MSQL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace msql {
+
+/// Deterministic 64-bit PRNG (SplitMix64) for workload generation and
+/// failure injection. Deterministic seeds keep tests and benches
+/// reproducible across platforms — std::mt19937 distributions are not
+/// guaranteed identical across standard libraries, so we avoid them.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace msql
+
+#endif  // MSQL_COMMON_RNG_H_

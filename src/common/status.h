@@ -1,0 +1,110 @@
+#ifndef MSQL_COMMON_STATUS_H_
+#define MSQL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace msql {
+
+/// Machine-readable category of a Status.
+///
+/// The codes mirror the failure classes the paper distinguishes: syntax
+/// problems in MSQL/DOL text, catalog (AD/GDD) lookup failures, local
+/// execution errors reported by an LDBMS, transaction-protocol violations,
+/// and the global `kRefused` condition raised when a query's vital set is
+/// not executable (two or more VITAL no-2PC databases without COMP, §3.3).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input, bad parameters
+  kParseError,        // lexer/parser rejection of MSQL, SQL or DOL text
+  kNotFound,          // missing database/table/column/service
+  kAlreadyExists,     // duplicate creation
+  kExecutionError,    // local engine failed to run a statement
+  kTransactionError,  // protocol violation (commit w/o prepare, etc.)
+  kRefused,           // plan-time refusal: vital set not enforceable
+  kAborted,           // operation rolled back (deadlock, injected failure)
+  kUnavailable,       // site or service unreachable
+  kInternal,          // invariant breakage inside the MDBS itself
+};
+
+/// Human-readable name of a StatusCode ("OK", "ParseError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus an optional message.
+///
+/// This is the only error channel in the library; no exceptions cross
+/// public API boundaries. Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status TransactionError(std::string msg) {
+    return Status(StatusCode::kTransactionError, std::move(msg));
+  }
+  static Status Refused(std::string msg) {
+    return Status(StatusCode::kRefused, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace msql
+
+/// Propagates a non-OK Status to the caller.
+#define MSQL_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::msql::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // MSQL_COMMON_STATUS_H_

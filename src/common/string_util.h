@@ -1,0 +1,42 @@
+#ifndef MSQL_COMMON_STRING_UTIL_H_
+#define MSQL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msql {
+
+/// ASCII lower-casing (SQL identifiers are case-insensitive in this
+/// implementation; they are canonicalized to lower case on entry).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing (used by keyword printers).
+std::string ToUpper(std::string_view s);
+
+/// True if the two strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// SQL LIKE-style match where '%' matches any run of characters.
+///
+/// This is the wildcard used by MSQL *implicit semantic variables*
+/// (`%code`, `flight%`, `rate%`): '%' stands for any sequence of zero or
+/// more characters; all other characters match themselves
+/// case-insensitively. '_' is NOT special (the paper only defines '%').
+bool WildcardMatch(std::string_view pattern, std::string_view text);
+
+/// True if `s` contains the MSQL multiple-identifier wildcard '%'.
+bool HasWildcard(std::string_view s);
+
+}  // namespace msql
+
+#endif  // MSQL_COMMON_STRING_UTIL_H_

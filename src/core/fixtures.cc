@@ -1,0 +1,263 @@
+#include "core/fixtures.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace msql::core {
+
+using relational::CapabilityProfile;
+
+namespace {
+
+/// Routes used by the generator; the first is the §3.2 update target.
+constexpr const char* kRoutes[][2] = {
+    {"Houston", "San Antonio"}, {"Houston", "Dallas"},
+    {"Austin", "Houston"},      {"Dallas", "El Paso"},
+    {"San Antonio", "Austin"},
+};
+constexpr int kRouteCount = 5;
+constexpr const char* kDays[] = {"mon", "tue", "wed", "thu", "fri"};
+
+std::string FlightRows(const std::string& prefix, int count, Rng* rng) {
+  std::string sql;
+  for (int i = 0; i < count; ++i) {
+    // Guarantee Houston → San Antonio coverage in the first two rows.
+    int route = i < 2 ? 0 : static_cast<int>(rng->NextBelow(kRouteCount));
+    double rate = 100.0 + static_cast<double>(rng->NextBelow(200));
+    if (!sql.empty()) sql += ", ";
+    sql += "(" + std::to_string(100 + i) + ", '" +
+           std::string(kRoutes[route][0]) + "', '" +
+           std::to_string(7 + static_cast<int>(rng->NextBelow(12))) +
+           ":00', '" + std::string(kRoutes[route][1]) + "', '" +
+           std::to_string(9 + static_cast<int>(rng->NextBelow(12))) +
+           ":00', '" + kDays[rng->NextBelow(5)] + "', " +
+           std::to_string(rate) + ")";
+    (void)prefix;
+  }
+  return sql;
+}
+
+std::string SeatRows(int count, Rng* rng) {
+  std::string sql;
+  for (int i = 0; i < count; ++i) {
+    // Most seats are FREE; a sprinkle are TAKEN.
+    bool taken = i >= 2 && rng->NextBool(0.3);
+    if (!sql.empty()) sql += ", ";
+    sql += "(" + std::to_string(i + 1) + ", '" +
+           (i % 4 == 0 ? "window" : "aisle") + "', '" +
+           (taken ? "TAKEN" : "FREE") + "', " +
+           (taken ? "'smith'" : "NULL") + ")";
+  }
+  return sql;
+}
+
+std::string CarRows(int count, bool with_rate, Rng* rng) {
+  std::string sql;
+  const char* types[] = {"sedan", "compact", "suv", "van"};
+  for (int i = 0; i < count; ++i) {
+    bool rented = i >= 2 && rng->NextBool(0.3);
+    if (!sql.empty()) sql += ", ";
+    sql += "(" + std::to_string(i + 1) + ", '" +
+           types[rng->NextBelow(4)] + "', ";
+    if (with_rate) {
+      sql += std::to_string(30 + static_cast<int>(rng->NextBelow(40))) +
+             ".0, ";
+    }
+    sql += std::string("'") + (rented ? "rented" : "available") + "', " +
+           (rented ? "'03-01-92', '03-14-92', 'jones'"
+                   : "NULL, NULL, NULL") +
+           ")";
+  }
+  return sql;
+}
+
+}  // namespace
+
+std::string PaperServiceOf(const std::string& database) {
+  return ToLower(database) + "_svc";
+}
+
+Result<std::unique_ptr<MultidatabaseSystem>> BuildPaperFederation(
+    const PaperFederationOptions& options) {
+  auto sys = std::make_unique<MultidatabaseSystem>();
+  netsim::LinkParams link;
+  link.latency_micros = options.link_latency_micros;
+  sys->environment().network().set_default_link(link);
+
+  struct Db {
+    const char* name;
+    CapabilityProfile profile;
+  };
+  CapabilityProfile continental_profile =
+      options.continental_autocommit_only ? CapabilityProfile::SybaseLike()
+                                          : CapabilityProfile::OracleLike();
+  // NOCONNECT engines serve exactly one database; give continental the
+  // CONNECT ability regardless so the database name resolves uniformly.
+  continental_profile.supports_multiple_databases = true;
+  const Db dbs[] = {
+      {"continental", continental_profile},
+      {"delta", CapabilityProfile::IngresLike()},
+      {"united", CapabilityProfile::OracleLike()},
+      {"avis", CapabilityProfile::IngresLike()},
+      {"national", CapabilityProfile::OracleLike()},
+  };
+
+  Rng rng(options.seed);
+  for (const auto& db : dbs) {
+    std::string service = PaperServiceOf(db.name);
+    MSQL_RETURN_IF_ERROR(
+        sys->AddService(service, "site_" + std::string(db.name), db.profile));
+    MSQL_ASSIGN_OR_RETURN(auto* engine, sys->GetEngine(service));
+    MSQL_RETURN_IF_ERROR(engine->CreateDatabase(db.name));
+  }
+
+  // Appendix schemas + deterministic data. ("from"/"to" of the paper's
+  // car tables are spelled cfrom/cto — FROM is reserved in the SQL
+  // dialect; see DESIGN.md.)
+  MSQL_RETURN_IF_ERROR(sys->RunLocalSql(
+      PaperServiceOf("continental"), "continental",
+      "CREATE TABLE flights (flnu INTEGER, source TEXT, dep TEXT, "
+      "destination TEXT, arr TEXT, day TEXT, rate REAL);"
+      "CREATE TABLE f838 (seatnu INTEGER, seatty TEXT, seatstatus TEXT, "
+      "clientname TEXT);"
+      "INSERT INTO flights VALUES " +
+          FlightRows("c", options.flights_per_airline, &rng) + ";" +
+          "INSERT INTO f838 VALUES " +
+          SeatRows(options.seats_per_airline, &rng)));
+  MSQL_RETURN_IF_ERROR(sys->RunLocalSql(
+      PaperServiceOf("delta"), "delta",
+      "CREATE TABLE flight (fnu INTEGER, source TEXT, dest TEXT, dep TEXT, "
+      "arr TEXT, day TEXT, rate REAL);"
+      "CREATE TABLE fnu747 (snu INTEGER, sty TEXT, sstat TEXT, "
+      "passname TEXT);"));
+  {
+    // Delta's flight table has (fnu, source, dest, dep, arr, day, rate):
+    // reuse the generator but permute dep/dest columns via INSERT list.
+    Rng delta_rng(options.seed ^ 0xD31A);
+    MSQL_RETURN_IF_ERROR(sys->RunLocalSql(
+        PaperServiceOf("delta"), "delta",
+        "INSERT INTO flight (fnu, source, dep, dest, arr, day, rate) "
+        "VALUES " +
+            FlightRows("d", options.flights_per_airline, &delta_rng) + ";" +
+            "INSERT INTO fnu747 VALUES " +
+            SeatRows(options.seats_per_airline, &delta_rng)));
+  }
+  {
+    Rng united_rng(options.seed ^ 0x0717ED);
+    MSQL_RETURN_IF_ERROR(sys->RunLocalSql(
+        PaperServiceOf("united"), "united",
+        "CREATE TABLE flight (fn INTEGER, sour TEXT, dest TEXT, depa TEXT, "
+        "arri TEXT, day TEXT, rates REAL);"
+        "CREATE TABLE fn727 (sn INTEGER, st TEXT, sst TEXT, pasna TEXT);"
+        "INSERT INTO flight (fn, sour, depa, dest, arri, day, rates) "
+        "VALUES " +
+            FlightRows("u", options.flights_per_airline, &united_rng) +
+            ";" + "INSERT INTO fn727 VALUES " +
+            SeatRows(options.seats_per_airline, &united_rng)));
+  }
+  {
+    Rng avis_rng(options.seed ^ 0xA715);
+    MSQL_RETURN_IF_ERROR(sys->RunLocalSql(
+        PaperServiceOf("avis"), "avis",
+        "CREATE TABLE cars (code INTEGER, cartype TEXT, rate REAL, "
+        "carst TEXT, cfrom TEXT, cto TEXT, client TEXT);"
+        "INSERT INTO cars VALUES " +
+            CarRows(options.cars_per_company, /*with_rate=*/true,
+                    &avis_rng)));
+  }
+  {
+    Rng national_rng(options.seed ^ 0x9A7107A1);
+    MSQL_RETURN_IF_ERROR(sys->RunLocalSql(
+        PaperServiceOf("national"), "national",
+        "CREATE TABLE vehicle (vcode INTEGER, vty TEXT, vstat TEXT, "
+        "cfrom TEXT, cto TEXT, client TEXT);"
+        "INSERT INTO vehicle VALUES " +
+            CarRows(options.cars_per_company, /*with_rate=*/false,
+                    &national_rng)));
+  }
+
+  if (options.incorporate_and_import) {
+    for (const auto& db : dbs) {
+      std::string service = PaperServiceOf(db.name);
+      std::string commit_word =
+          db.profile.supports_two_phase_commit ? "NOCOMMIT" : "COMMIT";
+      MSQL_ASSIGN_OR_RETURN(
+          auto incorporate_report,
+          sys->Execute("INCORPORATE SERVICE " + service + " SITE site_" +
+                       std::string(db.name) +
+                       " CONNECTMODE CONNECT COMMITMODE " + commit_word +
+                       " CREATE " + commit_word + " INSERT " + commit_word +
+                       " DROP " + commit_word));
+      (void)incorporate_report;
+      MSQL_ASSIGN_OR_RETURN(
+          auto import_report,
+          sys->Execute("IMPORT DATABASE " + std::string(db.name) +
+                       " FROM SERVICE " + service));
+      (void)import_report;
+    }
+  }
+  return sys;
+}
+
+Result<std::unique_ptr<MultidatabaseSystem>> BuildSyntheticFederation(
+    const SyntheticFederationOptions& options) {
+  auto sys = std::make_unique<MultidatabaseSystem>();
+  netsim::LinkParams link;
+  link.latency_micros = options.link_latency_micros;
+  sys->environment().network().set_default_link(link);
+
+  Rng rng(options.seed);
+  int autocommit_stride =
+      options.autocommit_fraction > 0.0
+          ? static_cast<int>(1.0 / options.autocommit_fraction)
+          : 0;
+  for (int i = 0; i < options.n_databases; ++i) {
+    std::string db = "db" + std::to_string(i);
+    std::string service = db + "_svc";
+    bool autocommit_only =
+        autocommit_stride > 0 && (i % autocommit_stride) == 0;
+    CapabilityProfile profile = autocommit_only
+                                    ? CapabilityProfile::SybaseLike()
+                                    : CapabilityProfile::IngresLike();
+    profile.supports_multiple_databases = true;
+    MSQL_RETURN_IF_ERROR(
+        sys->AddService(service, "site_" + db, std::move(profile)));
+    MSQL_ASSIGN_OR_RETURN(auto* engine, sys->GetEngine(service));
+    MSQL_RETURN_IF_ERROR(engine->CreateDatabase(db));
+
+    std::string table = "flight" + std::to_string(i);
+    std::string rows;
+    for (int r = 0; r < options.rows_per_table; ++r) {
+      int route = r < 2 ? 0 : static_cast<int>(rng.NextBelow(kRouteCount));
+      if (!rows.empty()) rows += ", ";
+      rows += "(" + std::to_string(r) + ", '" +
+              std::string(kRoutes[route][0]) + "', '" +
+              std::string(kRoutes[route][1]) + "', " +
+              std::to_string(100 + static_cast<int>(rng.NextBelow(300))) +
+              ".0, '" + kDays[rng.NextBelow(5)] + "')";
+    }
+    MSQL_RETURN_IF_ERROR(sys->RunLocalSql(
+        service, db,
+        "CREATE TABLE " + table +
+            " (fno INTEGER, source TEXT, dest TEXT, rate REAL, day TEXT);"
+            "INSERT INTO " + table + " VALUES " + rows));
+
+    std::string commit_word = autocommit_only ? "COMMIT" : "NOCOMMIT";
+    MSQL_ASSIGN_OR_RETURN(
+        auto incorporate_report,
+        sys->Execute("INCORPORATE SERVICE " + service + " SITE site_" + db +
+                     " CONNECTMODE CONNECT COMMITMODE " + commit_word +
+                     " CREATE " + commit_word + " INSERT " + commit_word +
+                     " DROP " + commit_word));
+    (void)incorporate_report;
+    MSQL_ASSIGN_OR_RETURN(auto import_report,
+                          sys->Execute("IMPORT DATABASE " + db +
+                                       " FROM SERVICE " + service));
+    (void)import_report;
+  }
+  return sys;
+}
+
+}  // namespace msql::core

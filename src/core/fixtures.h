@@ -1,0 +1,84 @@
+#ifndef MSQL_CORE_FIXTURES_H_
+#define MSQL_CORE_FIXTURES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/mdbs_system.h"
+
+namespace msql::core {
+
+/// Parameters of the paper's example federation (Appendix schemas).
+struct PaperFederationOptions {
+  /// Rows in each airline's flight table.
+  int flights_per_airline = 8;
+  /// Rows in each airline's seat table.
+  int seats_per_airline = 12;
+  /// Rows in each rental company's car table.
+  int cars_per_company = 10;
+  /// §3.3 variant: Continental's service provides automatic commit only
+  /// (no prepared-to-commit state), so its VITAL subqueries need COMP.
+  bool continental_autocommit_only = false;
+  /// Per-message one-way link latency to every LDBS site.
+  int64_t link_latency_micros = 1000;
+  /// Deterministic data seed.
+  uint64_t seed = 42;
+  /// When true, INCORPORATE + IMPORT are run so the federation is ready
+  /// for MSQL queries (on by default).
+  bool incorporate_and_import = true;
+};
+
+/// Builds the five-database federation of the Appendix:
+///
+///   continental (airline):  flights(flnu, source, dep, destination,
+///                                    arr, day, rate)
+///                           f838(seatnu, seatty, seatstatus, clientname)
+///   delta (airline):        flight(fnu, source, dest, dep, arr, day, rate)
+///                           fnu747(snu, sty, sstat, passname)
+///   united (airline):       flight(fn, sour, dest, depa, arri, day, rates)
+///                           fn727(sn, st, sst, pasna)
+///   avis (car rental):      cars(code, cartype, rate, carst, cfrom,
+///                                cto, client)
+///   national (car rental):  vehicle(vcode, vty, vstat, cfrom, cto, client)
+///
+/// Each database runs on its own service "<db>_svc" at site
+/// "site_<db>", with deliberately heterogeneous capability profiles:
+/// continental/united are Oracle-like (2PC, DDL auto-commits prior
+/// work), delta/avis Ingres-like (2PC, DDL rollbackable), national
+/// Oracle-like; the §3.3 option downgrades continental to
+/// automatic-commit-only (Sybase-like). Data is deterministic in
+/// `seed`: every airline carries Houston → San Antonio flights (the
+/// §3.2 update targets), seat tables have FREE seats (the §3.4
+/// reservations), and both rental companies have available cars.
+Result<std::unique_ptr<MultidatabaseSystem>> BuildPaperFederation(
+    const PaperFederationOptions& options = {});
+
+/// Service name of a paper database ("continental" → "continental_svc").
+std::string PaperServiceOf(const std::string& database);
+
+/// Scalable synthetic-federation parameters for benches: `n_databases`
+/// clones of an airline-style schema, each with `rows_per_table` rows,
+/// names db0..db<n-1> with tables flight0..flight<n-1> (distinct names
+/// so '%' expansion has real work to do when asked).
+struct SyntheticFederationOptions {
+  int n_databases = 4;
+  int rows_per_table = 64;
+  /// Fraction of services that are autocommit-only (no 2PC), rotated
+  /// deterministically across the federation.
+  double autocommit_fraction = 0.0;
+  int64_t link_latency_micros = 1000;
+  uint64_t seed = 7;
+};
+
+/// Builds a synthetic federation for parameter sweeps. Database i is
+/// "db<i>" on service "db<i>_svc"; it holds table "flight<i>"
+/// (fno INTEGER, source TEXT, dest TEXT, rate REAL, day TEXT) — note
+/// all tables match the wildcard pattern "flight%".
+Result<std::unique_ptr<MultidatabaseSystem>> BuildSyntheticFederation(
+    const SyntheticFederationOptions& options = {});
+
+}  // namespace msql::core
+
+#endif  // MSQL_CORE_FIXTURES_H_

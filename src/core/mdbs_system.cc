@@ -1,0 +1,711 @@
+#include "core/mdbs_system.h"
+
+#include "common/string_util.h"
+#include "msql/decomposer.h"
+#include "msql/expander.h"
+#include "msql/parser.h"
+#include "relational/sql/parser.h"
+
+namespace msql::core {
+
+using lang::ExpansionResult;
+using lang::MsqlQuery;
+using lang::UseClause;
+using relational::StatementKind;
+
+std::string_view GlobalOutcomeName(GlobalOutcome outcome) {
+  switch (outcome) {
+    case GlobalOutcome::kSuccess: return "SUCCESS";
+    case GlobalOutcome::kAborted: return "ABORTED";
+    case GlobalOutcome::kIncorrect: return "INCORRECT";
+    case GlobalOutcome::kRefused: return "REFUSED";
+  }
+  return "UNKNOWN";
+}
+
+MultidatabaseSystem::MultidatabaseSystem(std::string coordinator_site)
+    : env_(std::move(coordinator_site)) {}
+
+Status MultidatabaseSystem::AddService(std::string_view service,
+                                       std::string_view site,
+                                       relational::CapabilityProfile profile,
+                                       netsim::LamCostModel cost_model) {
+  auto engine = std::make_unique<relational::LocalEngine>(
+      std::string(service), std::move(profile));
+  return env_.AddService(service, site, std::move(engine), cost_model);
+}
+
+Result<relational::LocalEngine*> MultidatabaseSystem::GetEngine(
+    std::string_view service) {
+  MSQL_ASSIGN_OR_RETURN(netsim::Lam * lam, env_.GetLam(service));
+  return lam->engine();
+}
+
+Status MultidatabaseSystem::RunLocalSql(std::string_view service,
+                                        std::string_view database,
+                                        std::string_view sql_script) {
+  MSQL_ASSIGN_OR_RETURN(relational::LocalEngine * engine,
+                        GetEngine(service));
+  MSQL_ASSIGN_OR_RETURN(auto statements,
+                        relational::ParseSqlScript(sql_script));
+  MSQL_ASSIGN_OR_RETURN(relational::SessionId session,
+                        engine->OpenSession(database));
+  for (const auto& stmt : statements) {
+    auto result = engine->ExecuteStatement(session, *stmt);
+    if (!result.ok()) {
+      (void)engine->CloseSession(session);
+      return result.status();
+    }
+  }
+  return engine->CloseSession(session);
+}
+
+Result<MsqlQuery> MultidatabaseSystem::ResolveScope(const MsqlQuery& query) {
+  MsqlQuery resolved = query.CloneQuery();
+  // Virtual databases: a USE entry naming a multidatabase stands for its
+  // members (VITAL distributes over them; aliases cannot rename a set).
+  {
+    std::vector<lang::UseEntry> expanded;
+    for (const auto& entry : resolved.use.entries) {
+      if (!gdd_.HasMultidatabase(entry.database)) {
+        expanded.push_back(entry);
+        continue;
+      }
+      if (!entry.alias.empty()) {
+        return Status::InvalidArgument(
+            "multidatabase '" + entry.database +
+            "' cannot be aliased in a USE scope");
+      }
+      MSQL_ASSIGN_OR_RETURN(const std::vector<std::string>* members,
+                            gdd_.GetMultidatabase(entry.database));
+      for (const auto& member : *members) {
+        lang::UseEntry member_entry;
+        member_entry.database = member;
+        member_entry.vital = entry.vital;
+        expanded.push_back(std::move(member_entry));
+      }
+    }
+    resolved.use.entries = std::move(expanded);
+  }
+  if (resolved.use.current) {
+    // Inherit the session scope, then append the newly named databases
+    // that are not already in it.
+    std::vector<lang::UseEntry> merged = current_scope_.entries;
+    for (const auto& entry : resolved.use.entries) {
+      bool exists = false;
+      for (const auto& have : merged) {
+        if (EqualsIgnoreCase(have.EffectiveName(), entry.EffectiveName())) {
+          exists = true;
+          break;
+        }
+      }
+      if (!exists) merged.push_back(entry);
+    }
+    resolved.use.entries = std::move(merged);
+    resolved.use.current = false;
+  }
+  if (resolved.use.entries.empty()) {
+    return Status::InvalidArgument(
+        "no query scope: issue a USE statement naming the databases");
+  }
+  current_scope_ = resolved.use;
+  return resolved;
+}
+
+Result<ExecutionReport> MultidatabaseSystem::Execute(
+    std::string_view msql_text) {
+  MSQL_ASSIGN_OR_RETURN(lang::MsqlInput input,
+                        lang::MsqlParser::ParseOne(msql_text));
+  switch (input.kind) {
+    case lang::MsqlInput::Kind::kQuery:
+      return ExecuteQuery(*input.query);
+    case lang::MsqlInput::Kind::kMultiTransaction:
+      return ExecuteMultiTransaction(*input.multitransaction);
+    case lang::MsqlInput::Kind::kIncorporate: {
+      MSQL_RETURN_IF_ERROR(ExecuteIncorporate(*input.incorporate));
+      ExecutionReport report;
+      report.outcome = GlobalOutcome::kSuccess;
+      return report;
+    }
+    case lang::MsqlInput::Kind::kImport: {
+      MSQL_ASSIGN_OR_RETURN(auto imported, ExecuteImport(*input.import));
+      (void)imported;
+      ExecutionReport report;
+      report.outcome = GlobalOutcome::kSuccess;
+      return report;
+    }
+    case lang::MsqlInput::Kind::kCreateMultidatabase:
+      MSQL_RETURN_IF_ERROR(
+          ExecuteCreateMultidatabase(*input.create_multidatabase));
+      return ExecutionReport{};
+    case lang::MsqlInput::Kind::kDropMultidatabase:
+      MSQL_RETURN_IF_ERROR(
+          ExecuteDropMultidatabase(*input.drop_multidatabase));
+      return ExecutionReport{};
+    case lang::MsqlInput::Kind::kCreateView:
+      MSQL_RETURN_IF_ERROR(ExecuteCreateView(*input.create_view));
+      return ExecutionReport{};
+    case lang::MsqlInput::Kind::kDropView:
+      MSQL_RETURN_IF_ERROR(ExecuteDropView(*input.drop_view));
+      return ExecutionReport{};
+    case lang::MsqlInput::Kind::kCreateTrigger:
+      MSQL_RETURN_IF_ERROR(ExecuteCreateTrigger(*input.create_trigger));
+      return ExecutionReport{};
+    case lang::MsqlInput::Kind::kDropTrigger:
+      MSQL_RETURN_IF_ERROR(ExecuteDropTrigger(*input.drop_trigger));
+      return ExecutionReport{};
+  }
+  return Status::Internal("unhandled MSQL input kind");
+}
+
+Result<std::vector<ExecutionReport>> MultidatabaseSystem::ExecuteScript(
+    std::string_view msql_text) {
+  MSQL_ASSIGN_OR_RETURN(auto inputs,
+                        lang::MsqlParser::ParseScript(msql_text));
+  std::vector<ExecutionReport> reports;
+  for (const auto& input : inputs) {
+    switch (input.kind) {
+      case lang::MsqlInput::Kind::kQuery: {
+        MSQL_ASSIGN_OR_RETURN(auto report, ExecuteQuery(*input.query));
+        reports.push_back(std::move(report));
+        break;
+      }
+      case lang::MsqlInput::Kind::kMultiTransaction: {
+        MSQL_ASSIGN_OR_RETURN(auto report,
+                              ExecuteMultiTransaction(*input.multitransaction));
+        reports.push_back(std::move(report));
+        break;
+      }
+      case lang::MsqlInput::Kind::kIncorporate:
+        MSQL_RETURN_IF_ERROR(ExecuteIncorporate(*input.incorporate));
+        reports.emplace_back();
+        break;
+      case lang::MsqlInput::Kind::kImport: {
+        MSQL_ASSIGN_OR_RETURN(auto imported, ExecuteImport(*input.import));
+        (void)imported;
+        reports.emplace_back();
+        break;
+      }
+      case lang::MsqlInput::Kind::kCreateMultidatabase:
+        MSQL_RETURN_IF_ERROR(
+            ExecuteCreateMultidatabase(*input.create_multidatabase));
+        reports.emplace_back();
+        break;
+      case lang::MsqlInput::Kind::kDropMultidatabase:
+        MSQL_RETURN_IF_ERROR(
+            ExecuteDropMultidatabase(*input.drop_multidatabase));
+        reports.emplace_back();
+        break;
+      case lang::MsqlInput::Kind::kCreateView:
+        MSQL_RETURN_IF_ERROR(ExecuteCreateView(*input.create_view));
+        reports.emplace_back();
+        break;
+      case lang::MsqlInput::Kind::kDropView:
+        MSQL_RETURN_IF_ERROR(ExecuteDropView(*input.drop_view));
+        reports.emplace_back();
+        break;
+      case lang::MsqlInput::Kind::kCreateTrigger:
+        MSQL_RETURN_IF_ERROR(ExecuteCreateTrigger(*input.create_trigger));
+        reports.emplace_back();
+        break;
+      case lang::MsqlInput::Kind::kDropTrigger:
+        MSQL_RETURN_IF_ERROR(ExecuteDropTrigger(*input.drop_trigger));
+        reports.emplace_back();
+        break;
+    }
+  }
+  return reports;
+}
+
+Status MultidatabaseSystem::ExecuteIncorporate(
+    const lang::IncorporateStmt& stmt) {
+  mdbs::ServiceDescriptor descriptor;
+  descriptor.name = stmt.service;
+  descriptor.site = stmt.site;
+  descriptor.connect_mode = stmt.connect_mode;
+  descriptor.autocommit_only = stmt.autocommit_only;
+  descriptor.ddl_modes.create_autocommits = stmt.create_autocommits;
+  descriptor.ddl_modes.insert_autocommits = stmt.insert_autocommits;
+  descriptor.ddl_modes.drop_autocommits = stmt.drop_autocommits;
+  return mdbs::IncorporateService(&env_, &ad_, std::move(descriptor));
+}
+
+Result<std::vector<std::string>> MultidatabaseSystem::ExecuteImport(
+    const lang::ImportStmt& stmt) {
+  mdbs::ImportSpec spec;
+  spec.database = stmt.database;
+  spec.service = stmt.service;
+  spec.table = stmt.table;
+  spec.view = stmt.view;
+  spec.columns = stmt.columns;
+  return mdbs::ImportDatabase(&env_, ad_, &gdd_, spec);
+}
+
+Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
+    const MsqlQuery& query) {
+  // A SELECT whose single FROM table names a multidatabase view is
+  // answered from the view definition (before scope resolution — the
+  // stored query carries its own USE).
+  if (query.body->kind() == StatementKind::kSelect) {
+    const auto& select =
+        static_cast<const relational::SelectStmt&>(*query.body);
+    if (select.from.size() == 1 && select.from[0].database.empty() &&
+        views_.count(ToLower(select.from[0].table)) > 0) {
+      return ExecuteViewQuery(query, ToLower(select.from[0].table));
+    }
+  }
+
+  MSQL_ASSIGN_OR_RETURN(MsqlQuery resolved, ResolveScope(query));
+  translator::Translator translator(&ad_, &gdd_);
+
+  // Multidatabase join: decompose instead of expanding.
+  if (resolved.body->kind() == StatementKind::kSelect) {
+    const auto& select =
+        static_cast<const relational::SelectStmt&>(*resolved.body);
+    if (lang::Decomposer::IsMultidatabase(select)) {
+      lang::Decomposer decomposer(&gdd_);
+      MSQL_ASSIGN_OR_RETURN(auto decomposition,
+                            decomposer.Decompose(select));
+      MSQL_ASSIGN_OR_RETURN(
+          auto plan, translator.TranslateDecomposedJoin(decomposition));
+      return RunPlan(std::move(plan), {}, nullptr);
+    }
+  }
+
+  // Cross-database data transfer: INSERT INTO db1.t SELECT ... FROM db2.s.
+  if (resolved.body->kind() == StatementKind::kInsert) {
+    const auto& insert =
+        static_cast<const relational::InsertStmt&>(*resolved.body);
+    bool qualified_select = false;
+    if (insert.select_source != nullptr) {
+      for (const auto& ref : insert.select_source->from) {
+        if (!ref.database.empty()) qualified_select = true;
+      }
+    }
+    if (qualified_select && !insert.table.database.empty()) {
+      MSQL_ASSIGN_OR_RETURN(auto plan,
+                            translator.TranslateDataTransfer(insert));
+      MSQL_ASSIGN_OR_RETURN(auto report,
+                            RunPlan(std::move(plan), {}, nullptr));
+      const dol::TaskOutcome* extract = report.run.FindTask("t_extract");
+      if (extract != nullptr) {
+        report.rows_transferred =
+            static_cast<int64_t>(extract->result.rows.size());
+      }
+      report.multitable.elements.clear();  // not a retrieval answer
+      return report;
+    }
+  }
+
+  lang::Expander expander(&gdd_);
+  MSQL_ASSIGN_OR_RETURN(ExpansionResult expansion,
+                        expander.Expand(resolved));
+
+  // A VITAL database with no pertinent subquery makes the requested
+  // consistency unobtainable: refuse, like any unenforceable vital set.
+  for (const auto& entry : resolved.use.entries) {
+    if (!entry.vital) continue;
+    for (const auto& skipped : expansion.non_pertinent) {
+      if (EqualsIgnoreCase(skipped, entry.EffectiveName())) {
+        ExecutionReport report;
+        report.outcome = GlobalOutcome::kRefused;
+        report.detail = Status::Refused(
+            "VITAL database '" + entry.EffectiveName() +
+            "' has no pertinent subquery in this multiple query");
+        report.non_pertinent = expansion.non_pertinent;
+        return report;
+      }
+    }
+  }
+
+  auto plan = translator.TranslateQuery(expansion);
+  if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kRefused) {
+      ExecutionReport report;
+      report.outcome = GlobalOutcome::kRefused;
+      report.detail = plan.status();
+      report.non_pertinent = expansion.non_pertinent;
+      return report;
+    }
+    return plan.status();
+  }
+  MSQL_ASSIGN_OR_RETURN(
+      auto report,
+      RunPlan(std::move(*plan), expansion.non_pertinent, &expansion));
+  MSQL_RETURN_IF_ERROR(FireTriggers(expansion, &report));
+  return report;
+}
+
+Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
+    const lang::MultiTransaction& mt) {
+  translator::Translator translator(&ad_, &gdd_);
+  lang::Expander expander(&gdd_);
+  std::vector<ExpansionResult> expansions;
+  for (const auto& query : mt.queries) {
+    MSQL_ASSIGN_OR_RETURN(MsqlQuery resolved, ResolveScope(query));
+    MSQL_ASSIGN_OR_RETURN(ExpansionResult expansion,
+                          expander.Expand(resolved));
+    expansions.push_back(std::move(expansion));
+  }
+  auto plan =
+      translator.TranslateMultiTransaction(expansions, mt.acceptable_states);
+  if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kRefused) {
+      ExecutionReport report;
+      report.outcome = GlobalOutcome::kRefused;
+      report.detail = plan.status();
+      return report;
+    }
+    return plan.status();
+  }
+  std::vector<std::string> non_pertinent;
+  for (const auto& expansion : expansions) {
+    non_pertinent.insert(non_pertinent.end(),
+                         expansion.non_pertinent.begin(),
+                         expansion.non_pertinent.end());
+  }
+  MSQL_ASSIGN_OR_RETURN(
+      auto report, RunPlan(std::move(*plan), std::move(non_pertinent),
+                           nullptr));
+  for (const auto& expansion : expansions) {
+    MSQL_RETURN_IF_ERROR(SyncGddAfterDdl(translator::Plan{}, report.run,
+                                         expansion));
+  }
+  return report;
+}
+
+Result<ExecutionReport> MultidatabaseSystem::RunPlan(
+    translator::Plan plan, std::vector<std::string> non_pertinent,
+    const ExpansionResult* expansion) {
+  dol::DolEngine engine(&env_);
+  ExecutionReport report;
+  report.dol_text = plan.program.ToDol();
+  report.non_pertinent = std::move(non_pertinent);
+
+  auto run = engine.Run(plan.program);
+  if (!run.ok()) {
+    // Program-level failure (failed compensation, protocol violation):
+    // the multidatabase state may be incorrect.
+    report.outcome = GlobalOutcome::kIncorrect;
+    report.detail = run.status();
+    report.dol_status = translator::PlanStatus::kIncorrect;
+    return report;
+  }
+  report.run = std::move(*run);
+  report.dol_status = report.run.dol_status;
+  switch (report.dol_status) {
+    case translator::PlanStatus::kSuccess:
+      report.outcome = GlobalOutcome::kSuccess;
+      break;
+    case translator::PlanStatus::kAborted:
+      report.outcome = GlobalOutcome::kAborted;
+      break;
+    default:
+      report.outcome = GlobalOutcome::kIncorrect;
+      break;
+  }
+
+  // Assemble retrieval results.
+  if (plan.retrieval) {
+    if (!plan.global_task.empty()) {
+      report.is_join = true;
+      const dol::TaskOutcome* task = report.run.FindTask(plan.global_task);
+      if (task != nullptr &&
+          task->state == dol::DolTaskState::kCommitted) {
+        report.join_result = task->result;
+      }
+    } else {
+      for (const auto& planned : plan.tasks) {
+        const dol::TaskOutcome* task = report.run.FindTask(planned.task);
+        if (task == nullptr ||
+            task->state != dol::DolTaskState::kCommitted) {
+          continue;
+        }
+        lang::Multitable::Element element;
+        element.database = planned.effective_name;
+        element.table = task->result;
+        report.multitable.elements.push_back(std::move(element));
+      }
+    }
+  }
+
+  if (expansion != nullptr) {
+    MSQL_RETURN_IF_ERROR(SyncGddAfterDdl(plan, report.run, *expansion));
+  }
+  return report;
+}
+
+Status MultidatabaseSystem::SyncGddAfterDdl(
+    const translator::Plan& plan, const dol::DolRunResult& run,
+    const ExpansionResult& expansion) {
+  (void)plan;
+  for (const auto& eq : expansion.queries) {
+    StatementKind kind = eq.statement->kind();
+    if (kind != StatementKind::kCreateTable &&
+        kind != StatementKind::kDropTable) {
+      continue;
+    }
+    const dol::TaskOutcome* task = run.FindTask("t_" + eq.effective_name);
+    if (task == nullptr || task->state != dol::DolTaskState::kCommitted) {
+      continue;
+    }
+    if (kind == StatementKind::kCreateTable) {
+      const auto& create =
+          static_cast<const relational::CreateTableStmt&>(*eq.statement);
+      std::vector<relational::ColumnDef> cols;
+      for (const auto& spec : create.columns) {
+        relational::ColumnDef def;
+        def.name = spec.name;
+        MSQL_ASSIGN_OR_RETURN(def.type,
+                              relational::TypeFromName(spec.type_name));
+        def.width = spec.width;
+        cols.push_back(std::move(def));
+      }
+      MSQL_ASSIGN_OR_RETURN(
+          auto schema,
+          relational::TableSchema::Create(create.table.table,
+                                          std::move(cols)));
+      MSQL_RETURN_IF_ERROR(gdd_.PutTable(eq.database, std::move(schema)));
+    } else {
+      const auto& drop =
+          static_cast<const relational::DropTableStmt&>(*eq.statement);
+      MSQL_RETURN_IF_ERROR(gdd_.RemoveTable(eq.database, drop.table.table));
+    }
+  }
+  return Status::OK();
+}
+
+Status MultidatabaseSystem::ExecuteCreateMultidatabase(
+    const lang::CreateMultidatabaseStmt& s) {
+  if (views_.count(ToLower(s.name)) > 0) {
+    return Status::AlreadyExists("'" + s.name + "' already names a view");
+  }
+  return gdd_.CreateMultidatabase(s.name, s.members);
+}
+
+Status MultidatabaseSystem::ExecuteDropMultidatabase(
+    const lang::DropMultidatabaseStmt& s) {
+  return gdd_.DropMultidatabase(s.name);
+}
+
+Status MultidatabaseSystem::ExecuteCreateView(
+    const lang::CreateViewStmt& s) {
+  std::string key = ToLower(s.name);
+  if (views_.count(key) > 0) {
+    return Status::AlreadyExists("multidatabase view '" + key +
+                                 "' already exists");
+  }
+  if (gdd_.HasDatabase(key) || gdd_.HasMultidatabase(key)) {
+    return Status::AlreadyExists("'" + key +
+                                 "' already names a (multi)database");
+  }
+  if (s.definition->use.current) {
+    return Status::InvalidArgument(
+        "a multidatabase view definition must carry its own USE scope");
+  }
+  views_.emplace(key, s.definition);
+  return Status::OK();
+}
+
+Status MultidatabaseSystem::ExecuteDropView(const lang::DropViewStmt& s) {
+  if (views_.erase(ToLower(s.name)) == 0) {
+    return Status::NotFound("multidatabase view '" + s.name +
+                            "' does not exist");
+  }
+  return Status::OK();
+}
+
+bool MultidatabaseSystem::HasView(std::string_view name) const {
+  return views_.count(ToLower(name)) > 0;
+}
+
+Status MultidatabaseSystem::ExecuteCreateTrigger(
+    const lang::CreateTriggerStmt& s) {
+  std::string key = ToLower(s.name);
+  if (triggers_.count(key) > 0) {
+    return Status::AlreadyExists("trigger '" + key + "' already exists");
+  }
+  if (!gdd_.HasTable(s.database, s.table)) {
+    return Status::NotFound("trigger target '" + s.database + "." +
+                            s.table + "' is not in the GDD");
+  }
+  lang::CreateTriggerStmt stored = s;
+  stored.name = key;
+  stored.database = ToLower(s.database);
+  stored.table = ToLower(s.table);
+  triggers_.emplace(key, std::move(stored));
+  return Status::OK();
+}
+
+Status MultidatabaseSystem::ExecuteDropTrigger(
+    const lang::DropTriggerStmt& s) {
+  if (triggers_.erase(ToLower(s.name)) == 0) {
+    return Status::NotFound("trigger '" + s.name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MultidatabaseSystem::TriggerNames() const {
+  std::vector<std::string> out;
+  out.reserve(triggers_.size());
+  for (const auto& [name, trigger] : triggers_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+/// Table name a committed DML statement wrote to ("" for non-DML).
+std::string DmlTargetTable(const relational::Statement& stmt) {
+  switch (stmt.kind()) {
+    case StatementKind::kUpdate:
+      return static_cast<const relational::UpdateStmt&>(stmt).table.table;
+    case StatementKind::kInsert:
+      return static_cast<const relational::InsertStmt&>(stmt).table.table;
+    case StatementKind::kDelete:
+      return static_cast<const relational::DeleteStmt&>(stmt).table.table;
+    default:
+      return "";
+  }
+}
+
+bool EventMatches(lang::TriggerEvent event, StatementKind kind) {
+  switch (event) {
+    case lang::TriggerEvent::kUpdate:
+      return kind == StatementKind::kUpdate;
+    case lang::TriggerEvent::kInsert:
+      return kind == StatementKind::kInsert;
+    case lang::TriggerEvent::kDelete:
+      return kind == StatementKind::kDelete;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status MultidatabaseSystem::FireTriggers(
+    const lang::ExpansionResult& expansion, ExecutionReport* report) {
+  if (triggers_.empty()) return Status::OK();
+  constexpr int kMaxTriggerDepth = 4;
+  // Snapshot the matching triggers first: an action may itself CREATE or
+  // DROP triggers, which must not perturb this firing round (the action
+  // holds a shared_ptr, so a dropped trigger's query stays alive).
+  struct Pending {
+    std::string name;
+    std::shared_ptr<lang::MsqlQuery> action;
+  };
+  std::vector<Pending> pending;
+  for (const auto& eq : expansion.queries) {
+    std::string table = DmlTargetTable(*eq.statement);
+    if (table.empty()) continue;
+    const dol::TaskOutcome* task =
+        report->run.FindTask("t_" + eq.effective_name);
+    if (task == nullptr || task->state != dol::DolTaskState::kCommitted) {
+      continue;
+    }
+    for (const auto& [name, trigger] : triggers_) {
+      if (trigger.database == eq.database && trigger.table == table &&
+          EventMatches(trigger.event, eq.statement->kind())) {
+        pending.push_back(Pending{name, trigger.action});
+      }
+    }
+  }
+  for (const auto& fire : pending) {
+    if (trigger_depth_ >= kMaxTriggerDepth) {
+      return Status::InvalidArgument(
+          "interdatabase trigger cascade exceeds depth " +
+          std::to_string(kMaxTriggerDepth) + " at trigger '" + fire.name +
+          "'");
+    }
+    ++trigger_depth_;
+    auto action_report = ExecuteQuery(*fire.action);
+    --trigger_depth_;
+    MSQL_RETURN_IF_ERROR(action_report.status());
+    report->fired_triggers.push_back(fire.name);
+    // Triggers fired by the action itself are reported too.
+    for (const auto& nested : action_report->fired_triggers) {
+      report->fired_triggers.push_back(nested);
+    }
+  }
+  return Status::OK();
+}
+
+Result<ExecutionReport> MultidatabaseSystem::ExecuteViewQuery(
+    const MsqlQuery& query, const std::string& view_name) {
+  constexpr int kMaxViewDepth = 8;
+  if (view_depth_ >= kMaxViewDepth) {
+    return Status::InvalidArgument(
+        "multidatabase views nest deeper than " +
+        std::to_string(kMaxViewDepth) + " (cycle through '" + view_name +
+        "'?)");
+  }
+  auto view_it = views_.find(view_name);
+  if (view_it == views_.end()) {
+    return Status::NotFound("view '" + view_name + "' vanished");
+  }
+  ++view_depth_;
+  auto base = ExecuteQuery(*view_it->second);
+  --view_depth_;
+  MSQL_RETURN_IF_ERROR(base.status());
+  if (base->outcome != GlobalOutcome::kSuccess) {
+    return base;  // propagate the failed retrieval as-is
+  }
+
+  // Apply the outer query to every element of the view's multitable:
+  // each element becomes a scratch table in a local throwaway engine and
+  // the (rewritten) outer SELECT runs against it at the MDBS itself.
+  const auto& outer =
+      static_cast<const relational::SelectStmt&>(*query.body);
+  ExecutionReport report;
+  report.outcome = GlobalOutcome::kSuccess;
+  report.dol_text = base->dol_text;
+  report.run = std::move(base->run);
+
+  for (auto& element : base->multitable.elements) {
+    relational::LocalEngine scratch(
+        "mdbs_view", relational::CapabilityProfile::IngresLike());
+    MSQL_RETURN_IF_ERROR(scratch.CreateDatabase("v"));
+    MSQL_ASSIGN_OR_RETURN(relational::Database * db,
+                          scratch.GetDatabase("v"));
+    // Infer the scratch schema from the element's values (first non-NULL
+    // value decides; all-NULL columns degrade to TEXT).
+    std::vector<relational::ColumnDef> cols;
+    for (size_t c = 0; c < element.table.columns.size(); ++c) {
+      relational::ColumnDef def;
+      def.name = element.table.columns[c];
+      def.type = relational::Type::kText;
+      for (const auto& row : element.table.rows) {
+        if (c < row.size() && !row[c].is_null()) {
+          def.type = row[c].type();
+          break;
+        }
+      }
+      cols.push_back(std::move(def));
+    }
+    MSQL_ASSIGN_OR_RETURN(
+        auto schema,
+        relational::TableSchema::Create("mdbs_view_data", std::move(cols)));
+    MSQL_RETURN_IF_ERROR(db->CreateTable(std::move(schema)));
+    MSQL_ASSIGN_OR_RETURN(relational::Table * table,
+                          db->GetTable("mdbs_view_data"));
+    for (const auto& row : element.table.rows) {
+      MSQL_RETURN_IF_ERROR(table->Insert(row).status());
+    }
+    // Rewrite the outer FROM: the view name becomes an alias of the
+    // scratch table so qualified references keep working.
+    auto local = outer.CloneSelect();
+    local->from[0].database.clear();
+    local->from[0].table = "mdbs_view_data";
+    if (local->from[0].alias.empty()) local->from[0].alias = view_name;
+    MSQL_ASSIGN_OR_RETURN(relational::SessionId session,
+                          scratch.OpenSession("v"));
+    auto result = scratch.ExecuteStatement(session, *local);
+    MSQL_RETURN_IF_ERROR(result.status());
+    lang::Multitable::Element out_element;
+    out_element.database = element.database;
+    out_element.table = std::move(*result);
+    report.multitable.elements.push_back(std::move(out_element));
+  }
+  return report;
+}
+
+}  // namespace msql::core

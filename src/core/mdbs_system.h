@@ -1,0 +1,159 @@
+#ifndef MSQL_CORE_MDBS_SYSTEM_H_
+#define MSQL_CORE_MDBS_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dol/engine.h"
+#include "mdbs/auxiliary_directory.h"
+#include "mdbs/catalog_ops.h"
+#include "mdbs/global_data_dictionary.h"
+#include "msql/ast.h"
+#include "msql/expander.h"
+#include "msql/multitable.h"
+#include "netsim/environment.h"
+#include "translator/translator.h"
+
+namespace msql::core {
+
+/// Global outcome of one MSQL input (§3.2.1): success iff all VITAL
+/// subqueries committed; aborted iff all were rolled back or
+/// compensated; incorrect when VITAL outcomes diverged irreparably;
+/// refused when the plan could not guarantee the requested consistency.
+enum class GlobalOutcome { kSuccess, kAborted, kIncorrect, kRefused };
+
+std::string_view GlobalOutcomeName(GlobalOutcome outcome);
+
+/// Everything the coordinator reports about one executed MSQL input.
+struct ExecutionReport {
+  GlobalOutcome outcome = GlobalOutcome::kSuccess;
+  /// Refusal / abort detail (OK for clean successes).
+  Status detail;
+  /// DOLSTATUS the program ended with (the MSQL return code, §4.1).
+  int dol_status = 0;
+  /// Retrieval answer of a multiple query: one table per database.
+  lang::Multitable multitable;
+  /// Answer of a decomposed multidatabase join (single merged table).
+  relational::ResultSet join_result;
+  bool is_join = false;
+  /// Full task-level trace of the run.
+  dol::DolRunResult run;
+  /// The generated DOL program text (what §4.3 prints).
+  std::string dol_text;
+  /// Scope databases discarded as non-pertinent during disambiguation.
+  std::vector<std::string> non_pertinent;
+  /// Rows moved by a cross-database data transfer (INSERT ... SELECT).
+  int64_t rows_transferred = 0;
+  /// Interdatabase triggers fired by this input (in firing order).
+  std::vector<std::string> fired_triggers;
+};
+
+/// The multidatabase system of Figure 1: MSQL front end, translator,
+/// DOL engine and catalog, wired to a simulated multi-service
+/// environment. One instance = one federation.
+class MultidatabaseSystem {
+ public:
+  explicit MultidatabaseSystem(std::string coordinator_site = "mdbs");
+
+  MultidatabaseSystem(const MultidatabaseSystem&) = delete;
+  MultidatabaseSystem& operator=(const MultidatabaseSystem&) = delete;
+
+  netsim::Environment& environment() { return env_; }
+  mdbs::AuxiliaryDirectory& auxiliary_directory() { return ad_; }
+  mdbs::GlobalDataDictionary& gdd() { return gdd_; }
+
+  /// Creates an engine with `profile`, wraps it in a LAM at `site` and
+  /// registers the service (the INCORPORATE statement still has to be
+  /// run to make the federation aware of it).
+  Status AddService(std::string_view service, std::string_view site,
+                    relational::CapabilityProfile profile,
+                    netsim::LamCostModel cost_model = {});
+
+  /// Direct engine access (seeding data, injecting failures in tests).
+  Result<relational::LocalEngine*> GetEngine(std::string_view service);
+
+  /// Runs a ';'-separated sequence of local SQL statements directly on
+  /// one service's database (bootstrap helper for examples/tests; this
+  /// bypasses the federation exactly like a local DBA would).
+  Status RunLocalSql(std::string_view service, std::string_view database,
+                     std::string_view sql_script);
+
+  // -- MSQL entry points ----------------------------------------------------
+
+  /// Parses and executes exactly one MSQL input item.
+  Result<ExecutionReport> Execute(std::string_view msql_text);
+
+  /// Parses and executes a script; stops at the first hard error.
+  Result<std::vector<ExecutionReport>> ExecuteScript(
+      std::string_view msql_text);
+
+  Result<ExecutionReport> ExecuteQuery(const lang::MsqlQuery& query);
+  Result<ExecutionReport> ExecuteMultiTransaction(
+      const lang::MultiTransaction& mt);
+  Status ExecuteIncorporate(const lang::IncorporateStmt& stmt);
+  Result<std::vector<std::string>> ExecuteImport(const lang::ImportStmt& stmt);
+
+  // -- Multidatabases, views, triggers (§2 extensions) ---------------------
+
+  Status ExecuteCreateMultidatabase(const lang::CreateMultidatabaseStmt& s);
+  Status ExecuteDropMultidatabase(const lang::DropMultidatabaseStmt& s);
+
+  /// Registers a multidatabase view (stored multiple query).
+  Status ExecuteCreateView(const lang::CreateViewStmt& s);
+  Status ExecuteDropView(const lang::DropViewStmt& s);
+  bool HasView(std::string_view name) const;
+
+  /// Registers an interdatabase trigger.
+  Status ExecuteCreateTrigger(const lang::CreateTriggerStmt& s);
+  Status ExecuteDropTrigger(const lang::DropTriggerStmt& s);
+  std::vector<std::string> TriggerNames() const;
+
+  /// The session's current scope (set by the last USE).
+  const lang::UseClause& current_scope() const { return current_scope_; }
+
+ private:
+  /// Applies USE CURRENT inheritance and records the new current scope.
+  Result<lang::MsqlQuery> ResolveScope(const lang::MsqlQuery& query);
+
+  /// Runs a translated plan and assembles the report; `expansion` (may
+  /// be null) drives post-run GDD maintenance for DDL queries.
+  Result<ExecutionReport> RunPlan(translator::Plan plan,
+                                  std::vector<std::string> non_pertinent,
+                                  const lang::ExpansionResult* expansion);
+
+  /// Applies committed DDL tasks to the GDD so it keeps mirroring the
+  /// local conceptual schemas.
+  Status SyncGddAfterDdl(const translator::Plan& plan,
+                         const dol::DolRunResult& run,
+                         const lang::ExpansionResult& expansion);
+
+  /// Runs a query whose FROM names a multidatabase view: evaluates the
+  /// stored definition, then applies the outer query to each element of
+  /// the resulting multitable at the MDBS level.
+  Result<ExecutionReport> ExecuteViewQuery(const lang::MsqlQuery& query,
+                                           const std::string& view_name);
+
+  /// Fires interdatabase triggers matching the committed DML tasks of
+  /// `expansion`, appending fired names to `report`.
+  Status FireTriggers(const lang::ExpansionResult& expansion,
+                      ExecutionReport* report);
+
+  netsim::Environment env_;
+  mdbs::AuxiliaryDirectory ad_;
+  mdbs::GlobalDataDictionary gdd_;
+  lang::UseClause current_scope_;
+  std::map<std::string, std::shared_ptr<const lang::MsqlQuery>> views_;
+  std::map<std::string, lang::CreateTriggerStmt> triggers_;
+  /// Re-entrancy guards for views-over-views and trigger cascades.
+  int view_depth_ = 0;
+  int trigger_depth_ = 0;
+};
+
+}  // namespace msql::core
+
+#endif  // MSQL_CORE_MDBS_SYSTEM_H_

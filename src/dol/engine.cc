@@ -1,0 +1,474 @@
+#include "dol/engine.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace msql::dol {
+
+using netsim::CallOutcome;
+using netsim::LamRequest;
+using netsim::LamRequestType;
+
+const TaskOutcome* DolRunResult::FindTask(const std::string& name) const {
+  auto it = tasks.find(ToLower(name));
+  return it == tasks.end() ? nullptr : &it->second;
+}
+
+std::string DolRunResult::ToString() const {
+  std::string out = "DOLSTATUS=" + std::to_string(dol_status) +
+                    " makespan=" + std::to_string(makespan_micros) +
+                    "us messages=" + std::to_string(messages) +
+                    " bytes=" + std::to_string(bytes) + "\n";
+  for (const auto& [name, task] : tasks) {
+    out += "  " + name + ": " + std::string(DolTaskStateName(task.state)) +
+           " [" + std::to_string(task.start_micros) + "us, " +
+           std::to_string(task.end_micros) + "us]";
+    if (!task.last_status.ok()) {
+      out += " (" + task.last_status.ToString() + ")";
+    }
+    if (task.result.IsQueryResult()) {
+      out += " " + std::to_string(task.result.rows.size()) + " rows";
+    } else if (task.result.rows_affected > 0) {
+      out += " " + std::to_string(task.result.rows_affected) + " affected";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
+  channels_.clear();
+  tasks_.clear();
+  task_channel_.clear();
+  compensations_.clear();
+  dol_status_ = 0;
+  int64_t messages_before = env_->network().stats().messages_sent;
+  int64_t bytes_before = env_->network().stats().bytes_sent;
+
+  int64_t now = 0;
+  for (const auto& stmt : program.statements) {
+    MSQL_ASSIGN_OR_RETURN(now, ExecStmt(*stmt, now));
+  }
+
+  DolRunResult result;
+  result.dol_status = dol_status_;
+  result.tasks = std::move(tasks_);
+  result.makespan_micros = now;
+  result.messages =
+      env_->network().stats().messages_sent - messages_before;
+  result.bytes = env_->network().stats().bytes_sent - bytes_before;
+  return result;
+}
+
+Result<int64_t> DolEngine::ExecStmt(const DolStmt& stmt, int64_t at) {
+  switch (stmt.kind()) {
+    case DolStmtKind::kOpen:
+      return ExecOpen(static_cast<const OpenStmt&>(stmt), at);
+    case DolStmtKind::kTask:
+      return ExecTask(static_cast<const TaskStmt&>(stmt), at);
+    case DolStmtKind::kParallel:
+      return ExecParallel(static_cast<const ParallelStmt&>(stmt), at);
+    case DolStmtKind::kIf:
+      return ExecIf(static_cast<const IfStmt&>(stmt), at);
+    case DolStmtKind::kCommit:
+      return ExecCommit(static_cast<const CommitStmt&>(stmt), at);
+    case DolStmtKind::kAbort:
+      return ExecAbort(static_cast<const AbortStmt&>(stmt), at);
+    case DolStmtKind::kCompensate:
+      return ExecCompensate(static_cast<const CompensateStmt&>(stmt), at);
+    case DolStmtKind::kTransfer:
+      return ExecTransfer(static_cast<const TransferStmt&>(stmt), at);
+    case DolStmtKind::kSetStatus:
+      dol_status_ = static_cast<const SetStatusStmt&>(stmt).value;
+      return at;
+    case DolStmtKind::kClose:
+      return ExecClose(static_cast<const CloseStmt&>(stmt), at);
+  }
+  return Status::Internal("unhandled DOL statement kind");
+}
+
+Result<DolEngine::Channel*> DolEngine::FindChannel(const std::string& alias) {
+  auto it = channels_.find(ToLower(alias));
+  if (it == channels_.end()) {
+    return Status::NotFound("DOL alias '" + alias +
+                            "' has not been OPENed");
+  }
+  return &it->second;
+}
+
+Result<TaskOutcome*> DolEngine::FindTask(const std::string& name) {
+  auto it = tasks_.find(ToLower(name));
+  if (it == tasks_.end()) {
+    return Status::NotFound("unknown DOL task '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<CallOutcome> DolEngine::Call(Channel* channel,
+                                    const LamRequest& request, int64_t at) {
+  auto outcome = env_->Call(channel->service, request, at);
+  if (!outcome.ok()) {
+    // Network-level failure (site down): surface it as a response-level
+    // failure so the task/abort logic can treat it like a local abort.
+    CallOutcome synthetic;
+    synthetic.response.status = outcome.status();
+    synthetic.timing.start_micros = at;
+    synthetic.timing.end_micros =
+        at + env_->network().default_link().latency_micros;
+    return synthetic;
+  }
+  return outcome;
+}
+
+Result<int64_t> DolEngine::ExecOpen(const OpenStmt& stmt, int64_t at) {
+  std::string alias = ToLower(stmt.alias);
+  if (channels_.count(alias) > 0) {
+    return Status::InvalidArgument("DOL alias '" + alias +
+                                   "' is already open");
+  }
+  Channel channel;
+  channel.service = ToLower(stmt.service);
+  channel.database = ToLower(stmt.database);
+
+  LamRequest open;
+  open.type = LamRequestType::kOpenSession;
+  open.database = channel.database;
+  auto outcome = env_->Call(channel.service, open, at);
+  int64_t end = at;
+  if (!outcome.ok()) {
+    channel.failed = true;
+    channel.open_status = outcome.status();
+  } else if (!outcome->response.status.ok()) {
+    channel.failed = true;
+    channel.open_status = outcome->response.status;
+    end = outcome->timing.end_micros;
+  } else {
+    channel.session = outcome->response.session;
+    end = outcome->timing.end_micros;
+  }
+  channels_.emplace(alias, std::move(channel));
+  return end;
+}
+
+Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
+  std::string name = ToLower(stmt.name);
+  if (tasks_.count(name) > 0) {
+    return Status::InvalidArgument("DOL task '" + name +
+                                   "' is declared twice");
+  }
+  TaskOutcome outcome;
+  outcome.name = name;
+  outcome.start_micros = at;
+  MSQL_ASSIGN_OR_RETURN(Channel * channel, FindChannel(stmt.target_alias));
+
+  // Register the compensation even if the task later aborts — the
+  // COMPENSATE statement validates against the *declared* block.
+  compensations_[name] = stmt.compensation_sql;
+
+  if (channel->failed) {
+    outcome.state = DolTaskState::kAborted;
+    outcome.last_status = channel->open_status;
+    outcome.end_micros = at;
+    tasks_.emplace(name, std::move(outcome));
+    return at;
+  }
+
+  int64_t now = at;
+  auto abort_task = [&](const Status& why, int64_t end) -> int64_t {
+    outcome.state = DolTaskState::kAborted;
+    outcome.last_status = why;
+    outcome.end_micros = end;
+    return end;
+  };
+
+  if (stmt.nocommit) {
+    LamRequest begin;
+    begin.type = LamRequestType::kBegin;
+    begin.session = channel->session;
+    MSQL_ASSIGN_OR_RETURN(auto begin_out, Call(channel, begin, now));
+    now = begin_out.timing.end_micros;
+    if (!begin_out.response.status.ok()) {
+      now = abort_task(begin_out.response.status, now);
+      tasks_.emplace(name, std::move(outcome));
+      return now;
+    }
+  }
+
+  LamRequest exec;
+  exec.type = LamRequestType::kExecute;
+  exec.session = channel->session;
+  exec.sql = stmt.body_sql;
+  MSQL_ASSIGN_OR_RETURN(auto exec_out, Call(channel, exec, now));
+  now = exec_out.timing.end_micros;
+  if (!exec_out.response.status.ok()) {
+    // The local engine aborts the enclosing transaction on any failing
+    // statement, so there is nothing to roll back here.
+    now = abort_task(exec_out.response.status, now);
+    tasks_.emplace(name, std::move(outcome));
+    return now;
+  }
+  outcome.result = std::move(exec_out.response.result);
+
+  if (stmt.nocommit) {
+    LamRequest prepare;
+    prepare.type = LamRequestType::kPrepare;
+    prepare.session = channel->session;
+    MSQL_ASSIGN_OR_RETURN(auto prep_out, Call(channel, prepare, now));
+    now = prep_out.timing.end_micros;
+    if (!prep_out.response.status.ok()) {
+      // A refused prepare (no 2PC support, or injected failure) leaves
+      // the transaction either aborted (injected) or still active
+      // (refused): roll it back so no locks leak, then mark aborted.
+      if (prep_out.response.txn_state == relational::TxnState::kActive) {
+        LamRequest rollback;
+        rollback.type = LamRequestType::kRollback;
+        rollback.session = channel->session;
+        MSQL_ASSIGN_OR_RETURN(auto rb_out, Call(channel, rollback, now));
+        now = rb_out.timing.end_micros;
+      }
+      now = abort_task(prep_out.response.status, now);
+      tasks_.emplace(name, std::move(outcome));
+      return now;
+    }
+    outcome.state = DolTaskState::kPrepared;
+  } else {
+    outcome.state = DolTaskState::kCommitted;  // autocommit succeeded
+  }
+  outcome.end_micros = now;
+  task_channel_[name] = ToLower(stmt.target_alias);
+  tasks_.emplace(name, std::move(outcome));
+  return now;
+}
+
+Result<int64_t> DolEngine::ExecParallel(const ParallelStmt& stmt,
+                                        int64_t at) {
+  int64_t latest = at;
+  for (const auto& inner : stmt.body) {
+    MSQL_ASSIGN_OR_RETURN(int64_t end, ExecStmt(*inner, at));
+    latest = std::max(latest, end);
+  }
+  return latest;
+}
+
+Result<int64_t> DolEngine::ExecIf(const IfStmt& stmt, int64_t at) {
+  MSQL_ASSIGN_OR_RETURN(bool taken, EvalCond(*stmt.condition));
+  const auto& branch = taken ? stmt.then_branch : stmt.else_branch;
+  int64_t now = at;
+  for (const auto& inner : branch) {
+    MSQL_ASSIGN_OR_RETURN(now, ExecStmt(*inner, now));
+  }
+  return now;
+}
+
+Result<bool> DolEngine::EvalCond(const DolCond& cond) const {
+  switch (cond.kind()) {
+    case DolCondKind::kStateTest: {
+      const auto& test = static_cast<const StateTestCond&>(cond);
+      auto it = tasks_.find(ToLower(test.task()));
+      if (it == tasks_.end()) {
+        return Status::NotFound("condition references unknown task '" +
+                                test.task() + "'");
+      }
+      return it->second.state == test.state();
+    }
+    case DolCondKind::kAnd: {
+      const auto& b = static_cast<const BinaryCond&>(cond);
+      MSQL_ASSIGN_OR_RETURN(bool left, EvalCond(b.left()));
+      if (!left) return false;
+      return EvalCond(b.right());
+    }
+    case DolCondKind::kOr: {
+      const auto& b = static_cast<const BinaryCond&>(cond);
+      MSQL_ASSIGN_OR_RETURN(bool left, EvalCond(b.left()));
+      if (left) return true;
+      return EvalCond(b.right());
+    }
+    case DolCondKind::kNot: {
+      const auto& n = static_cast<const NotCond&>(cond);
+      MSQL_ASSIGN_OR_RETURN(bool inner, EvalCond(n.operand()));
+      return !inner;
+    }
+  }
+  return Status::Internal("unhandled condition kind");
+}
+
+Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
+  int64_t now = at;
+  for (const auto& task_name : stmt.tasks) {
+    MSQL_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
+    if (task->state == DolTaskState::kCommitted) continue;  // idempotent
+    if (task->state != DolTaskState::kPrepared) {
+      return Status::TransactionError(
+          "COMMIT of task '" + task->name + "' in state " +
+          std::string(DolTaskStateName(task->state)));
+    }
+    MSQL_ASSIGN_OR_RETURN(Channel * channel,
+                          FindChannel(task_channel_.at(task->name)));
+    LamRequest commit;
+    commit.type = LamRequestType::kCommit;
+    commit.session = channel->session;
+    MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, commit, now));
+    now = outcome.timing.end_micros;
+    if (outcome.response.status.ok()) {
+      task->state = DolTaskState::kCommitted;
+    } else {
+      task->state = DolTaskState::kAborted;
+      task->last_status = outcome.response.status;
+    }
+  }
+  return now;
+}
+
+Result<int64_t> DolEngine::ExecAbort(const AbortStmt& stmt, int64_t at) {
+  int64_t now = at;
+  for (const auto& task_name : stmt.tasks) {
+    MSQL_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
+    if (task->state == DolTaskState::kAborted ||
+        task->state == DolTaskState::kNotRun) {
+      task->state = DolTaskState::kAborted;
+      continue;
+    }
+    if (task->state != DolTaskState::kPrepared) {
+      return Status::TransactionError(
+          "ABORT of task '" + task->name + "' in state " +
+          std::string(DolTaskStateName(task->state)) +
+          " (committed tasks must be compensated)");
+    }
+    MSQL_ASSIGN_OR_RETURN(Channel * channel,
+                          FindChannel(task_channel_.at(task->name)));
+    LamRequest rollback;
+    rollback.type = LamRequestType::kRollback;
+    rollback.session = channel->session;
+    MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, rollback, now));
+    now = outcome.timing.end_micros;
+    task->state = DolTaskState::kAborted;
+    if (!outcome.response.status.ok()) {
+      task->last_status = outcome.response.status;
+    }
+  }
+  return now;
+}
+
+Result<int64_t> DolEngine::ExecCompensate(const CompensateStmt& stmt,
+                                          int64_t at) {
+  int64_t now = at;
+  for (const auto& task_name : stmt.tasks) {
+    MSQL_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
+    if (task->state != DolTaskState::kCommitted) {
+      return Status::TransactionError(
+          "COMPENSATE of task '" + task->name + "' in state " +
+          std::string(DolTaskStateName(task->state)) +
+          " (only committed tasks can be compensated)");
+    }
+    auto comp_it = compensations_.find(task->name);
+    if (comp_it == compensations_.end() || comp_it->second.empty()) {
+      return Status::TransactionError(
+          "task '" + task->name + "' declares no COMPENSATION block");
+    }
+    MSQL_ASSIGN_OR_RETURN(Channel * channel,
+                          FindChannel(task_channel_.at(task->name)));
+    LamRequest exec;
+    exec.type = LamRequestType::kExecute;
+    exec.session = channel->session;
+    exec.sql = comp_it->second;
+    MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, exec, now));
+    now = outcome.timing.end_micros;
+    if (!outcome.response.status.ok()) {
+      // A failed compensation leaves the multidatabase incorrect; no
+      // sound plan can recover, so surface it as a program error.
+      return Status::TransactionError(
+          "compensation of task '" + task->name + "' failed: " +
+          outcome.response.status.ToString());
+    }
+    task->state = DolTaskState::kCompensated;
+  }
+  return now;
+}
+
+Result<int64_t> DolEngine::ExecTransfer(const TransferStmt& stmt,
+                                        int64_t at) {
+  MSQL_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(stmt.task));
+  if (!task->result.IsQueryResult()) {
+    return Status::InvalidArgument("TRANSFER source task '" + task->name +
+                                   "' produced no query result");
+  }
+  MSQL_ASSIGN_OR_RETURN(Channel * channel, FindChannel(stmt.target_alias));
+  if (channel->failed) {
+    return Status::Unavailable("TRANSFER target channel '" +
+                               stmt.target_alias + "' is not usable");
+  }
+
+  int64_t now = at;
+  if (!stmt.append) {
+    // CREATE TABLE at the target.
+    std::string create = "CREATE TABLE " + stmt.table + " (";
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      if (i > 0) create += ", ";
+      create += stmt.columns[i].name + " " + stmt.columns[i].type_name;
+      if (stmt.columns[i].width > 0) {
+        create += "(" + std::to_string(stmt.columns[i].width) + ")";
+      }
+    }
+    create += ")";
+    LamRequest create_req;
+    create_req.type = LamRequestType::kExecute;
+    create_req.session = channel->session;
+    create_req.sql = create;
+    MSQL_ASSIGN_OR_RETURN(auto create_out, Call(channel, create_req, at));
+    now = create_out.timing.end_micros;
+    MSQL_RETURN_IF_ERROR(create_out.response.status);
+  }
+
+  if (!task->result.rows.empty()) {
+    std::string insert = "INSERT INTO " + stmt.table;
+    if (stmt.append && !stmt.columns.empty()) {
+      insert += " (";
+      for (size_t i = 0; i < stmt.columns.size(); ++i) {
+        if (i > 0) insert += ", ";
+        insert += stmt.columns[i].name;
+      }
+      insert += ")";
+    }
+    insert += " VALUES ";
+    for (size_t r = 0; r < task->result.rows.size(); ++r) {
+      if (r > 0) insert += ", ";
+      insert += "(";
+      const auto& row = task->result.rows[r];
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) insert += ", ";
+        insert += row[c].ToSqlLiteral();
+      }
+      insert += ")";
+    }
+    LamRequest insert_req;
+    insert_req.type = LamRequestType::kExecute;
+    insert_req.session = channel->session;
+    insert_req.sql = std::move(insert);
+    MSQL_ASSIGN_OR_RETURN(auto insert_out, Call(channel, insert_req, now));
+    now = insert_out.timing.end_micros;
+    MSQL_RETURN_IF_ERROR(insert_out.response.status);
+  }
+  return now;
+}
+
+Result<int64_t> DolEngine::ExecClose(const CloseStmt& stmt, int64_t at) {
+  int64_t now = at;
+  for (const auto& alias : stmt.aliases) {
+    MSQL_ASSIGN_OR_RETURN(Channel * channel, FindChannel(alias));
+    if (channel->failed || channel->session == 0) {
+      channel->failed = true;
+      continue;
+    }
+    LamRequest close;
+    close.type = LamRequestType::kCloseSession;
+    close.session = channel->session;
+    MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, close, now));
+    now = outcome.timing.end_micros;
+    channel->failed = true;  // no further use
+    channel->session = 0;
+  }
+  return now;
+}
+
+}  // namespace msql::dol

@@ -1,0 +1,116 @@
+#ifndef MSQL_DOL_ENGINE_H_
+#define MSQL_DOL_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dol/ast.h"
+#include "netsim/environment.h"
+#include "relational/result_set.h"
+
+namespace msql::dol {
+
+/// Final record of one task's execution.
+struct TaskOutcome {
+  std::string name;
+  DolTaskState state = DolTaskState::kNotRun;
+  /// Failure detail of the last operation that aborted the task (OK for
+  /// clean runs).
+  Status last_status;
+  /// Retrieval result (SELECT tasks) or rows-affected (DML tasks).
+  relational::ResultSet result;
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;
+};
+
+/// Result of running one DOL program.
+struct DolRunResult {
+  /// Value of DOLSTATUS when the program ended (0 = success by the
+  /// convention of the §4.3 listing; the translator uses 0 = committed,
+  /// 1 = aborted, 2 = incorrect).
+  int dol_status = 0;
+  std::map<std::string, TaskOutcome> tasks;
+  /// Simulated makespan of the whole program.
+  int64_t makespan_micros = 0;
+  /// Network traffic incurred by this run.
+  int64_t messages = 0;
+  int64_t bytes = 0;
+
+  const TaskOutcome* FindTask(const std::string& name) const;
+
+  /// Human-readable run trace: per-task state, failure detail and
+  /// simulated interval, plus the program totals.
+  std::string ToString() const;
+};
+
+/// Interpreter for DOL programs against the simulated multi-system
+/// environment (the role Narada's engine plays in Figure 1).
+///
+/// Timeline semantics: statements execute sequentially on a simulated
+/// clock; a PARBEGIN block forks the clock — every contained statement
+/// starts at the block's start time and the block completes at the
+/// latest end time, which is how the engine exposes the parallelism the
+/// paper attributes its optimization opportunities to.
+///
+/// Failure semantics: a failed OPEN poisons its channel (tasks targeting
+/// it abort rather than erroring the program); any failed local
+/// operation aborts its task; condition logic in the plan decides what
+/// happens next. Only protocol violations (committing an aborted task,
+/// compensating a task without a COMPENSATION block) and compensation
+/// failures abort the whole program with an error, since no sound plan
+/// reaches them.
+class DolEngine {
+ public:
+  explicit DolEngine(netsim::Environment* env) : env_(env) {}
+
+  /// Runs `program` from simulated time 0.
+  Result<DolRunResult> Run(const DolProgram& program);
+
+ private:
+  struct Channel {
+    std::string service;
+    std::string database;
+    relational::SessionId session = 0;
+    bool failed = false;     // OPEN failed or channel closed
+    Status open_status;      // failure detail
+  };
+
+  /// Executes one statement starting at `at`; returns its end time.
+  Result<int64_t> ExecStmt(const DolStmt& stmt, int64_t at);
+
+  Result<int64_t> ExecOpen(const OpenStmt& stmt, int64_t at);
+  Result<int64_t> ExecTask(const TaskStmt& stmt, int64_t at);
+  Result<int64_t> ExecParallel(const ParallelStmt& stmt, int64_t at);
+  Result<int64_t> ExecIf(const IfStmt& stmt, int64_t at);
+  Result<int64_t> ExecCommit(const CommitStmt& stmt, int64_t at);
+  Result<int64_t> ExecAbort(const AbortStmt& stmt, int64_t at);
+  Result<int64_t> ExecCompensate(const CompensateStmt& stmt, int64_t at);
+  Result<int64_t> ExecTransfer(const TransferStmt& stmt, int64_t at);
+  Result<int64_t> ExecClose(const CloseStmt& stmt, int64_t at);
+
+  Result<bool> EvalCond(const DolCond& cond) const;
+
+  Result<Channel*> FindChannel(const std::string& alias);
+  Result<TaskOutcome*> FindTask(const std::string& name);
+
+  /// One RPC on a channel; returns the outcome (end time in timing).
+  Result<netsim::CallOutcome> Call(Channel* channel,
+                                   const netsim::LamRequest& request,
+                                   int64_t at);
+
+  netsim::Environment* env_;
+  std::map<std::string, Channel> channels_;
+  std::map<std::string, TaskOutcome> tasks_;
+  /// task name → alias of the channel it ran on.
+  std::map<std::string, std::string> task_channel_;
+  /// task name → declared COMPENSATION SQL ("" = none).
+  std::map<std::string, std::string> compensations_;
+  int dol_status_ = 0;
+};
+
+}  // namespace msql::dol
+
+#endif  // MSQL_DOL_ENGINE_H_

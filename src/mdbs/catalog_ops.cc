@@ -1,0 +1,102 @@
+#include "mdbs/catalog_ops.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace msql::mdbs {
+
+using netsim::LamRequest;
+using netsim::LamRequestType;
+using relational::ColumnDef;
+using relational::TableSchema;
+using relational::TypeFromName;
+
+Status IncorporateService(netsim::Environment* env, AuxiliaryDirectory* ad,
+                          ServiceDescriptor descriptor) {
+  LamRequest ping;
+  ping.type = LamRequestType::kPing;
+  MSQL_ASSIGN_OR_RETURN(auto outcome,
+                        env->Call(descriptor.name, ping, /*at_micros=*/0));
+  if (!outcome.response.status.ok()) {
+    return outcome.response.status;
+  }
+  ad->Incorporate(std::move(descriptor));
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ImportDatabase(
+    netsim::Environment* env, const AuxiliaryDirectory& ad,
+    GlobalDataDictionary* gdd, const ImportSpec& spec) {
+  // The service must be incorporated first — IMPORT consults the AD for
+  // where/how to reach it.
+  MSQL_ASSIGN_OR_RETURN(const ServiceDescriptor* service,
+                        ad.GetService(spec.service));
+
+  if (spec.table.has_value() && spec.view.has_value()) {
+    return Status::InvalidArgument(
+        "IMPORT may name a TABLE or a VIEW, not both");
+  }
+  LamRequest describe;
+  describe.type = spec.view.has_value() ? LamRequestType::kDescribeView
+                                        : LamRequestType::kDescribe;
+  describe.database = ToLower(spec.database);
+  if (spec.table.has_value()) describe.sql = ToLower(*spec.table);
+  if (spec.view.has_value()) describe.sql = ToLower(*spec.view);
+  MSQL_ASSIGN_OR_RETURN(auto outcome,
+                        env->Call(service->name, describe, /*at_micros=*/0));
+  MSQL_RETURN_IF_ERROR(outcome.response.status);
+
+  // Group the (table, column, type, width) rows by table.
+  struct PendingTable {
+    std::vector<ColumnDef> columns;
+  };
+  std::map<std::string, PendingTable> pending;
+  std::vector<std::string> table_order;
+  for (const auto& row : outcome.response.result.rows) {
+    if (row.size() != 4 || !row[0].is_text() || !row[1].is_text() ||
+        !row[2].is_text() || !row[3].is_integer()) {
+      return Status::Internal("malformed DESCRIBE row from service '" +
+                              service->name + "'");
+    }
+    const std::string& table_name = row[0].AsText();
+    ColumnDef def;
+    def.name = row[1].AsText();
+    MSQL_ASSIGN_OR_RETURN(def.type, TypeFromName(row[2].AsText()));
+    def.width = static_cast<int>(row[3].AsInteger());
+    // Partial import: keep only the requested columns.
+    if (!spec.columns.empty()) {
+      bool wanted = false;
+      for (const auto& c : spec.columns) {
+        if (EqualsIgnoreCase(c, def.name)) wanted = true;
+      }
+      if (!wanted) continue;
+    }
+    auto it = pending.find(table_name);
+    if (it == pending.end()) {
+      table_order.push_back(table_name);
+      it = pending.emplace(table_name, PendingTable{}).first;
+    }
+    it->second.columns.push_back(std::move(def));
+  }
+  if ((spec.table.has_value() || spec.view.has_value()) &&
+      pending.empty()) {
+    return Status::NotFound(
+        "'" + (spec.table.has_value() ? *spec.table : *spec.view) +
+        "' has no importable columns on '" + spec.database + "'");
+  }
+
+  MSQL_RETURN_IF_ERROR(gdd->RegisterDatabase(spec.database, spec.service));
+  std::vector<std::string> imported;
+  for (const auto& table_name : table_order) {
+    MSQL_ASSIGN_OR_RETURN(
+        TableSchema schema,
+        TableSchema::Create(table_name,
+                            std::move(pending[table_name].columns)));
+    MSQL_RETURN_IF_ERROR(gdd->PutTable(spec.database, std::move(schema)));
+    imported.push_back(table_name);
+  }
+  return imported;
+}
+
+}  // namespace msql::mdbs

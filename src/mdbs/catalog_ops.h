@@ -1,0 +1,48 @@
+#ifndef MSQL_MDBS_CATALOG_OPS_H_
+#define MSQL_MDBS_CATALOG_OPS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mdbs/auxiliary_directory.h"
+#include "mdbs/global_data_dictionary.h"
+#include "netsim/environment.h"
+
+namespace msql::mdbs {
+
+/// Parameters of an IMPORT DATABASE statement (§3.1):
+///   IMPORT DATABASE <db> FROM SERVICE <svc>
+///       [ TABLE <table> [ COLUMN {<column>} ] ]
+///       [ VIEW <view> [ COLUMN {<column>} ] ]
+/// No table/view → import every public table; a named object without
+/// columns → whole definition; with columns → partial definition. An
+/// imported view registers in the GDD like a table (it is a table-like
+/// object at the multidatabase level).
+struct ImportSpec {
+  std::string database;
+  std::string service;
+  std::optional<std::string> table;
+  std::optional<std::string> view;
+  std::vector<std::string> columns;
+};
+
+/// Executes INCORPORATE SERVICE: verifies the service is reachable in
+/// the environment (one PING round-trip) and records the descriptor in
+/// the AD. The declared capabilities are stored as given — the AD
+/// reflects what the administrator asserted, and the coordinator trusts
+/// it, exactly as the paper's loosely coupled model implies.
+Status IncorporateService(netsim::Environment* env, AuxiliaryDirectory* ad,
+                          ServiceDescriptor descriptor);
+
+/// Executes IMPORT DATABASE: fetches schema rows from the service's LCS
+/// through the LAM protocol (kDescribe) and installs or replaces the
+/// table definitions in the GDD. Returns the names of imported tables.
+Result<std::vector<std::string>> ImportDatabase(
+    netsim::Environment* env, const AuxiliaryDirectory& ad,
+    GlobalDataDictionary* gdd, const ImportSpec& spec);
+
+}  // namespace msql::mdbs
+
+#endif  // MSQL_MDBS_CATALOG_OPS_H_

@@ -1,0 +1,91 @@
+#ifndef MSQL_MDBS_GLOBAL_DATA_DICTIONARY_H_
+#define MSQL_MDBS_GLOBAL_DATA_DICTIONARY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace msql::mdbs {
+
+/// One database known at the multidatabase level: its serving service
+/// and the (possibly partial) schemas imported for its tables.
+struct GddDatabase {
+  std::string name;
+  std::string service;
+  /// table name → imported schema (possibly a partial column list).
+  std::map<std::string, relational::TableSchema> tables;
+};
+
+/// The Global Data Dictionary: "a repository for the names of the
+/// database objects that are visible at the multidatabase level ...
+/// names of tables together with the names, types and widths of their
+/// columns" (§3.1). It powers multiple-identifier detection and the
+/// substitution of implicit semantic variables.
+class GlobalDataDictionary {
+ public:
+  /// Registers a database served by `service` (idempotent when already
+  /// registered with the same service; error on a conflicting service —
+  /// database names must be unique inside the federation).
+  Status RegisterDatabase(std::string_view database,
+                          std::string_view service);
+
+  Status RemoveDatabase(std::string_view database);
+  bool HasDatabase(std::string_view database) const;
+  Result<const GddDatabase*> GetDatabase(std::string_view database) const;
+  std::vector<std::string> DatabaseNames() const;
+
+  /// Inserts or replaces a table definition ("The IMPORT operation
+  /// replaces the definition of previously imported database objects").
+  Status PutTable(std::string_view database,
+                  relational::TableSchema schema);
+
+  Status RemoveTable(std::string_view database, std::string_view table);
+  bool HasTable(std::string_view database, std::string_view table) const;
+  Result<const relational::TableSchema*> GetTable(
+      std::string_view database, std::string_view table) const;
+
+  /// Table names in `database` matching an MSQL '%' pattern.
+  Result<std::vector<std::string>> MatchTables(
+      std::string_view database, std::string_view pattern) const;
+
+  /// Column names of `database.table` matching an MSQL '%' pattern.
+  Result<std::vector<std::string>> MatchColumns(
+      std::string_view database, std::string_view table,
+      std::string_view pattern) const;
+
+  // -- Multidatabases (virtual databases, §2) -----------------------------
+
+  /// Registers a *multidatabase*: a virtual database name that stands
+  /// for a set of member databases ("creation and manipulation of ...
+  /// virtual databases"). Members must already be in the GDD and the
+  /// name must not collide with a database or another multidatabase.
+  Status CreateMultidatabase(std::string_view name,
+                             std::vector<std::string> members);
+
+  Status DropMultidatabase(std::string_view name);
+  bool HasMultidatabase(std::string_view name) const;
+
+  /// Member databases of `name` (in declaration order).
+  Result<const std::vector<std::string>*> GetMultidatabase(
+      std::string_view name) const;
+
+  std::vector<std::string> MultidatabaseNames() const;
+
+  /// Total number of imported tables across all databases.
+  size_t TotalTableCount() const;
+
+  /// Human-readable dump for diagnostics and examples.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, GddDatabase> databases_;
+  std::map<std::string, std::vector<std::string>> multidatabases_;
+};
+
+}  // namespace msql::mdbs
+
+#endif  // MSQL_MDBS_GLOBAL_DATA_DICTIONARY_H_

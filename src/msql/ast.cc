@@ -1,0 +1,139 @@
+#include "msql/ast.h"
+
+#include "common/string_util.h"
+
+namespace msql::lang {
+
+std::string UseClause::ToMsql() const {
+  std::string out = "USE";
+  if (current) out += " CURRENT";
+  for (const auto& e : entries) {
+    if (e.alias.empty()) {
+      out += " " + e.database;
+    } else {
+      out += " (" + e.database + " " + e.alias + ")";
+    }
+    if (e.vital) out += " VITAL";
+  }
+  return out;
+}
+
+std::string LetBinding::ToMsql() const {
+  std::string out = "LET " + Join(variable_path, ".") + " BE";
+  for (const auto& target : targets) {
+    out += " " + Join(target, ".");
+  }
+  return out;
+}
+
+std::string LetClause::ToMsql() const {
+  std::string out;
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += bindings[i].ToMsql();
+  }
+  return out;
+}
+
+std::string CompClause::ToMsql() const {
+  return "COMP " + database + " " + action->ToSql();
+}
+
+MsqlQuery MsqlQuery::CloneQuery() const {
+  MsqlQuery out;
+  out.use = use;
+  out.let = let;
+  out.body = body->Clone();
+  out.comps.reserve(comps.size());
+  for (const auto& c : comps) out.comps.push_back(c.CloneComp());
+  return out;
+}
+
+std::string MsqlQuery::ToMsql() const {
+  std::string out = use.ToMsql() + "\n";
+  if (let.has_value()) out += let->ToMsql() + "\n";
+  out += body->ToSql();
+  for (const auto& c : comps) out += "\n" + c.ToMsql();
+  return out;
+}
+
+std::string IncorporateStmt::ToMsql() const {
+  auto word = [](bool autocommits) {
+    return autocommits ? "COMMIT" : "NOCOMMIT";
+  };
+  std::string out = "INCORPORATE SERVICE " + service;
+  if (!site.empty()) out += " SITE " + site;
+  out += std::string(" CONNECTMODE ") +
+         (connect_mode ? "CONNECT" : "NOCONNECT");
+  out += std::string(" COMMITMODE ") + word(autocommit_only);
+  out += std::string(" CREATE ") + word(create_autocommits);
+  out += std::string(" INSERT ") + word(insert_autocommits);
+  out += std::string(" DROP ") + word(drop_autocommits);
+  return out;
+}
+
+std::string ImportStmt::ToMsql() const {
+  std::string out = "IMPORT DATABASE " + database + " FROM SERVICE " +
+                    service;
+  if (table.has_value()) {
+    out += " TABLE " + *table;
+    if (!columns.empty()) out += " COLUMN " + Join(columns, " ");
+  }
+  if (view.has_value()) {
+    out += " VIEW " + *view;
+    if (!columns.empty() && !table.has_value()) {
+      out += " COLUMN " + Join(columns, " ");
+    }
+  }
+  return out;
+}
+
+std::string CreateMultidatabaseStmt::ToMsql() const {
+  return "CREATE MULTIDATABASE " + name + " (" + Join(members, " ") + ")";
+}
+
+std::string DropMultidatabaseStmt::ToMsql() const {
+  return "DROP MULTIDATABASE " + name;
+}
+
+std::string CreateViewStmt::ToMsql() const {
+  return "CREATE MULTIVIEW " + name + " AS\n" + definition->ToMsql();
+}
+
+std::string DropViewStmt::ToMsql() const {
+  return "DROP MULTIVIEW " + name;
+}
+
+std::string_view TriggerEventName(TriggerEvent event) {
+  switch (event) {
+    case TriggerEvent::kUpdate: return "UPDATE";
+    case TriggerEvent::kInsert: return "INSERT";
+    case TriggerEvent::kDelete: return "DELETE";
+  }
+  return "UNKNOWN";
+}
+
+std::string CreateTriggerStmt::ToMsql() const {
+  return "CREATE TRIGGER " + name + " ON " + database + "." + table +
+         " AFTER " + std::string(TriggerEventName(event)) + " DO\n" +
+         action->ToMsql();
+}
+
+std::string DropTriggerStmt::ToMsql() const {
+  return "DROP TRIGGER " + name;
+}
+
+std::string AcceptableState::ToMsql() const {
+  return Join(databases, " AND ");
+}
+
+std::string MultiTransaction::ToMsql() const {
+  std::string out = "BEGIN MULTITRANSACTION\n";
+  for (const auto& q : queries) out += q.ToMsql() + ";\n";
+  out += "COMMIT\n";
+  for (const auto& s : acceptable_states) out += "  " + s.ToMsql() + "\n";
+  out += "END MULTITRANSACTION";
+  return out;
+}
+
+}  // namespace msql::lang

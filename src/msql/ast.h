@@ -1,0 +1,215 @@
+#ifndef MSQL_MSQL_AST_H_
+#define MSQL_MSQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/sql/ast.h"
+
+namespace msql::lang {
+
+/// One database in a USE scope: `name [alias] [VITAL]` (§3.2.1).
+struct UseEntry {
+  std::string database;
+  std::string alias;  // optional; unique handle inside a multitransaction
+  bool vital = false;
+
+  /// Name the entry is referenced by (alias if present).
+  const std::string& EffectiveName() const {
+    return alias.empty() ? database : alias;
+  }
+};
+
+/// USE [CURRENT] db [alias] [VITAL] ... — defines the query scope.
+struct UseClause {
+  bool current = false;  // USE CURRENT keeps the previous scope's entries
+  std::vector<UseEntry> entries;
+
+  std::string ToMsql() const;
+};
+
+/// One explicit semantic variable declaration:
+///   LET car.type.status BE cars.cartype.carst vehicle.vty.vstat
+/// The variable path's first component names a table variable and the
+/// remaining components name column variables; each BE target supplies,
+/// positionally for each database of the USE scope, the local names.
+struct LetBinding {
+  std::vector<std::string> variable_path;
+  std::vector<std::vector<std::string>> targets;  // one per USE entry
+
+  std::string ToMsql() const;
+};
+
+/// LET clause: one or more bindings.
+struct LetClause {
+  std::vector<LetBinding> bindings;
+
+  std::string ToMsql() const;
+};
+
+/// COMP <database|alias> <compensating subquery> (§3.3): a user-supplied
+/// semantic undo for a VITAL database without 2PC.
+struct CompClause {
+  std::string database;  // database name or alias in the current scope
+  relational::StatementPtr action;
+
+  CompClause() = default;
+  CompClause(std::string db, relational::StatementPtr a)
+      : database(std::move(db)), action(std::move(a)) {}
+  CompClause CloneComp() const {
+    return CompClause(database, action->Clone());
+  }
+  std::string ToMsql() const;
+};
+
+/// One MSQL *multiple query*: scope + semantic variables + an SQL body
+/// that may contain multiple identifiers, plus compensating actions.
+struct MsqlQuery {
+  UseClause use;
+  std::optional<LetClause> let;
+  relational::StatementPtr body;
+  std::vector<CompClause> comps;
+
+  MsqlQuery CloneQuery() const;
+  std::string ToMsql() const;
+};
+
+/// INCORPORATE SERVICE ... (§3.1).
+struct IncorporateStmt {
+  std::string service;
+  std::string site;
+  bool connect_mode = true;     // CONNECTMODE CONNECT | NOCONNECT
+  bool autocommit_only = false;  // COMMITMODE COMMIT | NOCOMMIT
+  bool create_autocommits = false;
+  bool insert_autocommits = false;
+  bool drop_autocommits = false;
+
+  std::string ToMsql() const;
+};
+
+/// IMPORT DATABASE ... FROM SERVICE ...
+///   [TABLE t [COLUMN c...]] [VIEW v [COLUMN c...]] (§3.1).
+struct ImportStmt {
+  std::string database;
+  std::string service;
+  std::optional<std::string> table;
+  std::optional<std::string> view;
+  std::vector<std::string> columns;
+
+  std::string ToMsql() const;
+};
+
+/// CREATE MULTIDATABASE <name> ( <db> [,] <db> ... ) — defines a virtual
+/// database aggregating existing ones; USE <name> then stands for its
+/// members ("creation and manipulation of ... virtual databases", §2).
+struct CreateMultidatabaseStmt {
+  std::string name;
+  std::vector<std::string> members;
+
+  std::string ToMsql() const;
+};
+
+/// DROP MULTIDATABASE <name>.
+struct DropMultidatabaseStmt {
+  std::string name;
+
+  std::string ToMsql() const;
+};
+
+/// CREATE MULTIVIEW <name> AS <multiple query> — a multidatabase view:
+/// a stored multiple query whose multitable result can be further
+/// queried with `SELECT ... FROM <name>` ("creation and manipulation of
+/// multidatabase views", §2).
+struct CreateViewStmt {
+  std::string name;
+  /// Deliberately heap-held: MsqlQuery is move-only through its body.
+  std::shared_ptr<MsqlQuery> definition;
+
+  std::string ToMsql() const;
+};
+
+/// DROP MULTIVIEW <name>.
+struct DropViewStmt {
+  std::string name;
+
+  std::string ToMsql() const;
+};
+
+/// Interdatabase trigger event.
+enum class TriggerEvent { kUpdate, kInsert, kDelete };
+
+std::string_view TriggerEventName(TriggerEvent event);
+
+/// CREATE TRIGGER <name> ON <db>.<table> AFTER UPDATE|INSERT|DELETE DO
+/// <multiple query> — when a multidatabase query commits a matching
+/// statement on <db>.<table>, the action query runs afterwards
+/// ("definition of interdatabase triggers", §2). The action must carry
+/// its own USE scope.
+struct CreateTriggerStmt {
+  std::string name;
+  std::string database;
+  std::string table;
+  TriggerEvent event = TriggerEvent::kUpdate;
+  std::shared_ptr<MsqlQuery> action;
+
+  std::string ToMsql() const;
+};
+
+/// DROP TRIGGER <name>.
+struct DropTriggerStmt {
+  std::string name;
+
+  std::string ToMsql() const;
+};
+
+/// One acceptable termination state: conjunction of database names or
+/// aliases whose subqueries must have succeeded (§3.4).
+struct AcceptableState {
+  std::vector<std::string> databases;
+
+  std::string ToMsql() const;
+};
+
+/// BEGIN MULTITRANSACTION <queries> COMMIT <states> END MULTITRANSACTION.
+struct MultiTransaction {
+  std::vector<MsqlQuery> queries;
+  /// Checked in order; the first reachable state wins.
+  std::vector<AcceptableState> acceptable_states;
+
+  std::string ToMsql() const;
+};
+
+/// A top-level MSQL input item.
+struct MsqlInput {
+  enum class Kind {
+    kQuery,
+    kMultiTransaction,
+    kIncorporate,
+    kImport,
+    kCreateMultidatabase,
+    kDropMultidatabase,
+    kCreateView,
+    kDropView,
+    kCreateTrigger,
+    kDropTrigger,
+  };
+  Kind kind = Kind::kQuery;
+  // Exactly one of these is populated, per `kind`.
+  std::optional<MsqlQuery> query;
+  std::optional<MultiTransaction> multitransaction;
+  std::optional<IncorporateStmt> incorporate;
+  std::optional<ImportStmt> import;
+  std::optional<CreateMultidatabaseStmt> create_multidatabase;
+  std::optional<DropMultidatabaseStmt> drop_multidatabase;
+  std::optional<CreateViewStmt> create_view;
+  std::optional<DropViewStmt> drop_view;
+  std::optional<CreateTriggerStmt> create_trigger;
+  std::optional<DropTriggerStmt> drop_trigger;
+};
+
+}  // namespace msql::lang
+
+#endif  // MSQL_MSQL_AST_H_

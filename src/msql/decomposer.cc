@@ -1,0 +1,430 @@
+#include "msql/decomposer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace msql::lang {
+
+using relational::BinaryExpr;
+using relational::BinaryOp;
+using relational::ColumnDef;
+using relational::ColumnRefExpr;
+using relational::Expr;
+using relational::ExprKind;
+using relational::ExprPtr;
+using relational::SelectItem;
+using relational::SelectStmt;
+using relational::TableRef;
+using relational::TableSchema;
+
+namespace {
+
+/// Where one effective FROM name lives and what it looks like.
+struct BoundTable {
+  std::string database;
+  const TableSchema* schema;
+};
+
+using BindingMap = std::map<std::string, BoundTable>;  // effective name →
+
+/// Flattens top-level AND conjuncts.
+void FlattenConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind() == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op() == BinaryOp::kAnd) {
+      FlattenConjuncts(b.left(), out);
+      FlattenConjuncts(b.right(), out);
+      return;
+    }
+  }
+  out->push_back(&e);
+}
+
+/// Resolves a column ref to its effective FROM table name.
+Result<std::string> ResolveTableOf(const ColumnRefExpr& ref,
+                                   const BindingMap& binding) {
+  if (!ref.qualifier().empty()) {
+    auto it = binding.find(ref.qualifier());
+    if (it == binding.end()) {
+      return Status::NotFound("qualifier '" + ref.qualifier() +
+                              "' does not name a FROM table");
+    }
+    if (!it->second.schema->HasColumn(ref.name())) {
+      return Status::NotFound("column '" + ref.FullName() +
+                              "' not found in its table");
+    }
+    return it->first;
+  }
+  std::string found;
+  for (const auto& [name, bound] : binding) {
+    if (bound.schema->HasColumn(ref.name())) {
+      if (!found.empty()) {
+        return Status::InvalidArgument("unqualified column '" + ref.name() +
+                                       "' is ambiguous across databases");
+      }
+      found = name;
+    }
+  }
+  if (found.empty()) {
+    return Status::NotFound("column '" + ref.name() +
+                            "' not found in any FROM table");
+  }
+  return found;
+}
+
+/// Collects the column refs of `e` (no subqueries allowed here).
+Status CollectRefs(const Expr& e, std::vector<const ColumnRefExpr*>* out) {
+  switch (e.kind()) {
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kColumnRef:
+      out->push_back(static_cast<const ColumnRefExpr*>(&e));
+      return Status::OK();
+    case ExprKind::kUnary:
+      return CollectRefs(static_cast<const relational::UnaryExpr&>(e).operand(),
+                         out);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      MSQL_RETURN_IF_ERROR(CollectRefs(b.left(), out));
+      return CollectRefs(b.right(), out);
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const relational::FunctionCallExpr&>(e);
+      for (const auto& a : f.args()) {
+        MSQL_RETURN_IF_ERROR(CollectRefs(*a, out));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kScalarSubquery:
+      return Status::InvalidArgument(
+          "scalar subqueries are not supported in multidatabase joins");
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const relational::InListExpr&>(e);
+      MSQL_RETURN_IF_ERROR(CollectRefs(in.operand(), out));
+      for (const auto& item : in.list()) {
+        MSQL_RETURN_IF_ERROR(CollectRefs(*item, out));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const relational::BetweenExpr&>(e);
+      MSQL_RETURN_IF_ERROR(CollectRefs(bt.operand(), out));
+      MSQL_RETURN_IF_ERROR(CollectRefs(bt.lo(), out));
+      return CollectRefs(bt.hi(), out);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+/// Rewrites every column ref in `e` to its temp-table home:
+/// (temp_table_of_db, "<effective>__<col>").
+Status RewriteToTemp(
+    Expr* e, const BindingMap& binding,
+    const std::map<std::string, std::string>& temp_of_database) {
+  switch (e->kind()) {
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kColumnRef: {
+      auto* ref = static_cast<ColumnRefExpr*>(e);
+      MSQL_ASSIGN_OR_RETURN(std::string table, ResolveTableOf(*ref, binding));
+      const BoundTable& bound = binding.at(table);
+      ref->set_qualifier(temp_of_database.at(bound.database));
+      ref->set_name(table + "__" + ref->name());
+      return Status::OK();
+    }
+    case ExprKind::kUnary:
+      return RewriteToTemp(
+          static_cast<relational::UnaryExpr*>(e)->mutable_operand(), binding,
+          temp_of_database);
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(e);
+      MSQL_RETURN_IF_ERROR(
+          RewriteToTemp(b->mutable_left(), binding, temp_of_database));
+      return RewriteToTemp(b->mutable_right(), binding, temp_of_database);
+    }
+    case ExprKind::kFunctionCall: {
+      auto* f = static_cast<relational::FunctionCallExpr*>(e);
+      for (auto& a : f->mutable_args()) {
+        MSQL_RETURN_IF_ERROR(
+            RewriteToTemp(a.get(), binding, temp_of_database));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kScalarSubquery:
+      return Status::InvalidArgument(
+          "scalar subqueries are not supported in multidatabase joins");
+    case ExprKind::kInList: {
+      auto* in = static_cast<relational::InListExpr*>(e);
+      MSQL_RETURN_IF_ERROR(
+          RewriteToTemp(in->mutable_operand(), binding, temp_of_database));
+      for (auto& item : in->mutable_list()) {
+        MSQL_RETURN_IF_ERROR(
+            RewriteToTemp(item.get(), binding, temp_of_database));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kBetween: {
+      auto* bt = static_cast<relational::BetweenExpr*>(e);
+      MSQL_RETURN_IF_ERROR(
+          RewriteToTemp(bt->mutable_operand(), binding, temp_of_database));
+      MSQL_RETURN_IF_ERROR(
+          RewriteToTemp(bt->mutable_lo(), binding, temp_of_database));
+      return RewriteToTemp(bt->mutable_hi(), binding, temp_of_database);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace
+
+bool Decomposer::IsMultidatabase(const SelectStmt& stmt) {
+  std::set<std::string> dbs;
+  for (const auto& ref : stmt.from) {
+    dbs.insert(ToLower(ref.database));  // "" groups the unqualified ones
+  }
+  // Two or more distinct qualifiers (including "mixed qualified and
+  // unqualified", which Decompose will reject with a clear error).
+  return dbs.size() > 1;
+}
+
+Result<Decomposition> Decomposer::Decompose(const SelectStmt& stmt) const {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("query has no FROM clause");
+  }
+  // Bind every FROM table.
+  BindingMap binding;
+  std::vector<std::string> database_order;  // first-appearance order
+  std::map<std::string, std::vector<std::string>> tables_of_db;
+  for (const auto& ref : stmt.from) {
+    if (ref.database.empty()) {
+      return Status::InvalidArgument(
+          "multidatabase join requires database-qualified table '" +
+          ref.table + "'");
+    }
+    MSQL_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          gdd_->GetTable(ref.database, ref.table));
+    std::string eff = ToLower(ref.EffectiveName());
+    if (binding.count(eff) > 0) {
+      return Status::InvalidArgument("duplicate FROM name '" + eff + "'");
+    }
+    std::string db = ToLower(ref.database);
+    binding.emplace(eff, BoundTable{db, schema});
+    if (tables_of_db.count(db) == 0) database_order.push_back(db);
+    tables_of_db[db].push_back(eff);
+  }
+  if (database_order.size() < 2) {
+    return Status::InvalidArgument(
+        "query references a single database; no decomposition needed");
+  }
+
+  // Conjunct classification.
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where != nullptr) FlattenConjuncts(*stmt.where, &conjuncts);
+  std::map<std::string, std::vector<const Expr*>> local_conjuncts;
+  std::vector<const Expr*> global_conjuncts;
+  for (const Expr* c : conjuncts) {
+    std::vector<const ColumnRefExpr*> refs;
+    MSQL_RETURN_IF_ERROR(CollectRefs(*c, &refs));
+    std::set<std::string> dbs;
+    for (const auto* ref : refs) {
+      MSQL_ASSIGN_OR_RETURN(std::string table, ResolveTableOf(*ref, binding));
+      dbs.insert(binding.at(table).database);
+    }
+    if (dbs.size() == 1 && push_down_conjuncts_) {
+      local_conjuncts[*dbs.begin()].push_back(c);
+    } else {
+      global_conjuncts.push_back(c);  // dbs.empty() → constant: keep global
+    }
+  }
+
+  // Needed columns per effective table: referenced anywhere outside a
+  // pushed-down local conjunct (i.e. select list, global conjuncts,
+  // group/having/order).
+  std::map<std::string, std::set<std::string>> needed;  // eff table → cols
+  auto need_from = [&](const Expr& e) -> Status {
+    std::vector<const ColumnRefExpr*> refs;
+    MSQL_RETURN_IF_ERROR(CollectRefs(e, &refs));
+    for (const auto* ref : refs) {
+      MSQL_ASSIGN_OR_RETURN(std::string table, ResolveTableOf(*ref, binding));
+      needed[table].insert(ref->name());
+    }
+    return Status::OK();
+  };
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      // `*` needs every column of the matching tables.
+      for (const auto& [eff, bound] : binding) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(eff, item.star_qualifier)) {
+          continue;
+        }
+        for (const auto& col : bound.schema->columns()) {
+          needed[eff].insert(col.name);
+        }
+      }
+      continue;
+    }
+    MSQL_RETURN_IF_ERROR(need_from(*item.expr));
+  }
+  for (const Expr* c : global_conjuncts) {
+    MSQL_RETURN_IF_ERROR(need_from(*c));
+  }
+  for (const auto& g : stmt.group_by) MSQL_RETURN_IF_ERROR(need_from(*g));
+  if (stmt.having != nullptr) MSQL_RETURN_IF_ERROR(need_from(*stmt.having));
+  for (const auto& ob : stmt.order_by) {
+    MSQL_RETURN_IF_ERROR(need_from(*ob.expr));
+  }
+
+  // Coordinator: database contributing the most tables (ties → first
+  // alphabetically).
+  std::string coordinator;
+  size_t best = 0;
+  {
+    std::vector<std::string> sorted = database_order;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& db : sorted) {
+      if (tables_of_db[db].size() > best) {
+        best = tables_of_db[db].size();
+        coordinator = db;
+      }
+    }
+  }
+
+  Decomposition out;
+  out.coordinator = coordinator;
+  std::map<std::string, std::string> temp_of_database;
+  for (const auto& db : database_order) {
+    temp_of_database[db] = "mdbs_tmp_" + db;
+  }
+
+  // Build the per-database largest-possible local subqueries.
+  for (const auto& db : database_order) {
+    Decomposition::SubQuery sub;
+    sub.database = db;
+    sub.temp_table = temp_of_database[db];
+    sub.select = std::make_unique<SelectStmt>();
+    std::vector<ColumnDef> temp_cols;
+    for (const auto& eff : tables_of_db[db]) {
+      // FROM entry with the db qualifier stripped (it runs locally).
+      const BoundTable& bound = binding.at(eff);
+      TableRef local_ref;
+      local_ref.table = bound.schema->table_name();
+      if (!EqualsIgnoreCase(eff, bound.schema->table_name())) {
+        local_ref.alias = eff;
+      }
+      sub.select->from.push_back(std::move(local_ref));
+      for (const auto& col : needed[eff]) {
+        SelectItem item;
+        item.expr = std::make_unique<ColumnRefExpr>(eff, col);
+        item.alias = eff + "__" + col;
+        sub.select->items.push_back(std::move(item));
+        auto idx = bound.schema->FindColumn(col);
+        if (!idx.has_value()) {
+          return Status::Internal("needed column vanished: " + col);
+        }
+        ColumnDef def = bound.schema->column(*idx);
+        def.name = eff + "__" + col;
+        temp_cols.push_back(std::move(def));
+      }
+    }
+    if (sub.select->items.empty()) {
+      // A table none of whose columns are needed still contributes its
+      // existence (cross product cardinality): ship a constant.
+      SelectItem item;
+      item.expr = std::make_unique<relational::LiteralExpr>(
+          relational::Value::Integer(1));
+      item.alias = "one";
+      sub.select->items.push_back(std::move(item));
+      temp_cols.push_back(ColumnDef{"one", relational::Type::kInteger, 0});
+    }
+    // AND together the pushed-down conjuncts.
+    ExprPtr local_where;
+    for (const Expr* c : local_conjuncts[db]) {
+      ExprPtr clone = c->Clone();
+      local_where = local_where == nullptr
+                        ? std::move(clone)
+                        : std::make_unique<BinaryExpr>(
+                              BinaryOp::kAnd, std::move(local_where),
+                              std::move(clone));
+    }
+    sub.select->where = std::move(local_where);
+    MSQL_ASSIGN_OR_RETURN(
+        sub.temp_schema,
+        TableSchema::Create(sub.temp_table, std::move(temp_cols)));
+    out.subqueries.push_back(std::move(sub));
+  }
+
+  // Build the modified global query Q' over the temp tables.
+  auto global = std::make_unique<SelectStmt>();
+  global->distinct = stmt.distinct;
+  for (const auto& db : database_order) {
+    TableRef ref;
+    ref.table = temp_of_database[db];
+    global->from.push_back(std::move(ref));
+  }
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      // Expand to all shipped columns of the matching tables.
+      for (const auto& [eff, bound] : binding) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(eff, item.star_qualifier)) {
+          continue;
+        }
+        for (const auto& col : needed[eff]) {
+          SelectItem out_item;
+          out_item.expr = std::make_unique<ColumnRefExpr>(
+              temp_of_database[bound.database], eff + "__" + col);
+          out_item.alias = col;
+          global->items.push_back(std::move(out_item));
+        }
+      }
+      continue;
+    }
+    SelectItem out_item = item.CloneItem();
+    MSQL_RETURN_IF_ERROR(
+        RewriteToTemp(out_item.expr.get(), binding, temp_of_database));
+    if (out_item.alias.empty() &&
+        item.expr->kind() == ExprKind::kColumnRef) {
+      out_item.alias =
+          static_cast<const ColumnRefExpr&>(*item.expr).name();
+    }
+    global->items.push_back(std::move(out_item));
+  }
+  ExprPtr global_where;
+  for (const Expr* c : global_conjuncts) {
+    ExprPtr clone = c->Clone();
+    MSQL_RETURN_IF_ERROR(
+        RewriteToTemp(clone.get(), binding, temp_of_database));
+    global_where = global_where == nullptr
+                       ? std::move(clone)
+                       : std::make_unique<BinaryExpr>(BinaryOp::kAnd,
+                                                      std::move(global_where),
+                                                      std::move(clone));
+  }
+  global->where = std::move(global_where);
+  for (const auto& g : stmt.group_by) {
+    ExprPtr clone = g->Clone();
+    MSQL_RETURN_IF_ERROR(
+        RewriteToTemp(clone.get(), binding, temp_of_database));
+    global->group_by.push_back(std::move(clone));
+  }
+  if (stmt.having != nullptr) {
+    ExprPtr clone = stmt.having->Clone();
+    MSQL_RETURN_IF_ERROR(
+        RewriteToTemp(clone.get(), binding, temp_of_database));
+    global->having = std::move(clone);
+  }
+  for (const auto& ob : stmt.order_by) {
+    relational::OrderItem out_ob = ob.CloneItem();
+    MSQL_RETURN_IF_ERROR(
+        RewriteToTemp(out_ob.expr.get(), binding, temp_of_database));
+    global->order_by.push_back(std::move(out_ob));
+  }
+  out.global_query = std::move(global);
+  return out;
+}
+
+}  // namespace msql::lang

@@ -1,0 +1,72 @@
+#ifndef MSQL_MSQL_DECOMPOSER_H_
+#define MSQL_MSQL_DECOMPOSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mdbs/global_data_dictionary.h"
+#include "relational/schema.h"
+#include "relational/sql/ast.h"
+
+namespace msql::lang {
+
+/// Decomposition of a global fully-qualified query Q into SQL subqueries
+/// q1..qn and a modified global query Q' (§4.3): each subquery is the
+/// largest-possible local query for one database; its result is shipped
+/// to the coordinator database as a temporary table; Q' joins the
+/// temporary tables there.
+struct Decomposition {
+  struct SubQuery {
+    std::string database;
+    /// Temporary-table name the partial result materializes under at the
+    /// coordinator.
+    std::string temp_table;
+    std::unique_ptr<relational::SelectStmt> select;
+    /// Schema of the shipped partial result.
+    relational::TableSchema temp_schema;
+  };
+  std::vector<SubQuery> subqueries;
+  /// "One of the LDBSs is designated as the coordinator and will
+  /// evaluate the modified global query."
+  std::string coordinator;
+  std::unique_ptr<relational::SelectStmt> global_query;
+};
+
+/// Query-graph decomposer for multidatabase joins ("joining of data that
+/// reside in different databases", §2). WHERE conjuncts whose columns
+/// all bind to one database are pushed into that database's subquery;
+/// cross-database conjuncts stay in Q'. The coordinator is the database
+/// contributing the most tables (first alphabetically on ties) — a
+/// data-flow heuristic in the spirit of §5's "optimization ... related
+/// more to data flow control and parallelism".
+class Decomposer {
+ public:
+  explicit Decomposer(const mdbs::GlobalDataDictionary* gdd) : gdd_(gdd) {}
+
+  /// Ablation knob: when false, single-database conjuncts are NOT pushed
+  /// into the local subqueries — everything ships to the coordinator and
+  /// filters there. Used to quantify the data-flow benefit of pushdown
+  /// (experiment E11); defaults to true.
+  void set_push_down_conjuncts(bool push_down) {
+    push_down_conjuncts_ = push_down;
+  }
+
+  /// True if the SELECT's FROM clause spans more than one database
+  /// (every table ref must then carry an explicit database qualifier).
+  static bool IsMultidatabase(const relational::SelectStmt& stmt);
+
+  /// Decomposes `stmt`. Requirements: every FROM ref db-qualified, all
+  /// schemas present in the GDD, no scalar subqueries (unsupported in
+  /// cross-database joins), unqualified columns unambiguous.
+  Result<Decomposition> Decompose(const relational::SelectStmt& stmt) const;
+
+ private:
+  const mdbs::GlobalDataDictionary* gdd_;
+  bool push_down_conjuncts_ = true;
+};
+
+}  // namespace msql::lang
+
+#endif  // MSQL_MSQL_DECOMPOSER_H_

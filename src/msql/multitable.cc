@@ -1,0 +1,58 @@
+#include "msql/multitable.h"
+
+#include "common/string_util.h"
+
+namespace msql::lang {
+
+const Multitable::Element* Multitable::Find(
+    const std::string& database) const {
+  for (const auto& element : elements) {
+    if (EqualsIgnoreCase(element.database, database)) return &element;
+  }
+  return nullptr;
+}
+
+size_t Multitable::TotalRows() const {
+  size_t total = 0;
+  for (const auto& element : elements) total += element.table.rows.size();
+  return total;
+}
+
+Result<relational::ResultSet> Multitable::Merge() const {
+  relational::ResultSet merged;
+  merged.columns.push_back("mdb");
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const Element& element = elements[i];
+    if (i == 0) {
+      merged.columns.insert(merged.columns.end(),
+                            element.table.columns.begin(),
+                            element.table.columns.end());
+    } else if (element.table.columns !=
+               std::vector<std::string>(merged.columns.begin() + 1,
+                                        merged.columns.end())) {
+      return Status::InvalidArgument(
+          "multitable elements have different column lists ('" +
+          elements[0].database + "' vs '" + element.database +
+          "'); the partial results cannot be merged");
+    }
+    for (const auto& row : element.table.rows) {
+      relational::Row out;
+      out.reserve(row.size() + 1);
+      out.push_back(relational::Value::Text(element.database));
+      out.insert(out.end(), row.begin(), row.end());
+      merged.rows.push_back(std::move(out));
+    }
+  }
+  return merged;
+}
+
+std::string Multitable::ToString() const {
+  std::string out;
+  for (const auto& element : elements) {
+    out += "-- " + element.database + " --\n";
+    out += element.table.ToString();
+  }
+  return out;
+}
+
+}  // namespace msql::lang

@@ -1,0 +1,45 @@
+#ifndef MSQL_MSQL_MULTITABLE_H_
+#define MSQL_MSQL_MULTITABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/result_set.h"
+
+namespace msql::lang {
+
+/// The result of an MSQL multiple retrieval: "a multitable, which is a
+/// set of two tables. These two tables are generated as partial results
+/// by the accessed databases" (§2) — one ResultSet per contributing
+/// database, kept separate because the databases are non-integrated.
+struct Multitable {
+  struct Element {
+    std::string database;
+    relational::ResultSet table;
+  };
+  std::vector<Element> elements;
+
+  bool empty() const { return elements.empty(); }
+  size_t size() const { return elements.size(); }
+
+  /// Element for `database`, or nullptr.
+  const Element* Find(const std::string& database) const;
+
+  /// Total rows across all elements.
+  size_t TotalRows() const;
+
+  /// Rendering with one captioned table per database.
+  std::string ToString() const;
+
+  /// Merges the elements into a single table — the "merging them into
+  /// the final result" step of §2, possible when semantic aliasing gave
+  /// every element the same column list. A leading `mdb` column records
+  /// each row's source database. Fails when the elements' column lists
+  /// disagree (the multitable is then inherently non-integrable).
+  Result<relational::ResultSet> Merge() const;
+};
+
+}  // namespace msql::lang
+
+#endif  // MSQL_MSQL_MULTITABLE_H_

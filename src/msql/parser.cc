@@ -1,0 +1,431 @@
+#include "msql/parser.h"
+
+#include "common/string_util.h"
+#include "relational/sql/lexer.h"
+
+namespace msql::lang {
+
+using relational::LexerOptions;
+using relational::StatementPtr;
+using relational::Token;
+using relational::TokenCursor;
+using relational::TokenType;
+using relational::Tokenize;
+
+Result<std::vector<MsqlInput>> MsqlParser::ParseScript(
+    std::string_view text) {
+  LexerOptions lex_options;
+  lex_options.percent_in_identifiers = true;
+  MSQL_ASSIGN_OR_RETURN(auto tokens, Tokenize(text, lex_options));
+  TokenCursor cursor(std::move(tokens));
+  MsqlParser parser(&cursor);
+  std::vector<MsqlInput> out;
+  while (cursor.Match(TokenType::kSemicolon)) {
+  }
+  while (!cursor.AtEnd()) {
+    MSQL_ASSIGN_OR_RETURN(MsqlInput input, parser.ParseInput());
+    out.push_back(std::move(input));
+    while (cursor.Match(TokenType::kSemicolon)) {
+    }
+  }
+  return out;
+}
+
+Result<MsqlInput> MsqlParser::ParseOne(std::string_view text) {
+  MSQL_ASSIGN_OR_RETURN(auto items, ParseScript(text));
+  if (items.size() != 1) {
+    return Status::ParseError("expected exactly one MSQL input, got " +
+                              std::to_string(items.size()));
+  }
+  return std::move(items[0]);
+}
+
+bool MsqlParser::AtBodyStart() const {
+  const Token& tok = cursor_->Peek();
+  return tok.IsKeyword("select") || tok.IsKeyword("insert") ||
+         tok.IsKeyword("update") || tok.IsKeyword("delete") ||
+         tok.IsKeyword("create") || tok.IsKeyword("drop");
+}
+
+Result<MsqlInput> MsqlParser::ParseInput() {
+  const Token& tok = cursor_->Peek();
+  MsqlInput input;
+  if (tok.IsKeyword("incorporate")) {
+    input.kind = MsqlInput::Kind::kIncorporate;
+    MSQL_ASSIGN_OR_RETURN(input.incorporate, ParseIncorporate());
+    return input;
+  }
+  if (tok.IsKeyword("import")) {
+    input.kind = MsqlInput::Kind::kImport;
+    MSQL_ASSIGN_OR_RETURN(input.import, ParseImport());
+    return input;
+  }
+  if (tok.IsKeyword("begin") &&
+      cursor_->Peek(1).IsKeyword("multitransaction")) {
+    input.kind = MsqlInput::Kind::kMultiTransaction;
+    MSQL_ASSIGN_OR_RETURN(input.multitransaction, ParseMultiTransaction());
+    return input;
+  }
+  // Multidatabase-level DDL forms shadow the statement verbs CREATE and
+  // DROP; dispatch on the second word.
+  if (tok.IsKeyword("create") || tok.IsKeyword("drop")) {
+    bool create = tok.IsKeyword("create");
+    const relational::Token& next = cursor_->Peek(1);
+    if (next.IsKeyword("multidatabase")) {
+      if (create) {
+        input.kind = MsqlInput::Kind::kCreateMultidatabase;
+        MSQL_ASSIGN_OR_RETURN(input.create_multidatabase,
+                              ParseCreateMultidatabase());
+      } else {
+        cursor_->Get();
+        cursor_->Get();
+        input.kind = MsqlInput::Kind::kDropMultidatabase;
+        DropMultidatabaseStmt stmt;
+        MSQL_ASSIGN_OR_RETURN(
+            stmt.name, cursor_->ExpectIdentifier("multidatabase name"));
+        input.drop_multidatabase = std::move(stmt);
+      }
+      return input;
+    }
+    if (next.IsKeyword("multiview")) {
+      if (create) {
+        input.kind = MsqlInput::Kind::kCreateView;
+        MSQL_ASSIGN_OR_RETURN(input.create_view, ParseCreateView());
+      } else {
+        cursor_->Get();
+        cursor_->Get();
+        input.kind = MsqlInput::Kind::kDropView;
+        DropViewStmt stmt;
+        MSQL_ASSIGN_OR_RETURN(stmt.name,
+                              cursor_->ExpectIdentifier("view name"));
+        input.drop_view = std::move(stmt);
+      }
+      return input;
+    }
+    if (next.IsKeyword("trigger")) {
+      if (create) {
+        input.kind = MsqlInput::Kind::kCreateTrigger;
+        MSQL_ASSIGN_OR_RETURN(input.create_trigger, ParseCreateTrigger());
+      } else {
+        cursor_->Get();
+        cursor_->Get();
+        input.kind = MsqlInput::Kind::kDropTrigger;
+        DropTriggerStmt stmt;
+        MSQL_ASSIGN_OR_RETURN(stmt.name,
+                              cursor_->ExpectIdentifier("trigger name"));
+        input.drop_trigger = std::move(stmt);
+      }
+      return input;
+    }
+  }
+  if (tok.IsKeyword("use") || AtBodyStart() || tok.IsKeyword("let")) {
+    input.kind = MsqlInput::Kind::kQuery;
+    MSQL_ASSIGN_OR_RETURN(input.query, ParseQuery());
+    return input;
+  }
+  return Status::ParseError("unrecognized MSQL input starting with '" +
+                            tok.text + "' at " + tok.Where());
+}
+
+Result<MsqlQuery> MsqlParser::ParseQuery() {
+  MsqlQuery query;
+  if (cursor_->Peek().IsKeyword("use")) {
+    MSQL_ASSIGN_OR_RETURN(query.use, ParseUse());
+  } else {
+    query.use.current = true;  // inherit the session's current scope
+  }
+  if (cursor_->Peek().IsKeyword("let")) {
+    MSQL_ASSIGN_OR_RETURN(query.let, ParseLet());
+  }
+  MSQL_ASSIGN_OR_RETURN(query.body, ParseBody());
+  while (cursor_->Peek().IsKeyword("comp")) {
+    cursor_->Get();
+    MSQL_ASSIGN_OR_RETURN(std::string db,
+                          cursor_->ExpectIdentifier("database name"));
+    MSQL_ASSIGN_OR_RETURN(StatementPtr action, ParseBody());
+    query.comps.emplace_back(std::move(db), std::move(action));
+  }
+  return query;
+}
+
+Result<UseClause> MsqlParser::ParseUse() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("use"));
+  UseClause use;
+  use.current = cursor_->MatchKeyword("current");
+  // Entries end where the LET clause or query body begins.
+  while (!cursor_->AtEnd() && !cursor_->Peek().IsKeyword("let") &&
+         !AtBodyStart() && cursor_->Peek().type != TokenType::kSemicolon) {
+    UseEntry entry;
+    if (cursor_->Match(TokenType::kLParen)) {
+      MSQL_ASSIGN_OR_RETURN(entry.database,
+                            cursor_->ExpectIdentifier("database name"));
+      MSQL_ASSIGN_OR_RETURN(entry.alias,
+                            cursor_->ExpectIdentifier("database alias"));
+      MSQL_RETURN_IF_ERROR(cursor_->Expect(TokenType::kRParen));
+    } else {
+      MSQL_ASSIGN_OR_RETURN(entry.database,
+                            cursor_->ExpectIdentifier("database name"));
+    }
+    entry.vital = cursor_->MatchKeyword("vital");
+    use.entries.push_back(std::move(entry));
+  }
+  if (!use.current && use.entries.empty()) {
+    return Status::ParseError("USE clause names no databases at " +
+                              cursor_->Peek().Where());
+  }
+  return use;
+}
+
+Result<LetClause> MsqlParser::ParseLet() {
+  LetClause let;
+  while (cursor_->Peek().IsKeyword("let")) {
+    MSQL_ASSIGN_OR_RETURN(LetBinding binding, ParseLetBinding());
+    let.bindings.push_back(std::move(binding));
+  }
+  return let;
+}
+
+Result<LetBinding> MsqlParser::ParseLetBinding() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("let"));
+  LetBinding binding;
+  MSQL_ASSIGN_OR_RETURN(binding.variable_path, ParseDottedPath());
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("be"));
+  // Targets: dotted paths until LET / body / COMP / end.
+  while (cursor_->Peek().type == TokenType::kIdentifier &&
+         !cursor_->Peek().IsKeyword("let") && !AtBodyStart() &&
+         !cursor_->Peek().IsKeyword("comp")) {
+    MSQL_ASSIGN_OR_RETURN(auto target, ParseDottedPath());
+    binding.targets.push_back(std::move(target));
+  }
+  if (binding.targets.empty()) {
+    return Status::ParseError("LET binding for " +
+                              Join(binding.variable_path, ".") +
+                              " has no BE targets");
+  }
+  for (const auto& target : binding.targets) {
+    if (target.size() != binding.variable_path.size()) {
+      return Status::ParseError(
+          "LET target " + Join(target, ".") + " has " +
+          std::to_string(target.size()) + " components but the variable " +
+          Join(binding.variable_path, ".") + " has " +
+          std::to_string(binding.variable_path.size()));
+    }
+  }
+  return binding;
+}
+
+Result<std::vector<std::string>> MsqlParser::ParseDottedPath() {
+  std::vector<std::string> path;
+  MSQL_ASSIGN_OR_RETURN(std::string first,
+                        cursor_->ExpectIdentifier("name"));
+  path.push_back(std::move(first));
+  while (cursor_->Match(TokenType::kDot)) {
+    MSQL_ASSIGN_OR_RETURN(std::string next,
+                          cursor_->ExpectIdentifier("name"));
+    path.push_back(std::move(next));
+  }
+  return path;
+}
+
+Result<StatementPtr> MsqlParser::ParseBody() {
+  return sql_parser_.ParseStatement();
+}
+
+Result<IncorporateStmt> MsqlParser::ParseIncorporate() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("incorporate"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("service"));
+  IncorporateStmt stmt;
+  MSQL_ASSIGN_OR_RETURN(stmt.service,
+                        cursor_->ExpectIdentifier("service name"));
+  if (cursor_->MatchKeyword("site")) {
+    MSQL_ASSIGN_OR_RETURN(stmt.site, cursor_->ExpectIdentifier("site name"));
+  }
+  auto parse_commit_word = [this](bool* autocommits) -> Status {
+    if (cursor_->MatchKeyword("commit")) {
+      *autocommits = true;
+      return Status::OK();
+    }
+    if (cursor_->MatchKeyword("nocommit")) {
+      *autocommits = false;
+      return Status::OK();
+    }
+    return Status::ParseError("expected COMMIT or NOCOMMIT at " +
+                              cursor_->Peek().Where());
+  };
+  // The clauses may come in any order; each at most once.
+  bool saw_connect = false, saw_commit = false;
+  while (true) {
+    if (cursor_->MatchKeyword("connectmode")) {
+      if (cursor_->MatchKeyword("connect")) {
+        stmt.connect_mode = true;
+      } else if (cursor_->MatchKeyword("noconnect")) {
+        stmt.connect_mode = false;
+      } else {
+        return Status::ParseError("expected CONNECT or NOCONNECT at " +
+                                  cursor_->Peek().Where());
+      }
+      saw_connect = true;
+    } else if (cursor_->MatchKeyword("commitmode")) {
+      MSQL_RETURN_IF_ERROR(parse_commit_word(&stmt.autocommit_only));
+      saw_commit = true;
+    } else if (cursor_->MatchKeyword("create")) {
+      MSQL_RETURN_IF_ERROR(parse_commit_word(&stmt.create_autocommits));
+    } else if (cursor_->MatchKeyword("insert")) {
+      MSQL_RETURN_IF_ERROR(parse_commit_word(&stmt.insert_autocommits));
+    } else if (cursor_->MatchKeyword("drop")) {
+      MSQL_RETURN_IF_ERROR(parse_commit_word(&stmt.drop_autocommits));
+    } else {
+      break;
+    }
+  }
+  if (!saw_connect || !saw_commit) {
+    return Status::ParseError(
+        "INCORPORATE requires CONNECTMODE and COMMITMODE clauses");
+  }
+  return stmt;
+}
+
+Result<ImportStmt> MsqlParser::ParseImport() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("import"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("database"));
+  ImportStmt stmt;
+  MSQL_ASSIGN_OR_RETURN(stmt.database,
+                        cursor_->ExpectIdentifier("database name"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("from"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("service"));
+  MSQL_ASSIGN_OR_RETURN(stmt.service,
+                        cursor_->ExpectIdentifier("service name"));
+  if (cursor_->MatchKeyword("table")) {
+    MSQL_ASSIGN_OR_RETURN(std::string table,
+                          cursor_->ExpectIdentifier("table name"));
+    stmt.table = std::move(table);
+    if (cursor_->MatchKeyword("column")) {
+      while (cursor_->Peek().type == TokenType::kIdentifier &&
+             !cursor_->Peek().IsKeyword("view")) {
+        MSQL_ASSIGN_OR_RETURN(std::string col,
+                              cursor_->ExpectIdentifier("column name"));
+        stmt.columns.push_back(std::move(col));
+      }
+    }
+  } else if (cursor_->MatchKeyword("view")) {
+    MSQL_ASSIGN_OR_RETURN(std::string view,
+                          cursor_->ExpectIdentifier("view name"));
+    stmt.view = std::move(view);
+    if (cursor_->MatchKeyword("column")) {
+      while (cursor_->Peek().type == TokenType::kIdentifier) {
+        MSQL_ASSIGN_OR_RETURN(std::string col,
+                              cursor_->ExpectIdentifier("column name"));
+        stmt.columns.push_back(std::move(col));
+      }
+    }
+  }
+  return stmt;
+}
+
+Result<CreateMultidatabaseStmt> MsqlParser::ParseCreateMultidatabase() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("create"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("multidatabase"));
+  CreateMultidatabaseStmt stmt;
+  MSQL_ASSIGN_OR_RETURN(stmt.name,
+                        cursor_->ExpectIdentifier("multidatabase name"));
+  MSQL_RETURN_IF_ERROR(cursor_->Expect(TokenType::kLParen));
+  while (cursor_->Peek().type == TokenType::kIdentifier) {
+    MSQL_ASSIGN_OR_RETURN(std::string member,
+                          cursor_->ExpectIdentifier("database name"));
+    stmt.members.push_back(std::move(member));
+    cursor_->Match(TokenType::kComma);  // commas are optional
+  }
+  MSQL_RETURN_IF_ERROR(cursor_->Expect(TokenType::kRParen));
+  if (stmt.members.empty()) {
+    return Status::ParseError("CREATE MULTIDATABASE lists no members");
+  }
+  return stmt;
+}
+
+Result<CreateViewStmt> MsqlParser::ParseCreateView() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("create"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("multiview"));
+  CreateViewStmt stmt;
+  MSQL_ASSIGN_OR_RETURN(stmt.name, cursor_->ExpectIdentifier("view name"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("as"));
+  MSQL_ASSIGN_OR_RETURN(MsqlQuery definition, ParseQuery());
+  if (definition.body->kind() != relational::StatementKind::kSelect) {
+    return Status::ParseError(
+        "a multidatabase view must be defined by a SELECT query");
+  }
+  stmt.definition = std::make_shared<MsqlQuery>(std::move(definition));
+  return stmt;
+}
+
+Result<CreateTriggerStmt> MsqlParser::ParseCreateTrigger() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("create"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("trigger"));
+  CreateTriggerStmt stmt;
+  MSQL_ASSIGN_OR_RETURN(stmt.name,
+                        cursor_->ExpectIdentifier("trigger name"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("on"));
+  MSQL_ASSIGN_OR_RETURN(stmt.database,
+                        cursor_->ExpectIdentifier("database name"));
+  MSQL_RETURN_IF_ERROR(cursor_->Expect(TokenType::kDot));
+  MSQL_ASSIGN_OR_RETURN(stmt.table, cursor_->ExpectIdentifier("table name"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("after"));
+  if (cursor_->MatchKeyword("update")) {
+    stmt.event = TriggerEvent::kUpdate;
+  } else if (cursor_->MatchKeyword("insert")) {
+    stmt.event = TriggerEvent::kInsert;
+  } else if (cursor_->MatchKeyword("delete")) {
+    stmt.event = TriggerEvent::kDelete;
+  } else {
+    return Status::ParseError(
+        "expected UPDATE, INSERT or DELETE after AFTER at " +
+        cursor_->Peek().Where());
+  }
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("do"));
+  MSQL_ASSIGN_OR_RETURN(MsqlQuery action, ParseQuery());
+  if (action.use.current) {
+    return Status::ParseError(
+        "a trigger action must carry its own explicit USE scope");
+  }
+  stmt.action = std::make_shared<MsqlQuery>(std::move(action));
+  return stmt;
+}
+
+Result<MultiTransaction> MsqlParser::ParseMultiTransaction() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("begin"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("multitransaction"));
+  MultiTransaction mt;
+  while (!cursor_->Peek().IsKeyword("commit")) {
+    if (cursor_->AtEnd()) {
+      return Status::ParseError(
+          "MULTITRANSACTION is missing its COMMIT clause");
+    }
+    MSQL_ASSIGN_OR_RETURN(MsqlQuery query, ParseQuery());
+    mt.queries.push_back(std::move(query));
+    while (cursor_->Match(TokenType::kSemicolon)) {
+    }
+  }
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("commit"));
+  // Acceptable states: maximal AND-chains of database names/aliases.
+  while (cursor_->Peek().type == TokenType::kIdentifier &&
+         !cursor_->Peek().IsKeyword("end")) {
+    AcceptableState state;
+    MSQL_ASSIGN_OR_RETURN(std::string db,
+                          cursor_->ExpectIdentifier("database name"));
+    state.databases.push_back(std::move(db));
+    while (cursor_->MatchKeyword("and")) {
+      MSQL_ASSIGN_OR_RETURN(std::string next,
+                            cursor_->ExpectIdentifier("database name"));
+      state.databases.push_back(std::move(next));
+    }
+    mt.acceptable_states.push_back(std::move(state));
+  }
+  if (mt.acceptable_states.empty()) {
+    return Status::ParseError(
+        "MULTITRANSACTION COMMIT names no acceptable states");
+  }
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("end"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("multitransaction"));
+  return mt;
+}
+
+}  // namespace msql::lang

@@ -1,0 +1,68 @@
+#ifndef MSQL_MSQL_PARSER_H_
+#define MSQL_MSQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "msql/ast.h"
+#include "relational/sql/parser.h"
+
+namespace msql::lang {
+
+/// Parser for extended MSQL.
+///
+/// Accepted top-level items:
+///  * multiple queries: `USE ...` `[LET ... BE ...]` body `[COMP db q]...`
+///    (a body without a USE inherits the session's current scope, which
+///    the parser records as `use.current = true` with no entries);
+///  * `INCORPORATE SERVICE ...`;
+///  * `IMPORT DATABASE ... FROM SERVICE ...`;
+///  * `BEGIN MULTITRANSACTION ... COMMIT <states> END MULTITRANSACTION`.
+///
+/// Acceptable states in the COMMIT clause are maximal AND-chains: in
+/// `COMMIT continental AND national delta AND avis` the missing AND
+/// between `national` and `delta` starts the second state, exactly as
+/// the paper's line-per-state layout reads.
+class MsqlParser {
+ public:
+  /// Parses a whole script (items optionally separated by ';').
+  static Result<std::vector<MsqlInput>> ParseScript(std::string_view text);
+
+  /// Parses exactly one input item.
+  static Result<MsqlInput> ParseOne(std::string_view text);
+
+ private:
+  explicit MsqlParser(relational::TokenCursor* cursor)
+      : cursor_(cursor), sql_parser_(cursor, MsqlSqlOptions()) {}
+
+  static relational::ParseOptions MsqlSqlOptions() {
+    relational::ParseOptions options;
+    options.msql_extensions = true;
+    return options;
+  }
+
+  Result<MsqlInput> ParseInput();
+  Result<MsqlQuery> ParseQuery();
+  Result<UseClause> ParseUse();
+  Result<LetClause> ParseLet();
+  Result<LetBinding> ParseLetBinding();
+  Result<std::vector<std::string>> ParseDottedPath();
+  Result<relational::StatementPtr> ParseBody();
+  Result<IncorporateStmt> ParseIncorporate();
+  Result<ImportStmt> ParseImport();
+  Result<MultiTransaction> ParseMultiTransaction();
+  Result<CreateMultidatabaseStmt> ParseCreateMultidatabase();
+  Result<CreateViewStmt> ParseCreateView();
+  Result<CreateTriggerStmt> ParseCreateTrigger();
+
+  /// True if the upcoming token starts an MSQL query body.
+  bool AtBodyStart() const;
+
+  relational::TokenCursor* cursor_;
+  relational::SqlParser sql_parser_;
+};
+
+}  // namespace msql::lang
+
+#endif  // MSQL_MSQL_PARSER_H_

@@ -1,0 +1,90 @@
+#include "netsim/environment.h"
+
+#include "common/string_util.h"
+
+namespace msql::netsim {
+
+Environment::Environment(std::string coordinator_site)
+    : coordinator_site_(ToLower(coordinator_site)) {
+  network_.AddSite(coordinator_site_);
+}
+
+Status Environment::AddService(std::string_view service_name,
+                               std::string_view site_name,
+                               std::unique_ptr<relational::LocalEngine> engine,
+                               LamCostModel cost_model) {
+  std::string service = ToLower(service_name);
+  std::string site = ToLower(site_name);
+  if (lams_.count(service) > 0) {
+    return Status::AlreadyExists("service '" + service +
+                                 "' already registered");
+  }
+  network_.AddSite(site);
+  ServiceEntry entry;
+  entry.service_name = service;
+  entry.site_name = site;
+  directory_.emplace(service, entry);
+  lams_.emplace(service, std::make_unique<Lam>(service, site,
+                                               std::move(engine),
+                                               cost_model));
+  return Status::OK();
+}
+
+bool Environment::HasService(std::string_view service_name) const {
+  return lams_.count(ToLower(service_name)) > 0;
+}
+
+Result<Lam*> Environment::GetLam(std::string_view service_name) {
+  auto it = lams_.find(ToLower(service_name));
+  if (it == lams_.end()) {
+    return Status::NotFound("service '" + std::string(service_name) +
+                            "' is not registered in the environment");
+  }
+  return it->second.get();
+}
+
+Result<const ServiceEntry*> Environment::GetServiceEntry(
+    std::string_view service_name) const {
+  auto it = directory_.find(ToLower(service_name));
+  if (it == directory_.end()) {
+    return Status::NotFound("service '" + std::string(service_name) +
+                            "' is not in the resource directory");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Environment::ServiceNames() const {
+  std::vector<std::string> out;
+  out.reserve(lams_.size());
+  for (const auto& [name, lam] : lams_) out.push_back(name);
+  return out;
+}
+
+Result<CallOutcome> Environment::Call(std::string_view service_name,
+                                      const LamRequest& request,
+                                      int64_t at_micros) {
+  auto lam_it = lams_.find(ToLower(service_name));
+  if (lam_it == lams_.end()) {
+    return Status::NotFound("service '" + std::string(service_name) +
+                            "' is not registered in the environment");
+  }
+  Lam* lam = lam_it->second.get();
+
+  CallOutcome outcome;
+  outcome.timing.start_micros = at_micros;
+  MSQL_ASSIGN_OR_RETURN(
+      outcome.timing.request_micros,
+      network_.TransferMicros(coordinator_site_, lam->site_name(),
+                              request.WireBytes()));
+  outcome.response = lam->Handle(request, &outcome.timing.service_micros);
+  MSQL_ASSIGN_OR_RETURN(
+      outcome.timing.response_micros,
+      network_.TransferMicros(lam->site_name(), coordinator_site_,
+                              outcome.response.WireBytes()));
+  outcome.timing.end_micros =
+      at_micros + outcome.timing.request_micros +
+      outcome.timing.service_micros + outcome.timing.response_micros;
+  return outcome;
+}
+
+}  // namespace msql::netsim

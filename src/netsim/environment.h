@@ -1,0 +1,89 @@
+#ifndef MSQL_NETSIM_ENVIRONMENT_H_
+#define MSQL_NETSIM_ENVIRONMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "netsim/lam.h"
+#include "netsim/network.h"
+
+namespace msql::netsim {
+
+/// Narada resource-directory entry: where a service lives and how to
+/// talk to it ("physical addresses, communication protocols, login
+/// information and the data transfer methods", §4.1). Protocol and
+/// login are carried as opaque strings — they document the simulated
+/// heterogeneity without changing behaviour.
+struct ServiceEntry {
+  std::string service_name;
+  std::string site_name;
+  std::string protocol = "tcp/ip";
+  std::string login = "mdbs";
+};
+
+/// Timing of one simulated RPC.
+struct CallTiming {
+  int64_t start_micros = 0;
+  int64_t request_micros = 0;  // client → LAM
+  int64_t service_micros = 0;  // local execution
+  int64_t response_micros = 0;  // LAM → client
+  int64_t end_micros = 0;
+};
+
+/// Outcome of one simulated RPC: the LAM's response plus its timeline.
+struct CallOutcome {
+  LamResponse response;
+  CallTiming timing;
+};
+
+/// The multi-system execution environment: a network of sites, a
+/// resource directory, and one LAM per incorporated service. The DOL
+/// engine issues all remote interaction through `Call`, which models the
+/// round-trip (request latency + LAM service time + response latency)
+/// and returns absolute start/end times so callers can overlap parallel
+/// calls on their own timeline.
+class Environment {
+ public:
+  /// Creates the environment with the coordinator (MDBS) site.
+  explicit Environment(std::string coordinator_site = "mdbs");
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  Network& network() { return network_; }
+  const Network& network() const { return network_; }
+  const std::string& coordinator_site() const { return coordinator_site_; }
+
+  /// Registers a service: creates its site (if new), records the
+  /// directory entry and installs the LAM.
+  Status AddService(std::string_view service_name,
+                    std::string_view site_name,
+                    std::unique_ptr<relational::LocalEngine> engine,
+                    LamCostModel cost_model = {});
+
+  bool HasService(std::string_view service_name) const;
+  Result<Lam*> GetLam(std::string_view service_name);
+  Result<const ServiceEntry*> GetServiceEntry(
+      std::string_view service_name) const;
+  std::vector<std::string> ServiceNames() const;
+
+  /// Issues one RPC from the coordinator to `service_name`, starting at
+  /// simulated time `at_micros`. Network unavailability is reported in
+  /// the returned Status (the response is then empty).
+  Result<CallOutcome> Call(std::string_view service_name,
+                           const LamRequest& request, int64_t at_micros);
+
+ private:
+  std::string coordinator_site_;
+  Network network_;
+  std::map<std::string, ServiceEntry> directory_;
+  std::map<std::string, std::unique_ptr<Lam>> lams_;
+};
+
+}  // namespace msql::netsim
+
+#endif  // MSQL_NETSIM_ENVIRONMENT_H_

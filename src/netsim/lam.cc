@@ -1,0 +1,175 @@
+#include "netsim/lam.h"
+
+#include "common/string_util.h"
+
+namespace msql::netsim {
+
+using relational::ResultSet;
+using relational::TxnState;
+
+std::string_view LamRequestTypeName(LamRequestType type) {
+  switch (type) {
+    case LamRequestType::kPing: return "PING";
+    case LamRequestType::kOpenSession: return "OPEN";
+    case LamRequestType::kCloseSession: return "CLOSE";
+    case LamRequestType::kExecute: return "EXEC";
+    case LamRequestType::kBegin: return "BEGIN";
+    case LamRequestType::kPrepare: return "PREPARE";
+    case LamRequestType::kCommit: return "COMMIT";
+    case LamRequestType::kRollback: return "ROLLBACK";
+    case LamRequestType::kQueryTxnState: return "STATUS";
+    case LamRequestType::kDescribe: return "DESCRIBE";
+    case LamRequestType::kDescribeView: return "DESCRIBEVIEW";
+  }
+  return "UNKNOWN";
+}
+
+int64_t LamRequest::WireBytes() const {
+  // Verb + header + payload.
+  return 32 + static_cast<int64_t>(database.size() + sql.size());
+}
+
+int64_t LamResponse::WireBytes() const {
+  int64_t bytes = 64 + static_cast<int64_t>(status.message().size());
+  for (const auto& col : result.columns) {
+    bytes += static_cast<int64_t>(col.size()) + 4;
+  }
+  for (const auto& row : result.rows) {
+    for (const auto& v : row) {
+      bytes += static_cast<int64_t>(v.ToDisplayString().size()) + 4;
+    }
+  }
+  return bytes;
+}
+
+Lam::Lam(std::string service_name, std::string site_name,
+         std::unique_ptr<relational::LocalEngine> engine,
+         LamCostModel cost_model)
+    : service_name_(ToLower(service_name)),
+      site_name_(ToLower(site_name)),
+      engine_(std::move(engine)),
+      cost_model_(cost_model) {}
+
+LamResponse Lam::Handle(const LamRequest& request, int64_t* service_micros) {
+  LamResponse response;
+  int64_t rows_touched = 0;
+  int64_t rows_scanned = 0;
+  switch (request.type) {
+    case LamRequestType::kPing:
+      break;
+    case LamRequestType::kOpenSession: {
+      auto session = engine_->OpenSession(request.database);
+      if (session.ok()) {
+        response.session = *session;
+      } else {
+        response.status = session.status();
+      }
+      break;
+    }
+    case LamRequestType::kCloseSession:
+      response.status = engine_->CloseSession(request.session);
+      break;
+    case LamRequestType::kExecute: {
+      auto result = engine_->Execute(request.session, request.sql);
+      if (result.ok()) {
+        rows_touched = result->IsQueryResult()
+                           ? static_cast<int64_t>(result->rows.size())
+                           : result->rows_affected;
+        rows_scanned = result->rows_scanned;
+        response.result = std::move(*result);
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case LamRequestType::kBegin:
+      response.status = engine_->Begin(request.session);
+      break;
+    case LamRequestType::kPrepare:
+      response.status = engine_->Prepare(request.session);
+      break;
+    case LamRequestType::kCommit:
+      response.status = engine_->Commit(request.session);
+      break;
+    case LamRequestType::kRollback:
+      response.status = engine_->Rollback(request.session);
+      break;
+    case LamRequestType::kQueryTxnState: {
+      auto state = engine_->GetTxnState(request.session);
+      if (state.ok()) {
+        response.txn_state = *state;
+      } else {
+        response.status = state.status();
+      }
+      break;
+    }
+    case LamRequestType::kDescribe: {
+      auto db = engine_->GetDatabaseConst(request.database);
+      if (!db.ok()) {
+        response.status = db.status();
+        break;
+      }
+      response.result.columns = {"table_name", "column_name", "type_name",
+                                 "width"};
+      std::vector<std::string> tables;
+      if (request.sql.empty()) {
+        tables = (*db)->TableNames();
+      } else {
+        tables.push_back(ToLower(request.sql));
+      }
+      for (const auto& table_name : tables) {
+        auto table = (*db)->GetTableConst(table_name);
+        if (!table.ok()) {
+          response.status = table.status();
+          break;
+        }
+        for (const auto& col : (*table)->schema().columns()) {
+          response.result.rows.push_back(relational::Row{
+              relational::Value::Text(table_name),
+              relational::Value::Text(col.name),
+              relational::Value::Text(std::string(TypeName(col.type))),
+              relational::Value::Integer(col.width)});
+        }
+      }
+      rows_touched = static_cast<int64_t>(response.result.rows.size());
+      break;
+    }
+    case LamRequestType::kDescribeView: {
+      if (request.sql.empty()) {
+        response.status =
+            Status::InvalidArgument("DESCRIBEVIEW requires a view name");
+        break;
+      }
+      auto schema = engine_->DescribeView(request.database, request.sql);
+      if (!schema.ok()) {
+        response.status = schema.status();
+        break;
+      }
+      response.result.columns = {"table_name", "column_name", "type_name",
+                                 "width"};
+      for (const auto& col : schema->columns()) {
+        response.result.rows.push_back(relational::Row{
+            relational::Value::Text(schema->table_name()),
+            relational::Value::Text(col.name),
+            relational::Value::Text(std::string(TypeName(col.type))),
+            relational::Value::Integer(col.width)});
+      }
+      rows_touched = static_cast<int64_t>(response.result.rows.size());
+      break;
+    }
+  }
+  // Whatever the outcome, report the transaction state when a session is
+  // named — the DOL engine's IF conditions read it from every response.
+  if (request.session != 0) {
+    auto state = engine_->GetTxnState(request.session);
+    if (state.ok()) response.txn_state = *state;
+  }
+  if (service_micros != nullptr) {
+    *service_micros = cost_model_.request_overhead_micros +
+                      rows_touched * cost_model_.micros_per_row +
+                      rows_scanned * cost_model_.micros_per_row_scanned;
+  }
+  return response;
+}
+
+}  // namespace msql::netsim

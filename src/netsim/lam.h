@@ -1,0 +1,107 @@
+#ifndef MSQL_NETSIM_LAM_H_
+#define MSQL_NETSIM_LAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/engine.h"
+#include "relational/result_set.h"
+#include "relational/txn.h"
+
+namespace msql::netsim {
+
+/// Request verbs of the engine ↔ LAM wire protocol (Figure 1).
+///
+/// The DOL engine sends these over the simulated network; a LAM executes
+/// them against its local engine and ships back a response. TASK bodies
+/// become kExecute requests; NOCOMMIT tasks are bracketed by kBegin and
+/// later kPrepare; the status checks in DOL IF conditions use
+/// kQueryTxnState.
+enum class LamRequestType {
+  kPing,
+  kOpenSession,
+  kCloseSession,
+  kExecute,
+  kBegin,
+  kPrepare,
+  kCommit,
+  kRollback,
+  kQueryTxnState,
+  /// Schema introspection used by IMPORT: returns one row per column of
+  /// the named table (or of every table when `sql` is empty) in the form
+  /// (table_name, column_name, type_name, width).
+  kDescribe,
+  /// View introspection used by IMPORT VIEW: same row format, for the
+  /// view named in `sql` (required).
+  kDescribeView,
+};
+
+std::string_view LamRequestTypeName(LamRequestType type);
+
+/// One request message.
+struct LamRequest {
+  LamRequestType type = LamRequestType::kPing;
+  /// Target database (kOpenSession only).
+  std::string database;
+  /// Session the request applies to (all but kOpenSession/kPing).
+  relational::SessionId session = 0;
+  /// SQL text (kExecute only).
+  std::string sql;
+
+  /// Approximate wire size in bytes (for the latency model).
+  int64_t WireBytes() const;
+};
+
+/// One response message.
+struct LamResponse {
+  Status status;
+  relational::ResultSet result;          // kExecute responses
+  relational::SessionId session = 0;     // kOpenSession responses
+  relational::TxnState txn_state = relational::TxnState::kCommitted;
+
+  int64_t WireBytes() const;
+};
+
+/// Local service-time model of a LAM (added to network latency).
+struct LamCostModel {
+  /// Fixed cost of dispatching any request.
+  int64_t request_overhead_micros = 200;
+  /// Per-row cost of executing/serializing results.
+  int64_t micros_per_row = 10;
+  /// Per-row cost of scanning (the access-path cost an index avoids).
+  int64_t micros_per_row_scanned = 2;
+};
+
+/// Local Access Manager: the per-service agent that executes commands
+/// against one autonomous LDBMS and reports results/states back (§4.1).
+/// The wrapped engine is owned and *not* modified — it keeps its full
+/// autonomy (local clients could use it directly).
+class Lam {
+ public:
+  Lam(std::string service_name, std::string site_name,
+      std::unique_ptr<relational::LocalEngine> engine,
+      LamCostModel cost_model = {});
+
+  const std::string& service_name() const { return service_name_; }
+  const std::string& site_name() const { return site_name_; }
+  relational::LocalEngine* engine() { return engine_.get(); }
+  const relational::LocalEngine* engine() const { return engine_.get(); }
+
+  /// Handles one request; `service_micros` (optional) receives the
+  /// modelled local service time.
+  LamResponse Handle(const LamRequest& request,
+                     int64_t* service_micros = nullptr);
+
+ private:
+  std::string service_name_;
+  std::string site_name_;
+  std::unique_ptr<relational::LocalEngine> engine_;
+  LamCostModel cost_model_;
+};
+
+}  // namespace msql::netsim
+
+#endif  // MSQL_NETSIM_LAM_H_

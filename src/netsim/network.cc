@@ -1,0 +1,64 @@
+#include "netsim/network.h"
+
+#include "common/string_util.h"
+
+namespace msql::netsim {
+
+void Network::AddSite(std::string_view name) {
+  sites_.emplace(ToLower(name), SiteState{});
+}
+
+bool Network::HasSite(std::string_view name) const {
+  return sites_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Network::SiteNames() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, state] : sites_) out.push_back(name);
+  return out;
+}
+
+void Network::SetSiteDown(std::string_view name, bool down) {
+  auto it = sites_.find(ToLower(name));
+  if (it != sites_.end()) it->second.down = down;
+}
+
+bool Network::IsSiteDown(std::string_view name) const {
+  auto it = sites_.find(ToLower(name));
+  return it != sites_.end() && it->second.down;
+}
+
+void Network::SetLink(std::string_view from, std::string_view to,
+                      LinkParams params) {
+  links_[{ToLower(from), ToLower(to)}] = params;
+}
+
+LinkParams Network::GetLink(std::string_view from,
+                            std::string_view to) const {
+  auto it = links_.find({ToLower(from), ToLower(to)});
+  return it != links_.end() ? it->second : default_link_;
+}
+
+Result<int64_t> Network::TransferMicros(std::string_view from,
+                                        std::string_view to, int64_t bytes) {
+  std::string from_key = ToLower(from);
+  std::string to_key = ToLower(to);
+  auto from_it = sites_.find(from_key);
+  auto to_it = sites_.find(to_key);
+  if (from_it == sites_.end() || to_it == sites_.end()) {
+    return Status::Unavailable("unknown site in transfer " + from_key +
+                               " -> " + to_key);
+  }
+  if (from_it->second.down || to_it->second.down) {
+    return Status::Unavailable("site down in transfer " + from_key +
+                               " -> " + to_key);
+  }
+  LinkParams link = GetLink(from_key, to_key);
+  int64_t micros = link.latency_micros + (bytes * link.micros_per_kb) / 1024;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  return micros;
+}
+
+}  // namespace msql::netsim

@@ -1,0 +1,398 @@
+#include "relational/engine.h"
+
+#include "common/string_util.h"
+#include "relational/schema_infer.h"
+#include "relational/sql/parser.h"
+
+namespace msql::relational {
+
+CapabilityProfile CapabilityProfile::IngresLike() {
+  CapabilityProfile p;
+  p.dbms_family = "ingres";
+  p.supports_two_phase_commit = true;
+  p.supports_multiple_databases = true;
+  p.ddl_rollbackable = true;
+  p.ddl_commits_prior_work = false;
+  return p;
+}
+
+CapabilityProfile CapabilityProfile::OracleLike() {
+  CapabilityProfile p;
+  p.dbms_family = "oracle";
+  p.supports_two_phase_commit = true;
+  p.supports_multiple_databases = true;
+  p.ddl_rollbackable = false;
+  p.ddl_commits_prior_work = true;
+  return p;
+}
+
+CapabilityProfile CapabilityProfile::SybaseLike() {
+  CapabilityProfile p;
+  p.dbms_family = "sybase";
+  p.supports_two_phase_commit = false;
+  p.supports_multiple_databases = false;
+  p.ddl_rollbackable = false;
+  p.ddl_commits_prior_work = false;
+  return p;
+}
+
+LocalEngine::LocalEngine(std::string service_name, CapabilityProfile profile)
+    : service_name_(ToLower(service_name)), profile_(std::move(profile)) {}
+
+void LocalEngine::SetFailureProbability(double p, uint64_t seed) {
+  failure_probability_ = p;
+  failure_rng_ = Rng(seed);
+}
+
+Status LocalEngine::CreateDatabase(std::string_view name) {
+  std::string key = ToLower(name);
+  if (databases_.count(key) > 0) {
+    return Status::AlreadyExists("database '" + key +
+                                 "' already exists on service '" +
+                                 service_name_ + "'");
+  }
+  if (!profile_.supports_multiple_databases && !databases_.empty()) {
+    return Status::InvalidArgument(
+        "service '" + service_name_ +
+        "' is NOCONNECT and already serves its single database");
+  }
+  databases_.emplace(key, std::make_unique<Database>(key));
+  return Status::OK();
+}
+
+Status LocalEngine::DropDatabase(std::string_view name) {
+  std::string key = ToLower(name);
+  if (databases_.erase(key) == 0) {
+    return Status::NotFound("database '" + key + "' does not exist on '" +
+                            service_name_ + "'");
+  }
+  return Status::OK();
+}
+
+bool LocalEngine::HasDatabase(std::string_view name) const {
+  return databases_.count(ToLower(name)) > 0;
+}
+
+Result<Database*> LocalEngine::GetDatabase(std::string_view name) {
+  auto it = databases_.find(ToLower(name));
+  if (it == databases_.end()) {
+    return Status::NotFound("database '" + std::string(name) +
+                            "' does not exist on '" + service_name_ + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Database*> LocalEngine::GetDatabaseConst(
+    std::string_view name) const {
+  auto it = databases_.find(ToLower(name));
+  if (it == databases_.end()) {
+    return Status::NotFound("database '" + std::string(name) +
+                            "' does not exist on '" + service_name_ + "'");
+  }
+  return static_cast<const Database*>(it->second.get());
+}
+
+std::vector<std::string> LocalEngine::DatabaseNames() const {
+  std::vector<std::string> out;
+  out.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) out.push_back(name);
+  return out;
+}
+
+Result<SessionId> LocalEngine::OpenSession(std::string_view db_name) {
+  std::string key = ToLower(db_name);
+  if (key.empty()) {
+    if (!profile_.supports_multiple_databases && databases_.size() == 1) {
+      key = databases_.begin()->first;
+    } else {
+      return Status::InvalidArgument(
+          "a database name is required to open a session on CONNECT "
+          "service '" + service_name_ + "'");
+    }
+  }
+  if (databases_.count(key) == 0) {
+    return Status::NotFound("database '" + key + "' does not exist on '" +
+                            service_name_ + "'");
+  }
+  Session s;
+  s.id = next_session_id_++;
+  s.db_name = key;
+  SessionId id = s.id;
+  sessions_.emplace(id, std::move(s));
+  return id;
+}
+
+Status LocalEngine::CloseSession(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session " + std::to_string(session));
+  }
+  // Abort any open transaction (a vanished client must not hold locks).
+  if (it->second.txn != nullptr) {
+    MSQL_RETURN_IF_ERROR(AbortTxn(&it->second));
+  }
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+Result<TableSchema> LocalEngine::DescribeView(std::string_view db_name,
+                                              std::string_view view) const {
+  MSQL_ASSIGN_OR_RETURN(const Database* db, GetDatabaseConst(db_name));
+  MSQL_ASSIGN_OR_RETURN(const SelectStmt* definition, db->GetView(view));
+  return InferSelectSchema(
+      ToLower(view), *definition,
+      [db](std::string_view t) -> Result<const TableSchema*> {
+        MSQL_ASSIGN_OR_RETURN(const Table* base, db->GetTableConst(t));
+        return &base->schema();
+      });
+}
+
+Result<LocalEngine::Session*> LocalEngine::FindSession(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Result<const LocalEngine::Session*> LocalEngine::FindSessionConst(
+    SessionId id) const {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+bool LocalEngine::ShouldFail(FailPoint point) {
+  if (fail_point_ == point) {
+    fail_point_ = FailPoint::kNone;
+    ++stats_.injected_failures;
+    return true;
+  }
+  if (failure_probability_ > 0.0 &&
+      failure_rng_.NextBool(failure_probability_)) {
+    ++stats_.injected_failures;
+    return true;
+  }
+  return false;
+}
+
+Status LocalEngine::AbortTxn(Session* session) {
+  Transaction* txn = session->txn.get();
+  Status undo = txn->ApplyUndo(databases_);
+  locks_.ReleaseAll(txn);
+  txn->set_state(TxnState::kAborted);
+  session->last_state = TxnState::kAborted;
+  session->txn.reset();
+  session->explicit_txn = false;
+  ++stats_.rollbacks;
+  return undo;
+}
+
+Status LocalEngine::CommitTxn(Session* session) {
+  Transaction* txn = session->txn.get();
+  txn->DiscardUndo();
+  locks_.ReleaseAll(txn);
+  txn->set_state(TxnState::kCommitted);
+  session->last_state = TxnState::kCommitted;
+  session->txn.reset();
+  session->explicit_txn = false;
+  ++stats_.commits;
+  return Status::OK();
+}
+
+Status LocalEngine::Begin(SessionId session_id) {
+  MSQL_ASSIGN_OR_RETURN(Session * session, FindSession(session_id));
+  if (session->txn != nullptr) {
+    return Status::TransactionError("transaction already open on session " +
+                                    std::to_string(session_id));
+  }
+  session->txn = std::make_unique<Transaction>(next_txn_id_++);
+  session->explicit_txn = true;
+  session->last_state = TxnState::kActive;
+  return Status::OK();
+}
+
+Status LocalEngine::Prepare(SessionId session_id) {
+  MSQL_ASSIGN_OR_RETURN(Session * session, FindSession(session_id));
+  if (!profile_.supports_two_phase_commit) {
+    return Status::TransactionError(
+        "service '" + service_name_ +
+        "' runs in automatic-commit mode and has no prepared-to-commit "
+        "state");
+  }
+  if (session->txn == nullptr ||
+      session->txn->state() != TxnState::kActive) {
+    return Status::TransactionError(
+        "PREPARE requires an active transaction");
+  }
+  if (ShouldFail(FailPoint::kNextPrepare)) {
+    Status undo = AbortTxn(session);
+    if (!undo.ok()) return undo;
+    return Status::Aborted("injected failure at prepare on '" +
+                           service_name_ + "'");
+  }
+  session->txn->set_state(TxnState::kPrepared);
+  session->last_state = TxnState::kPrepared;
+  ++stats_.prepares;
+  return Status::OK();
+}
+
+Status LocalEngine::Commit(SessionId session_id) {
+  MSQL_ASSIGN_OR_RETURN(Session * session, FindSession(session_id));
+  if (session->txn == nullptr) {
+    return Status::TransactionError("COMMIT without an open transaction");
+  }
+  if (ShouldFail(FailPoint::kNextCommit)) {
+    Status undo = AbortTxn(session);
+    if (!undo.ok()) return undo;
+    return Status::Aborted("injected failure at commit on '" +
+                           service_name_ + "'");
+  }
+  return CommitTxn(session);
+}
+
+Status LocalEngine::Rollback(SessionId session_id) {
+  MSQL_ASSIGN_OR_RETURN(Session * session, FindSession(session_id));
+  if (session->txn == nullptr) {
+    return Status::TransactionError("ROLLBACK without an open transaction");
+  }
+  return AbortTxn(session);
+}
+
+Result<TxnState> LocalEngine::GetTxnState(SessionId session_id) const {
+  MSQL_ASSIGN_OR_RETURN(const Session* session,
+                        FindSessionConst(session_id));
+  if (session->txn != nullptr) return session->txn->state();
+  return session->last_state;
+}
+
+Result<bool> LocalEngine::InTransaction(SessionId session_id) const {
+  MSQL_ASSIGN_OR_RETURN(const Session* session,
+                        FindSessionConst(session_id));
+  return session->txn != nullptr;
+}
+
+Result<ResultSet> LocalEngine::Execute(SessionId session,
+                                       std::string_view sql) {
+  MSQL_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSql(sql));
+  return ExecuteStatement(session, *stmt);
+}
+
+Result<ResultSet> LocalEngine::ExecuteStatement(SessionId session_id,
+                                                const Statement& stmt) {
+  MSQL_ASSIGN_OR_RETURN(Session * session, FindSession(session_id));
+  switch (stmt.kind()) {
+    case StatementKind::kBegin: {
+      MSQL_RETURN_IF_ERROR(Begin(session_id));
+      return ResultSet{};
+    }
+    case StatementKind::kCommit: {
+      MSQL_RETURN_IF_ERROR(Commit(session_id));
+      return ResultSet{};
+    }
+    case StatementKind::kRollback: {
+      MSQL_RETURN_IF_ERROR(Rollback(session_id));
+      return ResultSet{};
+    }
+    case StatementKind::kPrepare: {
+      MSQL_RETURN_IF_ERROR(Prepare(session_id));
+      return ResultSet{};
+    }
+    case StatementKind::kCreateDatabase: {
+      const auto& cd = static_cast<const CreateDatabaseStmt&>(stmt);
+      MSQL_RETURN_IF_ERROR(CreateDatabase(cd.name));
+      return ResultSet{};
+    }
+    case StatementKind::kDropDatabase: {
+      const auto& dd = static_cast<const DropDatabaseStmt&>(stmt);
+      MSQL_RETURN_IF_ERROR(DropDatabase(dd.name));
+      return ResultSet{};
+    }
+    default:
+      break;
+  }
+
+  // A statement against a prepared (or otherwise non-active) transaction
+  // is a protocol violation: refuse it without touching the transaction,
+  // which keeps its prepared-to-commit promise intact.
+  if (session->txn != nullptr &&
+      session->txn->state() != TxnState::kActive) {
+    return Status::TransactionError(
+        "statement issued against a transaction in state " +
+        std::string(TxnStateName(session->txn->state())));
+  }
+
+  // Injected statement failure: abort like a local conflict would.
+  if (ShouldFail(FailPoint::kNextStatement)) {
+    if (session->txn != nullptr) {
+      MSQL_RETURN_IF_ERROR(AbortTxn(session));
+    }
+    return Status::Aborted("injected statement failure on '" +
+                           service_name_ + "'");
+  }
+
+  bool is_ddl = stmt.kind() == StatementKind::kCreateTable ||
+                stmt.kind() == StatementKind::kDropTable ||
+                stmt.kind() == StatementKind::kCreateView ||
+                stmt.kind() == StatementKind::kDropView ||
+                stmt.kind() == StatementKind::kCreateIndex ||
+                stmt.kind() == StatementKind::kDropIndex;
+
+  // Oracle-like DDL: commit all prior uncommitted work first; the DDL
+  // itself then runs in its own immediately-committed transaction.
+  if (is_ddl && profile_.ddl_commits_prior_work &&
+      session->txn != nullptr) {
+    MSQL_RETURN_IF_ERROR(CommitTxn(session));
+    // Session stays "in" the explicit transaction from the client's
+    // point of view; a fresh local transaction opens for later work.
+    MSQL_RETURN_IF_ERROR(Begin(session_id));
+    MSQL_ASSIGN_OR_RETURN(session, FindSession(session_id));
+  }
+
+  bool autocommit = session->txn == nullptr;
+  if (autocommit) {
+    session->txn = std::make_unique<Transaction>(next_txn_id_++);
+    session->explicit_txn = false;
+    session->last_state = TxnState::kActive;
+  }
+
+  MSQL_ASSIGN_OR_RETURN(auto result, ExecuteInTxn(session, stmt));
+
+  // DDL that cannot be rolled back commits immediately even inside an
+  // explicit transaction on Oracle-like engines.
+  bool force_commit_now =
+      is_ddl && profile_.ddl_commits_prior_work && !autocommit;
+  if (autocommit || force_commit_now) {
+    MSQL_RETURN_IF_ERROR(CommitTxn(session));
+    if (force_commit_now) {
+      MSQL_RETURN_IF_ERROR(Begin(session_id));
+    }
+  }
+  return result;
+}
+
+Result<ResultSet> LocalEngine::ExecuteInTxn(Session* session,
+                                            const Statement& stmt) {
+  MSQL_ASSIGN_OR_RETURN(Database * db, GetDatabase(session->db_name));
+  ExecutorOptions options;
+  options.record_ddl_undo = profile_.ddl_rollbackable;
+  Executor executor(db, session->txn.get(), &locks_, options);
+  auto result = executor.Execute(stmt);
+  ++stats_.statements_executed;
+  if (!result.ok()) {
+    // Any failure aborts the enclosing local transaction.
+    Status undo = AbortTxn(session);
+    if (!undo.ok()) return undo;
+    return result.status();
+  }
+  if (result->IsQueryResult()) {
+    stats_.rows_read += static_cast<int64_t>(result->rows.size());
+  } else {
+    stats_.rows_written += result->rows_affected;
+  }
+  return result;
+}
+
+}  // namespace msql::relational

@@ -1,0 +1,813 @@
+#include "relational/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "relational/index.h"
+#include "relational/schema_infer.h"
+
+namespace msql::relational {
+
+namespace {
+
+/// Output column name for a select item.
+std::string OutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind() == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr&>(*item.expr).name();
+  }
+  return ToLower(item.expr->ToSql());
+}
+
+/// Group key / distinct key: rows compared by strict Value equality.
+struct RowKeyLess {
+  bool operator()(const Row& a, const Row& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Aggregate accumulator for one aggregate call in one group.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(const FunctionCallExpr* call) : call_(call) {}
+
+  Status Accumulate(const Value& v) {
+    if (call_->star()) {  // COUNT(*): argument ignored
+      ++count_;
+      return Status::OK();
+    }
+    if (v.is_null()) return Status::OK();  // SQL: aggregates skip NULLs
+    ++count_;
+    const std::string& name = call_->name();
+    if (name == "COUNT") return Status::OK();
+    if (name == "SUM" || name == "AVG") {
+      if (!v.is_numeric()) {
+        return Status::ExecutionError(name + " over non-numeric value");
+      }
+      if (v.is_real()) saw_real_ = true;
+      sum_real_ += v.NumericAsReal();
+      sum_int_ += v.is_integer() ? v.AsInteger() : 0;
+      return Status::OK();
+    }
+    if (name == "MIN") {
+      if (!has_minmax_ || v.Compare(minmax_) < 0) minmax_ = v;
+      has_minmax_ = true;
+      return Status::OK();
+    }
+    if (name == "MAX") {
+      if (!has_minmax_ || v.Compare(minmax_) > 0) minmax_ = v;
+      has_minmax_ = true;
+      return Status::OK();
+    }
+    return Status::Internal("unknown aggregate " + name);
+  }
+
+  Value Finish() const {
+    const std::string& name = call_->name();
+    if (name == "COUNT") return Value::Integer(count_);
+    if (count_ == 0) return Value::Null_();  // empty group → NULL
+    if (name == "SUM") {
+      return saw_real_ ? Value::Real(sum_real_) : Value::Integer(sum_int_);
+    }
+    if (name == "AVG") {
+      return Value::Real(sum_real_ / static_cast<double>(count_));
+    }
+    return minmax_;  // MIN / MAX
+  }
+
+ private:
+  const FunctionCallExpr* call_;
+  int64_t count_ = 0;
+  double sum_real_ = 0.0;
+  int64_t sum_int_ = 0;
+  bool saw_real_ = false;
+  Value minmax_;
+  bool has_minmax_ = false;
+};
+
+/// Looks for a top-level AND-conjunct `col = literal` (either operand
+/// order) matching an index of `table`; fills `index`/`probe` when one
+/// is found.
+void FindIndexProbe(const Expr& where, const Table& table,
+                    const Index** index, Value* probe) {
+  if (where.kind() == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(where);
+    if (b.op() == BinaryOp::kAnd) {
+      FindIndexProbe(b.left(), table, index, probe);
+      if (*index == nullptr) FindIndexProbe(b.right(), table, index, probe);
+      return;
+    }
+    if (b.op() == BinaryOp::kEq) {
+      const Expr* col = &b.left();
+      const Expr* lit = &b.right();
+      if (col->kind() != ExprKind::kColumnRef) std::swap(col, lit);
+      if (col->kind() != ExprKind::kColumnRef ||
+          lit->kind() != ExprKind::kLiteral) {
+        return;
+      }
+      const auto& ref = static_cast<const ColumnRefExpr&>(*col);
+      const Index* found = table.FindIndexOnColumn(ref.name());
+      if (found != nullptr) {
+        *index = found;
+        *probe = static_cast<const LiteralExpr&>(*lit).value();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status Executor::CheckQualifier(const TableRef& ref) const {
+  if (!ref.database.empty() &&
+      !EqualsIgnoreCase(ref.database, db_->name())) {
+    return Status::NotFound("table reference '" + ref.FullName() +
+                            "' names database '" + ref.database +
+                            "' but this session is connected to '" +
+                            db_->name() + "'");
+  }
+  return Status::OK();
+}
+
+std::string Executor::LockKey(const std::string& table) const {
+  return db_->name() + "." + table;
+}
+
+Status Executor::RejectViewTarget(const TableRef& ref) const {
+  if (db_->HasView(ref.table)) {
+    return Status::InvalidArgument("'" + ToLower(ref.table) +
+                                   "' is a view; views cannot be "
+                                   "modified");
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> Executor::Execute(const Statement& stmt) {
+  if (txn_->state() != TxnState::kActive) {
+    return Status::TransactionError(
+        "statement issued against a transaction in state " +
+        std::string(TxnStateName(txn_->state())));
+  }
+  switch (stmt.kind()) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(static_cast<const SelectStmt&>(stmt));
+    case StatementKind::kInsert:
+      return ExecuteInsert(static_cast<const InsertStmt&>(stmt));
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(static_cast<const UpdateStmt&>(stmt));
+    case StatementKind::kDelete:
+      return ExecuteDelete(static_cast<const DeleteStmt&>(stmt));
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(static_cast<const CreateTableStmt&>(stmt));
+    case StatementKind::kDropTable:
+      return ExecuteDropTable(static_cast<const DropTableStmt&>(stmt));
+    case StatementKind::kCreateView:
+      return ExecuteCreateView(static_cast<const CreateViewStmt&>(stmt));
+    case StatementKind::kDropView:
+      return ExecuteDropView(static_cast<const DropViewStmt&>(stmt));
+    case StatementKind::kCreateIndex:
+      return ExecuteCreateIndex(static_cast<const CreateIndexStmt&>(stmt));
+    case StatementKind::kDropIndex:
+      return ExecuteDropIndex(static_cast<const DropIndexStmt&>(stmt));
+    default:
+      return Status::InvalidArgument(
+          "statement kind not executable at database level: " +
+          stmt.ToSql());
+  }
+}
+
+Result<Value> Executor::EvalScalarSubquery(const SelectStmt& stmt) {
+  MSQL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteSelect(stmt));
+  if (rs.columns.size() != 1) {
+    return Status::ExecutionError(
+        "scalar subquery must produce exactly one column, got " +
+        std::to_string(rs.columns.size()));
+  }
+  if (rs.rows.empty()) return Value::Null_();
+  if (rs.rows.size() > 1) {
+    return Status::ExecutionError(
+        "scalar subquery produced more than one row");
+  }
+  return rs.rows[0][0];
+}
+
+Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
+  if (stmt.from.empty()) {
+    return Status::ExecutionError("SELECT without FROM is not supported");
+  }
+  // Resolve and lock the sources: base tables are scanned directly,
+  // views are materialized by recursive execution (their base-table
+  // locks are taken by the recursion).
+  struct Source {
+    std::string effective_name;
+    TableSchema schema;
+    std::vector<Row> rows;
+  };
+  std::vector<Source> sources;
+  RowBinding binding;
+  for (const auto& ref : stmt.from) {
+    MSQL_RETURN_IF_ERROR(CheckQualifier(ref));
+    MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(ref.table),
+                                         LockManager::Mode::kShared));
+    std::string eff = ToLower(ref.EffectiveName());
+    Source source;
+    source.effective_name = eff;
+    if (db_->HasView(ref.table)) {
+      MSQL_ASSIGN_OR_RETURN(const SelectStmt* definition,
+                            db_->GetView(ref.table));
+      MSQL_ASSIGN_OR_RETURN(
+          source.schema,
+          InferSelectSchema(ToLower(ref.table), *definition,
+                            [this](std::string_view t)
+                                -> Result<const TableSchema*> {
+                              MSQL_ASSIGN_OR_RETURN(
+                                  const Table* base,
+                                  db_->GetTableConst(t));
+                              return &base->schema();
+                            }));
+      MSQL_ASSIGN_OR_RETURN(ResultSet materialized,
+                            ExecuteSelect(*definition));
+      if (materialized.columns.size() != source.schema.num_columns()) {
+        return Status::Internal("view schema/materialization mismatch");
+      }
+      source.rows = std::move(materialized.rows);
+    } else {
+      MSQL_ASSIGN_OR_RETURN(const Table* table,
+                            db_->GetTableConst(ref.table));
+      source.schema = table->schema();
+      // Access-path selection: a single-table query with an
+      // `col = literal` conjunct over an indexed column probes the
+      // index; everything else scans.
+      const Index* index = nullptr;
+      Value probe;
+      if (stmt.from.size() == 1 && stmt.where != nullptr) {
+        FindIndexProbe(*stmt.where, *table, &index, &probe);
+      }
+      if (index != nullptr) {
+        if (const std::vector<RowId>* ids = index->Lookup(probe)) {
+          source.rows.reserve(ids->size());
+          for (RowId id : *ids) source.rows.push_back(table->GetRow(id));
+        }
+      } else {
+        source.rows = table->ScanRows();
+      }
+    }
+    binding.AddTable(eff, source.schema);
+    sources.push_back(std::move(source));
+  }
+
+  int64_t rows_scanned = 0;
+  for (const auto& src : sources) {
+    rows_scanned += static_cast<int64_t>(src.rows.size());
+  }
+
+  ExprEvaluator evaluator(
+      &binding, [this](const SelectStmt& sub) -> Result<Value> {
+        return EvalScalarSubquery(sub);
+      });
+
+  // Expand '*' select items into explicit column references.
+  std::vector<SelectItem> items;
+  for (const auto& item : stmt.items) {
+    if (!item.is_star) {
+      items.push_back(item.CloneItem());
+      continue;
+    }
+    bool matched = false;
+    for (const auto& src : sources) {
+      if (!item.star_qualifier.empty() &&
+          !EqualsIgnoreCase(src.effective_name, item.star_qualifier)) {
+        continue;
+      }
+      matched = true;
+      for (const auto& col : src.schema.columns()) {
+        SelectItem expanded;
+        expanded.expr = std::make_unique<ColumnRefExpr>(src.effective_name,
+                                                        col.name);
+        expanded.alias = col.name;
+        items.push_back(std::move(expanded));
+      }
+    }
+    if (!matched) {
+      return Status::NotFound("'*' qualifier '" + item.star_qualifier +
+                              "' does not match any FROM table");
+    }
+  }
+  if (items.empty()) {
+    return Status::ExecutionError("empty select list");
+  }
+
+  // Materialize the filtered join (nested loops over the cross product).
+  std::vector<Row> matched_rows;
+  {
+    std::vector<size_t> idx(sources.size(), 0);
+    bool done = false;
+    for (const auto& src : sources) {
+      if (src.rows.empty()) done = true;  // empty cross product
+    }
+    while (!done) {
+      Row combined;
+      for (size_t i = 0; i < sources.size(); ++i) {
+        const Row& part = sources[i].rows[idx[i]];
+        combined.insert(combined.end(), part.begin(), part.end());
+      }
+      bool keep = true;
+      if (stmt.where != nullptr) {
+        MSQL_ASSIGN_OR_RETURN(keep,
+                              evaluator.EvalPredicate(*stmt.where, combined));
+      }
+      if (keep) matched_rows.push_back(std::move(combined));
+      // Advance the odometer.
+      size_t level = sources.size();
+      while (level > 0) {
+        --level;
+        if (++idx[level] < sources[level].rows.size()) break;
+        idx[level] = 0;
+        if (level == 0) done = true;
+      }
+    }
+  }
+
+  // Decide between plain projection and aggregation.
+  bool has_aggregate = !stmt.group_by.empty();
+  for (const auto& item : items) {
+    if (ContainsAggregate(*item.expr)) has_aggregate = true;
+  }
+  if (stmt.having != nullptr) has_aggregate = true;
+
+  ResultSet out;
+  out.rows_scanned = rows_scanned;
+  for (const auto& item : items) out.columns.push_back(OutputName(item));
+
+  // Pairs of (output row, source row used for ORDER BY evaluation).
+  std::vector<std::pair<Row, Row>> produced;
+
+  if (!has_aggregate) {
+    for (const auto& src_row : matched_rows) {
+      Row out_row;
+      out_row.reserve(items.size());
+      for (const auto& item : items) {
+        MSQL_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*item.expr, src_row));
+        out_row.push_back(std::move(v));
+      }
+      produced.emplace_back(std::move(out_row), src_row);
+    }
+  } else {
+    // Collect every aggregate call reachable from the statement.
+    std::vector<const FunctionCallExpr*> agg_calls;
+    for (const auto& item : items) CollectAggregates(*item.expr, &agg_calls);
+    if (stmt.having != nullptr) CollectAggregates(*stmt.having, &agg_calls);
+    for (const auto& ob : stmt.order_by) {
+      CollectAggregates(*ob.expr, &agg_calls);
+    }
+
+    // Group rows. With no GROUP BY there is a single global group (which
+    // exists even over zero input rows, per SQL).
+    std::map<Row, std::vector<Row>, RowKeyLess> groups;
+    if (stmt.group_by.empty()) {
+      groups[Row{}] = std::move(matched_rows);
+    } else {
+      for (auto& src_row : matched_rows) {
+        Row key;
+        key.reserve(stmt.group_by.size());
+        for (const auto& g : stmt.group_by) {
+          MSQL_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*g, src_row));
+          key.push_back(std::move(v));
+        }
+        groups[std::move(key)].push_back(std::move(src_row));
+      }
+    }
+
+    for (auto& [key, group_rows] : groups) {
+      (void)key;
+      // Compute each aggregate over the group.
+      std::map<const Expr*, Value> agg_values;
+      for (const FunctionCallExpr* call : agg_calls) {
+        AggAccumulator acc(call);
+        for (const auto& row : group_rows) {
+          if (call->star()) {
+            MSQL_RETURN_IF_ERROR(acc.Accumulate(Value::Null_()));
+          } else {
+            if (call->args().size() != 1) {
+              return Status::ExecutionError(call->name() +
+                                            " expects one argument");
+            }
+            MSQL_ASSIGN_OR_RETURN(Value v,
+                                  evaluator.Eval(*call->args()[0], row));
+            MSQL_RETURN_IF_ERROR(acc.Accumulate(v));
+          }
+        }
+        agg_values.emplace(call, acc.Finish());
+      }
+      evaluator.set_aggregate_values(&agg_values);
+
+      // Representative row for evaluating grouped columns; empty groups
+      // (global aggregate over no rows) use an all-NULL row.
+      Row representative;
+      if (!group_rows.empty()) {
+        representative = group_rows.front();
+      } else {
+        representative.assign(binding.size(), Value::Null_());
+      }
+
+      bool keep = true;
+      if (stmt.having != nullptr) {
+        MSQL_ASSIGN_OR_RETURN(
+            keep, evaluator.EvalPredicate(*stmt.having, representative));
+      }
+      if (keep) {
+        Row out_row;
+        out_row.reserve(items.size());
+        for (const auto& item : items) {
+          MSQL_ASSIGN_OR_RETURN(Value v,
+                                evaluator.Eval(*item.expr, representative));
+          out_row.push_back(std::move(v));
+        }
+        produced.emplace_back(std::move(out_row), representative);
+      }
+      evaluator.set_aggregate_values(nullptr);
+    }
+  }
+
+  // DISTINCT.
+  if (stmt.distinct) {
+    std::set<Row, RowKeyLess> seen;
+    std::vector<std::pair<Row, Row>> unique;
+    for (auto& pr : produced) {
+      if (seen.insert(pr.first).second) unique.push_back(std::move(pr));
+    }
+    produced = std::move(unique);
+  }
+
+  // ORDER BY: keys evaluated against the source/representative row;
+  // a bare column name that matches an output column sorts by output.
+  if (!stmt.order_by.empty()) {
+    struct Keyed {
+      Row keys;
+      std::vector<bool> desc;
+      Row out_row;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(produced.size());
+    for (auto& pr : produced) {
+      Keyed k;
+      for (const auto& ob : stmt.order_by) {
+        Value key_value;
+        bool resolved = false;
+        if (ob.expr->kind() == ExprKind::kColumnRef) {
+          const auto& ref = static_cast<const ColumnRefExpr&>(*ob.expr);
+          if (ref.qualifier().empty()) {
+            for (size_t c = 0; c < out.columns.size(); ++c) {
+              if (EqualsIgnoreCase(out.columns[c], ref.name())) {
+                key_value = pr.first[c];
+                resolved = true;
+                break;
+              }
+            }
+          }
+        }
+        if (!resolved) {
+          MSQL_ASSIGN_OR_RETURN(key_value,
+                                evaluator.Eval(*ob.expr, pr.second));
+        }
+        k.keys.push_back(std::move(key_value));
+        k.desc.push_back(ob.descending);
+      }
+      k.out_row = std::move(pr.first);
+      keyed.push_back(std::move(k));
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const Keyed& a, const Keyed& b) {
+                       for (size_t i = 0; i < a.keys.size(); ++i) {
+                         int c = a.keys[i].Compare(b.keys[i]);
+                         if (c != 0) return a.desc[i] ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+    out.rows.reserve(keyed.size());
+    for (auto& k : keyed) out.rows.push_back(std::move(k.out_row));
+  } else {
+    out.rows.reserve(produced.size());
+    for (auto& pr : produced) out.rows.push_back(std::move(pr.first));
+  }
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteInsert(const InsertStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(CheckQualifier(stmt.table));
+  MSQL_RETURN_IF_ERROR(RejectViewTarget(stmt.table));
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(stmt.table.table),
+                                       LockManager::Mode::kExclusive));
+  MSQL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table.table));
+  const TableSchema& schema = table->schema();
+
+  // Resolve target column positions.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) positions.push_back(i);
+  } else {
+    for (const auto& col : stmt.columns) {
+      auto idx = schema.FindColumn(col);
+      if (!idx.has_value()) {
+        return Status::NotFound("column '" + col + "' not in table '" +
+                                schema.table_name() + "'");
+      }
+      positions.push_back(*idx);
+    }
+  }
+
+  // Collect the rows to insert.
+  std::vector<Row> new_rows;
+  if (stmt.select_source != nullptr) {
+    MSQL_ASSIGN_OR_RETURN(ResultSet src, ExecuteSelect(*stmt.select_source));
+    for (auto& row : src.rows) new_rows.push_back(std::move(row));
+  } else {
+    RowBinding empty_binding;
+    ExprEvaluator evaluator(
+        &empty_binding, [this](const SelectStmt& sub) -> Result<Value> {
+          return EvalScalarSubquery(sub);
+        });
+    Row no_row;
+    for (const auto& exprs : stmt.values_rows) {
+      Row row;
+      row.reserve(exprs.size());
+      for (const auto& e : exprs) {
+        MSQL_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*e, no_row));
+        row.push_back(std::move(v));
+      }
+      new_rows.push_back(std::move(row));
+    }
+  }
+
+  int64_t inserted = 0;
+  for (auto& provided : new_rows) {
+    if (provided.size() != positions.size()) {
+      return Status::InvalidArgument(
+          "INSERT provides " + std::to_string(provided.size()) +
+          " values for " + std::to_string(positions.size()) + " columns");
+    }
+    Row full(schema.num_columns(), Value::Null_());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      full[positions[i]] = std::move(provided[i]);
+    }
+    MSQL_ASSIGN_OR_RETURN(RowId id, table->Insert(std::move(full)));
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kInsert;
+    rec.database = db_->name();
+    rec.table = schema.table_name();
+    rec.row_id = id;
+    txn_->RecordUndo(std::move(rec));
+    ++inserted;
+  }
+  ResultSet out;
+  out.rows_affected = inserted;
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(CheckQualifier(stmt.table));
+  MSQL_RETURN_IF_ERROR(RejectViewTarget(stmt.table));
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(stmt.table.table),
+                                       LockManager::Mode::kExclusive));
+  MSQL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table.table));
+  const TableSchema& schema = table->schema();
+
+  std::string effective = ToLower(stmt.table.EffectiveName());
+  RowBinding binding;
+  binding.AddTable(effective, schema);
+  ExprEvaluator evaluator(
+      &binding, [this](const SelectStmt& sub) -> Result<Value> {
+        return EvalScalarSubquery(sub);
+      });
+
+  // Resolve assignment targets.
+  std::vector<size_t> targets;
+  for (const auto& a : stmt.assignments) {
+    auto idx = schema.FindColumn(a.column);
+    if (!idx.has_value()) {
+      return Status::NotFound("column '" + a.column + "' not in table '" +
+                              schema.table_name() + "'");
+    }
+    targets.push_back(*idx);
+  }
+
+  // Phase 1: collect matching rows and compute their new images against
+  // the pre-update state (scalar subqueries in WHERE/SET therefore see a
+  // consistent snapshot).
+  struct Planned {
+    RowId id;
+    Row new_row;
+  };
+  std::vector<Planned> planned;
+  for (RowId id : table->ScanRowIds()) {
+    const Row& row = table->GetRow(id);
+    bool keep = true;
+    if (stmt.where != nullptr) {
+      MSQL_ASSIGN_OR_RETURN(keep, evaluator.EvalPredicate(*stmt.where, row));
+    }
+    if (!keep) continue;
+    Row new_row = row;
+    for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+      MSQL_ASSIGN_OR_RETURN(Value v,
+                            evaluator.Eval(*stmt.assignments[i].value, row));
+      new_row[targets[i]] = std::move(v);
+    }
+    planned.push_back(Planned{id, std::move(new_row)});
+  }
+
+  // Phase 2: apply.
+  for (auto& p : planned) {
+    MSQL_ASSIGN_OR_RETURN(Row before, table->Update(p.id, std::move(p.new_row)));
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kUpdate;
+    rec.database = db_->name();
+    rec.table = schema.table_name();
+    rec.row_id = p.id;
+    rec.before = std::move(before);
+    txn_->RecordUndo(std::move(rec));
+  }
+  ResultSet out;
+  out.rows_affected = static_cast<int64_t>(planned.size());
+  out.rows_scanned = static_cast<int64_t>(table->ScanRowIds().size());
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteDelete(const DeleteStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(CheckQualifier(stmt.table));
+  MSQL_RETURN_IF_ERROR(RejectViewTarget(stmt.table));
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(stmt.table.table),
+                                       LockManager::Mode::kExclusive));
+  MSQL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table.table));
+  const TableSchema& schema = table->schema();
+
+  std::string effective = ToLower(stmt.table.EffectiveName());
+  RowBinding binding;
+  binding.AddTable(effective, schema);
+  ExprEvaluator evaluator(
+      &binding, [this](const SelectStmt& sub) -> Result<Value> {
+        return EvalScalarSubquery(sub);
+      });
+
+  std::vector<RowId> victims;
+  for (RowId id : table->ScanRowIds()) {
+    const Row& row = table->GetRow(id);
+    bool keep = true;
+    if (stmt.where != nullptr) {
+      MSQL_ASSIGN_OR_RETURN(keep, evaluator.EvalPredicate(*stmt.where, row));
+    }
+    if (keep) victims.push_back(id);
+  }
+  for (RowId id : victims) {
+    MSQL_ASSIGN_OR_RETURN(Row before, table->Delete(id));
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kDelete;
+    rec.database = db_->name();
+    rec.table = schema.table_name();
+    rec.row_id = id;
+    rec.before = std::move(before);
+    txn_->RecordUndo(std::move(rec));
+  }
+  ResultSet out;
+  out.rows_affected = static_cast<int64_t>(victims.size());
+  out.rows_scanned = static_cast<int64_t>(table->ScanRowIds().size());
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(CheckQualifier(stmt.table));
+  std::vector<ColumnDef> cols;
+  cols.reserve(stmt.columns.size());
+  for (const auto& spec : stmt.columns) {
+    ColumnDef def;
+    def.name = spec.name;
+    MSQL_ASSIGN_OR_RETURN(def.type, TypeFromName(spec.type_name));
+    def.width = spec.width;
+    cols.push_back(std::move(def));
+  }
+  MSQL_ASSIGN_OR_RETURN(TableSchema schema,
+                        TableSchema::Create(stmt.table.table, std::move(cols)));
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(schema.table_name()),
+                                       LockManager::Mode::kExclusive));
+  MSQL_RETURN_IF_ERROR(db_->CreateTable(std::move(schema)));
+  if (options_.record_ddl_undo) {
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kCreateTable;
+    rec.database = db_->name();
+    rec.table = ToLower(stmt.table.table);
+    txn_->RecordUndo(std::move(rec));
+  }
+  ResultSet out;
+  out.rows_affected = 0;
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteDropTable(const DropTableStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(CheckQualifier(stmt.table));
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(ToLower(stmt.table.table)),
+                                       LockManager::Mode::kExclusive));
+  MSQL_ASSIGN_OR_RETURN(auto dropped, db_->DropTable(stmt.table.table));
+  if (options_.record_ddl_undo) {
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kDropTable;
+    rec.database = db_->name();
+    rec.table = dropped->schema().table_name();
+    rec.dropped_table = std::move(dropped);
+    txn_->RecordUndo(std::move(rec));
+  }
+  ResultSet out;
+  out.rows_affected = 0;
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteCreateView(const CreateViewStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(ToLower(stmt.name)),
+                                       LockManager::Mode::kExclusive));
+  // Validate the definition against the current schemas (so a broken
+  // view is rejected at creation, not at first scan).
+  MSQL_RETURN_IF_ERROR(
+      InferSelectSchema(ToLower(stmt.name), *stmt.definition,
+                        [this](std::string_view t)
+                            -> Result<const TableSchema*> {
+                          MSQL_ASSIGN_OR_RETURN(const Table* base,
+                                                db_->GetTableConst(t));
+                          return &base->schema();
+                        })
+          .status());
+  MSQL_RETURN_IF_ERROR(
+      db_->CreateView(stmt.name, stmt.definition->CloneSelect()));
+  if (options_.record_ddl_undo) {
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kCreateView;
+    rec.database = db_->name();
+    rec.table = ToLower(stmt.name);
+    txn_->RecordUndo(std::move(rec));
+  }
+  ResultSet out;
+  out.rows_affected = 0;
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteDropView(const DropViewStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(ToLower(stmt.name)),
+                                       LockManager::Mode::kExclusive));
+  MSQL_ASSIGN_OR_RETURN(auto dropped, db_->DropView(stmt.name));
+  if (options_.record_ddl_undo) {
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kDropView;
+    rec.database = db_->name();
+    rec.table = ToLower(stmt.name);
+    rec.dropped_view = std::move(dropped);
+    txn_->RecordUndo(std::move(rec));
+  }
+  ResultSet out;
+  out.rows_affected = 0;
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(CheckQualifier(stmt.table));
+  MSQL_RETURN_IF_ERROR(RejectViewTarget(stmt.table));
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(ToLower(stmt.table.table)),
+                                       LockManager::Mode::kExclusive));
+  MSQL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table.table));
+  MSQL_RETURN_IF_ERROR(table->CreateIndex(stmt.name, stmt.column));
+  if (options_.record_ddl_undo) {
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kCreateIndex;
+    rec.database = db_->name();
+    rec.table = table->schema().table_name();
+    rec.index_name = ToLower(stmt.name);
+    txn_->RecordUndo(std::move(rec));
+  }
+  ResultSet out;
+  out.rows_affected = 0;
+  return out;
+}
+
+Result<ResultSet> Executor::ExecuteDropIndex(const DropIndexStmt& stmt) {
+  MSQL_RETURN_IF_ERROR(CheckQualifier(stmt.table));
+  MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(ToLower(stmt.table.table)),
+                                       LockManager::Mode::kExclusive));
+  MSQL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table.table));
+  MSQL_ASSIGN_OR_RETURN(std::string column, table->DropIndex(stmt.name));
+  if (options_.record_ddl_undo) {
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kDropIndex;
+    rec.database = db_->name();
+    rec.table = table->schema().table_name();
+    rec.index_name = ToLower(stmt.name);
+    rec.index_column = std::move(column);
+    txn_->RecordUndo(std::move(rec));
+  }
+  ResultSet out;
+  out.rows_affected = 0;
+  return out;
+}
+
+}  // namespace msql::relational

@@ -1,0 +1,75 @@
+#ifndef MSQL_RELATIONAL_EXECUTOR_H_
+#define MSQL_RELATIONAL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "relational/expr_eval.h"
+#include "relational/result_set.h"
+#include "relational/sql/ast.h"
+#include "relational/txn.h"
+
+namespace msql::relational {
+
+/// Execution switches derived from the engine's capability profile.
+struct ExecutorOptions {
+  /// When true, DDL statements append undo records (Ingres-like DDL
+  /// rollback); when false the caller is responsible for the Oracle-like
+  /// "DDL commits prior work" dance before invoking the executor.
+  bool record_ddl_undo = true;
+};
+
+/// Executes parsed SQL statements against one local database inside a
+/// transaction. All data modifications append undo records to `txn`;
+/// all table access goes through `locks` (shared for reads, exclusive
+/// for writes) with the no-wait conflict policy.
+///
+/// The executor is deliberately naive — nested-loop joins, full scans —
+/// because the paper locates multidatabase optimization in data-flow and
+/// parallelism above this layer, not in local operator efficiency.
+class Executor {
+ public:
+  Executor(Database* db, Transaction* txn, LockManager* locks,
+           ExecutorOptions options = {})
+      : db_(db), txn_(txn), locks_(locks), options_(options) {}
+
+  /// Dispatches on statement kind. Transaction-control verbs are not
+  /// handled here (the engine owns the transaction lifecycle).
+  Result<ResultSet> Execute(const Statement& stmt);
+
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt);
+  Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);
+  Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
+  Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
+  Result<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt);
+  Result<ResultSet> ExecuteCreateView(const CreateViewStmt& stmt);
+  Result<ResultSet> ExecuteDropView(const DropViewStmt& stmt);
+  Result<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  Result<ResultSet> ExecuteDropIndex(const DropIndexStmt& stmt);
+
+ private:
+  /// Evaluates a scalar subquery: one column, at most one row; zero rows
+  /// yield SQL NULL.
+  Result<Value> EvalScalarSubquery(const SelectStmt& stmt);
+
+  /// Rejects DML whose target names a view.
+  Status RejectViewTarget(const TableRef& ref) const;
+
+  /// Checks an optional db qualifier against the executor's database.
+  Status CheckQualifier(const TableRef& ref) const;
+
+  /// Lock key "db.table".
+  std::string LockKey(const std::string& table) const;
+
+  Database* db_;
+  Transaction* txn_;
+  LockManager* locks_;
+  ExecutorOptions options_;
+};
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_EXECUTOR_H_

@@ -1,0 +1,67 @@
+#ifndef MSQL_RELATIONAL_INDEX_H_
+#define MSQL_RELATIONAL_INDEX_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace msql::relational {
+
+/// Ordered secondary index over one column: value → live RowIds.
+///
+/// Maintained eagerly by the owning Table on every insert/delete/update;
+/// the executor consults it for single-table equality predicates. NULL
+/// keys are indexed too (IS NULL cannot use it — only `=` probes do, and
+/// `= NULL` never matches — but keeping them makes maintenance uniform).
+class Index {
+ public:
+  Index(std::string name, size_t column_index)
+      : name_(std::move(name)), column_index_(column_index) {}
+
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t column_index() const { return column_index_; }
+
+  void Insert(const Value& key, RowId id) { entries_[key].push_back(id); }
+
+  void Erase(const Value& key, RowId id) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    auto& ids = it->second;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == id) {
+        ids.erase(ids.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (ids.empty()) entries_.erase(it);
+  }
+
+  /// RowIds whose column equals `key` (nullptr when none).
+  const std::vector<RowId>* Lookup(const Value& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  size_t distinct_keys() const { return entries_.size(); }
+
+ private:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  std::string name_;
+  size_t column_index_;
+  std::map<Value, std::vector<RowId>, ValueLess> entries_;
+};
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_INDEX_H_

@@ -1,0 +1,69 @@
+#include "relational/result_set.h"
+
+#include <algorithm>
+
+namespace msql::relational {
+
+namespace {
+bool RowLess(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+}  // namespace
+
+std::string ResultSet::ToString() const {
+  if (!IsQueryResult()) {
+    return "(" + std::to_string(rows_affected) + " rows affected)\n";
+  }
+  // Compute column widths.
+  std::vector<size_t> widths(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      std::string cell = i < row.size() ? row[i].ToDisplayString() : "";
+      widths[i] = std::max(widths[i], cell.size());
+      cells.push_back(std::move(cell));
+    }
+    rendered.push_back(std::move(cells));
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+  std::string out;
+  std::string rule;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += (i == 0 ? "| " : " | ") + pad(columns[i], widths[i]);
+    rule += (i == 0 ? "+-" : "-+-") + std::string(widths[i], '-');
+  }
+  out += " |\n";
+  rule += "-+\n";
+  out = rule + out + rule;
+  for (const auto& cells : rendered) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out += (i == 0 ? "| " : " | ") + pad(cells[i], widths[i]);
+    }
+    out += " |\n";
+  }
+  out += rule;
+  out += "(" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+void ResultSet::SortRows() { std::sort(rows.begin(), rows.end(), RowLess); }
+
+bool ResultSet::operator==(const ResultSet& other) const {
+  return columns == other.columns && rows == other.rows &&
+         rows_affected == other.rows_affected;
+}
+
+}  // namespace msql::relational

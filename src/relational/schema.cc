@@ -1,0 +1,68 @@
+#include "relational/schema.h"
+
+#include "common/string_util.h"
+
+namespace msql::relational {
+
+Result<TableSchema> TableSchema::Create(std::string table_name,
+                                        std::vector<ColumnDef> columns) {
+  TableSchema schema;
+  schema.table_name_ = ToLower(table_name);
+  for (auto& col : columns) {
+    col.name = ToLower(col.name);
+    if (schema.HasColumn(col.name)) {
+      return Status::InvalidArgument("duplicate column '" + col.name +
+                                     "' in table '" + schema.table_name_ +
+                                     "'");
+    }
+    schema.columns_.push_back(std::move(col));
+  }
+  return schema;
+}
+
+std::optional<size_t> TableSchema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> TableSchema::MatchColumns(
+    std::string_view pattern) const {
+  std::vector<std::string> out;
+  for (const auto& col : columns_) {
+    if (WildcardMatch(pattern, col.name)) out.push_back(col.name);
+  }
+  return out;
+}
+
+Result<TableSchema> TableSchema::Project(
+    const std::vector<std::string>& names) const {
+  std::vector<ColumnDef> cols;
+  for (const auto& name : names) {
+    auto idx = FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("column '" + name + "' not in table '" +
+                              table_name_ + "'");
+    }
+    cols.push_back(columns_[*idx]);
+  }
+  return TableSchema::Create(table_name_, std::move(cols));
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = table_name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeName(columns_[i].type);
+    if (columns_[i].width > 0) {
+      out += "(" + std::to_string(columns_[i].width) + ")";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace msql::relational

@@ -1,0 +1,73 @@
+#ifndef MSQL_RELATIONAL_SCHEMA_H_
+#define MSQL_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace msql::relational {
+
+/// One column of a table: name, type and display width.
+///
+/// Width is carried because the Global Data Dictionary stores "the names,
+/// types and widths" of columns (§3.1); it has no semantic effect in the
+/// engine beyond being IMPORTable metadata.
+struct ColumnDef {
+  std::string name;
+  Type type = Type::kText;
+  int width = 0;  // 0 = unspecified
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && type == other.type && width == other.width;
+  }
+};
+
+/// Ordered set of columns with by-name lookup (case-insensitive; names
+/// are canonicalized to lower case on construction).
+class TableSchema {
+ public:
+  TableSchema() = default;
+
+  /// Builds a schema; fails on duplicate column names.
+  static Result<TableSchema> Create(std::string table_name,
+                                    std::vector<ColumnDef> columns);
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of `name` (case-insensitive), or nullopt.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// True if a column with this exact (case-insensitive) name exists.
+  bool HasColumn(std::string_view name) const {
+    return FindColumn(name).has_value();
+  }
+
+  /// Names of columns matching an MSQL '%' wildcard pattern.
+  std::vector<std::string> MatchColumns(std::string_view pattern) const;
+
+  /// Schema restricted to the named columns, in the given order.
+  Result<TableSchema> Project(const std::vector<std::string>& names) const;
+
+  /// "name(col TYPE, ...)" rendering for error messages and the GDD dump.
+  std::string ToString() const;
+
+  bool operator==(const TableSchema& other) const {
+    return table_name_ == other.table_name_ && columns_ == other.columns_;
+  }
+
+ private:
+  std::string table_name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,155 @@
+#include "relational/schema_infer.h"
+
+#include "common/string_util.h"
+
+namespace msql::relational {
+
+namespace {
+
+/// Type of `qualifier.name` in `scope`'s FROM clause.
+Result<Type> ResolveColumnType(const std::string& qualifier,
+                               const std::string& name,
+                               const SchemaResolver& resolve,
+                               const SelectStmt* scope) {
+  if (scope == nullptr) {
+    return Status::InvalidArgument(
+        "column reference '" + name + "' outside any FROM scope");
+  }
+  bool found = false;
+  Type type = Type::kText;
+  for (const auto& ref : scope->from) {
+    if (!qualifier.empty() &&
+        !EqualsIgnoreCase(ref.EffectiveName(), qualifier)) {
+      continue;
+    }
+    MSQL_ASSIGN_OR_RETURN(const TableSchema* schema, resolve(ref.table));
+    auto idx = schema->FindColumn(name);
+    if (!idx.has_value()) continue;
+    if (found) {
+      return Status::InvalidArgument("ambiguous column reference '" +
+                                     name + "'");
+    }
+    found = true;
+    type = schema->column(*idx).type;
+  }
+  if (!found) {
+    return Status::NotFound("unknown column '" + name + "'");
+  }
+  return type;
+}
+
+}  // namespace
+
+std::string SelectItemOutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr && item.expr->kind() == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr&>(*item.expr).name();
+  }
+  return item.expr != nullptr ? ToLower(item.expr->ToSql()) : "col";
+}
+
+Result<Type> InferExprType(const Expr& expr, const SchemaResolver& resolve,
+                           const SelectStmt* scope) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      Type t = static_cast<const LiteralExpr&>(expr).value().type();
+      return t == Type::kNull ? Type::kText : t;
+    }
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      return ResolveColumnType(ref.qualifier(), ref.name(), resolve,
+                               scope);
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      if (u.op() == UnaryOp::kNegate) {
+        return InferExprType(u.operand(), resolve, scope);
+      }
+      return Type::kBoolean;  // NOT / IS [NOT] NULL
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      switch (b.op()) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv: {
+          MSQL_ASSIGN_OR_RETURN(Type left,
+                                InferExprType(b.left(), resolve, scope));
+          MSQL_ASSIGN_OR_RETURN(Type right,
+                                InferExprType(b.right(), resolve, scope));
+          return (left == Type::kInteger && right == Type::kInteger)
+                     ? Type::kInteger
+                     : Type::kReal;
+        }
+        default:
+          return Type::kBoolean;  // comparisons, AND/OR, LIKE
+      }
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const FunctionCallExpr&>(expr);
+      const std::string& name = f.name();
+      if (name == "COUNT" || name == "LENGTH") return Type::kInteger;
+      if (name == "AVG" || name == "ROUND") return Type::kReal;
+      if (name == "UPPER" || name == "LOWER") return Type::kText;
+      if (name == "SUM" || name == "MIN" || name == "MAX" ||
+          name == "ABS") {
+        if (f.args().size() == 1) {
+          return InferExprType(*f.args()[0], resolve, scope);
+        }
+        return Type::kReal;
+      }
+      return Status::ExecutionError("cannot infer type of function " +
+                                    name);
+    }
+    case ExprKind::kScalarSubquery: {
+      const auto& sub =
+          static_cast<const ScalarSubqueryExpr&>(expr).select();
+      MSQL_ASSIGN_OR_RETURN(TableSchema schema,
+                            InferSelectSchema("subquery", sub, resolve));
+      if (schema.num_columns() != 1) {
+        return Status::InvalidArgument(
+            "scalar subquery must have one output column");
+      }
+      return schema.column(0).type;
+    }
+    case ExprKind::kInList:
+    case ExprKind::kBetween:
+      return Type::kBoolean;
+  }
+  return Status::Internal("unhandled expression kind in inference");
+}
+
+Result<TableSchema> InferSelectSchema(std::string_view name,
+                                      const SelectStmt& select,
+                                      const SchemaResolver& resolve) {
+  std::vector<ColumnDef> columns;
+  for (const auto& item : select.items) {
+    if (item.is_star) {
+      bool matched = false;
+      for (const auto& ref : select.from) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(ref.EffectiveName(), item.star_qualifier)) {
+          continue;
+        }
+        matched = true;
+        MSQL_ASSIGN_OR_RETURN(const TableSchema* schema,
+                              resolve(ref.table));
+        for (const auto& col : schema->columns()) columns.push_back(col);
+      }
+      if (!matched) {
+        return Status::NotFound("'*' qualifier '" + item.star_qualifier +
+                                "' matches no FROM table");
+      }
+      continue;
+    }
+    ColumnDef def;
+    def.name = SelectItemOutputName(item);
+    MSQL_ASSIGN_OR_RETURN(def.type,
+                          InferExprType(*item.expr, resolve, &select));
+    columns.push_back(std::move(def));
+  }
+  return TableSchema::Create(std::string(name), std::move(columns));
+}
+
+}  // namespace msql::relational

@@ -1,0 +1,44 @@
+#ifndef MSQL_RELATIONAL_SCHEMA_INFER_H_
+#define MSQL_RELATIONAL_SCHEMA_INFER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/sql/ast.h"
+
+namespace msql::relational {
+
+/// Resolves an effective FROM name to its schema (tables or views).
+using SchemaResolver =
+    std::function<Result<const TableSchema*>(std::string_view table)>;
+
+/// Output column name of a select item (alias, column name, or the
+/// lower-cased expression text) — the rule the executor labels result
+/// columns with.
+std::string SelectItemOutputName(const SelectItem& item);
+
+/// Static type of `expr` when evaluated against the FROM scope described
+/// by `binding_schemas` (effective name → schema). Used to derive view
+/// schemas without materializing them:
+///  * column refs take their column's declared type;
+///  * arithmetic is INTEGER when all operands are, REAL otherwise;
+///  * comparisons/logic are BOOLEAN; LIKE is BOOLEAN;
+///  * COUNT/LENGTH → INTEGER, AVG/ROUND → REAL, SUM/MIN/MAX → operand
+///    type, UPPER/LOWER → TEXT;
+///  * scalar subqueries take their single output column's type.
+Result<Type> InferExprType(const Expr& expr, const SchemaResolver& resolve,
+                           const SelectStmt* scope);
+
+/// Derives the output schema of a SELECT: one column per select item
+/// ('*' expands against the resolved FROM schemas), named by
+/// SelectItemOutputName and typed by InferExprType.
+Result<TableSchema> InferSelectSchema(std::string_view name,
+                                      const SelectStmt& select,
+                                      const SchemaResolver& resolve);
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_SCHEMA_INFER_H_

@@ -1,0 +1,30 @@
+#ifndef MSQL_RELATIONAL_SQL_LEXER_H_
+#define MSQL_RELATIONAL_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/sql/token.h"
+
+namespace msql::relational {
+
+/// Lexer dialect switches.
+struct LexerOptions {
+  /// When true, '%' is part of identifier tokens (MSQL implicit semantic
+  /// variables such as %code and flight%); when false '%' is rejected
+  /// outside string literals, as in plain SQL shipped to an LDBMS.
+  bool percent_in_identifiers = false;
+  /// When true, '{' ... '}' blocks are lexed (DOL task bodies and
+  /// comments); when false braces are rejected.
+  bool braces = false;
+};
+
+/// Tokenizes `text` under `options`. The result always ends with a kEof
+/// token carrying the final source position.
+Result<std::vector<Token>> Tokenize(std::string_view text,
+                                    const LexerOptions& options = {});
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_SQL_LEXER_H_

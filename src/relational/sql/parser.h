@@ -1,0 +1,135 @@
+#ifndef MSQL_RELATIONAL_SQL_PARSER_H_
+#define MSQL_RELATIONAL_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/sql/ast.h"
+#include "relational/sql/token.h"
+
+namespace msql::relational {
+
+/// Cursor over a token vector, shared by the SQL, MSQL and DOL parsers.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  /// Token at current position + `offset` (clamped to the final kEof).
+  const Token& Peek(size_t offset = 0) const {
+    size_t i = pos_ + offset;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  /// Consumes and returns the current token.
+  Token Get() {
+    Token tok = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return tok;
+  }
+
+  bool AtEnd() const { return Peek().type == TokenType::kEof; }
+
+  /// Consumes the current token if it has the given type.
+  bool Match(TokenType type) {
+    if (Peek().type != type) return false;
+    Get();
+    return true;
+  }
+
+  /// Consumes the current token if it is the given keyword.
+  bool MatchKeyword(std::string_view kw) {
+    if (!Peek().IsKeyword(kw)) return false;
+    Get();
+    return true;
+  }
+
+  /// Requires and consumes a token of `type`; stores it in `out` if given.
+  Status Expect(TokenType type, Token* out = nullptr);
+
+  /// Requires and consumes the keyword `kw`.
+  Status ExpectKeyword(std::string_view kw);
+
+  /// Requires and consumes an identifier, returning its lower-cased text.
+  Result<std::string> ExpectIdentifier(std::string_view what);
+
+  /// Save/restore for speculative parsing.
+  size_t position() const { return pos_; }
+  void set_position(size_t pos) { pos_ = pos; }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Parser dialect switches.
+struct ParseOptions {
+  /// Accept MSQL extensions inside statement bodies: '~' optional-column
+  /// designators and '%' multiple identifiers (the '%' acceptance is a
+  /// lexer option; this flag gates '~').
+  bool msql_extensions = false;
+};
+
+/// Recursive-descent parser for the SQL dialect of the local engines.
+///
+/// Supported: SELECT (DISTINCT, multi-table FROM with aliases, WHERE,
+/// GROUP BY/HAVING, ORDER BY, aggregates, scalar subqueries, IN,
+/// BETWEEN, LIKE, IS [NOT] NULL), INSERT (VALUES and SELECT source),
+/// UPDATE, DELETE, CREATE/DROP TABLE, CREATE/DROP DATABASE and the
+/// transaction-control verbs BEGIN / COMMIT / ROLLBACK / PREPARE.
+class SqlParser {
+ public:
+  SqlParser(TokenCursor* cursor, ParseOptions options)
+      : cursor_(cursor), options_(options) {}
+
+  /// Parses a single statement (without trailing ';').
+  Result<StatementPtr> ParseStatement();
+
+  /// Parses a SELECT statement (entry point also used by subqueries and
+  /// the MSQL parser).
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<std::unique_ptr<InsertStmt>> ParseInsert();
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate();
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete();
+
+  /// Parses an expression (entry point also used by the MSQL parser).
+  Result<ExprPtr> ParseExpression();
+
+  /// Parses `[db.]table [alias]`.
+  Result<TableRef> ParseTableRef();
+
+  /// True if `word` is reserved in this dialect (never an alias).
+  static bool IsReservedWord(std::string_view word);
+
+ private:
+  Result<StatementPtr> ParseCreate();
+  Result<StatementPtr> ParseDrop();
+  Result<std::unique_ptr<CreateTableStmt>> ParseCreateTableBody();
+  Result<SelectItem> ParseSelectItem();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseColumnOrFunction();
+
+  TokenCursor* cursor_;
+  ParseOptions options_;
+};
+
+/// Parses exactly one SQL statement from `text` (optional trailing ';').
+Result<StatementPtr> ParseSql(std::string_view text,
+                              const ParseOptions& options = {});
+
+/// Parses a ';'-separated script.
+Result<std::vector<StatementPtr>> ParseSqlScript(
+    std::string_view text, const ParseOptions& options = {});
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_SQL_PARSER_H_

@@ -1,0 +1,61 @@
+#ifndef MSQL_RELATIONAL_SQL_TOKEN_H_
+#define MSQL_RELATIONAL_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace msql::relational {
+
+/// Lexical token categories shared by the SQL, MSQL and DOL parsers.
+enum class TokenType {
+  kIdentifier,  // words; keywords are identifiers matched by the parsers
+  kString,      // 'quoted literal' with '' escape
+  kInteger,     // 42
+  kReal,        // 3.14
+  // Punctuation / operators.
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kSemicolon,   // ;
+  kDot,         // .
+  kEq,          // =
+  kNe,          // <> or !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kTilde,       // ~  (MSQL optional-column designator)
+  kLBrace,      // {  (DOL task bodies / comments)
+  kRBrace,      // }
+  kEof,
+};
+
+/// Printable token-type name for diagnostics.
+std::string_view TokenTypeName(TokenType type);
+
+/// One lexical token with source position (1-based line/column).
+struct Token {
+  TokenType type = TokenType::kEof;
+  /// Raw text for identifiers/strings; identifiers keep original case
+  /// (parsers compare case-insensitively and canonicalize names).
+  std::string text;
+  int64_t int_value = 0;    // valid when type == kInteger
+  double real_value = 0.0;  // valid when type == kReal
+  int line = 1;
+  int column = 1;
+
+  /// True if this is an identifier equal to `kw` ignoring case.
+  bool IsKeyword(std::string_view kw) const;
+
+  /// Position string "line L col C" for error messages.
+  std::string Where() const;
+};
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_SQL_TOKEN_H_

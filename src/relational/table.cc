@@ -1,0 +1,154 @@
+#include "relational/table.h"
+
+#include "common/string_util.h"
+#include "relational/index.h"
+
+namespace msql::relational {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+Table::~Table() = default;
+
+Result<Row> Table::Normalize(Row row) const {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table '" +
+        schema_.table_name() + "' with " +
+        std::to_string(schema_.num_columns()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    MSQL_ASSIGN_OR_RETURN(row[i], row[i].CoerceTo(schema_.column(i).type));
+  }
+  return row;
+}
+
+Result<RowId> Table::Insert(Row row) {
+  MSQL_ASSIGN_OR_RETURN(Row normalized, Normalize(std::move(row)));
+  slots_.emplace_back(std::move(normalized));
+  ++live_count_;
+  RowId id = static_cast<RowId>(slots_.size() - 1);
+  IndexInsert(*slots_[id], id);
+  return id;
+}
+
+Status Table::ResurrectRow(RowId id, Row row) {
+  if (id >= slots_.size()) {
+    return Status::Internal("resurrect of unknown slot " + std::to_string(id));
+  }
+  if (slots_[id].has_value()) {
+    return Status::Internal("resurrect of live slot " + std::to_string(id));
+  }
+  slots_[id] = std::move(row);
+  ++live_count_;
+  IndexInsert(*slots_[id], id);
+  return Status::OK();
+}
+
+Result<Row> Table::Delete(RowId id) {
+  if (!IsLive(id)) {
+    return Status::Internal("delete of dead slot " + std::to_string(id));
+  }
+  Row old = std::move(*slots_[id]);
+  slots_[id].reset();
+  --live_count_;
+  IndexErase(old, id);
+  return old;
+}
+
+Result<Row> Table::Update(RowId id, Row new_row) {
+  if (!IsLive(id)) {
+    return Status::Internal("update of dead slot " + std::to_string(id));
+  }
+  MSQL_ASSIGN_OR_RETURN(Row normalized, Normalize(std::move(new_row)));
+  Row old = std::move(*slots_[id]);
+  slots_[id] = std::move(normalized);
+  IndexErase(old, id);
+  IndexInsert(*slots_[id], id);
+  return old;
+}
+
+std::vector<RowId> Table::ScanRowIds() const {
+  std::vector<RowId> ids;
+  ids.reserve(live_count_);
+  for (RowId id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].has_value()) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<Row> Table::ScanRows() const {
+  std::vector<Row> rows;
+  rows.reserve(live_count_);
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) rows.push_back(*slot);
+  }
+  return rows;
+}
+
+Status Table::CreateIndex(std::string_view index_name,
+                          std::string_view column) {
+  std::string key = ToLower(index_name);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index '" + key + "' already exists on '" +
+                                 schema_.table_name() + "'");
+  }
+  auto col = schema_.FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("column '" + std::string(column) +
+                            "' not in table '" + schema_.table_name() + "'");
+  }
+  auto index = std::make_unique<Index>(key, *col);
+  for (RowId id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].has_value()) {
+      index->Insert((*slots_[id])[*col], id);
+    }
+  }
+  indexes_.emplace(std::move(key), std::move(index));
+  return Status::OK();
+}
+
+Result<std::string> Table::DropIndex(std::string_view index_name) {
+  auto it = indexes_.find(ToLower(index_name));
+  if (it == indexes_.end()) {
+    return Status::NotFound("index '" + std::string(index_name) +
+                            "' does not exist on '" + schema_.table_name() +
+                            "'");
+  }
+  std::string column = schema_.column(it->second->column_index()).name;
+  indexes_.erase(it);
+  return column;
+}
+
+bool Table::HasIndex(std::string_view index_name) const {
+  return indexes_.count(ToLower(index_name)) > 0;
+}
+
+std::vector<std::string> Table::IndexNames() const {
+  std::vector<std::string> names;
+  names.reserve(indexes_.size());
+  for (const auto& [name, index] : indexes_) names.push_back(name);
+  return names;
+}
+
+const Index* Table::FindIndexOnColumn(std::string_view column) const {
+  auto col = schema_.FindColumn(column);
+  if (!col.has_value()) return nullptr;
+  for (const auto& [name, index] : indexes_) {
+    if (index->column_index() == *col) return index.get();
+  }
+  return nullptr;
+}
+
+void Table::IndexInsert(const Row& row, RowId id) {
+  for (const auto& [name, index] : indexes_) {
+    index->Insert(row[index->column_index()], id);
+  }
+}
+
+void Table::IndexErase(const Row& row, RowId id) {
+  for (const auto& [name, index] : indexes_) {
+    index->Erase(row[index->column_index()], id);
+  }
+}
+
+}  // namespace msql::relational

@@ -1,0 +1,109 @@
+#ifndef MSQL_RELATIONAL_TABLE_H_
+#define MSQL_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace msql::relational {
+
+/// A row is a vector of values positionally aligned with a TableSchema.
+using Row = std::vector<Value>;
+
+/// Stable identifier of a row inside one table (slot index). Row ids are
+/// never reused within a table's lifetime, which lets transaction undo
+/// records name rows unambiguously.
+using RowId = uint64_t;
+
+/// Heap-organized table: slot array with tombstones.
+///
+/// Mutations go through the RowId-based primitives so that the
+/// transaction manager can record precise undo information (the inverse
+/// primitive). There is no buffer manager or persistence — the paper's
+/// semantics live entirely above the storage layer.
+class Table {
+ public:
+  // Constructor and destructor are out of line: indexes_ holds the
+  // incomplete Index type.
+  explicit Table(TableSchema schema);
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+
+  /// Number of live (non-deleted) rows.
+  size_t live_row_count() const { return live_count_; }
+
+  /// Upper bound on RowIds ever allocated (for iteration).
+  RowId slot_count() const { return slots_.size(); }
+
+  /// True if `id` names a live row.
+  bool IsLive(RowId id) const {
+    return id < slots_.size() && slots_[id].has_value();
+  }
+
+  /// The live row at `id`. Requires IsLive(id).
+  const Row& GetRow(RowId id) const { return *slots_[id]; }
+
+  /// Appends a row after coercing each value to its column type.
+  /// Fails if the arity or a value type does not match.
+  Result<RowId> Insert(Row row);
+
+  /// Re-occupies a previously deleted slot with its original content
+  /// (transaction undo of a delete). Fails if the slot is live.
+  Status ResurrectRow(RowId id, Row row);
+
+  /// Tombstones a live row, returning its content for the undo log.
+  Result<Row> Delete(RowId id);
+
+  /// Replaces a live row's content, returning the before-image.
+  Result<Row> Update(RowId id, Row new_row);
+
+  /// All live RowIds in slot order (deterministic scan order).
+  std::vector<RowId> ScanRowIds() const;
+
+  /// All live rows in slot order (copy).
+  std::vector<Row> ScanRows() const;
+
+  // -- Secondary indexes ------------------------------------------------
+
+  /// Creates an index named `index_name` over `column`, populated from
+  /// the current rows. Fails on duplicate name or unknown column.
+  Status CreateIndex(std::string_view index_name, std::string_view column);
+
+  /// Drops the index (its column name is returned so DDL undo can
+  /// rebuild it).
+  Result<std::string> DropIndex(std::string_view index_name);
+
+  bool HasIndex(std::string_view index_name) const;
+  std::vector<std::string> IndexNames() const;
+
+  /// An index over the named column, or nullptr.
+  const class Index* FindIndexOnColumn(std::string_view column) const;
+
+ private:
+  /// Checks arity and coerces values to the schema's column types.
+  Result<Row> Normalize(Row row) const;
+
+  void IndexInsert(const Row& row, RowId id);
+  void IndexErase(const Row& row, RowId id);
+
+  TableSchema schema_;
+  std::vector<std::optional<Row>> slots_;
+  size_t live_count_ = 0;
+  std::map<std::string, std::unique_ptr<class Index>> indexes_;
+};
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_TABLE_H_

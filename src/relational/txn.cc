@@ -1,0 +1,120 @@
+#include "relational/txn.h"
+
+namespace msql::relational {
+
+std::string_view TxnStateName(TxnState state) {
+  switch (state) {
+    case TxnState::kActive: return "ACTIVE";
+    case TxnState::kPrepared: return "PREPARED";
+    case TxnState::kCommitted: return "COMMITTED";
+    case TxnState::kAborted: return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+Status Transaction::ApplyUndo(
+    const std::map<std::string, std::unique_ptr<Database>>& databases) {
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    UndoRecord& rec = *it;
+    auto db_it = databases.find(rec.database);
+    if (db_it == databases.end()) {
+      return Status::Internal("undo references unknown database '" +
+                              rec.database + "'");
+    }
+    Database* db = db_it->second.get();
+    switch (rec.kind) {
+      case UndoRecord::Kind::kInsert: {
+        MSQL_ASSIGN_OR_RETURN(Table * table, db->GetTable(rec.table));
+        MSQL_ASSIGN_OR_RETURN(Row removed, table->Delete(rec.row_id));
+        (void)removed;
+        break;
+      }
+      case UndoRecord::Kind::kDelete: {
+        MSQL_ASSIGN_OR_RETURN(Table * table, db->GetTable(rec.table));
+        MSQL_RETURN_IF_ERROR(
+            table->ResurrectRow(rec.row_id, std::move(rec.before)));
+        break;
+      }
+      case UndoRecord::Kind::kUpdate: {
+        MSQL_ASSIGN_OR_RETURN(Table * table, db->GetTable(rec.table));
+        MSQL_ASSIGN_OR_RETURN(Row overwritten,
+                              table->Update(rec.row_id, std::move(rec.before)));
+        (void)overwritten;
+        break;
+      }
+      case UndoRecord::Kind::kCreateTable: {
+        MSQL_ASSIGN_OR_RETURN(auto dropped, db->DropTable(rec.table));
+        (void)dropped;  // discard: the table was created by this txn
+        break;
+      }
+      case UndoRecord::Kind::kDropTable: {
+        MSQL_RETURN_IF_ERROR(db->RestoreTable(std::move(rec.dropped_table)));
+        break;
+      }
+      case UndoRecord::Kind::kCreateView: {
+        MSQL_ASSIGN_OR_RETURN(auto dropped, db->DropView(rec.table));
+        (void)dropped;  // the view was created by this txn
+        break;
+      }
+      case UndoRecord::Kind::kDropView: {
+        MSQL_RETURN_IF_ERROR(
+            db->CreateView(rec.table, std::move(rec.dropped_view)));
+        break;
+      }
+      case UndoRecord::Kind::kCreateIndex: {
+        MSQL_ASSIGN_OR_RETURN(Table * table, db->GetTable(rec.table));
+        MSQL_RETURN_IF_ERROR(table->DropIndex(rec.index_name).status());
+        break;
+      }
+      case UndoRecord::Kind::kDropIndex: {
+        MSQL_ASSIGN_OR_RETURN(Table * table, db->GetTable(rec.table));
+        MSQL_RETURN_IF_ERROR(
+            table->CreateIndex(rec.index_name, rec.index_column));
+        break;
+      }
+    }
+  }
+  undo_log_.clear();
+  return Status::OK();
+}
+
+Status LockManager::Acquire(Transaction* txn, const std::string& resource,
+                            Mode mode) {
+  LockEntry& entry = locks_[resource];
+  if (entry.holders.empty()) {
+    entry.mode = mode;
+    entry.holders.insert(txn->id());
+    txn->held_locks().insert(resource);
+    return Status::OK();
+  }
+  bool already_holder = entry.holders.count(txn->id()) > 0;
+  if (already_holder) {
+    if (mode == Mode::kShared || entry.mode == Mode::kExclusive) {
+      return Status::OK();  // has what it needs
+    }
+    // Upgrade shared -> exclusive: legal only if sole holder.
+    if (entry.holders.size() == 1) {
+      entry.mode = Mode::kExclusive;
+      return Status::OK();
+    }
+    return Status::Aborted("lock upgrade conflict on " + resource);
+  }
+  if (mode == Mode::kShared && entry.mode == Mode::kShared) {
+    entry.holders.insert(txn->id());
+    txn->held_locks().insert(resource);
+    return Status::OK();
+  }
+  return Status::Aborted("lock conflict on " + resource);
+}
+
+void LockManager::ReleaseAll(Transaction* txn) {
+  for (const auto& resource : txn->held_locks()) {
+    auto it = locks_.find(resource);
+    if (it == locks_.end()) continue;
+    it->second.holders.erase(txn->id());
+    if (it->second.holders.empty()) locks_.erase(it);
+  }
+  txn->held_locks().clear();
+}
+
+}  // namespace msql::relational

@@ -1,0 +1,127 @@
+#ifndef MSQL_RELATIONAL_TXN_H_
+#define MSQL_RELATIONAL_TXN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace msql::relational {
+
+/// Local transaction lifecycle.
+///
+/// `kPrepared` is the visible prepared-to-commit state of §3.2.1: the
+/// transaction has executed all its operations and holds its locks, and
+/// the only legal transitions are Commit and Rollback. Engines whose
+/// capability profile lacks 2PC never expose this state.
+enum class TxnState { kActive, kPrepared, kCommitted, kAborted };
+
+std::string_view TxnStateName(TxnState state);
+
+/// One entry of a transaction's undo log. Records are appended in
+/// execution order and applied in reverse on rollback.
+struct UndoRecord {
+  enum class Kind {
+    kInsert,
+    kDelete,
+    kUpdate,
+    kCreateTable,
+    kDropTable,
+    kCreateView,
+    kDropView,
+    kCreateIndex,
+    kDropIndex,
+  };
+
+  Kind kind;
+  std::string database;
+  /// Table name — or view name for the view kinds.
+  std::string table;
+  RowId row_id = 0;
+  Row before;  // kDelete / kUpdate: the removed / overwritten row
+  std::unique_ptr<Table> dropped_table;  // kDropTable: full table image
+  std::unique_ptr<SelectStmt> dropped_view;  // kDropView: definition
+  std::string index_name;    // index kinds
+  std::string index_column;  // kDropIndex: rebuild target
+};
+
+using TxnId = uint64_t;
+
+/// A local transaction: identity, state, undo log and lock set.
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState state) { state_ = state; }
+
+  bool IsTerminated() const {
+    return state_ == TxnState::kCommitted || state_ == TxnState::kAborted;
+  }
+
+  /// Appends an undo record.
+  void RecordUndo(UndoRecord record) {
+    undo_log_.push_back(std::move(record));
+  }
+
+  size_t undo_log_size() const { return undo_log_.size(); }
+
+  /// Applies the undo log in reverse against `databases`, emptying it.
+  /// Lock release is the caller's (LockManager's) job.
+  Status ApplyUndo(
+      const std::map<std::string, std::unique_ptr<Database>>& databases);
+
+  /// Discards the undo log (at commit).
+  void DiscardUndo() { undo_log_.clear(); }
+
+  /// Lock bookkeeping (owned lock names, "db.table" keys).
+  std::set<std::string>& held_locks() { return held_locks_; }
+
+ private:
+  TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<UndoRecord> undo_log_;
+  std::set<std::string> held_locks_;
+};
+
+/// Table-granularity strict two-phase locking with a *no-wait* policy:
+/// a conflicting request fails immediately with kAborted instead of
+/// blocking. No-wait keeps the single-threaded simulation deterministic
+/// and models the paper's "local conflicts, failure, deadlock" abort
+/// sources (§3.2) without a waits-for graph.
+class LockManager {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  /// Acquires (or upgrades) a lock on `resource` for `txn`. On conflict
+  /// returns kAborted and leaves the lock table unchanged.
+  Status Acquire(Transaction* txn, const std::string& resource, Mode mode);
+
+  /// Releases every lock held by `txn`.
+  void ReleaseAll(Transaction* txn);
+
+  /// Number of distinct locked resources (introspection for tests).
+  size_t locked_resource_count() const { return locks_.size(); }
+
+ private:
+  struct LockEntry {
+    Mode mode = Mode::kShared;
+    std::set<TxnId> holders;
+  };
+  std::map<std::string, LockEntry> locks_;
+};
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_TXN_H_

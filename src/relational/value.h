@@ -1,0 +1,108 @@
+#ifndef MSQL_RELATIONAL_VALUE_H_
+#define MSQL_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+
+namespace msql::relational {
+
+/// Column / value type of the local relational engines.
+///
+/// The Global Data Dictionary stores "names, types and widths" of columns
+/// (§3.1); these are the types it knows about.
+enum class Type {
+  kNull,     // type of the NULL literal before coercion
+  kInteger,  // 64-bit signed
+  kReal,     // double precision
+  kText,     // variable-length character string
+  kBoolean,  // internal: result of predicates
+};
+
+/// "INTEGER", "REAL", "TEXT", "BOOLEAN" or "NULL".
+std::string_view TypeName(Type type);
+
+/// Parses a type name (case-insensitive); also accepts common SQL aliases
+/// (INT, FLOAT, DOUBLE, CHAR, VARCHAR, STRING).
+Result<Type> TypeFromName(std::string_view name);
+
+/// A single SQL value with SQL-style NULL semantics.
+///
+/// Comparisons and arithmetic involving NULL yield NULL; predicates use
+/// three-valued logic collapsed to "not true" at filter points, which is
+/// the standard SQL behaviour the paper's LDBMSs (Oracle/Ingres) share.
+class Value {
+ public:
+  /// NULL value.
+  Value() : rep_(Null{}) {}
+
+  static Value Null_() { return Value(); }
+  static Value Integer(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Text(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Boolean(bool v) { return Value(Rep(v)); }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+
+  Type type() const;
+
+  bool is_null() const { return std::holds_alternative<Null>(rep_); }
+  bool is_integer() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_real() const { return std::holds_alternative<double>(rep_); }
+  bool is_text() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_boolean() const { return std::holds_alternative<bool>(rep_); }
+  bool is_numeric() const { return is_integer() || is_real(); }
+
+  int64_t AsInteger() const { return std::get<int64_t>(rep_); }
+  double AsReal() const { return std::get<double>(rep_); }
+  const std::string& AsText() const { return std::get<std::string>(rep_); }
+  bool AsBoolean() const { return std::get<bool>(rep_); }
+
+  /// Numeric value as double (integer is widened). Requires is_numeric().
+  double NumericAsReal() const;
+
+  /// Strict equality used by tests and result comparison: NULL == NULL is
+  /// true here (unlike the SQL `=` operator, which is in expr_eval).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for ORDER BY / MIN / MAX: NULL sorts first; integers and
+  /// reals compare numerically; cross-type otherwise orders by type id.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// SQL literal rendering: NULL, 42, 3.14, 'text' (quotes doubled).
+  std::string ToSqlLiteral() const;
+
+  /// Display rendering without quotes (for result tables).
+  std::string ToDisplayString() const;
+
+  /// Coerces this value to a column of type `target`; integers widen to
+  /// real, reals narrow to integer only if exact, anything stores into
+  /// TEXT via display rendering? No — only NULL and exact-family
+  /// conversions are allowed; mismatches are an error (loose typing would
+  /// mask schema-heterogeneity bugs that MSQL is supposed to surface).
+  Result<Value> CoerceTo(Type target) const;
+
+ private:
+  struct Null {
+    bool operator==(const Null&) const { return true; }
+  };
+  using Rep = std::variant<Null, int64_t, double, std::string, bool>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace msql::relational
+
+#endif  // MSQL_RELATIONAL_VALUE_H_

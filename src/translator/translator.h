@@ -1,0 +1,132 @@
+#ifndef MSQL_TRANSLATOR_TRANSLATOR_H_
+#define MSQL_TRANSLATOR_TRANSLATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dol/ast.h"
+#include "mdbs/auxiliary_directory.h"
+#include "mdbs/global_data_dictionary.h"
+#include "msql/ast.h"
+#include "msql/decomposer.h"
+#include "msql/expander.h"
+
+namespace msql::translator {
+
+/// How one elementary query is executed in the plan.
+enum class TaskMode {
+  /// NOCOMMIT: runs under 2PC and parks prepared-to-commit.
+  kTwoPhase,
+  /// Autocommit with a registered COMPENSATION block (§3.3).
+  kCompensable,
+  /// Plain autocommit; outcome does not bind the global decision
+  /// (NON-VITAL subqueries).
+  kAutocommit,
+  /// Single vital no-2PC database without COMP, ordered last: executed
+  /// only after every other vital subquery is prepared (last-resource
+  /// ordering; see DESIGN.md §5).
+  kLastResource,
+};
+
+/// Plan-level description of one task.
+struct PlanTask {
+  std::string task;            // DOL task name
+  std::string database;        // real database name
+  std::string effective_name;  // alias in the MSQL scope
+  std::string service;
+  bool vital = false;
+  bool retrieval = false;
+  TaskMode mode = TaskMode::kAutocommit;
+};
+
+/// A translated evaluation plan: the DOL program plus the metadata the
+/// coordinator needs to interpret the run.
+struct Plan {
+  dol::DolProgram program;
+  std::vector<PlanTask> tasks;
+  /// True when the plan answers a retrieval (its task results form the
+  /// multitable).
+  bool retrieval = false;
+  /// Task whose result is the final answer of a decomposed
+  /// multidatabase join ("" otherwise).
+  std::string global_task;
+
+  /// Task metadata by task name, or nullptr.
+  const PlanTask* FindTask(const std::string& task) const;
+};
+
+/// DOLSTATUS convention used by every generated plan.
+struct PlanStatus {
+  static constexpr int kSuccess = 0;
+  static constexpr int kAborted = 1;
+  static constexpr int kIncorrect = 2;
+};
+
+/// MSQL → DOL translator (the "translator" box of Figure 1).
+///
+/// Vital-set enforcement (§3.2-§3.3): VITAL databases with 2PC run
+/// NOCOMMIT; VITAL databases without 2PC need a COMP clause (they run
+/// compensable) — except that a *single* such database without COMP is
+/// scheduled as the last resource; two or more make failure atomicity
+/// unenforceable and the plan is refused (kRefused), matching the
+/// prototype's behaviour. NON-VITAL subqueries run in autocommit and
+/// never affect the decision.
+class Translator {
+ public:
+  Translator(const mdbs::AuxiliaryDirectory* ad,
+             const mdbs::GlobalDataDictionary* gdd)
+      : ad_(ad), gdd_(gdd) {}
+
+  /// Plans one multiple query from its expansion.
+  Result<Plan> TranslateQuery(const lang::ExpansionResult& expansion) const;
+
+  /// Plans a multitransaction: one expansion per member query, plus the
+  /// acceptable termination states (checked in order; the branch of the
+  /// first reachable one commits its members and undoes everything
+  /// else; if none is reachable everything is undone, §3.4).
+  Result<Plan> TranslateMultiTransaction(
+      const std::vector<lang::ExpansionResult>& expansions,
+      const std::vector<lang::AcceptableState>& states) const;
+
+  /// Plans a decomposed multidatabase join: subqueries in parallel,
+  /// partial results TRANSFERred to the coordinator, the modified global
+  /// query evaluated there, temporary tables dropped (§4.3).
+  Result<Plan> TranslateDecomposedJoin(
+      const lang::Decomposition& decomposition) const;
+
+  /// Plans a cross-database data transfer ("data transfer between
+  /// databases", §2): INSERT INTO <target-db>.<table> SELECT ... FROM
+  /// <source-db>.<tables>. The SELECT runs at the source; its result is
+  /// APPEND-transferred into the existing target table. Requires the
+  /// source FROM clause to live in exactly one database, different from
+  /// the target.
+  Result<Plan> TranslateDataTransfer(
+      const relational::InsertStmt& insert) const;
+
+ private:
+  struct ResolvedTask {
+    const lang::ElementaryQuery* query;
+    std::string service;
+    std::string task_name;
+    std::string alias;
+    TaskMode mode;
+    bool supports_2pc;
+  };
+
+  /// Looks up service + capabilities and classifies the task mode.
+  Result<std::vector<ResolvedTask>> Resolve(
+      const std::vector<lang::ElementaryQuery>& queries,
+      bool multitransaction) const;
+
+  /// Appends OPEN statements (one per distinct alias).
+  void EmitOpens(const std::vector<ResolvedTask>& tasks,
+                 dol::DolProgram* program) const;
+
+  const mdbs::AuxiliaryDirectory* ad_;
+  const mdbs::GlobalDataDictionary* gdd_;
+};
+
+}  // namespace msql::translator
+
+#endif  // MSQL_TRANSLATOR_TRANSLATOR_H_

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace msql {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Aborted("x"), Status::Aborted("x"));
+  EXPECT_FALSE(Status::Aborted("x") == Status::Aborted("y"));
+  EXPECT_FALSE(Status::Aborted("x") == Status::Refused("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::ParseError("bad token");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusIsInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubled(Result<int> in) {
+  MSQL_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::Aborted("no")).status().code(),
+            StatusCode::kAborted);
+}
+
+TEST(StringUtilTest, CaseConversions) {
+  EXPECT_EQ(ToLower("AbC_9"), "abc_9");
+  EXPECT_EQ(ToUpper("AbC_9"), "ABC_9");
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "sELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("select", "selec"));
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a.b..c", '.'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(WildcardTest, BasicMatches) {
+  EXPECT_TRUE(WildcardMatch("%code", "code"));
+  EXPECT_TRUE(WildcardMatch("%code", "vcode"));
+  EXPECT_FALSE(WildcardMatch("%code", "codes"));
+  EXPECT_TRUE(WildcardMatch("flight%", "flight"));
+  EXPECT_TRUE(WildcardMatch("flight%", "flights"));
+  EXPECT_FALSE(WildcardMatch("flight%", "fl"));
+  EXPECT_TRUE(WildcardMatch("rate%", "rates"));
+  EXPECT_TRUE(WildcardMatch("sour%", "source"));
+  EXPECT_TRUE(WildcardMatch("dest%", "destination"));
+}
+
+TEST(WildcardTest, CaseInsensitiveAndInnerPercent) {
+  EXPECT_TRUE(WildcardMatch("FLIGHT%", "flights"));
+  EXPECT_TRUE(WildcardMatch("f%8", "f838"));
+  EXPECT_TRUE(WildcardMatch("%", ""));
+  EXPECT_TRUE(WildcardMatch("%%", "anything"));
+  EXPECT_FALSE(WildcardMatch("", "x"));
+  EXPECT_TRUE(WildcardMatch("", ""));
+}
+
+TEST(WildcardTest, UnderscoreIsNotSpecial) {
+  // The paper defines only '%'; '_' must match literally.
+  EXPECT_TRUE(WildcardMatch("a_b", "a_b"));
+  EXPECT_FALSE(WildcardMatch("a_b", "axb"));
+}
+
+/// Property sweep: a pattern always matches itself with '%' stripped
+/// segments re-inserted, and never matches a string missing a literal.
+class WildcardPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WildcardPropertyTest, PatternMatchesItsOwnExpansion) {
+  std::string pattern = GetParam();
+  // Replace each '%' with "xyz" — must still match.
+  std::string expanded;
+  for (char c : pattern) {
+    if (c == '%') expanded += "xyz";
+    else expanded += c;
+  }
+  EXPECT_TRUE(WildcardMatch(pattern, expanded)) << pattern;
+  // Replacing '%' with "" must also match.
+  std::string collapsed;
+  for (char c : pattern) {
+    if (c != '%') collapsed += c;
+  }
+  EXPECT_TRUE(WildcardMatch(pattern, collapsed)) << pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, WildcardPropertyTest,
+                         ::testing::Values("%code", "flight%", "f%8",
+                                           "%a%b%", "abc", "%", "a%b%c"));
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangesRespectBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+    int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace msql

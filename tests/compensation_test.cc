@@ -1,0 +1,174 @@
+// Experiment E5 (§3.3): the four-path execution matrix when Continental
+// does not provide 2PC and a COMP clause supplies its semantic undo.
+//
+//   Continental | United      | Required action            | Outcome
+//   ------------+-------------+----------------------------+---------
+//   committed   | prepared    | commit United              | SUCCESS
+//   committed   | aborted     | compensate Continental     | ABORTED
+//   aborted     | prepared    | roll back United           | ABORTED
+//   aborted     | aborted     | nothing                    | ABORTED
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace msql::core {
+namespace {
+
+using relational::FailPoint;
+
+constexpr const char* kCompensatedRaise =
+    "USE continental VITAL delta united VITAL\n"
+    "UPDATE flight% SET rate% = rate% * 1.1\n"
+    "WHERE sour% = 'Houston' AND dest% = 'San Antonio'\n"
+    "COMP continental\n"
+    "UPDATE flights SET rate = rate / 1.1\n"
+    "WHERE source = 'Houston' AND destination = 'San Antonio'";
+
+class CompensationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PaperFederationOptions options;
+    options.continental_autocommit_only = true;  // the §3.3 premise
+    auto sys = BuildPaperFederation(options);
+    ASSERT_TRUE(sys.ok()) << sys.status();
+    sys_ = std::move(*sys);
+    cont_before_ = ContinentalFares();
+    united_before_ = UnitedFares();
+  }
+
+  double Fares(const std::string& db, const std::string& sql) {
+    auto engine = *sys_->GetEngine(PaperServiceOf(db));
+    auto s = *engine->OpenSession(db);
+    auto rs = engine->Execute(s, sql);
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    double out = rs->rows[0][0].NumericAsReal();
+    EXPECT_TRUE(engine->CloseSession(s).ok());
+    return out;
+  }
+  double ContinentalFares() {
+    return Fares("continental",
+                 "SELECT SUM(rate) FROM flights WHERE source = 'Houston' "
+                 "AND destination = 'San Antonio'");
+  }
+  double UnitedFares() {
+    return Fares("united",
+                 "SELECT SUM(rates) FROM flight WHERE sour = 'Houston' "
+                 "AND dest = 'San Antonio'");
+  }
+
+  std::unique_ptr<MultidatabaseSystem> sys_;
+  double cont_before_ = 0;
+  double united_before_ = 0;
+};
+
+TEST_F(CompensationTest, Path1BothSucceedCommitsUnited) {
+  auto report = sys_->Execute(kCompensatedRaise);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  EXPECT_NEAR(ContinentalFares(), cont_before_ * 1.1, 1e-6);
+  EXPECT_NEAR(UnitedFares(), united_before_ * 1.1, 1e-6);
+  // Continental ran compensable-autocommit, united two-phase.
+  EXPECT_EQ(report->run.FindTask("t_continental")->state,
+            dol::DolTaskState::kCommitted);
+  EXPECT_EQ(report->run.FindTask("t_united")->state,
+            dol::DolTaskState::kCommitted);
+}
+
+TEST_F(CompensationTest, Path2UnitedAbortsCompensatesContinental) {
+  (*sys_->GetEngine(PaperServiceOf("united")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto report = sys_->Execute(kCompensatedRaise);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kAborted);
+  // Continental committed, then its COMP clause ran: fares restored
+  // (semantically — 10% up then divided back down).
+  EXPECT_NEAR(ContinentalFares(), cont_before_, 1e-6);
+  EXPECT_NEAR(UnitedFares(), united_before_, 1e-6);
+  EXPECT_EQ(report->run.FindTask("t_continental")->state,
+            dol::DolTaskState::kCompensated);
+  EXPECT_EQ(report->run.FindTask("t_united")->state,
+            dol::DolTaskState::kAborted);
+}
+
+TEST_F(CompensationTest, Path3ContinentalAbortsRollsBackUnited) {
+  (*sys_->GetEngine(PaperServiceOf("continental")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto report = sys_->Execute(kCompensatedRaise);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kAborted);
+  EXPECT_NEAR(ContinentalFares(), cont_before_, 1e-6);
+  EXPECT_NEAR(UnitedFares(), united_before_, 1e-6);  // rolled back from P
+  EXPECT_EQ(report->run.FindTask("t_continental")->state,
+            dol::DolTaskState::kAborted);
+  EXPECT_EQ(report->run.FindTask("t_united")->state,
+            dol::DolTaskState::kAborted);
+}
+
+TEST_F(CompensationTest, Path4BothAbortNothingToRepair) {
+  (*sys_->GetEngine(PaperServiceOf("continental")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  (*sys_->GetEngine(PaperServiceOf("united")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto report = sys_->Execute(kCompensatedRaise);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kAborted);
+  EXPECT_NEAR(ContinentalFares(), cont_before_, 1e-6);
+  EXPECT_NEAR(UnitedFares(), united_before_, 1e-6);
+}
+
+TEST_F(CompensationTest, WithoutCompSingleNo2pcVitalUsesLastResource) {
+  // Without the COMP clause, continental (the only no-2PC vital) is
+  // scheduled last: clean runs still succeed...
+  auto report = sys_->Execute(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1\n"
+      "WHERE sour% = 'Houston' AND dest% = 'San Antonio'");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  EXPECT_NEAR(ContinentalFares(), cont_before_ * 1.1, 1e-6);
+}
+
+TEST_F(CompensationTest, LastResourceFailureStillAtomic) {
+  // ...and if the last resource itself fails, the prepared vitals roll
+  // back — atomicity holds without compensation.
+  (*sys_->GetEngine(PaperServiceOf("continental")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto report = sys_->Execute(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1\n"
+      "WHERE sour% = 'Houston' AND dest% = 'San Antonio'");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kAborted);
+  EXPECT_NEAR(ContinentalFares(), cont_before_, 1e-6);
+  EXPECT_NEAR(UnitedFares(), united_before_, 1e-6);
+}
+
+TEST_F(CompensationTest, TwoNo2pcVitalsRefusedEndToEnd) {
+  // Downgrade united too (re-INCORPORATE it as autocommit-only).
+  auto report_or = sys_->Execute(
+      "INCORPORATE SERVICE united_svc SITE site_united CONNECTMODE "
+      "CONNECT COMMITMODE COMMIT CREATE COMMIT INSERT COMMIT DROP COMMIT");
+  ASSERT_TRUE(report_or.ok());
+  auto report = sys_->Execute(
+      "USE continental VITAL united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kRefused);
+  EXPECT_EQ(report->detail.code(), StatusCode::kRefused);
+  // Nothing was touched anywhere.
+  EXPECT_NEAR(ContinentalFares(), cont_before_, 1e-6);
+  EXPECT_NEAR(UnitedFares(), united_before_, 1e-6);
+}
+
+TEST_F(CompensationTest, GeneratedPlanContainsCompensationBlock) {
+  auto report = sys_->Execute(kCompensatedRaise);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->dol_text.find("COMPENSATION {"), std::string::npos)
+      << report->dol_text;
+}
+
+}  // namespace
+}  // namespace msql::core

@@ -1,0 +1,181 @@
+// Query-graph decomposition of multidatabase joins (§4.3): largest
+// local subqueries + modified global query Q'.
+#include <gtest/gtest.h>
+
+#include "mdbs/global_data_dictionary.h"
+#include "msql/decomposer.h"
+#include "relational/sql/parser.h"
+
+namespace msql::lang {
+namespace {
+
+using relational::SelectStmt;
+using relational::TableSchema;
+using relational::Type;
+
+class DecomposerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(gdd_.RegisterDatabase("avis", "avis_svc").ok());
+    ASSERT_TRUE(gdd_.RegisterDatabase("continental", "cont_svc").ok());
+    ASSERT_TRUE(
+        gdd_.PutTable("avis", *TableSchema::Create(
+                                  "cars", {{"code", Type::kInteger, 0},
+                                           {"city", Type::kText, 0},
+                                           {"rate", Type::kReal, 0}}))
+            .ok());
+    ASSERT_TRUE(gdd_.PutTable(
+                        "continental",
+                        *TableSchema::Create(
+                            "flights", {{"flnu", Type::kInteger, 0},
+                                        {"destination", Type::kText, 0},
+                                        {"rate", Type::kReal, 0}}))
+                    .ok());
+    ASSERT_TRUE(gdd_.PutTable(
+                        "continental",
+                        *TableSchema::Create(
+                            "f838", {{"seatnu", Type::kInteger, 0},
+                                     {"seatstatus", Type::kText, 0}}))
+                    .ok());
+  }
+
+  Result<Decomposition> Decompose(std::string_view sql) {
+    auto stmt = relational::ParseSql(sql);
+    if (!stmt.ok()) return stmt.status();
+    return Decomposer(&gdd_).Decompose(
+        static_cast<const SelectStmt&>(**stmt));
+  }
+
+  mdbs::GlobalDataDictionary gdd_;
+};
+
+TEST_F(DecomposerTest, DetectsMultidatabaseFrom) {
+  auto multi = relational::ParseSql(
+      "SELECT 1 FROM avis.cars, continental.flights");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_TRUE(Decomposer::IsMultidatabase(
+      static_cast<const SelectStmt&>(**multi)));
+  auto local = relational::ParseSql("SELECT 1 FROM cars, rentals");
+  EXPECT_FALSE(Decomposer::IsMultidatabase(
+      static_cast<const SelectStmt&>(**local)));
+}
+
+TEST_F(DecomposerTest, PushesLocalConjunctsDown) {
+  auto d = Decompose(
+      "SELECT cars.code, flights.flnu FROM avis.cars, continental.flights "
+      "WHERE cars.city = flights.destination AND cars.rate < 50 "
+      "AND flights.rate < 300");
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_EQ(d->subqueries.size(), 2u);
+  // Local filters ended up inside the right subqueries.
+  std::string avis_sql, cont_sql;
+  for (const auto& sub : d->subqueries) {
+    if (sub.database == "avis") avis_sql = sub.select->ToSql();
+    if (sub.database == "continental") cont_sql = sub.select->ToSql();
+  }
+  EXPECT_NE(avis_sql.find("cars.rate < 50"), std::string::npos) << avis_sql;
+  EXPECT_EQ(avis_sql.find("300"), std::string::npos);
+  EXPECT_NE(cont_sql.find("flights.rate < 300"), std::string::npos);
+  // The cross-database join predicate stays in Q'.
+  std::string global = d->global_query->ToSql();
+  EXPECT_NE(global.find("mdbs_tmp_avis.cars__city = "
+                        "mdbs_tmp_continental.flights__destination"),
+            std::string::npos)
+      << global;
+  EXPECT_EQ(global.find("< 50"), std::string::npos);
+}
+
+TEST_F(DecomposerTest, ShipsOnlyNeededColumns) {
+  auto d = Decompose(
+      "SELECT cars.code FROM avis.cars, continental.flights "
+      "WHERE cars.city = flights.destination");
+  ASSERT_TRUE(d.ok()) << d.status();
+  for (const auto& sub : d->subqueries) {
+    if (sub.database == "avis") {
+      // code (select) + city (join) but NOT rate.
+      EXPECT_EQ(sub.temp_schema.num_columns(), 2u);
+      EXPECT_TRUE(sub.temp_schema.HasColumn("cars__code"));
+      EXPECT_TRUE(sub.temp_schema.HasColumn("cars__city"));
+    } else {
+      EXPECT_EQ(sub.temp_schema.num_columns(), 1u);
+      EXPECT_TRUE(sub.temp_schema.HasColumn("flights__destination"));
+    }
+  }
+}
+
+TEST_F(DecomposerTest, CoordinatorHasMostTables) {
+  auto d = Decompose(
+      "SELECT cars.code FROM avis.cars, continental.flights, "
+      "continental.f838 WHERE cars.code = f838.seatnu");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->coordinator, "continental");  // two tables vs one
+}
+
+TEST_F(DecomposerTest, UnqualifiedColumnsResolveWhenUnambiguous) {
+  auto d = Decompose(
+      "SELECT code, destination FROM avis.cars, continental.flights "
+      "WHERE city = destination");
+  ASSERT_TRUE(d.ok()) << d.status();
+  std::string global = d->global_query->ToSql();
+  EXPECT_NE(global.find("cars__code"), std::string::npos);
+}
+
+TEST_F(DecomposerTest, AmbiguousUnqualifiedColumnRejected) {
+  // 'rate' exists in both databases.
+  auto d = Decompose(
+      "SELECT rate FROM avis.cars, continental.flights");
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DecomposerTest, UnqualifiedTableRejected) {
+  auto d = Decompose("SELECT cars.code FROM cars, continental.flights");
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DecomposerTest, SubqueriesUnsupported) {
+  auto d = Decompose(
+      "SELECT cars.code FROM avis.cars, continental.flights "
+      "WHERE cars.rate = (SELECT MIN(rate) FROM avis.cars)");
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DecomposerTest, StarExpandsToAllShippedColumns) {
+  auto d = Decompose("SELECT * FROM avis.cars, continental.f838");
+  ASSERT_TRUE(d.ok()) << d.status();
+  // 3 cars columns + 2 f838 columns.
+  EXPECT_EQ(d->global_query->items.size(), 5u);
+}
+
+TEST_F(DecomposerTest, AggregatesComputeGlobally) {
+  auto d = Decompose(
+      "SELECT COUNT(*), MIN(cars.rate) FROM avis.cars, "
+      "continental.flights WHERE cars.city = flights.destination");
+  ASSERT_TRUE(d.ok()) << d.status();
+  std::string global = d->global_query->ToSql();
+  EXPECT_NE(global.find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(global.find("MIN(mdbs_tmp_avis.cars__rate)"),
+            std::string::npos)
+      << global;
+}
+
+TEST_F(DecomposerTest, SingleDatabaseRejected) {
+  auto d = Decompose(
+      "SELECT flights.flnu FROM continental.flights, continental.f838");
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DecomposerTest, AliasedTablesKeepAliases) {
+  auto d = Decompose(
+      "SELECT c.code FROM avis.cars c, continental.flights f "
+      "WHERE c.city = f.destination");
+  ASSERT_TRUE(d.ok()) << d.status();
+  for (const auto& sub : d->subqueries) {
+    if (sub.database == "avis") {
+      EXPECT_NE(sub.select->ToSql().find("cars c"), std::string::npos);
+      EXPECT_TRUE(sub.temp_schema.HasColumn("c__code"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msql::lang

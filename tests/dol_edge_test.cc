@@ -1,0 +1,211 @@
+// DOL engine and protocol edge cases beyond the main suite: transfer
+// failure paths, parallel non-task statements, nested conditionals,
+// session bookkeeping.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dol/engine.h"
+#include "dol/parser.h"
+#include "netsim/environment.h"
+#include "relational/engine.h"
+
+namespace msql::dol {
+namespace {
+
+using netsim::Environment;
+using relational::CapabilityProfile;
+using relational::LocalEngine;
+
+class DolEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddEngine("asvc", "site_a");
+    AddEngine("bsvc", "site_b");
+  }
+
+  void AddEngine(const std::string& service, const std::string& site) {
+    auto engine = std::make_unique<LocalEngine>(
+        service, CapabilityProfile::IngresLike());
+    ASSERT_TRUE(engine->CreateDatabase("db").ok());
+    auto s = *engine->OpenSession("db");
+    ASSERT_TRUE(
+        engine->Execute(s, "CREATE TABLE t (id INTEGER, v TEXT)").ok());
+    ASSERT_TRUE(
+        engine->Execute(s, "INSERT INTO t VALUES (1, 'a'), (2, 'b')").ok());
+    ASSERT_TRUE(engine->CloseSession(s).ok());
+    engines_[service] = engine.get();
+    ASSERT_TRUE(env_.AddService(service, site, std::move(engine)).ok());
+  }
+
+  Result<DolRunResult> Run(const std::string& text) {
+    auto program = ParseDol(text);
+    if (!program.ok()) return program.status();
+    DolEngine engine(&env_);
+    return engine.Run(*program);
+  }
+
+  Environment env_;
+  std::map<std::string, LocalEngine*> engines_;
+};
+
+TEST_F(DolEdgeTest, TransferOfDmlTaskIsAnError) {
+  auto result = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  OPEN db AT bsvc AS b;
+  TASK t1 FOR a { DELETE FROM t WHERE id = 99 } ENDTASK;
+  TRANSFER t1 TO b TABLE x (id INTEGER);
+DOLEND)");
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DolEdgeTest, TransferToDownTargetFails) {
+  env_.network().SetSiteDown("site_b", true);
+  auto result = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  OPEN db AT bsvc AS b;
+  TASK t1 FOR a { SELECT id FROM t } ENDTASK;
+  TRANSFER t1 TO b TABLE x (id INTEGER);
+DOLEND)");
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(DolEdgeTest, TransferAppendIntoMissingTableFails) {
+  auto result = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  OPEN db AT bsvc AS b;
+  TASK t1 FOR a { SELECT id FROM t } ENDTASK;
+  TRANSFER t1 TO b TABLE ghost APPEND;
+DOLEND)");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DolEdgeTest, EmptyResultTransfersCreateEmptyTable) {
+  auto result = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  OPEN db AT bsvc AS b;
+  TASK t1 FOR a { SELECT id FROM t WHERE id = 99 } ENDTASK;
+  TRANSFER t1 TO b TABLE empty_copy (id INTEGER);
+  TASK q FOR b { SELECT COUNT ( * ) FROM empty_copy } ENDTASK;
+DOLEND)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->FindTask("q")->result.rows[0][0].AsInteger(), 0);
+}
+
+TEST_F(DolEdgeTest, ParallelOpensOverlap) {
+  auto par = Run(R"(
+DOLBEGIN
+  PARBEGIN
+    OPEN db AT asvc AS a;
+    OPEN db AT bsvc AS b;
+  PAREND;
+  CLOSE a b;
+DOLEND)");
+  auto seq = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  OPEN db AT bsvc AS b;
+  CLOSE a b;
+DOLEND)");
+  ASSERT_TRUE(par.ok());
+  ASSERT_TRUE(seq.ok());
+  EXPECT_LT(par->makespan_micros, seq->makespan_micros);
+}
+
+TEST_F(DolEdgeTest, NestedIfBranches) {
+  auto result = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  TASK t1 FOR a { SELECT id FROM t } ENDTASK;
+  TASK t2 FOR a { SELECT id FROM ghost } ENDTASK;
+  IF t1=C THEN
+  BEGIN
+    IF t2=C THEN BEGIN DOLSTATUS = 1; END;
+    ELSE BEGIN DOLSTATUS = 2; END;
+  END;
+  ELSE BEGIN DOLSTATUS = 3; END;
+DOLEND)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dol_status, 2);
+}
+
+TEST_F(DolEdgeTest, StatusDefaultsToZero) {
+  auto result = Run("DOLBEGIN DOLEND");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dol_status, 0);
+  EXPECT_EQ(result->makespan_micros, 0);
+  EXPECT_TRUE(result->tasks.empty());
+}
+
+TEST_F(DolEdgeTest, TaskOnClosedChannelAborts) {
+  auto result = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  CLOSE a;
+  TASK t1 FOR a { SELECT id FROM t } ENDTASK;
+  IF t1=A THEN BEGIN DOLSTATUS = 5; END;
+DOLEND)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dol_status, 5);
+}
+
+TEST_F(DolEdgeTest, CommitIsIdempotentOnCommittedTasks) {
+  auto result = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  TASK t1 FOR a { DELETE FROM t WHERE id = 1 } ENDTASK;
+  COMMIT t1;
+  COMMIT t1;
+  DOLSTATUS = 0;
+DOLEND)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->FindTask("t1")->state, DolTaskState::kCommitted);
+}
+
+TEST_F(DolEdgeTest, SessionLocksReleasedAfterProgram) {
+  // A prepared task that the program forgets to resolve is still rolled
+  // back when its session closes — no lock leaks into later programs.
+  auto first = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  TASK t1 NOCOMMIT FOR a { DELETE FROM t } ENDTASK;
+  CLOSE a;
+DOLEND)");
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  TASK t2 FOR a { SELECT COUNT ( * ) FROM t } ENDTASK;
+  CLOSE a;
+DOLEND)");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->FindTask("t2")->state, DolTaskState::kCommitted);
+  // The unresolved prepared delete was rolled back at CLOSE.
+  EXPECT_EQ(second->FindTask("t2")->result.rows[0][0].AsInteger(), 2);
+}
+
+TEST_F(DolEdgeTest, BytesAccountingGrowsWithResults) {
+  auto small = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  TASK t FOR a { SELECT id FROM t WHERE id = 1 } ENDTASK;
+  CLOSE a;
+DOLEND)");
+  auto large = Run(R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  TASK t FOR a { SELECT id, v FROM t } ENDTASK;
+  CLOSE a;
+DOLEND)");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->bytes, small->bytes);
+  EXPECT_EQ(large->messages, small->messages);
+}
+
+}  // namespace
+}  // namespace msql::dol

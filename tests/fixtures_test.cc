@@ -1,0 +1,177 @@
+// Invariants of the shipped federations (the fixtures every example,
+// test and bench builds on).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace msql::core {
+namespace {
+
+TEST(PaperFederationTest, AllFiveDatabasesImported) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  EXPECT_EQ(sys->gdd().DatabaseNames(),
+            (std::vector<std::string>{"avis", "continental", "delta",
+                                      "national", "united"}));
+  // The Appendix table set, per database.
+  EXPECT_TRUE(sys->gdd().HasTable("continental", "flights"));
+  EXPECT_TRUE(sys->gdd().HasTable("continental", "f838"));
+  EXPECT_TRUE(sys->gdd().HasTable("delta", "flight"));
+  EXPECT_TRUE(sys->gdd().HasTable("delta", "fnu747"));
+  EXPECT_TRUE(sys->gdd().HasTable("united", "flight"));
+  EXPECT_TRUE(sys->gdd().HasTable("united", "fn727"));
+  EXPECT_TRUE(sys->gdd().HasTable("avis", "cars"));
+  EXPECT_TRUE(sys->gdd().HasTable("national", "vehicle"));
+}
+
+TEST(PaperFederationTest, CapabilityHeterogeneityAsDocumented) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  auto profile = [&](const char* db) {
+    return (*sys->GetEngine(PaperServiceOf(db)))->profile();
+  };
+  EXPECT_EQ(profile("continental").dbms_family, "oracle");
+  EXPECT_TRUE(profile("continental").ddl_commits_prior_work);
+  EXPECT_EQ(profile("delta").dbms_family, "ingres");
+  EXPECT_TRUE(profile("delta").ddl_rollbackable);
+  EXPECT_TRUE(profile("united").supports_two_phase_commit);
+  // AD declarations match the engines.
+  auto svc = sys->auxiliary_directory().GetService("continental_svc");
+  ASSERT_TRUE(svc.ok());
+  EXPECT_TRUE((*svc)->SupportsTwoPhaseCommit());
+}
+
+TEST(PaperFederationTest, No2pcVariantDowngradesContinental) {
+  PaperFederationOptions options;
+  options.continental_autocommit_only = true;
+  auto sys = std::move(BuildPaperFederation(options)).value();
+  EXPECT_FALSE((*sys->GetEngine(PaperServiceOf("continental")))
+                   ->profile()
+                   .supports_two_phase_commit);
+  auto svc = sys->auxiliary_directory().GetService("continental_svc");
+  ASSERT_TRUE(svc.ok());
+  EXPECT_FALSE((*svc)->SupportsTwoPhaseCommit());
+  // The other airlines are unaffected.
+  EXPECT_TRUE((*sys->GetEngine(PaperServiceOf("united")))
+                  ->profile()
+                  .supports_two_phase_commit);
+}
+
+TEST(PaperFederationTest, EveryAirlineHasTheUpdateTarget) {
+  // The §3.2 example needs Houston → San Antonio flights everywhere.
+  auto sys = std::move(BuildPaperFederation()).value();
+  struct Probe {
+    const char* db;
+    const char* sql;
+  };
+  const Probe probes[] = {
+      {"continental",
+       "SELECT COUNT(*) FROM flights WHERE source = 'Houston' AND "
+       "destination = 'San Antonio'"},
+      {"delta",
+       "SELECT COUNT(*) FROM flight WHERE source = 'Houston' AND "
+       "dest = 'San Antonio'"},
+      {"united",
+       "SELECT COUNT(*) FROM flight WHERE sour = 'Houston' AND "
+       "dest = 'San Antonio'"},
+  };
+  for (const auto& probe : probes) {
+    auto engine = *sys->GetEngine(PaperServiceOf(probe.db));
+    auto s = *engine->OpenSession(probe.db);
+    auto rs = engine->Execute(s, probe.sql);
+    ASSERT_TRUE(rs.ok()) << probe.db;
+    EXPECT_GE(rs->rows[0][0].AsInteger(), 2) << probe.db;
+  }
+}
+
+TEST(PaperFederationTest, ReservationInventoryExists) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  auto count = [&](const char* db, const char* sql) {
+    auto engine = *sys->GetEngine(PaperServiceOf(db));
+    auto s = *engine->OpenSession(db);
+    auto rs = engine->Execute(s, sql);
+    EXPECT_TRUE(rs.ok());
+    return rs->rows[0][0].AsInteger();
+  };
+  EXPECT_GT(count("continental",
+                  "SELECT COUNT(*) FROM f838 WHERE seatstatus = 'FREE'"),
+            0);
+  EXPECT_GT(count("delta",
+                  "SELECT COUNT(*) FROM fnu747 WHERE sstat = 'FREE'"),
+            0);
+  EXPECT_GT(count("avis",
+                  "SELECT COUNT(*) FROM cars WHERE carst = 'available'"),
+            0);
+  EXPECT_GT(count("national",
+                  "SELECT COUNT(*) FROM vehicle WHERE vstat = "
+                  "'available'"),
+            0);
+}
+
+TEST(PaperFederationTest, DeterministicAcrossBuildsForSameSeed) {
+  auto a = std::move(BuildPaperFederation()).value();
+  auto b = std::move(BuildPaperFederation()).value();
+  auto dump = [](MultidatabaseSystem* sys) {
+    auto engine = *sys->GetEngine(PaperServiceOf("continental"));
+    auto s = *engine->OpenSession("continental");
+    auto rs = engine->Execute(
+        s, "SELECT flnu, source, destination, rate FROM flights "
+           "ORDER BY flnu");
+    EXPECT_TRUE(rs.ok());
+    return rs->ToString();
+  };
+  EXPECT_EQ(dump(a.get()), dump(b.get()));
+  PaperFederationOptions other_seed;
+  other_seed.seed = 99;
+  auto c = std::move(BuildPaperFederation(other_seed)).value();
+  EXPECT_NE(dump(a.get()), dump(c.get()));
+}
+
+TEST(PaperFederationTest, SkippingBootstrapLeavesCatalogEmpty) {
+  PaperFederationOptions options;
+  options.incorporate_and_import = false;
+  auto sys = std::move(BuildPaperFederation(options)).value();
+  EXPECT_EQ(sys->auxiliary_directory().size(), 0u);
+  EXPECT_TRUE(sys->gdd().DatabaseNames().empty());
+  // Queries are impossible until the catalog is built.
+  auto report = sys->Execute("USE avis SELECT code FROM cars");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(SyntheticFederationTest, ShapeMatchesOptions) {
+  SyntheticFederationOptions options;
+  options.n_databases = 5;
+  options.rows_per_table = 12;
+  options.autocommit_fraction = 0.4;  // stride 2 → db0, db2, db4
+  auto sys = std::move(BuildSyntheticFederation(options)).value();
+  EXPECT_EQ(sys->gdd().DatabaseNames().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    std::string db = "db" + std::to_string(i);
+    EXPECT_TRUE(sys->gdd().HasTable(db, "flight" + std::to_string(i)));
+    auto engine = *sys->GetEngine(db + "_svc");
+    bool expect_autocommit = (i % 2) == 0;
+    EXPECT_EQ(engine->profile().supports_two_phase_commit,
+              !expect_autocommit)
+        << db;
+    auto s = *engine->OpenSession(db);
+    auto rs = engine->Execute(
+        s, "SELECT COUNT(*) FROM flight" + std::to_string(i));
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ(rs->rows[0][0].AsInteger(), 12);
+  }
+}
+
+TEST(SyntheticFederationTest, WildcardSpansTheWholeFederation) {
+  SyntheticFederationOptions options;
+  options.n_databases = 3;
+  auto sys = std::move(BuildSyntheticFederation(options)).value();
+  auto report = sys->Execute(
+      "USE db0 db1 db2 SELECT fno FROM flight% WHERE source = 'Houston'");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  EXPECT_EQ(report->multitable.size(), 3u);
+}
+
+}  // namespace
+}  // namespace msql::core

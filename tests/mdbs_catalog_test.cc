@@ -1,0 +1,217 @@
+// Auxiliary Directory, Global Data Dictionary, INCORPORATE and IMPORT
+// (experiment E2, Figure 2's schema architecture).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mdbs/auxiliary_directory.h"
+#include "mdbs/catalog_ops.h"
+#include "mdbs/global_data_dictionary.h"
+#include "netsim/environment.h"
+#include "relational/engine.h"
+
+namespace msql::mdbs {
+namespace {
+
+using relational::CapabilityProfile;
+using relational::LocalEngine;
+using relational::Type;
+
+TEST(AuxiliaryDirectoryTest, IncorporateReplaceLookup) {
+  AuxiliaryDirectory ad;
+  ServiceDescriptor svc;
+  svc.name = "Oracle_Svc";
+  svc.site = "Site1";
+  svc.autocommit_only = false;
+  ad.Incorporate(svc);
+  ASSERT_TRUE(ad.HasService("oracle_svc"));
+  auto got = ad.GetService("ORACLE_SVC");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->site, "site1");
+  EXPECT_TRUE((*got)->SupportsTwoPhaseCommit());
+
+  // Re-incorporation replaces the entry.
+  svc.autocommit_only = true;
+  ad.Incorporate(svc);
+  EXPECT_FALSE((*ad.GetService("oracle_svc"))->SupportsTwoPhaseCommit());
+  EXPECT_EQ(ad.size(), 1u);
+
+  EXPECT_TRUE(ad.RemoveService("oracle_svc").ok());
+  EXPECT_EQ(ad.GetService("oracle_svc").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AuxiliaryDirectoryTest, IncorporateSqlRendering) {
+  ServiceDescriptor svc;
+  svc.name = "s";
+  svc.site = "x";
+  svc.connect_mode = false;
+  svc.autocommit_only = true;
+  svc.ddl_modes.create_autocommits = true;
+  std::string sql = svc.ToIncorporateSql();
+  EXPECT_NE(sql.find("CONNECTMODE NOCONNECT"), std::string::npos);
+  EXPECT_NE(sql.find("COMMITMODE COMMIT"), std::string::npos);
+  EXPECT_NE(sql.find("CREATE COMMIT"), std::string::npos);
+  EXPECT_NE(sql.find("INSERT NOCOMMIT"), std::string::npos);
+}
+
+relational::TableSchema MakeSchema(const std::string& table) {
+  return *relational::TableSchema::Create(
+      table, {{"id", Type::kInteger, 0}, {"name", Type::kText, 20}});
+}
+
+TEST(GddTest, RegisterAndUniqueNames) {
+  GlobalDataDictionary gdd;
+  ASSERT_TRUE(gdd.RegisterDatabase("avis", "svc1").ok());
+  // Idempotent for the same service.
+  EXPECT_TRUE(gdd.RegisterDatabase("avis", "svc1").ok());
+  // Conflicting service violates federation-unique database names.
+  EXPECT_EQ(gdd.RegisterDatabase("avis", "svc2").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(GddTest, TableLifecycleAndReplacement) {
+  GlobalDataDictionary gdd;
+  ASSERT_TRUE(gdd.RegisterDatabase("avis", "svc").ok());
+  ASSERT_TRUE(gdd.PutTable("avis", MakeSchema("cars")).ok());
+  EXPECT_TRUE(gdd.HasTable("avis", "CARS"));
+  EXPECT_EQ(gdd.TotalTableCount(), 1u);
+
+  // IMPORT replaces previous definitions.
+  auto partial = *relational::TableSchema::Create(
+      "cars", {{"id", Type::kInteger, 0}});
+  ASSERT_TRUE(gdd.PutTable("avis", partial).ok());
+  auto table = gdd.GetTable("avis", "cars");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_columns(), 1u);
+
+  EXPECT_TRUE(gdd.RemoveTable("avis", "cars").ok());
+  EXPECT_FALSE(gdd.HasTable("avis", "cars"));
+  EXPECT_EQ(gdd.RemoveTable("avis", "cars").code(), StatusCode::kNotFound);
+}
+
+TEST(GddTest, WildcardMatching) {
+  GlobalDataDictionary gdd;
+  ASSERT_TRUE(gdd.RegisterDatabase("db", "svc").ok());
+  ASSERT_TRUE(gdd.PutTable("db", MakeSchema("flight")).ok());
+  ASSERT_TRUE(gdd.PutTable("db", MakeSchema("flights")).ok());
+  ASSERT_TRUE(gdd.PutTable("db", MakeSchema("cars")).ok());
+  auto tables = gdd.MatchTables("db", "flight%");
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(*tables, (std::vector<std::string>{"flight", "flights"}));
+  auto cols = gdd.MatchColumns("db", "cars", "%id");
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(*cols, (std::vector<std::string>{"id"}));
+  EXPECT_EQ(gdd.MatchTables("ghost", "%").status().code(),
+            StatusCode::kNotFound);
+}
+
+class CatalogOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = std::make_unique<LocalEngine>(
+        "svc", CapabilityProfile::IngresLike());
+    ASSERT_TRUE(engine->CreateDatabase("avis").ok());
+    auto s = *engine->OpenSession("avis");
+    ASSERT_TRUE(engine
+                    ->Execute(s,
+                              "CREATE TABLE cars (code INTEGER, "
+                              "cartype TEXT(16), rate REAL)")
+                    .ok());
+    ASSERT_TRUE(engine
+                    ->Execute(s,
+                              "CREATE TABLE staff (sid INTEGER, "
+                              "name TEXT(30))")
+                    .ok());
+    ASSERT_TRUE(env_.AddService("svc", "site1", std::move(engine)).ok());
+  }
+
+  netsim::Environment env_;
+  AuxiliaryDirectory ad_;
+  GlobalDataDictionary gdd_;
+};
+
+TEST_F(CatalogOpsTest, IncorporateVerifiesReachability) {
+  ServiceDescriptor svc;
+  svc.name = "svc";
+  svc.site = "site1";
+  EXPECT_TRUE(IncorporateService(&env_, &ad_, svc).ok());
+  EXPECT_TRUE(ad_.HasService("svc"));
+
+  ServiceDescriptor ghost;
+  ghost.name = "ghost";
+  EXPECT_EQ(IncorporateService(&env_, &ad_, ghost).code(),
+            StatusCode::kNotFound);
+
+  env_.network().SetSiteDown("site1", true);
+  ServiceDescriptor again = svc;
+  EXPECT_EQ(IncorporateService(&env_, &ad_, again).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(CatalogOpsTest, ImportWholeDatabase) {
+  ServiceDescriptor svc;
+  svc.name = "svc";
+  ASSERT_TRUE(IncorporateService(&env_, &ad_, svc).ok());
+
+  ImportSpec spec;
+  spec.database = "avis";
+  spec.service = "svc";
+  auto imported = ImportDatabase(&env_, ad_, &gdd_, spec);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ(*imported, (std::vector<std::string>{"cars", "staff"}));
+  auto table = gdd_.GetTable("avis", "cars");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_columns(), 3u);
+  // Types and widths came through the wire.
+  EXPECT_EQ((*table)->column(1).type, Type::kText);
+  EXPECT_EQ((*table)->column(1).width, 16);
+}
+
+TEST_F(CatalogOpsTest, ImportSingleTableAndPartialColumns) {
+  ServiceDescriptor svc;
+  svc.name = "svc";
+  ASSERT_TRUE(IncorporateService(&env_, &ad_, svc).ok());
+
+  ImportSpec one_table;
+  one_table.database = "avis";
+  one_table.service = "svc";
+  one_table.table = "cars";
+  ASSERT_TRUE(ImportDatabase(&env_, ad_, &gdd_, one_table).ok());
+  EXPECT_TRUE(gdd_.HasTable("avis", "cars"));
+  EXPECT_FALSE(gdd_.HasTable("avis", "staff"));
+
+  // Partial column import replaces the previous full definition.
+  ImportSpec partial = one_table;
+  partial.columns = {"code"};
+  ASSERT_TRUE(ImportDatabase(&env_, ad_, &gdd_, partial).ok());
+  EXPECT_EQ((*gdd_.GetTable("avis", "cars"))->num_columns(), 1u);
+}
+
+TEST_F(CatalogOpsTest, ImportRequiresIncorporation) {
+  ImportSpec spec;
+  spec.database = "avis";
+  spec.service = "svc";  // reachable but never incorporated
+  EXPECT_EQ(ImportDatabase(&env_, ad_, &gdd_, spec).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogOpsTest, ImportUnknownObjectsFail) {
+  ServiceDescriptor svc;
+  svc.name = "svc";
+  ASSERT_TRUE(IncorporateService(&env_, &ad_, svc).ok());
+
+  ImportSpec bad_db;
+  bad_db.database = "ghost";
+  bad_db.service = "svc";
+  EXPECT_FALSE(ImportDatabase(&env_, ad_, &gdd_, bad_db).ok());
+
+  ImportSpec bad_table;
+  bad_table.database = "avis";
+  bad_table.service = "svc";
+  bad_table.table = "ghost";
+  EXPECT_FALSE(ImportDatabase(&env_, ad_, &gdd_, bad_table).ok());
+}
+
+}  // namespace
+}  // namespace msql::mdbs

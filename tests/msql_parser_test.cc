@@ -1,0 +1,252 @@
+// MSQL front-end grammar: USE/VITAL/aliases, LET, COMP, INCORPORATE,
+// IMPORT and multitransactions.
+#include <gtest/gtest.h>
+
+#include "msql/parser.h"
+
+namespace msql::lang {
+namespace {
+
+Result<MsqlInput> ParseOne(std::string_view text) {
+  return MsqlParser::ParseOne(text);
+}
+
+TEST(MsqlParserTest, Section2CarRentalQuery) {
+  auto input = ParseOne(
+      "USE avis national\n"
+      "LET car.type.status BE cars.cartype.carst vehicle.vty.vstat\n"
+      "SELECT %code, type, ~rate FROM car WHERE status = 'available'");
+  ASSERT_TRUE(input.ok()) << input.status();
+  ASSERT_EQ(input->kind, MsqlInput::Kind::kQuery);
+  const MsqlQuery& q = *input->query;
+  ASSERT_EQ(q.use.entries.size(), 2u);
+  EXPECT_EQ(q.use.entries[0].database, "avis");
+  EXPECT_FALSE(q.use.entries[0].vital);
+  ASSERT_TRUE(q.let.has_value());
+  ASSERT_EQ(q.let->bindings.size(), 1u);
+  const LetBinding& binding = q.let->bindings[0];
+  EXPECT_EQ(binding.variable_path,
+            (std::vector<std::string>{"car", "type", "status"}));
+  ASSERT_EQ(binding.targets.size(), 2u);
+  EXPECT_EQ(binding.targets[1],
+            (std::vector<std::string>{"vehicle", "vty", "vstat"}));
+  EXPECT_EQ(q.body->kind(), relational::StatementKind::kSelect);
+}
+
+TEST(MsqlParserTest, Section32VitalDesignators) {
+  auto input = ParseOne(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1\n"
+      "WHERE sour% = 'Houston' AND dest% = 'San Antonio'");
+  ASSERT_TRUE(input.ok()) << input.status();
+  const MsqlQuery& q = *input->query;
+  ASSERT_EQ(q.use.entries.size(), 3u);
+  EXPECT_TRUE(q.use.entries[0].vital);
+  EXPECT_FALSE(q.use.entries[1].vital);
+  EXPECT_TRUE(q.use.entries[2].vital);
+  EXPECT_EQ(q.body->kind(), relational::StatementKind::kUpdate);
+}
+
+TEST(MsqlParserTest, Section33CompClause) {
+  auto input = ParseOne(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1\n"
+      "WHERE sour% = 'Houston' AND dest% = 'San Antonio'\n"
+      "COMP continental\n"
+      "UPDATE flights SET rate = rate / 1.1\n"
+      "WHERE source = 'Houston' AND destination = 'San Antonio'");
+  ASSERT_TRUE(input.ok()) << input.status();
+  const MsqlQuery& q = *input->query;
+  ASSERT_EQ(q.comps.size(), 1u);
+  EXPECT_EQ(q.comps[0].database, "continental");
+  EXPECT_EQ(q.comps[0].action->kind(), relational::StatementKind::kUpdate);
+}
+
+TEST(MsqlParserTest, AliasesNeedParens) {
+  auto input = ParseOne(
+      "USE (continental c1) VITAL (continental c2)\n"
+      "SELECT rate FROM flights");
+  ASSERT_TRUE(input.ok()) << input.status();
+  const MsqlQuery& q = *input->query;
+  ASSERT_EQ(q.use.entries.size(), 2u);
+  EXPECT_EQ(q.use.entries[0].alias, "c1");
+  EXPECT_TRUE(q.use.entries[0].vital);
+  EXPECT_EQ(q.use.entries[1].EffectiveName(), "c2");
+}
+
+TEST(MsqlParserTest, UseCurrentInheritsScope) {
+  auto with_current = ParseOne("USE CURRENT avis SELECT code FROM cars");
+  ASSERT_TRUE(with_current.ok());
+  EXPECT_TRUE(with_current->query->use.current);
+  ASSERT_EQ(with_current->query->use.entries.size(), 1u);
+
+  auto bare = ParseOne("SELECT code FROM cars");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->query->use.current);
+  EXPECT_TRUE(bare->query->use.entries.empty());
+}
+
+TEST(MsqlParserTest, MultipleLetBindings) {
+  auto input = ParseOne(
+      "USE a b\n"
+      "LET t.x BE ta.xa tb.xb\n"
+      "LET u.y BE ua.ya ub.yb\n"
+      "SELECT x, y FROM t, u");
+  ASSERT_TRUE(input.ok()) << input.status();
+  EXPECT_EQ(input->query->let->bindings.size(), 2u);
+}
+
+TEST(MsqlParserTest, LetArityMismatchRejected) {
+  auto input = ParseOne(
+      "USE a b LET t.x.y BE ta.xa SELECT x FROM t");
+  EXPECT_FALSE(input.ok());  // target has 2 parts for a 3-part variable
+}
+
+TEST(MsqlParserTest, LetWithoutTargetsRejected) {
+  EXPECT_FALSE(ParseOne("USE a LET t.x BE SELECT x FROM t").ok());
+}
+
+TEST(MsqlParserTest, Incorporate) {
+  auto input = ParseOne(
+      "INCORPORATE SERVICE ora1 SITE site3 CONNECTMODE CONNECT "
+      "COMMITMODE NOCOMMIT CREATE COMMIT INSERT NOCOMMIT DROP COMMIT");
+  ASSERT_TRUE(input.ok()) << input.status();
+  ASSERT_EQ(input->kind, MsqlInput::Kind::kIncorporate);
+  const IncorporateStmt& inc = *input->incorporate;
+  EXPECT_EQ(inc.service, "ora1");
+  EXPECT_EQ(inc.site, "site3");
+  EXPECT_TRUE(inc.connect_mode);
+  EXPECT_FALSE(inc.autocommit_only);
+  EXPECT_TRUE(inc.create_autocommits);
+  EXPECT_FALSE(inc.insert_autocommits);
+  EXPECT_TRUE(inc.drop_autocommits);
+}
+
+TEST(MsqlParserTest, IncorporateRequiresModes) {
+  EXPECT_FALSE(ParseOne("INCORPORATE SERVICE s SITE x").ok());
+  EXPECT_FALSE(
+      ParseOne("INCORPORATE SERVICE s CONNECTMODE CONNECT").ok());
+}
+
+TEST(MsqlParserTest, ImportVariants) {
+  auto whole = ParseOne("IMPORT DATABASE avis FROM SERVICE svc");
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->kind, MsqlInput::Kind::kImport);
+  EXPECT_FALSE(whole->import->table.has_value());
+
+  auto table = ParseOne("IMPORT DATABASE avis FROM SERVICE svc TABLE cars");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*table->import->table, "cars");
+
+  auto partial = ParseOne(
+      "IMPORT DATABASE avis FROM SERVICE svc TABLE cars COLUMN code rate");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->import->columns,
+            (std::vector<std::string>{"code", "rate"}));
+}
+
+TEST(MsqlParserTest, ImportViewVariants) {
+  auto view = ParseOne("IMPORT DATABASE d FROM SERVICE s VIEW pub");
+  ASSERT_TRUE(view.ok()) << view.status();
+  ASSERT_TRUE(view->import->view.has_value());
+  EXPECT_EQ(*view->import->view, "pub");
+  EXPECT_FALSE(view->import->table.has_value());
+
+  auto partial = ParseOne(
+      "IMPORT DATABASE d FROM SERVICE s VIEW pub COLUMN a b");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->import->columns,
+            (std::vector<std::string>{"a", "b"}));
+  // Rendering round-trips.
+  auto again = ParseOne(partial->import->ToMsql());
+  ASSERT_TRUE(again.ok()) << partial->import->ToMsql();
+  EXPECT_EQ(again->import->ToMsql(), partial->import->ToMsql());
+}
+
+TEST(MsqlParserTest, UseClauseRendering) {
+  auto q = ParseOne(
+      "USE (continental c) VITAL delta SELECT rate FROM flights");
+  ASSERT_TRUE(q.ok());
+  std::string rendered = q->query->use.ToMsql();
+  EXPECT_EQ(rendered, "USE (continental c) VITAL delta");
+  auto current = ParseOne("USE CURRENT avis SELECT code FROM cars");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->query->use.ToMsql(), "USE CURRENT avis");
+}
+
+TEST(MsqlParserTest, Section34MultiTransaction) {
+  auto input = ParseOne(
+      "BEGIN MULTITRANSACTION\n"
+      "USE continental delta\n"
+      "LET fitab.snu.sstat.clname BE "
+      "f838.seatnu.seatstatus.clientname fnu747.snu.sstat.passname\n"
+      "UPDATE fitab SET sstat = 'TAKEN', clname = 'wenders'\n"
+      "WHERE snu = (SELECT MIN(snu) FROM fitab WHERE sstat = 'FREE');\n"
+      "USE avis national\n"
+      "LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat\n"
+      "UPDATE cartab SET cstat = 'TAKEN', client = 'wenders'\n"
+      "WHERE ccode = (SELECT MIN(ccode) FROM cartab WHERE "
+      "cstat = 'available');\n"
+      "COMMIT\n"
+      "continental AND national\n"
+      "delta AND avis\n"
+      "END MULTITRANSACTION");
+  ASSERT_TRUE(input.ok()) << input.status();
+  ASSERT_EQ(input->kind, MsqlInput::Kind::kMultiTransaction);
+  const MultiTransaction& mt = *input->multitransaction;
+  ASSERT_EQ(mt.queries.size(), 2u);
+  ASSERT_EQ(mt.acceptable_states.size(), 2u);
+  EXPECT_EQ(mt.acceptable_states[0].databases,
+            (std::vector<std::string>{"continental", "national"}));
+  EXPECT_EQ(mt.acceptable_states[1].databases,
+            (std::vector<std::string>{"delta", "avis"}));
+}
+
+TEST(MsqlParserTest, AcceptableStatesSplitOnMissingAnd) {
+  // Four states, each a single database.
+  auto input = ParseOne(
+      "BEGIN MULTITRANSACTION\n"
+      "USE a SELECT x FROM t;\n"
+      "COMMIT a b c d END MULTITRANSACTION");
+  ASSERT_TRUE(input.ok()) << input.status();
+  EXPECT_EQ(input->multitransaction->acceptable_states.size(), 4u);
+}
+
+TEST(MsqlParserTest, MultiTransactionNeedsCommitAndStates) {
+  EXPECT_FALSE(ParseOne(
+      "BEGIN MULTITRANSACTION USE a SELECT x FROM t; "
+      "END MULTITRANSACTION").ok());
+  EXPECT_FALSE(ParseOne(
+      "BEGIN MULTITRANSACTION USE a SELECT x FROM t; COMMIT "
+      "END MULTITRANSACTION").ok());
+}
+
+TEST(MsqlParserTest, ScriptParsesManyItems) {
+  auto items = MsqlParser::ParseScript(
+      "USE a SELECT x FROM t;\n"
+      "IMPORT DATABASE d FROM SERVICE s;\n"
+      "USE b UPDATE t SET x = 1");
+  ASSERT_TRUE(items.ok()) << items.status();
+  EXPECT_EQ(items->size(), 3u);
+}
+
+TEST(MsqlParserTest, RoundTripToMsql) {
+  const char* text =
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1 "
+      "WHERE sour% = 'Houston'\n"
+      "COMP continental UPDATE flights SET rate = rate / 1.1";
+  auto first = ParseOne(text);
+  ASSERT_TRUE(first.ok());
+  std::string rendered = first->query->ToMsql();
+  auto second = ParseOne(rendered);
+  ASSERT_TRUE(second.ok()) << rendered << " -> " << second.status();
+  EXPECT_EQ(second->query->ToMsql(), rendered);
+}
+
+TEST(MsqlParserTest, EmptyUseRejected) {
+  EXPECT_FALSE(ParseOne("USE SELECT a FROM t").ok());
+}
+
+}  // namespace
+}  // namespace msql::lang

@@ -1,0 +1,219 @@
+// Experiment E6 (§3.4): the travel-agent multitransaction with function
+// replication and preference-ordered acceptable termination states.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace msql::core {
+namespace {
+
+using relational::FailPoint;
+
+/// The paper's §3.4 multitransaction, adapted to the fixture's value
+/// conventions (cars are 'available'; seat updates also stamp the
+/// rental period columns cfrom/cto — FROM/TO are reserved words here).
+constexpr const char* kTravelAgent =
+    "BEGIN MULTITRANSACTION\n"
+    "USE continental delta\n"
+    "LET fitab.snu.sstat.clname BE\n"
+    "  f838.seatnu.seatstatus.clientname\n"
+    "  fnu747.snu.sstat.passname\n"
+    "UPDATE fitab SET sstat = 'TAKEN', clname = 'wenders'\n"
+    "WHERE snu = (SELECT MIN(snu) FROM fitab WHERE sstat = 'FREE');\n"
+    "USE avis national\n"
+    "LET cartab.ccode.cstat BE\n"
+    "  cars.code.carst\n"
+    "  vehicle.vcode.vstat\n"
+    "UPDATE cartab SET cstat = 'TAKEN', cfrom = '07-04-92',\n"
+    "  cto = '04-16-93', client = 'wenders'\n"
+    "WHERE ccode = (SELECT MIN(ccode) FROM cartab WHERE "
+    "cstat = 'available');\n"
+    "COMMIT\n"
+    "  continental AND national\n"
+    "  delta AND avis\n"
+    "END MULTITRANSACTION";
+
+class MultiTransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto sys = BuildPaperFederation();
+    ASSERT_TRUE(sys.ok()) << sys.status();
+    sys_ = std::move(*sys);
+  }
+
+  int64_t Count(const std::string& db, const std::string& sql) {
+    auto engine = *sys_->GetEngine(PaperServiceOf(db));
+    auto s = *engine->OpenSession(db);
+    auto rs = engine->Execute(s, sql);
+    EXPECT_TRUE(rs.ok()) << rs.status();
+    int64_t out = rs->rows[0][0].AsInteger();
+    EXPECT_TRUE(engine->CloseSession(s).ok());
+    return out;
+  }
+
+  int64_t WendersSeats(const std::string& db, const std::string& table,
+                       const std::string& name_col) {
+    return Count(db, "SELECT COUNT(*) FROM " + table + " WHERE " +
+                         name_col + " = 'wenders'");
+  }
+
+  std::unique_ptr<MultidatabaseSystem> sys_;
+};
+
+TEST_F(MultiTransactionTest, PreferredStateWinsWhenAllSucceed) {
+  auto report = sys_->Execute(kTravelAgent);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  // Preferred state: continental AND national committed...
+  EXPECT_EQ(WendersSeats("continental", "f838", "clientname"), 1);
+  EXPECT_EQ(Count("national",
+                  "SELECT COUNT(*) FROM vehicle WHERE client = 'wenders'"),
+            1);
+  // ...and the replicated alternatives rolled back.
+  EXPECT_EQ(WendersSeats("delta", "fnu747", "passname"), 0);
+  EXPECT_EQ(Count("avis",
+                  "SELECT COUNT(*) FROM cars WHERE client = 'wenders'"),
+            0);
+  // Task states confirm the protocol.
+  EXPECT_EQ(report->run.FindTask("t_continental")->state,
+            dol::DolTaskState::kCommitted);
+  EXPECT_EQ(report->run.FindTask("t_delta")->state,
+            dol::DolTaskState::kAborted);
+  EXPECT_EQ(report->run.FindTask("t_avis")->state,
+            dol::DolTaskState::kAborted);
+  EXPECT_EQ(report->run.FindTask("t_national")->state,
+            dol::DolTaskState::kCommitted);
+}
+
+TEST_F(MultiTransactionTest, FallsBackToSecondState) {
+  // Continental's reservation fails → the preferred state is
+  // unreachable; delta AND avis must win.
+  (*sys_->GetEngine(PaperServiceOf("continental")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto report = sys_->Execute(kTravelAgent);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  EXPECT_EQ(WendersSeats("continental", "f838", "clientname"), 0);
+  EXPECT_EQ(WendersSeats("delta", "fnu747", "passname"), 1);
+  EXPECT_EQ(Count("avis",
+                  "SELECT COUNT(*) FROM cars WHERE client = 'wenders'"),
+            1);
+  EXPECT_EQ(Count("national",
+                  "SELECT COUNT(*) FROM vehicle WHERE client = 'wenders'"),
+            0);
+}
+
+TEST_F(MultiTransactionTest, NationalFailureAlsoSelectsSecondState) {
+  (*sys_->GetEngine(PaperServiceOf("national")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto report = sys_->Execute(kTravelAgent);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  EXPECT_EQ(WendersSeats("delta", "fnu747", "passname"), 1);
+  EXPECT_EQ(WendersSeats("continental", "f838", "clientname"), 0);
+}
+
+TEST_F(MultiTransactionTest, NoReachableStateAbortsEverything) {
+  // Continental and avis both fail: neither {continental, national} nor
+  // {delta, avis} is reachable → everything is undone.
+  (*sys_->GetEngine(PaperServiceOf("continental")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  (*sys_->GetEngine(PaperServiceOf("avis")))
+      ->InjectFailure(FailPoint::kNextStatement);
+  auto report = sys_->Execute(kTravelAgent);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kAborted);
+  EXPECT_EQ(report->dol_status, 1);
+  EXPECT_EQ(WendersSeats("continental", "f838", "clientname"), 0);
+  EXPECT_EQ(WendersSeats("delta", "fnu747", "passname"), 0);
+  EXPECT_EQ(Count("avis",
+                  "SELECT COUNT(*) FROM cars WHERE client = 'wenders'"),
+            0);
+  EXPECT_EQ(Count("national",
+                  "SELECT COUNT(*) FROM vehicle WHERE client = 'wenders'"),
+            0);
+}
+
+TEST_F(MultiTransactionTest, ReservationPicksLowestFreeSeat) {
+  // The MIN(snu) scalar subquery must select the lowest FREE seat.
+  auto min_free = Count("continental",
+                        "SELECT MIN(seatnu) FROM f838 WHERE "
+                        "seatstatus = 'FREE'");
+  auto report = sys_->Execute(kTravelAgent);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(Count("continental",
+                  "SELECT seatnu FROM f838 WHERE clientname = 'wenders'"),
+            min_free);
+}
+
+TEST_F(MultiTransactionTest, SequentialRunsConsumeSeats) {
+  // Two bookings take two different seats on the preferred airline.
+  ASSERT_TRUE(sys_->Execute(kTravelAgent).ok());
+  auto report = sys_->Execute(kTravelAgent);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  EXPECT_EQ(WendersSeats("continental", "f838", "clientname"), 2);
+  EXPECT_EQ(Count("national",
+                  "SELECT COUNT(*) FROM vehicle WHERE client = 'wenders'"),
+            2);
+}
+
+TEST_F(MultiTransactionTest, CompensationInsideMultitransaction) {
+  // Downgrade national to autocommit-only: its subquery then needs a
+  // COMP clause, after which the preferred state still works and a
+  // fallback run compensates the committed national update.
+  ASSERT_TRUE(sys_->Execute(
+                      "INCORPORATE SERVICE national_svc SITE site_national "
+                      "CONNECTMODE CONNECT COMMITMODE COMMIT CREATE COMMIT "
+                      "INSERT COMMIT DROP COMMIT")
+                  .ok());
+  const std::string with_comp = std::string(
+      "BEGIN MULTITRANSACTION\n"
+      "USE continental delta\n"
+      "LET fitab.snu.sstat.clname BE\n"
+      "  f838.seatnu.seatstatus.clientname\n"
+      "  fnu747.snu.sstat.passname\n"
+      "UPDATE fitab SET sstat = 'TAKEN', clname = 'wenders'\n"
+      "WHERE snu = (SELECT MIN(snu) FROM fitab WHERE sstat = 'FREE');\n"
+      "USE avis national\n"
+      "LET cartab.ccode.cstat BE cars.code.carst vehicle.vcode.vstat\n"
+      "UPDATE cartab SET cstat = 'TAKEN', client = 'wenders'\n"
+      "WHERE ccode = (SELECT MIN(ccode) FROM cartab WHERE "
+      "cstat = 'available')\n"
+      "COMP national\n"
+      "UPDATE vehicle SET vstat = 'available', client = NULL\n"
+      "WHERE client = 'wenders';\n"
+      "COMMIT\n"
+      "  delta AND avis\n"
+      "END MULTITRANSACTION");
+  // The only acceptable state excludes national: its committed update
+  // must be compensated away.
+  auto report = sys_->Execute(with_comp);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  EXPECT_EQ(report->run.FindTask("t_national")->state,
+            dol::DolTaskState::kCompensated);
+  EXPECT_EQ(Count("national",
+                  "SELECT COUNT(*) FROM vehicle WHERE client = 'wenders'"),
+            0);
+  EXPECT_EQ(Count("avis",
+                  "SELECT COUNT(*) FROM cars WHERE client = 'wenders'"),
+            1);
+}
+
+TEST_F(MultiTransactionTest, MissingCompOnNo2pcMemberRefused) {
+  ASSERT_TRUE(sys_->Execute(
+                      "INCORPORATE SERVICE national_svc SITE site_national "
+                      "CONNECTMODE CONNECT COMMITMODE COMMIT CREATE COMMIT "
+                      "INSERT COMMIT DROP COMMIT")
+                  .ok());
+  auto report = sys_->Execute(kTravelAgent);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kRefused);
+}
+
+}  // namespace
+}  // namespace msql::core

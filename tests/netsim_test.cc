@@ -1,0 +1,206 @@
+// Simulated network, LAM wire protocol and RPC timing model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netsim/environment.h"
+#include "netsim/lam.h"
+#include "netsim/network.h"
+#include "relational/engine.h"
+
+namespace msql::netsim {
+namespace {
+
+using relational::CapabilityProfile;
+using relational::LocalEngine;
+using relational::TxnState;
+
+TEST(NetworkTest, DefaultAndExplicitLinks) {
+  Network net;
+  net.AddSite("a");
+  net.AddSite("b");
+  LinkParams fast;
+  fast.latency_micros = 10;
+  fast.micros_per_kb = 1;
+  net.SetLink("a", "b", fast);
+  EXPECT_EQ(net.GetLink("a", "b").latency_micros, 10);
+  // Reverse direction falls back to the default.
+  EXPECT_EQ(net.GetLink("b", "a").latency_micros,
+            net.default_link().latency_micros);
+}
+
+TEST(NetworkTest, TransferAccountsBytesAndMessages) {
+  Network net;
+  net.AddSite("a");
+  net.AddSite("b");
+  LinkParams link;
+  link.latency_micros = 100;
+  link.micros_per_kb = 1024;  // 1 us per byte
+  net.SetLink("a", "b", link);
+  auto micros = net.TransferMicros("a", "b", 2048);
+  ASSERT_TRUE(micros.ok());
+  EXPECT_EQ(*micros, 100 + 2048);
+  EXPECT_EQ(net.stats().messages_sent, 1);
+  EXPECT_EQ(net.stats().bytes_sent, 2048);
+}
+
+TEST(NetworkTest, DownSitesAreUnavailable) {
+  Network net;
+  net.AddSite("a");
+  net.AddSite("b");
+  net.SetSiteDown("b", true);
+  EXPECT_EQ(net.TransferMicros("a", "b", 10).status().code(),
+            StatusCode::kUnavailable);
+  net.SetSiteDown("b", false);
+  EXPECT_TRUE(net.TransferMicros("a", "b", 10).ok());
+  EXPECT_EQ(net.TransferMicros("a", "ghost", 10).status().code(),
+            StatusCode::kUnavailable);
+}
+
+std::unique_ptr<LocalEngine> SeededEngine() {
+  auto engine = std::make_unique<LocalEngine>(
+      "svc", CapabilityProfile::IngresLike());
+  EXPECT_TRUE(engine->CreateDatabase("db").ok());
+  auto s = *engine->OpenSession("db");
+  EXPECT_TRUE(
+      engine->Execute(s, "CREATE TABLE t (id INTEGER, v TEXT)").ok());
+  EXPECT_TRUE(
+      engine->Execute(s, "INSERT INTO t VALUES (1, 'a'), (2, 'b')").ok());
+  EXPECT_TRUE(engine->CloseSession(s).ok());
+  return engine;
+}
+
+TEST(LamTest, ExecuteRoundTrip) {
+  Lam lam("svc", "site1", SeededEngine());
+  LamRequest open;
+  open.type = LamRequestType::kOpenSession;
+  open.database = "db";
+  LamResponse opened = lam.Handle(open);
+  ASSERT_TRUE(opened.status.ok());
+  ASSERT_NE(opened.session, 0u);
+
+  LamRequest exec;
+  exec.type = LamRequestType::kExecute;
+  exec.session = opened.session;
+  exec.sql = "SELECT v FROM t ORDER BY id";
+  int64_t service_micros = 0;
+  LamResponse result = lam.Handle(exec, &service_micros);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.result.rows.size(), 2u);
+  EXPECT_GT(service_micros, 0);
+}
+
+TEST(LamTest, TransactionVerbsAndStateReporting) {
+  Lam lam("svc", "site1", SeededEngine());
+  LamRequest open;
+  open.type = LamRequestType::kOpenSession;
+  open.database = "db";
+  auto session = lam.Handle(open).session;
+
+  LamRequest begin{LamRequestType::kBegin, "", session, ""};
+  EXPECT_TRUE(lam.Handle(begin).status.ok());
+  LamRequest exec{LamRequestType::kExecute, "", session,
+                  "DELETE FROM t WHERE id = 1"};
+  LamResponse exec_resp = lam.Handle(exec);
+  EXPECT_TRUE(exec_resp.status.ok());
+  EXPECT_EQ(exec_resp.txn_state, TxnState::kActive);
+  LamRequest prepare{LamRequestType::kPrepare, "", session, ""};
+  EXPECT_EQ(lam.Handle(prepare).txn_state, TxnState::kPrepared);
+  LamRequest rollback{LamRequestType::kRollback, "", session, ""};
+  EXPECT_EQ(lam.Handle(rollback).txn_state, TxnState::kAborted);
+}
+
+TEST(LamTest, DescribeListsSchemas) {
+  Lam lam("svc", "site1", SeededEngine());
+  LamRequest describe;
+  describe.type = LamRequestType::kDescribe;
+  describe.database = "db";
+  LamResponse resp = lam.Handle(describe);
+  ASSERT_TRUE(resp.status.ok());
+  ASSERT_EQ(resp.result.rows.size(), 2u);  // id, v
+  EXPECT_EQ(resp.result.rows[0][0].AsText(), "t");
+  EXPECT_EQ(resp.result.rows[0][1].AsText(), "id");
+  EXPECT_EQ(resp.result.rows[0][2].AsText(), "INTEGER");
+}
+
+TEST(LamTest, DescribeUnknownDatabaseFails) {
+  Lam lam("svc", "site1", SeededEngine());
+  LamRequest describe;
+  describe.type = LamRequestType::kDescribe;
+  describe.database = "ghost";
+  EXPECT_EQ(lam.Handle(describe).status.code(), StatusCode::kNotFound);
+}
+
+TEST(EnvironmentTest, CallModelsRoundTripTiming) {
+  Environment env;
+  LinkParams link;
+  link.latency_micros = 500;
+  link.micros_per_kb = 0;
+  env.network().set_default_link(link);
+  ASSERT_TRUE(env.AddService("svc", "site1", SeededEngine()).ok());
+
+  LamRequest ping;
+  ping.type = LamRequestType::kPing;
+  auto outcome = env.Call("svc", ping, /*at_micros=*/1000);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->timing.start_micros, 1000);
+  // request latency + service + response latency.
+  EXPECT_EQ(outcome->timing.request_micros, 500);
+  EXPECT_EQ(outcome->timing.response_micros, 500);
+  EXPECT_EQ(outcome->timing.end_micros,
+            1000 + 500 + outcome->timing.service_micros + 500);
+}
+
+TEST(EnvironmentTest, UnknownServiceAndDownSite) {
+  Environment env;
+  ASSERT_TRUE(env.AddService("svc", "site1", SeededEngine()).ok());
+  LamRequest ping;
+  ping.type = LamRequestType::kPing;
+  EXPECT_EQ(env.Call("ghost", ping, 0).status().code(),
+            StatusCode::kNotFound);
+  env.network().SetSiteDown("site1", true);
+  EXPECT_EQ(env.Call("svc", ping, 0).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(EnvironmentTest, DirectoryEntries) {
+  Environment env;
+  ASSERT_TRUE(env.AddService("svc", "site1", SeededEngine()).ok());
+  auto entry = env.GetServiceEntry("svc");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->site_name, "site1");
+  EXPECT_EQ(env.ServiceNames(), (std::vector<std::string>{"svc"}));
+  EXPECT_TRUE(env.HasService("SVC"));  // case-insensitive
+  EXPECT_FALSE(env.AddService("svc", "site2", SeededEngine()).ok());
+}
+
+TEST(EnvironmentTest, ResponseBytesScaleWithResultSize) {
+  Environment env;
+  LinkParams link;
+  link.latency_micros = 0;
+  link.micros_per_kb = 1024;  // 1 us per byte to make sizes visible
+  env.network().set_default_link(link);
+  ASSERT_TRUE(env.AddService("svc", "site1", SeededEngine()).ok());
+
+  LamRequest open;
+  open.type = LamRequestType::kOpenSession;
+  open.database = "db";
+  auto opened = env.Call("svc", open, 0);
+  ASSERT_TRUE(opened.ok());
+
+  LamRequest small;
+  small.type = LamRequestType::kExecute;
+  small.session = opened->response.session;
+  small.sql = "SELECT v FROM t WHERE id = 1";
+  LamRequest big = small;
+  big.sql = "SELECT v FROM t";
+  auto small_out = env.Call("svc", small, 0);
+  auto big_out = env.Call("svc", big, 0);
+  ASSERT_TRUE(small_out.ok());
+  ASSERT_TRUE(big_out.ok());
+  EXPECT_GT(big_out->timing.response_micros,
+            small_out->timing.response_micros);
+}
+
+}  // namespace
+}  // namespace msql::netsim

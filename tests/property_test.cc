@@ -1,0 +1,300 @@
+// Property-style sweeps over system invariants: rollback-identity of
+// the local engines, the formal vital-set outcome rule end-to-end,
+// translator output round-tripping through the DOL parser, and
+// multitable merging.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+#include "dol/parser.h"
+#include "msql/multitable.h"
+#include "msql/parser.h"
+#include "relational/engine.h"
+#include "translator/translator.h"
+
+namespace msql {
+namespace {
+
+using core::BuildPaperFederation;
+using core::GlobalOutcome;
+using core::PaperServiceOf;
+using relational::CapabilityProfile;
+using relational::FailPoint;
+using relational::LocalEngine;
+using relational::ResultSet;
+using relational::SessionId;
+
+// ---------------------------------------------------------------------------
+// Property 1: any transactional workload followed by ROLLBACK is the
+// identity on database state.
+// ---------------------------------------------------------------------------
+
+class RollbackIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+ResultSet Snapshot(LocalEngine* engine, SessionId s) {
+  auto rs = engine->Execute(s, "SELECT * FROM t ORDER BY id, tag");
+  EXPECT_TRUE(rs.ok()) << rs.status();
+  return rs.ok() ? std::move(*rs) : ResultSet{};
+}
+
+TEST_P(RollbackIdentityTest, RandomWorkloadThenRollbackIsIdentity) {
+  Rng rng(GetParam());
+  LocalEngine engine("svc", CapabilityProfile::IngresLike());
+  ASSERT_TRUE(engine.CreateDatabase("db").ok());
+  SessionId s = *engine.OpenSession("db");
+  ASSERT_TRUE(
+      engine.Execute(s, "CREATE TABLE t (id INTEGER, tag TEXT)").ok());
+  // Seed 20 committed rows.
+  std::string seed_sql = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 20; ++i) {
+    if (i > 0) seed_sql += ", ";
+    seed_sql += "(" + std::to_string(i) + ", 'seed')";
+  }
+  ASSERT_TRUE(engine.Execute(s, seed_sql).ok());
+  ResultSet before = Snapshot(&engine, s);
+
+  // Random workload inside one transaction: 30 mixed operations.
+  ASSERT_TRUE(engine.Begin(s).ok());
+  for (int op = 0; op < 30; ++op) {
+    int id = static_cast<int>(rng.NextBelow(25));
+    switch (rng.NextBelow(3)) {
+      case 0:
+        ASSERT_TRUE(engine
+                        .Execute(s, "INSERT INTO t VALUES (" +
+                                        std::to_string(100 + op) +
+                                        ", 'new')")
+                        .ok());
+        break;
+      case 1:
+        ASSERT_TRUE(engine
+                        .Execute(s, "UPDATE t SET tag = 'touched' "
+                                    "WHERE id = " + std::to_string(id))
+                        .ok());
+        break;
+      default:
+        ASSERT_TRUE(engine
+                        .Execute(s, "DELETE FROM t WHERE id = " +
+                                        std::to_string(id))
+                        .ok());
+        break;
+    }
+  }
+  ASSERT_TRUE(engine.Rollback(s).ok());
+  ResultSet after = Snapshot(&engine, s);
+  EXPECT_EQ(before, after) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollbackIdentityTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 99u,
+                                           12345u));
+
+// ---------------------------------------------------------------------------
+// Property 2: the vital-set outcome rule, end to end. For the paper's
+// fare raise (continental VITAL, delta plain, united VITAL) under every
+// combination of per-airline statement failures:
+//   outcome  = ABORTED  iff a vital subquery failed, else SUCCESS;
+//   vitals   changed    iff outcome == SUCCESS;
+//   delta    changed    iff delta itself did not fail (regardless).
+// ---------------------------------------------------------------------------
+
+class VitalMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VitalMatrixTest, OutcomeFollowsTheFormalRule) {
+  int mask = GetParam();
+  bool fail_cont = (mask & 1) != 0;
+  bool fail_delta = (mask & 2) != 0;
+  bool fail_united = (mask & 4) != 0;
+
+  auto sys = std::move(BuildPaperFederation()).value();
+  auto fares = [&](const std::string& db, const std::string& sql) {
+    auto engine = *sys->GetEngine(PaperServiceOf(db));
+    auto s = *engine->OpenSession(db);
+    auto rs = engine->Execute(s, sql);
+    double out = rs->rows[0][0].NumericAsReal();
+    EXPECT_TRUE(engine->CloseSession(s).ok());
+    return out;
+  };
+  const std::string cont_q =
+      "SELECT SUM(rate) FROM flights WHERE source = 'Houston' AND "
+      "destination = 'San Antonio'";
+  const std::string delta_q =
+      "SELECT SUM(rate) FROM flight WHERE source = 'Houston' AND "
+      "dest = 'San Antonio'";
+  const std::string united_q =
+      "SELECT SUM(rates) FROM flight WHERE sour = 'Houston' AND "
+      "dest = 'San Antonio'";
+  double cont0 = fares("continental", cont_q);
+  double delta0 = fares("delta", delta_q);
+  double united0 = fares("united", united_q);
+
+  if (fail_cont) {
+    (*sys->GetEngine(PaperServiceOf("continental")))
+        ->InjectFailure(FailPoint::kNextStatement);
+  }
+  if (fail_delta) {
+    (*sys->GetEngine(PaperServiceOf("delta")))
+        ->InjectFailure(FailPoint::kNextStatement);
+  }
+  if (fail_united) {
+    (*sys->GetEngine(PaperServiceOf("united")))
+        ->InjectFailure(FailPoint::kNextStatement);
+  }
+  auto report = sys->Execute(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1\n"
+      "WHERE sour% = 'Houston' AND dest% = 'San Antonio'");
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  bool vital_failed = fail_cont || fail_united;
+  EXPECT_EQ(report->outcome, vital_failed ? GlobalOutcome::kAborted
+                                          : GlobalOutcome::kSuccess)
+      << "mask " << mask;
+  double factor = vital_failed ? 1.0 : 1.1;
+  EXPECT_NEAR(fares("continental", cont_q), cont0 * factor, 1e-6);
+  EXPECT_NEAR(fares("united", united_q), united0 * factor, 1e-6);
+  // Delta is autocommitted: its change depends only on its own failure.
+  EXPECT_NEAR(fares("delta", delta_q),
+              delta0 * (fail_delta ? 1.0 : 1.1), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFailureMasks, VitalMatrixTest,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Property 3: every generated DOL plan round-trips through the DOL
+// parser (print ∘ parse ∘ print is a fixpoint).
+// ---------------------------------------------------------------------------
+
+class PlanRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlanRoundTripTest, TranslatedPlanReparsesToAFixpoint) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  auto report = sys->Execute(GetParam());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_FALSE(report->dol_text.empty());
+  // The generated program must parse; after one print/parse cycle the
+  // text reaches a fixpoint (brace bodies are re-rendered from tokens,
+  // so the very first print may differ in whitespace only).
+  auto first = dol::ParseDol(report->dol_text);
+  ASSERT_TRUE(first.ok()) << report->dol_text << "\n" << first.status();
+  EXPECT_EQ(first->statements.size(),
+            dol::ParseDol(report->dol_text)->statements.size());
+  std::string text2 = first->ToDol();
+  auto second = dol::ParseDol(text2);
+  ASSERT_TRUE(second.ok()) << text2 << "\n" << second.status();
+  EXPECT_EQ(second->ToDol(), text2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, PlanRoundTripTest,
+    ::testing::Values(
+        "USE avis national\n"
+        "LET car.code BE cars.code vehicle.vcode\n"
+        "SELECT code FROM car",
+        "USE continental VITAL delta united VITAL\n"
+        "UPDATE flight% SET rate% = rate% * 1.0",
+        "USE continental VITAL united VITAL\n"
+        "UPDATE flight% SET rate% = rate% * 1.0\n"
+        "COMP continental UPDATE flights SET rate = rate / 1.0",
+        "USE avis continental\n"
+        "SELECT cars.code FROM avis.cars, continental.flights "
+        "WHERE cars.rate < flights.rate",
+        "BEGIN MULTITRANSACTION\n"
+        "USE continental delta UPDATE flight% SET rate = rate * 1.0;\n"
+        "COMMIT continental delta END MULTITRANSACTION"));
+
+// ---------------------------------------------------------------------------
+// Property 4: multitable merging.
+// ---------------------------------------------------------------------------
+
+TEST(MultitableMergeTest, AlignedColumnsMerge) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  auto report = sys->Execute(
+      "USE avis national\n"
+      "LET car.type BE cars.cartype vehicle.vty\n"
+      "SELECT %code, type FROM car");
+  ASSERT_TRUE(report.ok()) << report.status();
+  auto merged = report->multitable.Merge();
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->columns,
+            (std::vector<std::string>{"mdb", "code", "type"}));
+  EXPECT_EQ(merged->rows.size(), report->multitable.TotalRows());
+  // Every row's first value names its source element.
+  size_t avis_rows = 0;
+  for (const auto& row : merged->rows) {
+    if (row[0].AsText() == "avis") ++avis_rows;
+  }
+  EXPECT_EQ(avis_rows, report->multitable.Find("avis")->table.rows.size());
+}
+
+TEST(MultitableMergeTest, MisalignedColumnsRefuse) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  // ~rate keeps a rate column at avis only: columns differ.
+  auto report = sys->Execute(
+      "USE avis national\n"
+      "LET car.type.status BE cars.cartype.carst vehicle.vty.vstat\n"
+      "SELECT %code, type, ~rate FROM car WHERE status = 'available'");
+  ASSERT_TRUE(report.ok());
+  auto merged = report->multitable.Merge();
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MultitableMergeTest, EmptyMultitableMergesToHeaderOnly) {
+  lang::Multitable empty;
+  auto merged = empty.Merge();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->columns, (std::vector<std::string>{"mdb"}));
+  EXPECT_TRUE(merged->rows.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Property 5: concurrent local activity aborts global subqueries
+// through the whole stack (lock conflicts surface as vital aborts).
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, LocalLockHolderAbortsVitalGlobalQuery) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  // A local client holds an exclusive lock on continental.flights.
+  auto engine = *sys->GetEngine(PaperServiceOf("continental"));
+  SessionId local = *engine->OpenSession("continental");
+  ASSERT_TRUE(engine->Begin(local).ok());
+  ASSERT_TRUE(
+      engine->Execute(local, "UPDATE flights SET rate = rate").ok());
+
+  auto report = sys->Execute(
+      "USE continental VITAL united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kAborted);
+  EXPECT_EQ(report->run.FindTask("t_continental")->last_status.code(),
+            StatusCode::kAborted);
+
+  // Once the local client commits, the global query goes through.
+  ASSERT_TRUE(engine->Commit(local).ok());
+  auto retry = sys->Execute(
+      "USE continental VITAL united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.1");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->outcome, GlobalOutcome::kSuccess);
+}
+
+TEST(ConcurrencyTest, RunTraceDescribesTasks) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  auto report = sys->Execute(
+      "USE continental VITAL united VITAL\n"
+      "UPDATE flight% SET rate% = rate% * 1.0");
+  ASSERT_TRUE(report.ok());
+  std::string trace = report->run.ToString();
+  EXPECT_NE(trace.find("t_continental: COMMITTED"), std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("DOLSTATUS=0"), std::string::npos);
+  EXPECT_NE(trace.find("messages="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msql

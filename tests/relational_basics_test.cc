@@ -1,0 +1,200 @@
+// Values, schemas, tables and result sets of the local engine substrate.
+#include <gtest/gtest.h>
+
+#include "relational/result_set.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace msql::relational {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Null_().is_null());
+  EXPECT_TRUE(Value::Integer(1).is_integer());
+  EXPECT_TRUE(Value::Real(1.5).is_real());
+  EXPECT_TRUE(Value::Text("x").is_text());
+  EXPECT_TRUE(Value::Boolean(true).is_boolean());
+  EXPECT_TRUE(Value::Integer(1).is_numeric());
+  EXPECT_TRUE(Value::Real(1.0).is_numeric());
+  EXPECT_FALSE(Value::Text("1").is_numeric());
+}
+
+TEST(ValueTest, CrossNumericEquality) {
+  EXPECT_EQ(Value::Integer(2), Value::Real(2.0));
+  EXPECT_NE(Value::Integer(2), Value::Real(2.5));
+  EXPECT_EQ(Value::Null_(), Value::Null_());  // strict equality for tests
+  EXPECT_NE(Value::Null_(), Value::Integer(0));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::Null_().Compare(Value::Integer(-100)), 0);
+  EXPECT_EQ(Value::Integer(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_GT(Value::Text("b").Compare(Value::Text("a")), 0);
+  EXPECT_LT(Value::Boolean(false).Compare(Value::Boolean(true)), 0);
+}
+
+TEST(ValueTest, SqlLiterals) {
+  EXPECT_EQ(Value::Null_().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Integer(-7).ToSqlLiteral(), "-7");
+  EXPECT_EQ(Value::Real(2.0).ToSqlLiteral(), "2.0");
+  EXPECT_EQ(Value::Text("o'hare").ToSqlLiteral(), "'o''hare'");
+  EXPECT_EQ(Value::Boolean(true).ToSqlLiteral(), "TRUE");
+}
+
+TEST(ValueTest, CoerceWidensIntToReal) {
+  auto v = Value::Integer(4).CoerceTo(Type::kReal);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_real());
+  EXPECT_DOUBLE_EQ(v->AsReal(), 4.0);
+}
+
+TEST(ValueTest, CoerceExactRealToInt) {
+  auto ok = Value::Real(5.0).CoerceTo(Type::kInteger);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->AsInteger(), 5);
+  EXPECT_FALSE(Value::Real(5.5).CoerceTo(Type::kInteger).ok());
+}
+
+TEST(ValueTest, CoerceRejectsCrossFamilies) {
+  EXPECT_FALSE(Value::Text("9").CoerceTo(Type::kInteger).ok());
+  EXPECT_FALSE(Value::Integer(1).CoerceTo(Type::kText).ok());
+  // NULL fits everywhere.
+  EXPECT_TRUE(Value::Null_().CoerceTo(Type::kText).ok());
+}
+
+TEST(TypeTest, NamesRoundTrip) {
+  EXPECT_EQ(*TypeFromName("integer"), Type::kInteger);
+  EXPECT_EQ(*TypeFromName("INT"), Type::kInteger);
+  EXPECT_EQ(*TypeFromName("REAL"), Type::kReal);
+  EXPECT_EQ(*TypeFromName("varchar"), Type::kText);
+  EXPECT_EQ(*TypeFromName("bool"), Type::kBoolean);
+  EXPECT_FALSE(TypeFromName("blob").ok());
+}
+
+TableSchema MakeCarsSchema() {
+  auto schema = TableSchema::Create(
+      "Cars", {{"Code", Type::kInteger, 0},
+               {"CarType", Type::kText, 16},
+               {"Rate", Type::kReal, 0}});
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+TEST(SchemaTest, NamesCanonicalizedToLower) {
+  TableSchema schema = MakeCarsSchema();
+  EXPECT_EQ(schema.table_name(), "cars");
+  EXPECT_EQ(schema.column(0).name, "code");
+  EXPECT_TRUE(schema.HasColumn("CODE"));
+  EXPECT_EQ(*schema.FindColumn("carTYPE"), 1u);
+  EXPECT_FALSE(schema.FindColumn("nope").has_value());
+}
+
+TEST(SchemaTest, DuplicateColumnRejected) {
+  auto bad = TableSchema::Create("t", {{"a", Type::kInteger, 0},
+                                       {"A", Type::kText, 0}});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SchemaTest, MatchColumnsWildcard) {
+  TableSchema schema = MakeCarsSchema();
+  EXPECT_EQ(schema.MatchColumns("%code"),
+            (std::vector<std::string>{"code"}));
+  EXPECT_EQ(schema.MatchColumns("c%"),
+            (std::vector<std::string>{"code", "cartype"}));
+  EXPECT_TRUE(schema.MatchColumns("z%").empty());
+}
+
+TEST(SchemaTest, ProjectPreservesOrder) {
+  TableSchema schema = MakeCarsSchema();
+  auto projected = schema.Project({"rate", "code"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->column(0).name, "rate");
+  EXPECT_EQ(projected->column(1).name, "code");
+  EXPECT_FALSE(schema.Project({"ghost"}).ok());
+}
+
+TEST(TableTest, InsertCoercesAndCounts) {
+  Table table(MakeCarsSchema());
+  auto id = table.Insert({Value::Integer(1), Value::Text("suv"),
+                          Value::Integer(40)});  // int→real coercion
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(table.live_row_count(), 1u);
+  EXPECT_TRUE(table.GetRow(*id)[2].is_real());
+}
+
+TEST(TableTest, InsertRejectsBadArityAndType) {
+  Table table(MakeCarsSchema());
+  EXPECT_FALSE(table.Insert({Value::Integer(1)}).ok());
+  EXPECT_FALSE(table.Insert({Value::Text("x"), Value::Text("y"),
+                             Value::Real(1.0)}).ok());
+  EXPECT_EQ(table.live_row_count(), 0u);
+}
+
+TEST(TableTest, DeleteAndResurrectRoundTrip) {
+  Table table(MakeCarsSchema());
+  RowId id = *table.Insert(
+      {Value::Integer(7), Value::Text("van"), Value::Real(30.0)});
+  auto removed = table.Delete(id);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(table.IsLive(id));
+  EXPECT_EQ(table.live_row_count(), 0u);
+  ASSERT_TRUE(table.ResurrectRow(id, *removed).ok());
+  EXPECT_TRUE(table.IsLive(id));
+  EXPECT_EQ(table.GetRow(id)[0], Value::Integer(7));
+  // Double resurrect is an internal error.
+  EXPECT_FALSE(table.ResurrectRow(id, *removed).ok());
+}
+
+TEST(TableTest, UpdateReturnsBeforeImage) {
+  Table table(MakeCarsSchema());
+  RowId id = *table.Insert(
+      {Value::Integer(1), Value::Text("suv"), Value::Real(40.0)});
+  auto before = table.Update(
+      id, {Value::Integer(1), Value::Text("suv"), Value::Real(44.0)});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)[2], Value::Real(40.0));
+  EXPECT_EQ(table.GetRow(id)[2], Value::Real(44.0));
+}
+
+TEST(TableTest, ScanSkipsTombstones) {
+  Table table(MakeCarsSchema());
+  RowId a = *table.Insert(
+      {Value::Integer(1), Value::Text("a"), Value::Real(1.0)});
+  RowId b = *table.Insert(
+      {Value::Integer(2), Value::Text("b"), Value::Real(2.0)});
+  (void)b;
+  ASSERT_TRUE(table.Delete(a).ok());
+  auto ids = table.ScanRowIds();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(table.GetRow(ids[0])[0], Value::Integer(2));
+  EXPECT_EQ(table.ScanRows().size(), 1u);
+}
+
+TEST(ResultSetTest, ToStringRendersTable) {
+  ResultSet rs;
+  rs.columns = {"a", "longer"};
+  rs.rows = {{Value::Integer(1), Value::Text("x")}};
+  std::string rendered = rs.ToString();
+  EXPECT_NE(rendered.find("| a | longer |"), std::string::npos);
+  EXPECT_NE(rendered.find("(1 rows)"), std::string::npos);
+}
+
+TEST(ResultSetTest, DmlRendering) {
+  ResultSet rs;
+  rs.rows_affected = 3;
+  EXPECT_EQ(rs.ToString(), "(3 rows affected)\n");
+  EXPECT_FALSE(rs.IsQueryResult());
+}
+
+TEST(ResultSetTest, SortRowsIsDeterministic) {
+  ResultSet rs;
+  rs.columns = {"v"};
+  rs.rows = {{Value::Integer(3)}, {Value::Integer(1)}, {Value::Integer(2)}};
+  rs.SortRows();
+  EXPECT_EQ(rs.rows[0][0], Value::Integer(1));
+  EXPECT_EQ(rs.rows[2][0], Value::Integer(3));
+}
+
+}  // namespace
+}  // namespace msql::relational

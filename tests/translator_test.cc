@@ -1,0 +1,301 @@
+// MSQL → DOL plan generation: vital-set classification, refusal rules,
+// and the §4.3 program shape (experiment E7).
+#include <gtest/gtest.h>
+
+#include "dol/parser.h"
+#include "mdbs/auxiliary_directory.h"
+#include "mdbs/global_data_dictionary.h"
+#include "msql/expander.h"
+#include "msql/parser.h"
+#include "translator/translator.h"
+
+namespace msql::translator {
+namespace {
+
+using lang::ExpansionResult;
+using lang::MsqlParser;
+using relational::TableSchema;
+using relational::Type;
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AddAirline("continental", "flights", /*two_phase=*/true);
+    AddAirline("delta", "flight", /*two_phase=*/true);
+    AddAirline("united", "flight", /*two_phase=*/true);
+  }
+
+  void AddAirline(const std::string& db, const std::string& table,
+                  bool two_phase) {
+    mdbs::ServiceDescriptor svc;
+    svc.name = db + "_svc";
+    svc.site = "site_" + db;
+    svc.autocommit_only = !two_phase;
+    ad_.Incorporate(svc);
+    ASSERT_TRUE(gdd_.RegisterDatabase(db, svc.name).ok());
+    ASSERT_TRUE(gdd_.PutTable(db, *TableSchema::Create(
+                                      table,
+                                      {{"fno", Type::kInteger, 0},
+                                       {"source", Type::kText, 0},
+                                       {"dest", Type::kText, 0},
+                                       {"rate", Type::kReal, 0}}))
+                    .ok());
+  }
+
+  /// Reincorporates a service as autocommit-only.
+  void MakeAutocommitOnly(const std::string& db) {
+    mdbs::ServiceDescriptor svc;
+    svc.name = db + "_svc";
+    svc.site = "site_" + db;
+    svc.autocommit_only = true;
+    ad_.Incorporate(svc);
+  }
+
+  Result<ExpansionResult> Expand(std::string_view msql) {
+    auto input = MsqlParser::ParseOne(msql);
+    if (!input.ok()) return input.status();
+    lang::Expander expander(&gdd_);
+    return expander.Expand(*input->query);
+  }
+
+  Result<Plan> PlanFor(std::string_view msql) {
+    MSQL_ASSIGN_OR_RETURN(auto expansion, Expand(msql));
+    Translator translator(&ad_, &gdd_);
+    return translator.TranslateQuery(expansion);
+  }
+
+  mdbs::AuxiliaryDirectory ad_;
+  mdbs::GlobalDataDictionary gdd_;
+};
+
+TEST_F(TranslatorTest, Section43ProgramShape) {
+  auto plan = PlanFor(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate = rate * 1.1 WHERE source = 'Houston'");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string dol = plan->program.ToDol();
+  // The shape of the paper's listing: three OPENs, NOCOMMIT on the two
+  // VITAL tasks only, a commit/abort decision over (t1=P) AND (t3=P).
+  EXPECT_NE(dol.find("OPEN continental AT continental_svc AS continental"),
+            std::string::npos)
+      << dol;
+  EXPECT_NE(dol.find("TASK t_continental NOCOMMIT"), std::string::npos);
+  EXPECT_NE(dol.find("TASK t_united NOCOMMIT"), std::string::npos);
+  // Delta is NON VITAL: plain autocommit task.
+  EXPECT_NE(dol.find("TASK t_delta FOR delta"), std::string::npos);
+  EXPECT_EQ(dol.find("TASK t_delta NOCOMMIT"), std::string::npos);
+  EXPECT_NE(dol.find("((t_continental=P) AND (t_united=P))"),
+            std::string::npos)
+      << dol;
+  EXPECT_NE(dol.find("COMMIT t_continental, t_united;"), std::string::npos);
+  EXPECT_NE(dol.find("DOLSTATUS = 1;"), std::string::npos);
+  EXPECT_NE(dol.find("CLOSE continental delta united;"),
+            std::string::npos);
+
+  // Task metadata matches.
+  ASSERT_EQ(plan->tasks.size(), 3u);
+  EXPECT_EQ(plan->FindTask("t_continental")->mode, TaskMode::kTwoPhase);
+  EXPECT_EQ(plan->FindTask("t_delta")->mode, TaskMode::kAutocommit);
+  EXPECT_FALSE(plan->retrieval);
+}
+
+TEST_F(TranslatorTest, GeneratedProgramParsesBack) {
+  auto plan = PlanFor(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate = rate * 1.1 WHERE source = 'Houston'");
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = dol::ParseDol(plan->program.ToDol());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->ToDol(), plan->program.ToDol());
+}
+
+TEST_F(TranslatorTest, RetrievalPlanIsAllAutocommit) {
+  auto plan = PlanFor("USE continental delta SELECT rate FROM flight%");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->retrieval);
+  std::string dol = plan->program.ToDol();
+  EXPECT_EQ(dol.find("NOCOMMIT"), std::string::npos);
+  EXPECT_NE(dol.find("PARBEGIN"), std::string::npos);
+  // No vital retrievals → unconditional success.
+  EXPECT_NE(dol.find("DOLSTATUS = 0;"), std::string::npos);
+  EXPECT_EQ(dol.find("DOLSTATUS = 1;"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, VitalRetrievalGetsDecision) {
+  auto plan = PlanFor(
+      "USE continental VITAL delta SELECT rate FROM flight%");
+  ASSERT_TRUE(plan.ok());
+  std::string dol = plan->program.ToDol();
+  EXPECT_NE(dol.find("IF (t_continental=C) THEN"), std::string::npos)
+      << dol;
+  EXPECT_NE(dol.find("DOLSTATUS = 1;"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, AllNonVitalDmlAlwaysSucceeds) {
+  auto plan = PlanFor(
+      "USE continental delta UPDATE flight% SET rate = 0");
+  ASSERT_TRUE(plan.ok());
+  std::string dol = plan->program.ToDol();
+  // No decision IF at all — the query cannot fail globally (§3.2.1).
+  EXPECT_EQ(dol.find("IF"), std::string::npos);
+  EXPECT_NE(dol.find("DOLSTATUS = 0;"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, TwoNo2pcVitalsWithoutCompRefused) {
+  MakeAutocommitOnly("continental");
+  MakeAutocommitOnly("united");
+  auto plan = PlanFor(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate = rate * 1.1");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kRefused);
+}
+
+TEST_F(TranslatorTest, SingleNo2pcVitalBecomesLastResource) {
+  MakeAutocommitOnly("continental");
+  auto plan = PlanFor(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate = rate * 1.1");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->FindTask("t_continental")->mode,
+            TaskMode::kLastResource);
+  std::string dol = plan->program.ToDol();
+  // The last-resource task runs in a guarded second wave.
+  EXPECT_NE(dol.find("IF (t_united=P) THEN"), std::string::npos) << dol;
+  // And the final decision requires it committed.
+  EXPECT_NE(dol.find("(t_continental=C)"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, CompClauseMakesNo2pcVitalCompensable) {
+  MakeAutocommitOnly("continental");
+  auto plan = PlanFor(
+      "USE continental VITAL delta united VITAL\n"
+      "UPDATE flight% SET rate = rate * 1.1\n"
+      "COMP continental UPDATE flights SET rate = rate / 1.1");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->FindTask("t_continental")->mode,
+            TaskMode::kCompensable);
+  std::string dol = plan->program.ToDol();
+  EXPECT_NE(dol.find("COMPENSATION { UPDATE flights SET rate = rate / 1.1 }"),
+            std::string::npos)
+      << dol;
+  // Failure branch compensates continental if it committed.
+  EXPECT_NE(dol.find("IF (t_continental=C) THEN"), std::string::npos);
+  EXPECT_NE(dol.find("COMPENSATE t_continental;"), std::string::npos);
+}
+
+TEST_F(TranslatorTest, CommitVerificationGuardsIncorrectState) {
+  auto plan = PlanFor(
+      "USE continental VITAL united VITAL\n"
+      "UPDATE flight% SET rate = rate * 1.1");
+  ASSERT_TRUE(plan.ok());
+  std::string dol = plan->program.ToDol();
+  EXPECT_NE(dol.find("DOLSTATUS = 2;"), std::string::npos) << dol;
+}
+
+TEST_F(TranslatorTest, DdlVerbModesDisableTwoPhasePerStatement) {
+  // The AD records that CREATE auto-commits on continental's service:
+  // a VITAL CREATE there cannot be prepared.
+  mdbs::ServiceDescriptor svc = **ad_.GetService("continental_svc");
+  svc.ddl_modes.create_autocommits = true;
+  ad_.Incorporate(svc);
+  auto plan = PlanFor(
+      "USE continental VITAL CREATE TABLE extra (x INTEGER)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->FindTask("t_continental")->mode,
+            TaskMode::kLastResource);
+  // But an UPDATE on the same service still runs two-phase.
+  auto update_plan = PlanFor(
+      "USE continental VITAL UPDATE flights SET rate = 1.0");
+  ASSERT_TRUE(update_plan.ok());
+  EXPECT_EQ(update_plan->FindTask("t_continental")->mode,
+            TaskMode::kTwoPhase);
+}
+
+TEST_F(TranslatorTest, MultiTransactionPlanShape) {
+  auto mt_input = MsqlParser::ParseOne(
+      "BEGIN MULTITRANSACTION\n"
+      "USE continental delta UPDATE flight% SET rate = 1.0;\n"
+      "COMMIT continental delta END MULTITRANSACTION");
+  ASSERT_TRUE(mt_input.ok()) << mt_input.status();
+  lang::Expander expander(&gdd_);
+  std::vector<ExpansionResult> expansions;
+  for (const auto& q : mt_input->multitransaction->queries) {
+    auto e = expander.Expand(q);
+    ASSERT_TRUE(e.ok()) << e.status();
+    expansions.push_back(std::move(*e));
+  }
+  Translator translator(&ad_, &gdd_);
+  auto plan = translator.TranslateMultiTransaction(
+      expansions, mt_input->multitransaction->acceptable_states);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string dol = plan->program.ToDol();
+  // All members run NOCOMMIT (both services have 2PC).
+  EXPECT_NE(dol.find("TASK t_continental NOCOMMIT"), std::string::npos);
+  EXPECT_NE(dol.find("TASK t_delta NOCOMMIT"), std::string::npos);
+  // State 1 = continental: reachable when prepared or committed.
+  EXPECT_NE(dol.find("((t_continental=P) OR (t_continental=C))"),
+            std::string::npos)
+      << dol;
+  // The generated plan still parses as DOL.
+  auto reparsed = dol::ParseDol(dol);
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status();
+}
+
+TEST_F(TranslatorTest, MultiTransactionNo2pcWithoutCompRefused) {
+  MakeAutocommitOnly("delta");
+  auto mt_input = MsqlParser::ParseOne(
+      "BEGIN MULTITRANSACTION\n"
+      "USE continental delta UPDATE flight% SET rate = 1.0;\n"
+      "COMMIT continental END MULTITRANSACTION");
+  ASSERT_TRUE(mt_input.ok());
+  lang::Expander expander(&gdd_);
+  auto e = expander.Expand(mt_input->multitransaction->queries[0]);
+  ASSERT_TRUE(e.ok());
+  std::vector<ExpansionResult> expansions;
+  expansions.push_back(std::move(*e));
+  Translator translator(&ad_, &gdd_);
+  auto plan = translator.TranslateMultiTransaction(
+      expansions, mt_input->multitransaction->acceptable_states);
+  EXPECT_EQ(plan.status().code(), StatusCode::kRefused);
+}
+
+TEST_F(TranslatorTest, MultiTransactionDuplicateNamesRejected) {
+  auto mt_input = MsqlParser::ParseOne(
+      "BEGIN MULTITRANSACTION\n"
+      "USE continental UPDATE flights SET rate = 1.0;\n"
+      "USE continental UPDATE flights SET rate = 2.0;\n"
+      "COMMIT continental END MULTITRANSACTION");
+  ASSERT_TRUE(mt_input.ok());
+  lang::Expander expander(&gdd_);
+  std::vector<ExpansionResult> expansions;
+  for (const auto& q : mt_input->multitransaction->queries) {
+    auto e = expander.Expand(q);
+    ASSERT_TRUE(e.ok());
+    expansions.push_back(std::move(*e));
+  }
+  Translator translator(&ad_, &gdd_);
+  auto plan = translator.TranslateMultiTransaction(
+      expansions, mt_input->multitransaction->acceptable_states);
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TranslatorTest, UnknownStateNameRejected) {
+  auto mt_input = MsqlParser::ParseOne(
+      "BEGIN MULTITRANSACTION\n"
+      "USE continental UPDATE flights SET rate = 1.0;\n"
+      "COMMIT ghost END MULTITRANSACTION");
+  ASSERT_TRUE(mt_input.ok());
+  lang::Expander expander(&gdd_);
+  std::vector<ExpansionResult> expansions;
+  auto e = expander.Expand(mt_input->multitransaction->queries[0]);
+  ASSERT_TRUE(e.ok());
+  expansions.push_back(std::move(*e));
+  Translator translator(&ad_, &gdd_);
+  auto plan = translator.TranslateMultiTransaction(
+      expansions, mt_input->multitransaction->acceptable_states);
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace msql::translator
