@@ -377,7 +377,7 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
 Result<ExecutionReport> MultidatabaseSystem::RunPlan(
     translator::Plan plan, std::vector<std::string> non_pertinent,
     const ExpansionResult* expansion) {
-  dol::DolEngine engine(&env_);
+  dol::DolEngine engine(&env_, retry_policy_);
   ExecutionReport report;
   report.dol_text = plan.program.ToDol();
   report.non_pertinent = std::move(non_pertinent);
@@ -393,6 +393,8 @@ Result<ExecutionReport> MultidatabaseSystem::RunPlan(
   }
   report.run = std::move(*run);
   report.dol_status = report.run.dol_status;
+  report.retries_performed = report.run.retries;
+  report.reprobes_performed = report.run.reprobes;
   switch (report.dol_status) {
     case translator::PlanStatus::kSuccess:
       report.outcome = GlobalOutcome::kSuccess;
@@ -403,6 +405,33 @@ Result<ExecutionReport> MultidatabaseSystem::RunPlan(
     default:
       report.outcome = GlobalOutcome::kIncorrect;
       break;
+  }
+
+  // Graceful degradation (§3.2.1): a NON-VITAL subquery lost to
+  // unavailability never binds the decision, but the report names the
+  // missing services so a degraded run is diagnosable.
+  for (const auto& planned : plan.tasks) {
+    if (planned.vital) continue;
+    const dol::TaskOutcome* task = report.run.FindTask(planned.task);
+    if (task == nullptr || task->state != dol::DolTaskState::kAborted) {
+      continue;
+    }
+    if (task->last_status.code() == StatusCode::kUnavailable) {
+      report.degraded_services.push_back(planned.service);
+    }
+  }
+  if (report.detail.ok() &&
+      (!report.degraded_services.empty() ||
+       !report.run.failed_channels.empty())) {
+    std::string note = "degraded run:";
+    for (const auto& svc : report.degraded_services) {
+      note += " service '" + svc + "' unavailable;";
+    }
+    for (const auto& [alias, status] : report.run.failed_channels) {
+      note += " channel '" + alias + "' open failed (" +
+              status.ToString() + ");";
+    }
+    report.detail = Status::Unavailable(std::move(note));
   }
 
   // Assemble retrieval results.

@@ -51,6 +51,14 @@ struct ExecutionReport {
   int64_t rows_transferred = 0;
   /// Interdatabase triggers fired by this input (in firing order).
   std::vector<std::string> fired_triggers;
+  /// Re-sends the DOL engine performed under the retry policy.
+  int64_t retries_performed = 0;
+  /// kQueryTxnState re-probes issued to resolve timed-out calls.
+  int64_t reprobes_performed = 0;
+  /// Services whose NON-VITAL subqueries were lost to unavailability:
+  /// the run degraded (their answers/effects are missing) but the
+  /// global outcome was not affected (§3.2.1).
+  std::vector<std::string> degraded_services;
 };
 
 /// The multidatabase system of Figure 1: MSQL front end, translator,
@@ -66,6 +74,12 @@ class MultidatabaseSystem {
   netsim::Environment& environment() { return env_; }
   mdbs::AuxiliaryDirectory& auxiliary_directory() { return ad_; }
   mdbs::GlobalDataDictionary& gdd() { return gdd_; }
+
+  /// Retry discipline applied by the DOL engine to every plan run.
+  void set_retry_policy(dol::RetryPolicy policy) {
+    retry_policy_ = policy;
+  }
+  const dol::RetryPolicy& retry_policy() const { return retry_policy_; }
 
   /// Creates an engine with `profile`, wraps it in a LAM at `site` and
   /// registers the service (the INCORPORATE statement still has to be
@@ -146,6 +160,7 @@ class MultidatabaseSystem {
   netsim::Environment env_;
   mdbs::AuxiliaryDirectory ad_;
   mdbs::GlobalDataDictionary gdd_;
+  dol::RetryPolicy retry_policy_;
   lang::UseClause current_scope_;
   std::map<std::string, std::shared_ptr<const lang::MsqlQuery>> views_;
   std::map<std::string, lang::CreateTriggerStmt> triggers_;

@@ -9,6 +9,28 @@ namespace msql::dol {
 using netsim::CallOutcome;
 using netsim::LamRequest;
 using netsim::LamRequestType;
+using relational::TxnState;
+
+namespace {
+
+/// Verbs safe to re-send after a timeout: re-execution is harmless even
+/// when the lost call was actually delivered. Everything else may have
+/// changed local state, so a timeout must be resolved, not re-sent.
+bool RetryableOnTimeout(LamRequestType type) {
+  switch (type) {
+    case LamRequestType::kPing:
+    case LamRequestType::kQueryTxnState:
+    case LamRequestType::kDescribe:
+    case LamRequestType::kDescribeView:
+    case LamRequestType::kOpenSession:
+    case LamRequestType::kCloseSession:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 const TaskOutcome* DolRunResult::FindTask(const std::string& name) const {
   auto it = tasks.find(ToLower(name));
@@ -19,7 +41,16 @@ std::string DolRunResult::ToString() const {
   std::string out = "DOLSTATUS=" + std::to_string(dol_status) +
                     " makespan=" + std::to_string(makespan_micros) +
                     "us messages=" + std::to_string(messages) +
-                    " bytes=" + std::to_string(bytes) + "\n";
+                    " bytes=" + std::to_string(bytes);
+  if (retries > 0 || reprobes > 0) {
+    out += " retries=" + std::to_string(retries) +
+           " reprobes=" + std::to_string(reprobes);
+  }
+  out += "\n";
+  for (const auto& [alias, status] : failed_channels) {
+    out += "  channel " + alias + ": OPEN FAILED (" + status.ToString() +
+           ")\n";
+  }
   for (const auto& [name, task] : tasks) {
     out += "  " + name + ": " + std::string(DolTaskStateName(task.state)) +
            " [" + std::to_string(task.start_micros) + "us, " +
@@ -43,6 +74,8 @@ Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
   task_channel_.clear();
   compensations_.clear();
   dol_status_ = 0;
+  retries_ = 0;
+  reprobes_ = 0;
   int64_t messages_before = env_->network().stats().messages_sent;
   int64_t bytes_before = env_->network().stats().bytes_sent;
 
@@ -58,6 +91,13 @@ Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
   result.messages =
       env_->network().stats().messages_sent - messages_before;
   result.bytes = env_->network().stats().bytes_sent - bytes_before;
+  result.retries = retries_;
+  result.reprobes = reprobes_;
+  for (const auto& [alias, channel] : channels_) {
+    if (!channel.open_status.ok()) {
+      result.failed_channels.emplace(alias, channel.open_status);
+    }
+  }
   return result;
 }
 
@@ -105,20 +145,66 @@ Result<TaskOutcome*> DolEngine::FindTask(const std::string& name) {
   return &it->second;
 }
 
+Result<CallOutcome> DolEngine::CallService(const std::string& service,
+                                           const LamRequest& request,
+                                           int64_t at) {
+  int64_t backoff = policy_.initial_backoff_micros;
+  int attempt = 1;
+  while (true) {
+    auto outcome = env_->Call(service, request, at);
+    CallOutcome result;
+    if (!outcome.ok()) {
+      // Network-level failure (site down): surface it as a
+      // response-level failure so the task/abort logic can treat it
+      // like a local abort.
+      result.response.status = outcome.status();
+      result.timing.start_micros = at;
+      result.timing.end_micros =
+          at + env_->network().default_link().latency_micros;
+    } else {
+      result = std::move(*outcome);
+    }
+    if (result.response.status.ok()) return result;
+    // Only unavailability is transient; any other failure is a definite
+    // local verdict and retrying cannot change it.
+    if (result.response.status.code() != StatusCode::kUnavailable) {
+      return result;
+    }
+    // A timed-out call may have been executed; re-sending is only safe
+    // for idempotent verbs — the caller resolves the rest by re-probe.
+    if (result.timed_out && !RetryableOnTimeout(request.type)) {
+      return result;
+    }
+    if (attempt >= policy_.max_attempts) return result;
+    ++attempt;
+    ++retries_;
+    at = result.timing.end_micros + backoff;
+    backoff = std::min(
+        static_cast<int64_t>(static_cast<double>(backoff) *
+                             policy_.backoff_multiplier),
+        policy_.max_backoff_micros);
+  }
+}
+
 Result<CallOutcome> DolEngine::Call(Channel* channel,
                                     const LamRequest& request, int64_t at) {
-  auto outcome = env_->Call(channel->service, request, at);
-  if (!outcome.ok()) {
-    // Network-level failure (site down): surface it as a response-level
-    // failure so the task/abort logic can treat it like a local abort.
-    CallOutcome synthetic;
-    synthetic.response.status = outcome.status();
-    synthetic.timing.start_micros = at;
-    synthetic.timing.end_micros =
-        at + env_->network().default_link().latency_micros;
-    return synthetic;
+  return CallService(channel->service, request, at);
+}
+
+Result<TxnState> DolEngine::Reprobe(Channel* channel, int64_t* now,
+                                    bool* probe_failed) {
+  LamRequest probe;
+  probe.type = LamRequestType::kQueryTxnState;
+  probe.session = channel->session;
+  ++reprobes_;
+  MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, probe, *now));
+  *now = outcome.timing.end_micros;
+  if (!outcome.response.status.ok()) {
+    *probe_failed = true;
+    return TxnState::kActive;
   }
-  return outcome;
+  *probe_failed = false;
+  return outcome.response.txn_state;
 }
 
 Result<int64_t> DolEngine::ExecOpen(const OpenStmt& stmt, int64_t at) {
@@ -134,18 +220,13 @@ Result<int64_t> DolEngine::ExecOpen(const OpenStmt& stmt, int64_t at) {
   LamRequest open;
   open.type = LamRequestType::kOpenSession;
   open.database = channel.database;
-  auto outcome = env_->Call(channel.service, open, at);
-  int64_t end = at;
-  if (!outcome.ok()) {
+  MSQL_ASSIGN_OR_RETURN(auto outcome, CallService(channel.service, open, at));
+  int64_t end = outcome.timing.end_micros;
+  if (!outcome.response.status.ok()) {
     channel.failed = true;
-    channel.open_status = outcome.status();
-  } else if (!outcome->response.status.ok()) {
-    channel.failed = true;
-    channel.open_status = outcome->response.status;
-    end = outcome->timing.end_micros;
+    channel.open_status = outcome.response.status;
   } else {
-    channel.session = outcome->response.session;
-    end = outcome->timing.end_micros;
+    channel.session = outcome.response.session;
   }
   channels_.emplace(alias, std::move(channel));
   return end;
@@ -181,6 +262,16 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
     outcome.end_micros = end;
     return end;
   };
+  // Best-effort rollback after a timed-out call: the lost call may have
+  // left a transaction open and holding locks. A rollback failure is
+  // ignored — there may be nothing to roll back.
+  auto drain_txn = [&](int64_t when) -> Result<int64_t> {
+    LamRequest rollback;
+    rollback.type = LamRequestType::kRollback;
+    rollback.session = channel->session;
+    MSQL_ASSIGN_OR_RETURN(auto rb_out, Call(channel, rollback, when));
+    return rb_out.timing.end_micros;
+  };
 
   if (stmt.nocommit) {
     LamRequest begin;
@@ -189,6 +280,9 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
     MSQL_ASSIGN_OR_RETURN(auto begin_out, Call(channel, begin, now));
     now = begin_out.timing.end_micros;
     if (!begin_out.response.status.ok()) {
+      if (begin_out.timed_out) {
+        MSQL_ASSIGN_OR_RETURN(now, drain_txn(now));
+      }
       now = abort_task(begin_out.response.status, now);
       tasks_.emplace(name, std::move(outcome));
       return now;
@@ -202,8 +296,12 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
   MSQL_ASSIGN_OR_RETURN(auto exec_out, Call(channel, exec, now));
   now = exec_out.timing.end_micros;
   if (!exec_out.response.status.ok()) {
-    // The local engine aborts the enclosing transaction on any failing
-    // statement, so there is nothing to roll back here.
+    // On a definite local failure the engine has already aborted the
+    // enclosing transaction; after a timeout the statement may have
+    // been applied with the transaction still open, so drain it.
+    if (exec_out.timed_out && stmt.nocommit) {
+      MSQL_ASSIGN_OR_RETURN(now, drain_txn(now));
+    }
     now = abort_task(exec_out.response.status, now);
     tasks_.emplace(name, std::move(outcome));
     return now;
@@ -216,16 +314,52 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
     prepare.session = channel->session;
     MSQL_ASSIGN_OR_RETURN(auto prep_out, Call(channel, prepare, now));
     now = prep_out.timing.end_micros;
-    if (!prep_out.response.status.ok()) {
+    bool prepared = prep_out.response.status.ok();
+    if (!prepared && prep_out.timed_out && policy_.reprobe_on_timeout) {
+      // A lost prepare ACK is resolved by re-probing: the transaction
+      // either reached kPrepared (ACK lost — proceed), stayed kActive
+      // (request lost — re-send while attempts remain) or aborted.
+      int attempt = 1;
+      int64_t backoff = policy_.initial_backoff_micros;
+      while (true) {
+        bool probe_failed = false;
+        MSQL_ASSIGN_OR_RETURN(TxnState state,
+                              Reprobe(channel, &now, &probe_failed));
+        if (!probe_failed && state == TxnState::kPrepared) {
+          prepared = true;
+          break;
+        }
+        if (probe_failed || state != TxnState::kActive ||
+            attempt >= policy_.max_attempts) {
+          break;
+        }
+        ++attempt;
+        ++retries_;
+        now += backoff;
+        backoff = std::min(
+            static_cast<int64_t>(static_cast<double>(backoff) *
+                                 policy_.backoff_multiplier),
+            policy_.max_backoff_micros);
+        MSQL_ASSIGN_OR_RETURN(auto again, Call(channel, prepare, now));
+        now = again.timing.end_micros;
+        if (again.response.status.ok()) {
+          prepared = true;
+          break;
+        }
+        if (!again.timed_out) {
+          prep_out = std::move(again);
+          break;
+        }
+        prep_out = std::move(again);
+      }
+    }
+    if (!prepared) {
       // A refused prepare (no 2PC support, or injected failure) leaves
       // the transaction either aborted (injected) or still active
       // (refused): roll it back so no locks leak, then mark aborted.
-      if (prep_out.response.txn_state == relational::TxnState::kActive) {
-        LamRequest rollback;
-        rollback.type = LamRequestType::kRollback;
-        rollback.session = channel->session;
-        MSQL_ASSIGN_OR_RETURN(auto rb_out, Call(channel, rollback, now));
-        now = rb_out.timing.end_micros;
+      if (prep_out.response.txn_state == relational::TxnState::kActive ||
+          prep_out.timed_out) {
+        MSQL_ASSIGN_OR_RETURN(now, drain_txn(now));
       }
       now = abort_task(prep_out.response.status, now);
       tasks_.emplace(name, std::move(outcome));
@@ -312,10 +446,65 @@ Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
     now = outcome.timing.end_micros;
     if (outcome.response.status.ok()) {
       task->state = DolTaskState::kCommitted;
-    } else {
-      task->state = DolTaskState::kAborted;
-      task->last_status = outcome.response.status;
+      continue;
     }
+    if (outcome.timed_out && policy_.reprobe_on_timeout) {
+      // The in-doubt window of §3.2.1: the commit may have been applied
+      // (ACK lost) or never delivered. Re-probe the transaction state
+      // instead of assuming the worst — a lost ACK resolves to
+      // kCommitted, a lost request is re-sent while attempts remain.
+      int attempt = 1;
+      int64_t backoff = policy_.initial_backoff_micros;
+      bool resolved = false;
+      while (!resolved) {
+        bool probe_failed = false;
+        MSQL_ASSIGN_OR_RETURN(TxnState state,
+                              Reprobe(channel, &now, &probe_failed));
+        if (probe_failed) {
+          // State unobservable: conservatively mark aborted; the plan's
+          // verify step will report the execution incorrect.
+          task->state = DolTaskState::kAborted;
+          task->last_status = outcome.response.status;
+          resolved = true;
+        } else if (state == TxnState::kCommitted) {
+          task->state = DolTaskState::kCommitted;
+          resolved = true;
+        } else if (state == TxnState::kAborted) {
+          task->state = DolTaskState::kAborted;
+          task->last_status = outcome.response.status;
+          resolved = true;
+        } else if (attempt >= policy_.max_attempts) {
+          // Still prepared and out of attempts: leave the task in
+          // kPrepared so the plan's cleanup branch can roll it back —
+          // a known-prepared transaction must not leak its locks.
+          task->last_status = outcome.response.status;
+          resolved = true;
+        } else {
+          ++attempt;
+          ++retries_;
+          now += backoff;
+          backoff = std::min(
+              static_cast<int64_t>(static_cast<double>(backoff) *
+                                   policy_.backoff_multiplier),
+              policy_.max_backoff_micros);
+          MSQL_ASSIGN_OR_RETURN(auto again, Call(channel, commit, now));
+          now = again.timing.end_micros;
+          if (again.response.status.ok()) {
+            task->state = DolTaskState::kCommitted;
+            resolved = true;
+          } else if (!again.timed_out) {
+            task->state = DolTaskState::kAborted;
+            task->last_status = again.response.status;
+            resolved = true;
+          } else {
+            outcome = std::move(again);  // re-probe the new timeout
+          }
+        }
+      }
+      continue;
+    }
+    task->state = DolTaskState::kAborted;
+    task->last_status = outcome.response.status;
   }
   return now;
 }

@@ -13,6 +13,43 @@
 
 namespace msql::dol {
 
+/// Retry discipline of the coordinator (simulated-clock semantics).
+///
+/// Undelivered failures (transient rejections, unreachable sites) are
+/// re-sent up to `max_attempts` times with exponential backoff charged
+/// to the simulated clock. Timed-out calls are *not* blindly re-sent —
+/// the request may have been executed — except for idempotent probe
+/// verbs; commit/prepare timeouts are instead resolved through a
+/// kQueryTxnState re-probe when `reprobe_on_timeout` is set, which is
+/// what keeps a lost commit ACK from being declared incorrect.
+struct RetryPolicy {
+  /// Total send attempts per call (1 = no retry).
+  int max_attempts = 1;
+  /// Backoff before the first re-send.
+  int64_t initial_backoff_micros = 1000;
+  /// Multiplier applied to the backoff after every re-send.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling.
+  int64_t max_backoff_micros = 64000;
+  /// Resolve commit/prepare timeouts by re-probing the transaction
+  /// state instead of assuming failure.
+  bool reprobe_on_timeout = true;
+
+  /// No retries, no re-probing: every fault is taken at face value.
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    p.reprobe_on_timeout = false;
+    return p;
+  }
+  /// `attempts` sends with default backoff, re-probing enabled.
+  static RetryPolicy WithAttempts(int attempts) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    return p;
+  }
+};
+
 /// Final record of one task's execution.
 struct TaskOutcome {
   std::string name;
@@ -38,6 +75,13 @@ struct DolRunResult {
   /// Network traffic incurred by this run.
   int64_t messages = 0;
   int64_t bytes = 0;
+  /// Re-sends performed under the retry policy (0 for clean runs).
+  int64_t retries = 0;
+  /// Re-probes (kQueryTxnState) issued to resolve timed-out calls.
+  int64_t reprobes = 0;
+  /// Channels whose OPEN failed, with the failure detail — previously a
+  /// poisoned channel was silent and degraded runs were undiagnosable.
+  std::map<std::string, Status> failed_channels;
 
   const TaskOutcome* FindTask(const std::string& name) const;
 
@@ -64,7 +108,10 @@ struct DolRunResult {
 /// reaches them.
 class DolEngine {
  public:
-  explicit DolEngine(netsim::Environment* env) : env_(env) {}
+  explicit DolEngine(netsim::Environment* env, RetryPolicy policy = {})
+      : env_(env), policy_(policy) {}
+
+  const RetryPolicy& retry_policy() const { return policy_; }
 
   /// Runs `program` from simulated time 0.
   Result<DolRunResult> Run(const DolProgram& program);
@@ -96,12 +143,30 @@ class DolEngine {
   Result<Channel*> FindChannel(const std::string& alias);
   Result<TaskOutcome*> FindTask(const std::string& name);
 
-  /// One RPC on a channel; returns the outcome (end time in timing).
+  /// One RPC to `service` under the retry policy: undelivered
+  /// kUnavailable failures (rejections, down sites) are re-sent with
+  /// backoff; timeouts are returned to the caller for verb-specific
+  /// handling, except idempotent probe verbs which retry too. Returns
+  /// the final outcome (end time in timing).
+  Result<netsim::CallOutcome> CallService(
+      const std::string& service, const netsim::LamRequest& request,
+      int64_t at);
+
+  /// CallService on a channel's service.
   Result<netsim::CallOutcome> Call(Channel* channel,
                                    const netsim::LamRequest& request,
                                    int64_t at);
 
+  /// Resolves a timed-out prepare/commit by re-probing the session's
+  /// transaction state; returns the observed state (kActive when the
+  /// probe itself could not be resolved, flagged via `probe_failed`).
+  Result<relational::TxnState> Reprobe(Channel* channel, int64_t* now,
+                                       bool* probe_failed);
+
   netsim::Environment* env_;
+  RetryPolicy policy_;
+  int64_t retries_ = 0;
+  int64_t reprobes_ = 0;
   std::map<std::string, Channel> channels_;
   std::map<std::string, TaskOutcome> tasks_;
   /// task name → alias of the channel it ran on.

@@ -69,6 +69,8 @@ Result<CallOutcome> Environment::Call(std::string_view service_name,
                             "' is not registered in the environment");
   }
   Lam* lam = lam_it->second.get();
+  FaultDecision fault =
+      fault_injector_.Decide(lam->service_name(), request.type);
 
   CallOutcome outcome;
   outcome.timing.start_micros = at_micros;
@@ -76,6 +78,60 @@ Result<CallOutcome> Environment::Call(std::string_view service_name,
       outcome.timing.request_micros,
       network_.TransferMicros(coordinator_site_, lam->site_name(),
                               request.WireBytes()));
+  if (fault.action == FaultAction::kLatencySpike) {
+    outcome.timing.request_micros += fault.extra_latency_micros;
+  }
+
+  switch (fault.action) {
+    case FaultAction::kLostRequest:
+      // The message was sent (and accounted) but never arrives; the
+      // coordinator gives up after the call timeout.
+      outcome.timed_out = true;
+      outcome.response.status = Status::Unavailable(
+          "timeout: no response to " +
+          std::string(LamRequestTypeName(request.type)) + " from '" +
+          lam->service_name() + "' (request lost)");
+      outcome.timing.end_micros = at_micros + call_timeout_micros_;
+      return outcome;
+    case FaultAction::kReject: {
+      // The LAM refuses without dispatching: a definite, undelivered
+      // failure the caller may safely re-send.
+      outcome.response.status = Status::Unavailable(
+          "injected transient fault: '" + lam->service_name() +
+          "' refused " + std::string(LamRequestTypeName(request.type)));
+      MSQL_ASSIGN_OR_RETURN(
+          outcome.timing.response_micros,
+          network_.TransferMicros(lam->site_name(), coordinator_site_,
+                                  outcome.response.WireBytes()));
+      outcome.timing.end_micros = at_micros +
+                                  outcome.timing.request_micros +
+                                  outcome.timing.response_micros;
+      return outcome;
+    }
+    case FaultAction::kLostResponse: {
+      // The LDBMS executes the request — state changes, locks move —
+      // but the acknowledgement vanishes. The coordinator only sees a
+      // timeout, indistinguishable from kLostRequest.
+      LamResponse executed =
+          lam->Handle(request, &outcome.timing.service_micros);
+      // Account the doomed response message.
+      (void)network_.TransferMicros(lam->site_name(), coordinator_site_,
+                                    executed.WireBytes());
+      outcome.timed_out = true;
+      outcome.request_delivered = true;
+      outcome.response.status = Status::Unavailable(
+          "timeout: no response to " +
+          std::string(LamRequestTypeName(request.type)) + " from '" +
+          lam->service_name() + "' (response lost)");
+      outcome.timing.end_micros = at_micros + call_timeout_micros_;
+      return outcome;
+    }
+    case FaultAction::kNone:
+    case FaultAction::kLatencySpike:
+      break;
+  }
+
+  outcome.request_delivered = true;
   outcome.response = lam->Handle(request, &outcome.timing.service_micros);
   MSQL_ASSIGN_OR_RETURN(
       outcome.timing.response_micros,

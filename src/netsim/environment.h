@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "netsim/fault_injector.h"
 #include "netsim/lam.h"
 #include "netsim/network.h"
 
@@ -38,6 +39,14 @@ struct CallTiming {
 struct CallOutcome {
   LamResponse response;
   CallTiming timing;
+  /// No response arrived within the call timeout (lost request or lost
+  /// response). The coordinator cannot tell the two apart — only a
+  /// re-probe can.
+  bool timed_out = false;
+  /// Ground truth for tests/traces: the LAM actually executed the
+  /// request (true for lost-*response* faults). Decision logic must not
+  /// read this — the coordinator has no such oracle.
+  bool request_delivered = false;
 };
 
 /// The multi-system execution environment: a network of sites, a
@@ -58,6 +67,17 @@ class Environment {
   const Network& network() const { return network_; }
   const std::string& coordinator_site() const { return coordinator_site_; }
 
+  /// Scripted fault schedule applied to every Call (empty by default).
+  FaultInjector& fault_injector() { return fault_injector_; }
+  const FaultInjector& fault_injector() const { return fault_injector_; }
+
+  /// Simulated time the coordinator waits for a response before a call
+  /// is declared timed out (lost request/response faults).
+  void set_call_timeout_micros(int64_t micros) {
+    call_timeout_micros_ = micros;
+  }
+  int64_t call_timeout_micros() const { return call_timeout_micros_; }
+
   /// Registers a service: creates its site (if new), records the
   /// directory entry and installs the LAM.
   Status AddService(std::string_view service_name,
@@ -73,13 +93,18 @@ class Environment {
 
   /// Issues one RPC from the coordinator to `service_name`, starting at
   /// simulated time `at_micros`. Network unavailability is reported in
-  /// the returned Status (the response is then empty).
+  /// the returned Status (the response is then empty). Scripted faults
+  /// from the injector surface as response-level kUnavailable outcomes
+  /// (with `timed_out` set for lost messages) so callers can apply
+  /// retry/re-probe policy.
   Result<CallOutcome> Call(std::string_view service_name,
                            const LamRequest& request, int64_t at_micros);
 
  private:
   std::string coordinator_site_;
   Network network_;
+  FaultInjector fault_injector_;
+  int64_t call_timeout_micros_ = 20000;
   std::map<std::string, ServiceEntry> directory_;
   std::map<std::string, std::unique_ptr<Lam>> lams_;
 };

@@ -1,0 +1,117 @@
+#include "netsim/fault_injector.h"
+
+#include "common/string_util.h"
+
+namespace msql::netsim {
+
+std::string_view FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone: return "NONE";
+    case FaultAction::kLostRequest: return "LOST_REQUEST";
+    case FaultAction::kLostResponse: return "LOST_RESPONSE";
+    case FaultAction::kReject: return "REJECT";
+    case FaultAction::kLatencySpike: return "LATENCY_SPIKE";
+  }
+  return "UNKNOWN";
+}
+
+FaultRule FaultRule::NthCall(std::string service,
+                             std::optional<LamRequestType> type, int n,
+                             FaultAction action) {
+  FaultRule rule;
+  rule.service = std::move(service);
+  rule.request_type = type;
+  rule.action = action;
+  rule.from_match = n;
+  rule.count = 1;
+  return rule;
+}
+
+FaultRule FaultRule::Transient(std::string service,
+                               std::optional<LamRequestType> type, int k,
+                               FaultAction action) {
+  FaultRule rule;
+  rule.service = std::move(service);
+  rule.request_type = type;
+  rule.action = action;
+  rule.from_match = 1;
+  rule.count = k;
+  return rule;
+}
+
+FaultRule FaultRule::Random(std::string service,
+                            std::optional<LamRequestType> type, double p,
+                            FaultAction action) {
+  FaultRule rule;
+  rule.service = std::move(service);
+  rule.request_type = type;
+  rule.action = action;
+  rule.from_match = 1;
+  rule.count = -1;
+  rule.probability = p;
+  return rule;
+}
+
+FaultRule FaultRule::Spike(std::string service, int64_t micros) {
+  FaultRule rule;
+  rule.service = std::move(service);
+  rule.request_type = std::nullopt;
+  rule.action = FaultAction::kLatencySpike;
+  rule.from_match = 1;
+  rule.count = -1;
+  rule.extra_latency_micros = micros;
+  return rule;
+}
+
+void FaultInjector::SetPlan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  for (auto& rule : plan_.rules) rule.service = ToLower(rule.service);
+  match_counts_.assign(plan_.rules.size(), 0);
+  fire_counts_.assign(plan_.rules.size(), 0);
+  stats_ = FaultStats{};
+  rng_ = Rng(plan_.seed);
+}
+
+void FaultInjector::Clear() { SetPlan(FaultPlan{}); }
+
+FaultDecision FaultInjector::Decide(std::string_view service,
+                                    LamRequestType type) {
+  FaultDecision decision;
+  if (plan_.rules.empty()) return decision;
+  ++stats_.calls_seen;
+  std::string key = ToLower(service);
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (!rule.service.empty() && rule.service != key) continue;
+    if (rule.request_type.has_value() && *rule.request_type != type) {
+      continue;
+    }
+    int64_t ordinal = ++match_counts_[i];
+    if (decision.action != FaultAction::kNone) continue;  // counters still
+    if (ordinal < rule.from_match) continue;
+    if (rule.count >= 0 && ordinal >= rule.from_match + rule.count) {
+      continue;
+    }
+    // The Bernoulli draw happens for every eligible call — even below
+    // p=1 rules consume exactly one draw, keeping the stream aligned
+    // across runs with the same plan.
+    if (rule.probability < 1.0 && !rng_.NextBool(rule.probability)) {
+      continue;
+    }
+    decision.action = rule.action;
+    decision.extra_latency_micros = rule.extra_latency_micros;
+    decision.rule_index = static_cast<int>(i);
+    ++fire_counts_[i];
+    ++stats_.faults_fired;
+    switch (rule.action) {
+      case FaultAction::kLostRequest: ++stats_.lost_requests; break;
+      case FaultAction::kLostResponse: ++stats_.lost_responses; break;
+      case FaultAction::kReject: ++stats_.rejects; break;
+      case FaultAction::kLatencySpike: ++stats_.latency_spikes; break;
+      case FaultAction::kNone: break;
+    }
+  }
+  return decision;
+}
+
+}  // namespace msql::netsim

@@ -1,0 +1,137 @@
+#ifndef MSQL_NETSIM_FAULT_INJECTOR_H_
+#define MSQL_NETSIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "netsim/lam.h"
+
+namespace msql::netsim {
+
+/// What an injected fault does to one intercepted RPC.
+///
+/// The split between kLostRequest and kLostResponse is the heart of the
+/// model: both look identical to the coordinator (no response within the
+/// timeout) but leave the LDBMS in different states — the request never
+/// arrived vs. it was executed and only the acknowledgement vanished.
+/// The latter is the lost-commit-ACK hazard of §3.2.1 that only a
+/// kQueryTxnState re-probe can resolve.
+enum class FaultAction {
+  kNone,
+  /// The request vanishes before reaching the LAM; the LDBMS does not
+  /// execute it. The caller times out.
+  kLostRequest,
+  /// The LAM executes the request but its response vanishes. The caller
+  /// times out with the local state already changed.
+  kLostResponse,
+  /// The LAM refuses the request without dispatching it (transient
+  /// overload / reconnect window). The caller gets an immediate
+  /// kUnavailable and knows the request was not executed.
+  kReject,
+  /// The call succeeds but the request leg is slowed by
+  /// `extra_latency_micros`.
+  kLatencySpike,
+};
+
+std::string_view FaultActionName(FaultAction action);
+
+/// One scripted fault: fires on calls matching (service, request type)
+/// whose per-rule match ordinal falls in [from_match, from_match+count),
+/// each firing gated by a seeded Bernoulli trial.
+struct FaultRule {
+  /// Service the rule applies to ("" = every service).
+  std::string service;
+  /// Request verb the rule applies to (nullopt = every verb).
+  std::optional<LamRequestType> request_type;
+  FaultAction action = FaultAction::kReject;
+  /// 1-based ordinal of the first matching call that can fire.
+  int from_match = 1;
+  /// Number of consecutive matching calls that can fire (-1 = forever).
+  int count = 1;
+  /// Probability that an eligible call actually faults.
+  double probability = 1.0;
+  /// Added to the request leg (kLatencySpike only).
+  int64_t extra_latency_micros = 0;
+
+  /// Fault exactly the `n`-th matching call.
+  static FaultRule NthCall(std::string service,
+                           std::optional<LamRequestType> type, int n,
+                           FaultAction action);
+  /// Fault the first `k` matching calls, then recover.
+  static FaultRule Transient(std::string service,
+                             std::optional<LamRequestType> type, int k,
+                             FaultAction action = FaultAction::kReject);
+  /// Fault every matching call with probability `p` (seeded).
+  static FaultRule Random(std::string service,
+                          std::optional<LamRequestType> type, double p,
+                          FaultAction action = FaultAction::kReject);
+  /// Slow every matching call's request leg by `micros`.
+  static FaultRule Spike(std::string service, int64_t micros);
+};
+
+/// A complete scripted failure schedule. Every run from the same plan
+/// (same seed, same rules) produces the identical fault sequence.
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+};
+
+/// What the injector decided for one call.
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  int64_t extra_latency_micros = 0;
+  /// Index of the firing rule in the plan (-1 when no fault fired).
+  int rule_index = -1;
+};
+
+/// Cumulative injection counters.
+struct FaultStats {
+  int64_t calls_seen = 0;
+  int64_t faults_fired = 0;
+  int64_t lost_requests = 0;
+  int64_t lost_responses = 0;
+  int64_t rejects = 0;
+  int64_t latency_spikes = 0;
+};
+
+/// Deterministic fault scheduler: the Environment consults it on every
+/// LAM call. Rules are evaluated in plan order; the first rule whose
+/// window and Bernoulli trial both pass wins. All randomness comes from
+/// one SplitMix64 stream seeded by the plan, so a seed fully determines
+/// which calls fault.
+class FaultInjector {
+ public:
+  FaultInjector() : rng_(0) {}
+
+  /// Installs `plan`, resetting match counters, stats and the RNG.
+  void SetPlan(FaultPlan plan);
+  /// Removes the plan; every subsequent call is fault-free.
+  void Clear();
+  bool active() const { return !plan_.rules.empty(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decides the fate of one call and advances the schedule.
+  FaultDecision Decide(std::string_view service, LamRequestType type);
+
+  const FaultStats& stats() const { return stats_; }
+  /// Times each rule has fired (parallel to plan().rules).
+  const std::vector<int64_t>& rule_fire_counts() const {
+    return fire_counts_;
+  }
+
+ private:
+  FaultPlan plan_;
+  /// Per-rule count of calls that matched (service, type) so far.
+  std::vector<int64_t> match_counts_;
+  std::vector<int64_t> fire_counts_;
+  FaultStats stats_;
+  Rng rng_;
+};
+
+}  // namespace msql::netsim
+
+#endif  // MSQL_NETSIM_FAULT_INJECTOR_H_

@@ -285,6 +285,13 @@ Result<Plan> Translator::TranslateQuery(
       verify->condition =
           AllInState(two_phase_tasks, DolTaskState::kCommitted);
       verify->then_branch.push_back(SetStatus(PlanStatus::kSuccess));
+      // A commit the engine could not resolve (lost-request exhausted
+      // its re-sends) leaves its task known-prepared: roll those back
+      // before reporting the execution incorrect so no locks leak.
+      for (const auto& t : two_phase_tasks) {
+        verify->else_branch.push_back(
+            IfInState(t, DolTaskState::kPrepared, AbortOne(t)));
+      }
       verify->else_branch.push_back(SetStatus(PlanStatus::kIncorrect));
       then_branch.push_back(std::move(verify));
     } else {
@@ -469,6 +476,10 @@ Result<Plan> Translator::TranslateMultiTransaction(
       auto verify = std::make_unique<IfStmt>();
       verify->condition = AllInState(to_commit, DolTaskState::kCommitted);
       verify->then_branch.push_back(SetStatus(PlanStatus::kSuccess));
+      for (const auto& t : to_commit) {
+        verify->else_branch.push_back(
+            IfInState(t, DolTaskState::kPrepared, AbortOne(t)));
+      }
       verify->else_branch.push_back(SetStatus(PlanStatus::kIncorrect));
       branch.push_back(std::move(verify));
     } else {

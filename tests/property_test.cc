@@ -7,11 +7,14 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/fixtures.h"
 #include "core/mdbs_system.h"
+#include "dol/engine.h"
 #include "dol/parser.h"
+#include "netsim/fault_injector.h"
 #include "msql/multitable.h"
 #include "msql/parser.h"
 #include "relational/engine.h"
@@ -282,6 +285,141 @@ TEST(ConcurrencyTest, LocalLockHolderAbortsVitalGlobalQuery) {
   ASSERT_TRUE(retry.ok());
   EXPECT_EQ(retry->outcome, GlobalOutcome::kSuccess);
 }
+
+// ---------------------------------------------------------------------------
+// Property 6: the §3.2.1 outcome rule holds under arbitrary seeded
+// fault schedules, and a plan seed fully determines the run.
+//   - never kSuccess while a VITAL task did not commit;
+//   - never kAborted while a VITAL task did commit;
+//   - faults confined to NON-VITAL services never change the outcome;
+//   - two runs from identical seeds produce identical traces.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kChaosFareRaise =
+    "USE continental VITAL delta united VITAL\n"
+    "UPDATE flight% SET rate% = rate% * 1.1\n"
+    "WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+/// A small random fault schedule over `services`, derived from `seed`.
+netsim::FaultPlan RandomFaultPlan(uint64_t seed,
+                                  const std::vector<std::string>& services) {
+  using netsim::FaultAction;
+  using netsim::LamRequestType;
+  static const LamRequestType kVerbs[] = {
+      LamRequestType::kOpenSession, LamRequestType::kExecute,
+      LamRequestType::kBegin,       LamRequestType::kPrepare,
+      LamRequestType::kCommit,      LamRequestType::kRollback};
+  static const FaultAction kActions[] = {
+      FaultAction::kReject, FaultAction::kLostRequest,
+      FaultAction::kLostResponse, FaultAction::kLatencySpike};
+
+  Rng rng(seed);
+  netsim::FaultPlan plan;
+  plan.seed = seed ^ 0x9E3779B97F4A7C15ULL;
+  int n_rules = static_cast<int>(1 + rng.NextBelow(3));
+  for (int i = 0; i < n_rules; ++i) {
+    netsim::FaultRule rule;
+    rule.service = services[rng.NextBelow(services.size())];
+    rule.request_type = kVerbs[rng.NextBelow(6)];
+    rule.action = kActions[rng.NextBelow(4)];
+    if (rule.action == FaultAction::kLatencySpike) {
+      rule.extra_latency_micros = 1000 * rng.NextInRange(1, 10);
+    }
+    rule.from_match = static_cast<int>(1 + rng.NextBelow(2));
+    rule.count = static_cast<int>(1 + rng.NextBelow(2));
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+dol::RetryPolicy RandomRetryPolicy(uint64_t seed) {
+  Rng rng(seed + 1);
+  if (rng.NextBelow(2) == 0) return dol::RetryPolicy::None();
+  return dol::RetryPolicy::WithAttempts(
+      static_cast<int>(2 + rng.NextBelow(2)));
+}
+
+struct ChaosRun {
+  GlobalOutcome outcome = GlobalOutcome::kSuccess;
+  dol::DolTaskState continental = dol::DolTaskState::kNotRun;
+  dol::DolTaskState united = dol::DolTaskState::kNotRun;
+  std::string trace;
+};
+
+ChaosRun RunChaosFareRaise(uint64_t seed,
+                           const std::vector<std::string>& services) {
+  auto sys = std::move(BuildPaperFederation()).value();
+  sys->set_retry_policy(RandomRetryPolicy(seed));
+  sys->environment().fault_injector().SetPlan(
+      RandomFaultPlan(seed, services));
+  auto report = sys->Execute(kChaosFareRaise);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.status();
+  ChaosRun out;
+  if (!report.ok()) return out;
+  out.outcome = report->outcome;
+  out.continental = report->run.FindTask("t_continental")->state;
+  out.united = report->run.FindTask("t_united")->state;
+  out.trace = report->run.ToString();
+  return out;
+}
+
+class ChaosInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosInvariantTest, OutcomeNeverContradictsVitalTaskStates) {
+  const std::vector<std::string> all = {"continental_svc", "delta_svc",
+                                        "united_svc"};
+  ChaosRun run = RunChaosFareRaise(GetParam(), all);
+
+  bool cont_committed = run.continental == dol::DolTaskState::kCommitted;
+  bool united_committed = run.united == dol::DolTaskState::kCommitted;
+  if (run.outcome == GlobalOutcome::kSuccess) {
+    EXPECT_TRUE(cont_committed && united_committed)
+        << "kSuccess with an uncommitted vital (seed " << GetParam()
+        << ")\n" << run.trace;
+  }
+  if (run.outcome == GlobalOutcome::kAborted) {
+    EXPECT_FALSE(cont_committed || united_committed)
+        << "kAborted with a committed vital (seed " << GetParam()
+        << ")\n" << run.trace;
+  }
+
+  // The schedule is a pure function of the seed: a second federation and
+  // a second run reproduce the identical trace, timings included.
+  ChaosRun again = RunChaosFareRaise(GetParam(), all);
+  EXPECT_EQ(again.trace, run.trace) << "seed " << GetParam();
+  EXPECT_EQ(again.outcome, run.outcome);
+}
+
+TEST_P(ChaosInvariantTest, NonVitalOnlyFaultsNeverChangeTheOutcome) {
+  uint64_t seed = GetParam();
+  auto sys = std::move(BuildPaperFederation()).value();
+  auto fares = [&]() {
+    auto engine = *sys->GetEngine(PaperServiceOf("united"));
+    auto s = *engine->OpenSession("united");
+    auto rs = engine->Execute(
+        s, "SELECT SUM(rates) FROM flight WHERE sour = 'Houston' AND "
+           "dest = 'San Antonio'");
+    double out = rs->rows[0][0].NumericAsReal();
+    EXPECT_TRUE(engine->CloseSession(s).ok());
+    return out;
+  };
+  double united0 = fares();
+  sys->set_retry_policy(RandomRetryPolicy(seed));
+  sys->environment().fault_injector().SetPlan(
+      RandomFaultPlan(seed, {"delta_svc"}));
+  auto report = sys->Execute(kChaosFareRaise);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Whatever happened to delta, the vitals were untouched by faults and
+  // the run is a success with both raises applied.
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess)
+      << "seed " << seed << "\n" << report->run.ToString();
+  EXPECT_NEAR(fares(), united0 * 1.1, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosInvariantTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 77u, 404u, 1993u,
+                                           20260807u));
 
 TEST(ConcurrencyTest, RunTraceDescribesTasks) {
   auto sys = std::move(BuildPaperFederation()).value();
