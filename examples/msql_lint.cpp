@@ -1,0 +1,158 @@
+// msqlcheck front end: static analysis of MSQL programs without
+// executing them.
+//
+//   $ msql_lint program.msql ...     — lint files (exit 1 on errors)
+//   $ msql_lint --explain prog.msql  — also print the generated DOL
+//   $ msql_lint -                    — lint stdin
+//
+// Programs are checked against the paper federation's catalogs (the
+// same GDD/AD msql_shell boots with), so a program that lints clean
+// here runs unmodified in the shell. Shell meta lines ('\gdd', ...)
+// are ignored. Exit status: 0 clean or warnings only, 1 when any
+// MS1xx/DL2xx error or refusal is reported, 2 when the input does not
+// parse or the federation cannot be built.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::AnalysisReport;
+using msql::core::MultidatabaseSystem;
+
+/// Blanks out shell meta lines ('\'-prefixed) in place of removing
+/// them, so diagnostic line numbers keep pointing into the real file.
+/// \check and \explain prefix an input in the shell — for those only
+/// the command itself is blanked and the MSQL text after it is kept
+/// (every input is analyzed here anyway).
+std::string StripMetaLines(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != '\\') {
+      out += line;
+    } else {
+      for (const char* cmd : {"\\check ", "\\explain "}) {
+        if (line.compare(first, std::strlen(cmd), cmd) == 0) {
+          out += std::string(first + std::strlen(cmd), ' ');
+          out += line.substr(first + std::strlen(cmd));
+          break;
+        }
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// Lints one source text; returns the worst exit status seen.
+int LintText(MultidatabaseSystem* sys, const std::string& name,
+             const std::string& raw, bool explain) {
+  std::string source = StripMetaLines(raw);
+  auto reports = sys->AnalyzeScript(source);
+  if (!reports.ok()) {
+    std::printf("%s: %s\n", name.c_str(),
+                reports.status().ToString().c_str());
+    return 2;
+  }
+  int status = 0;
+  size_t input_index = 0;
+  for (const AnalysisReport& report : *reports) {
+    ++input_index;
+    for (const auto& d : report.diagnostics.items()) {
+      std::printf("%s:%s\n", name.c_str(), d.RenderPretty(source).c_str());
+    }
+    if (report.diagnostics.has_errors()) status = status < 1 ? 1 : status;
+    if (report.refused) {
+      // MS111-style refusals already printed themselves above as error
+      // diagnostics; translator-level refusals (vital non-pertinent
+      // etc.) have no diagnostic and need the status line.
+      if (!report.diagnostics.has_errors()) {
+        std::printf("%s: input %zu refused: %s\n", name.c_str(), input_index,
+                    report.refusal.ToString().c_str());
+      }
+      status = status < 1 ? 1 : status;
+    }
+    if (!report.error.ok()) {
+      std::printf("%s: input %zu (%s): %s\n", name.c_str(), input_index,
+                  report.kind.c_str(), report.error.ToString().c_str());
+      status = status < 1 ? 1 : status;
+    }
+    if (explain && report.translated) {
+      std::printf("-- input %zu (%s) translates to:\n%s", input_index,
+                  report.kind.c_str(), report.dol_text.c_str());
+    }
+  }
+  if (status == 0) {
+    std::printf("%s: %zu input(s), %zu warning(s), no errors\n",
+                name.c_str(), reports->size(),
+                [&] {
+                  size_t w = 0;
+                  for (const auto& r : *reports) {
+                    w += r.diagnostics.warning_count();
+                  }
+                  return w;
+                }());
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool explain = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: msql_lint [--explain] <program.msql>... (or '-' "
+                 "for stdin)\n");
+    return 2;
+  }
+  auto sys_or = msql::core::BuildPaperFederation();
+  if (!sys_or.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n",
+                 sys_or.status().ToString().c_str());
+    return 2;
+  }
+  auto sys = std::move(sys_or).value();
+
+  int status = 0;
+  for (const std::string& file : files) {
+    std::string text;
+    if (file == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      text = buf.str();
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", file.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    int s = LintText(sys.get(), file == "-" ? "<stdin>" : file, text,
+                     explain);
+    if (s > status) status = s;
+  }
+  return status;
+}

@@ -5,8 +5,12 @@
 //
 // Inputs end at a ';' on its own or at end of line; multitransactions
 // end at END MULTITRANSACTION. Meta commands: \gdd (dump dictionary),
-// \dol (toggle printing generated DOL programs), \quit.
+// \dol (toggle printing generated DOL programs), \quit. Prefixing an
+// input with \check statically analyzes it instead of executing it;
+// \explain additionally prints the DOL program it would run.
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -56,6 +60,31 @@ void PrintReport(const ExecutionReport& report, bool show_dol) {
   }
 }
 
+void PrintAnalysis(const msql::core::AnalysisReport& report,
+                   const std::string& source, bool show_dol) {
+  for (const auto& d : report.diagnostics.items()) {
+    std::printf("%s\n", d.RenderPretty(source).c_str());
+  }
+  if (report.refused && report.diagnostics.empty()) {
+    std::printf("-- would be REFUSED: %s\n",
+                report.refusal.ToString().c_str());
+  } else if (report.refused) {
+    std::printf("-- would be REFUSED\n");
+  } else if (!report.error.ok()) {
+    std::printf("-- would fail: %s\n", report.error.ToString().c_str());
+  } else if (report.diagnostics.has_errors()) {
+    std::printf("-- does not check (%zu error(s))\n",
+                report.diagnostics.error_count());
+  } else {
+    std::printf("-- checks out (%s; %zu warning(s))\n",
+                report.kind.c_str(),
+                report.diagnostics.warning_count());
+  }
+  if (show_dol && report.translated) {
+    std::printf("%s", report.dol_text.c_str());
+  }
+}
+
 /// True when `buffer` holds a complete input (a ';' outside a pending
 /// BEGIN MULTITRANSACTION, or the END MULTITRANSACTION keyword pair).
 bool InputComplete(const std::string& buffer) {
@@ -71,6 +100,8 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
   bool show_dol = false;
   std::string buffer;
   std::string line;
+  // "" — execute; "check" — analyze only; "explain" — analyze + DOL.
+  std::string analyze_mode;
   if (echo) std::printf("msql> ");
   while (std::getline(in, line)) {
     std::string trimmed(msql::Trim(line));
@@ -86,6 +117,21 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
       if (echo) std::printf("msql> ");
       continue;
     }
+    // \check / \explain prefix an input: strip the command and keep
+    // accumulating the MSQL text as usual; on completion the input is
+    // analyzed instead of executed.
+    if (buffer.empty()) {
+      for (const char* cmd : {"\\check", "\\explain"}) {
+        if (trimmed.rfind(cmd, 0) == 0 &&
+            (trimmed.size() == std::strlen(cmd) ||
+             std::isspace(static_cast<unsigned char>(
+                 trimmed[std::strlen(cmd)])))) {
+          analyze_mode = cmd + 1;
+          line = trimmed.substr(std::strlen(cmd));
+          break;
+        }
+      }
+    }
     buffer += line;
     buffer += "\n";
     if (!InputComplete(buffer)) {
@@ -93,8 +139,20 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
       continue;
     }
     std::string input = buffer;
+    std::string mode = analyze_mode;
     buffer.clear();
+    analyze_mode.clear();
     if (msql::Trim(input).empty() || msql::Trim(input) == ";") {
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (!mode.empty()) {
+      auto analysis = sys->Analyze(input);
+      if (!analysis.ok()) {
+        std::printf("error: %s\n", analysis.status().ToString().c_str());
+      } else {
+        PrintAnalysis(*analysis, input, show_dol || mode == "explain");
+      }
       if (echo) std::printf("msql> ");
       continue;
     }
@@ -129,6 +187,7 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "Extended MSQL shell — federation: continental delta united avis "
-      "national\nmeta: \\gdd \\dol \\quit; end inputs with ';'\n");
+      "national\nmeta: \\gdd \\dol \\check \\explain \\quit; end inputs "
+      "with ';'\n");
   return RunStream(sys.get(), std::cin, /*echo=*/true);
 }

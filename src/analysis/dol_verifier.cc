@@ -1,0 +1,531 @@
+#include "analysis/dol_verifier.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace msql::analysis {
+
+namespace {
+
+using dol::AbortStmt;
+using dol::BinaryCond;
+using dol::CloseStmt;
+using dol::CommitStmt;
+using dol::CompensateStmt;
+using dol::DolCond;
+using dol::DolCondKind;
+using dol::DolProgram;
+using dol::DolStmt;
+using dol::DolStmtKind;
+using dol::DolStmtPtr;
+using dol::DolTaskState;
+using dol::DolTaskStateName;
+using dol::IfStmt;
+using dol::NotCond;
+using dol::OpenStmt;
+using dol::ParallelStmt;
+using dol::StateTestCond;
+using dol::TaskStmt;
+using dol::TransferStmt;
+
+// Possible-state sets are bitmasks over the P/C/A/X machine plus the
+// not-run state.
+using StateMask = uint8_t;
+constexpr StateMask kNotRun = 1u << 0;
+constexpr StateMask kPrepared = 1u << 1;
+constexpr StateMask kCommitted = 1u << 2;
+constexpr StateMask kAborted = 1u << 3;
+constexpr StateMask kCompensated = 1u << 4;
+
+StateMask BitOf(DolTaskState state) {
+  switch (state) {
+    case DolTaskState::kNotRun:
+      return kNotRun;
+    case DolTaskState::kPrepared:
+      return kPrepared;
+    case DolTaskState::kCommitted:
+      return kCommitted;
+    case DolTaskState::kAborted:
+      return kAborted;
+    case DolTaskState::kCompensated:
+      return kCompensated;
+  }
+  return kNotRun;
+}
+
+enum class Tri { kFalse, kTrue, kUnknown };
+
+Tri TriAnd(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+Tri TriNot(Tri a) {
+  if (a == Tri::kFalse) return Tri::kTrue;
+  if (a == Tri::kTrue) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+struct ChannelInfo {
+  bool used = false;
+  bool closed = false;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const DolProgram& program) : program_(program) {}
+
+  void Run(DiagnosticList* out) {
+    out_ = out;
+    CollectDefinitions(program_.statements);
+    std::map<std::string, StateMask> flow;
+    for (const auto& [name, task] : tasks_) {
+      (void)task;
+      flow[name] = kNotRun;
+    }
+    WalkStmts(program_.statements, &flow);
+    for (const auto& [alias, info] : channels_) {
+      if (!info.used) {
+        out_->Add(diag::kChannelNeverUsed, Severity::kError, SourceSpan{},
+                  "channel '" + alias +
+                      "' is opened but no TASK or TRANSFER uses it",
+                  "drop the OPEN, or route a task through the channel");
+      }
+      if (!info.closed) {
+        out_->Add(diag::kChannelNeverClosed, Severity::kError, SourceSpan{},
+                  "channel '" + alias + "' is never closed",
+                  "add the alias to a CLOSE statement");
+      }
+    }
+  }
+
+  // Naming sets for plan-level (DL209) checks.
+  const std::set<std::string>& committed() const { return committed_; }
+  const std::set<std::string>& aborted() const { return aborted_; }
+  const std::set<std::string>& compensated() const { return compensated_; }
+  const std::set<std::string>& tested() const { return tested_; }
+
+ private:
+  void CollectDefinitions(const std::vector<DolStmtPtr>& stmts) {
+    for (const auto& stmt : stmts) {
+      switch (stmt->kind()) {
+        case DolStmtKind::kTask: {
+          const auto* task = static_cast<const TaskStmt*>(stmt.get());
+          auto [it, inserted] = tasks_.emplace(task->name, task);
+          (void)it;
+          if (!inserted) {
+            out_->Add(diag::kDuplicateTaskName, Severity::kError,
+                      SourceSpan{},
+                      "task '" + task->name + "' is defined twice");
+          }
+          break;
+        }
+        case DolStmtKind::kParallel:
+          CollectDefinitions(
+              static_cast<const ParallelStmt*>(stmt.get())->body);
+          break;
+        case DolStmtKind::kIf: {
+          const auto* ifs = static_cast<const IfStmt*>(stmt.get());
+          CollectDefinitions(ifs->then_branch);
+          CollectDefinitions(ifs->else_branch);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  /// Capability set of a task: every state it could ever be in, given
+  /// its commit mode and the decisions that name it. Flow-insensitive,
+  /// so it over-approximates the flow analysis.
+  StateMask Capability(const std::string& name) const {
+    auto it = tasks_.find(name);
+    if (it == tasks_.end()) return 0;
+    const TaskStmt* task = it->second;
+    StateMask mask = kNotRun | kAborted;
+    if (task->nocommit) {
+      mask |= kPrepared;
+      if (committed_.count(name) > 0) mask |= kCommitted;
+    } else {
+      mask |= kCommitted;
+    }
+    if (compensated_.count(name) > 0 && !task->compensation_sql.empty()) {
+      mask |= kCompensated;
+    }
+    return mask;
+  }
+
+  /// Pre-pass over decisions so Capability() sees every COMMIT /
+  /// COMPENSATE regardless of where it sits relative to the IF that
+  /// tests the state.
+  void CollectDecisions(const std::vector<DolStmtPtr>& stmts) {
+    for (const auto& stmt : stmts) {
+      switch (stmt->kind()) {
+        case DolStmtKind::kCommit:
+          for (const auto& t :
+               static_cast<const CommitStmt*>(stmt.get())->tasks) {
+            committed_.insert(t);
+          }
+          break;
+        case DolStmtKind::kAbort:
+          for (const auto& t :
+               static_cast<const AbortStmt*>(stmt.get())->tasks) {
+            aborted_.insert(t);
+          }
+          break;
+        case DolStmtKind::kCompensate:
+          for (const auto& t :
+               static_cast<const CompensateStmt*>(stmt.get())->tasks) {
+            compensated_.insert(t);
+          }
+          break;
+        case DolStmtKind::kParallel:
+          CollectDecisions(
+              static_cast<const ParallelStmt*>(stmt.get())->body);
+          break;
+        case DolStmtKind::kIf: {
+          const auto* ifs = static_cast<const IfStmt*>(stmt.get());
+          CollectDecisions(ifs->then_branch);
+          CollectDecisions(ifs->else_branch);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void CheckCondTasks(const DolCond& cond) {
+    switch (cond.kind()) {
+      case DolCondKind::kStateTest: {
+        const auto& test = static_cast<const StateTestCond&>(cond);
+        tested_.insert(test.task());
+        if (tasks_.count(test.task()) == 0) {
+          out_->Add(diag::kStateTestUndefinedTask, Severity::kError,
+                    SourceSpan{},
+                    "condition tests task '" + test.task() +
+                        "', which is not defined by any TASK statement");
+        }
+        return;
+      }
+      case DolCondKind::kAnd:
+      case DolCondKind::kOr: {
+        const auto& b = static_cast<const BinaryCond&>(cond);
+        CheckCondTasks(b.left());
+        CheckCondTasks(b.right());
+        return;
+      }
+      case DolCondKind::kNot:
+        CheckCondTasks(static_cast<const NotCond&>(cond).operand());
+        return;
+    }
+  }
+
+  template <typename Lookup>
+  Tri EvalCond(const DolCond& cond, const Lookup& lookup) const {
+    switch (cond.kind()) {
+      case DolCondKind::kStateTest: {
+        const auto& test = static_cast<const StateTestCond&>(cond);
+        StateMask mask = lookup(test.task());
+        if (mask == 0) return Tri::kUnknown;  // undefined task: DL201
+        StateMask bit = BitOf(test.state());
+        if ((mask & bit) == 0) return Tri::kFalse;
+        if (mask == bit) return Tri::kTrue;
+        return Tri::kUnknown;
+      }
+      case DolCondKind::kAnd: {
+        const auto& b = static_cast<const BinaryCond&>(cond);
+        return TriAnd(EvalCond(b.left(), lookup),
+                      EvalCond(b.right(), lookup));
+      }
+      case DolCondKind::kOr: {
+        const auto& b = static_cast<const BinaryCond&>(cond);
+        return TriOr(EvalCond(b.left(), lookup),
+                     EvalCond(b.right(), lookup));
+      }
+      case DolCondKind::kNot:
+        return TriNot(
+            EvalCond(static_cast<const NotCond&>(cond).operand(), lookup));
+    }
+    return Tri::kUnknown;
+  }
+
+  void WalkStmts(const std::vector<DolStmtPtr>& stmts,
+                 std::map<std::string, StateMask>* flow) {
+    for (const auto& stmt : stmts) WalkStmt(*stmt, flow);
+  }
+
+  void WalkStmt(const DolStmt& stmt, std::map<std::string, StateMask>* flow) {
+    switch (stmt.kind()) {
+      case DolStmtKind::kOpen: {
+        const auto& open = static_cast<const OpenStmt&>(stmt);
+        auto [it, inserted] = channels_.emplace(open.alias, ChannelInfo{});
+        (void)it;
+        if (!inserted) {
+          out_->Add(diag::kDuplicateTaskName, Severity::kError,
+                    SourceSpan{},
+                    "channel '" + open.alias + "' is opened twice");
+        }
+        return;
+      }
+      case DolStmtKind::kTask: {
+        const auto& task = static_cast<const TaskStmt&>(stmt);
+        UseChannel(task.target_alias,
+                   "TASK " + task.name + " FOR " + task.target_alias);
+        (*flow)[task.name] =
+            task.nocommit ? (kPrepared | kAborted) : (kCommitted | kAborted);
+        return;
+      }
+      case DolStmtKind::kParallel: {
+        // Parallel tasks are independent (distinct names), so their
+        // effects commute; sequential application computes the join.
+        const auto& par = static_cast<const ParallelStmt&>(stmt);
+        WalkStmts(par.body, flow);
+        return;
+      }
+      case DolStmtKind::kIf: {
+        const auto& ifs = static_cast<const IfStmt&>(stmt);
+        CheckCondTasks(*ifs.condition);
+        // Unsatisfiable under the state machine (capability sets)?
+        Tri cap = EvalCond(*ifs.condition, [this](const std::string& t) {
+          return Capability(t);
+        });
+        if (cap == Tri::kFalse) {
+          out_->Add(diag::kUnsatisfiableStateTest, Severity::kError,
+                    SourceSpan{},
+                    "condition " + ifs.condition->ToDol() +
+                        " is unsatisfiable under the P/C/A/X state "
+                        "machine: some tested state can never be reached");
+        }
+        // Unreachable under the flow state at this point?
+        Tri here = EvalCond(*ifs.condition, [flow](const std::string& t) {
+          auto it = flow->find(t);
+          return it == flow->end() ? StateMask{0} : it->second;
+        });
+        if (cap != Tri::kFalse) {
+          if (here == Tri::kFalse) {
+            out_->Add(diag::kUnreachableBranch, Severity::kError,
+                      SourceSpan{},
+                      "condition " + ifs.condition->ToDol() +
+                          " is always false here: the THEN branch is "
+                          "unreachable");
+          } else if (here == Tri::kTrue && !ifs.else_branch.empty()) {
+            out_->Add(diag::kUnreachableBranch, Severity::kError,
+                      SourceSpan{},
+                      "condition " + ifs.condition->ToDol() +
+                          " is always true here: the ELSE branch is "
+                          "unreachable");
+          }
+        }
+        auto then_flow = *flow;
+        auto else_flow = *flow;
+        WalkStmts(ifs.then_branch, &then_flow);
+        WalkStmts(ifs.else_branch, &else_flow);
+        // Join: either branch may have run.
+        for (auto& [name, mask] : *flow) {
+          mask = then_flow[name] | else_flow[name];
+        }
+        return;
+      }
+      case DolStmtKind::kCommit: {
+        const auto& commit = static_cast<const CommitStmt&>(stmt);
+        for (const auto& t : commit.tasks) {
+          RequireDecidableTask(t, "COMMIT");
+          // Commit may succeed, straggle prepared, or fail.
+          (*flow)[t] |= kCommitted | kAborted;
+        }
+        return;
+      }
+      case DolStmtKind::kAbort: {
+        const auto& abort = static_cast<const AbortStmt&>(stmt);
+        for (const auto& t : abort.tasks) {
+          RequireDecidableTask(t, "ABORT");
+          (*flow)[t] |= kAborted;
+        }
+        return;
+      }
+      case DolStmtKind::kCompensate: {
+        const auto& comp = static_cast<const CompensateStmt&>(stmt);
+        for (const auto& t : comp.tasks) {
+          auto it = tasks_.find(t);
+          if (it == tasks_.end()) {
+            out_->Add(diag::kUndefinedChannel, Severity::kError,
+                      SourceSpan{},
+                      "COMPENSATE names task '" + t +
+                          "', which is not defined");
+            continue;
+          }
+          if (it->second->compensation_sql.empty()) {
+            out_->Add(diag::kCompensateWithoutBlock, Severity::kError,
+                      SourceSpan{},
+                      "COMPENSATE names task '" + t +
+                          "', which has no COMPENSATION block",
+                      "add a COMPENSATION { ... } block to the task");
+          }
+          (*flow)[t] |= kCompensated;
+        }
+        return;
+      }
+      case DolStmtKind::kTransfer: {
+        const auto& transfer = static_cast<const TransferStmt&>(stmt);
+        if (tasks_.count(transfer.task) == 0) {
+          out_->Add(diag::kUndefinedChannel, Severity::kError, SourceSpan{},
+                    "TRANSFER reads task '" + transfer.task +
+                        "', which is not defined");
+        }
+        UseChannel(transfer.target_alias,
+                   "TRANSFER " + transfer.task + " TO " +
+                       transfer.target_alias);
+        return;
+      }
+      case DolStmtKind::kSetStatus:
+        return;
+      case DolStmtKind::kClose: {
+        const auto& close = static_cast<const CloseStmt&>(stmt);
+        for (const auto& alias : close.aliases) {
+          auto it = channels_.find(alias);
+          if (it == channels_.end()) {
+            out_->Add(diag::kUndefinedChannel, Severity::kError,
+                      SourceSpan{},
+                      "CLOSE names channel '" + alias +
+                          "', which was never opened");
+            continue;
+          }
+          it->second.closed = true;
+        }
+        return;
+      }
+    }
+  }
+
+  void UseChannel(const std::string& alias, const std::string& where) {
+    auto it = channels_.find(alias);
+    if (it == channels_.end()) {
+      out_->Add(diag::kUndefinedChannel, Severity::kError, SourceSpan{},
+                where + " references channel '" + alias +
+                    "', which is not open at this point");
+      return;
+    }
+    it->second.used = true;
+  }
+
+  void RequireDecidableTask(const std::string& name, const char* verb) {
+    auto it = tasks_.find(name);
+    if (it == tasks_.end()) {
+      out_->Add(diag::kUndefinedChannel, Severity::kError, SourceSpan{},
+                std::string(verb) + " names task '" + name +
+                    "', which is not defined");
+      return;
+    }
+    if (!it->second->nocommit) {
+      out_->Add(diag::kDecisionOnUnpreparedTask, Severity::kError,
+                SourceSpan{},
+                std::string(verb) + " names task '" + name +
+                    "', which runs in autocommit and can never be in "
+                    "the prepared state",
+                "make the task NOCOMMIT, or drop it from the decision");
+    }
+  }
+
+ public:
+  void Prepare() {
+    // Decisions first: Capability() consults them during the walk.
+    CollectDecisions(program_.statements);
+  }
+
+ private:
+  const DolProgram& program_;
+  DiagnosticList* out_ = nullptr;
+  std::map<std::string, const TaskStmt*> tasks_;
+  std::map<std::string, ChannelInfo> channels_;
+  std::set<std::string> committed_;
+  std::set<std::string> aborted_;
+  std::set<std::string> compensated_;
+  std::set<std::string> tested_;
+};
+
+}  // namespace
+
+DiagnosticList VerifyProgram(const DolProgram& program) {
+  DiagnosticList out;
+  Verifier verifier(program);
+  verifier.Prepare();
+  verifier.Run(&out);
+  return out;
+}
+
+DiagnosticList VerifyPlan(const translator::Plan& plan) {
+  DiagnosticList out;
+  Verifier verifier(plan.program);
+  verifier.Prepare();
+  verifier.Run(&out);
+
+  // DL209: the sync points must cover every VITAL task. A 2PC task is
+  // covered when a rollback decision can reach it and a commit decision
+  // (or a guard condition) names it; a compensable task when COMPENSATE
+  // names it; a last-resource or vital-retrieval task when its state
+  // gates a decision.
+  using translator::TaskMode;
+  for (const auto& task : plan.tasks) {
+    if (!task.vital) continue;
+    switch (task.mode) {
+      case TaskMode::kTwoPhase: {
+        if (task.retrieval) break;
+        bool rollback = verifier.aborted().count(task.task) > 0;
+        bool commit = verifier.committed().count(task.task) > 0 ||
+                      verifier.tested().count(task.task) > 0;
+        if (!rollback) {
+          out.Add(diag::kVitalTaskUncovered, Severity::kError, SourceSpan{},
+                  "vital 2PC task '" + task.task +
+                      "' is not covered by any rollback decision "
+                      "(no ABORT names it)");
+        }
+        if (!commit) {
+          out.Add(diag::kVitalTaskUncovered, Severity::kError, SourceSpan{},
+                  "vital 2PC task '" + task.task +
+                      "' is not covered by any commit decision "
+                      "(no COMMIT or sync condition names it)");
+        }
+        break;
+      }
+      case TaskMode::kCompensable:
+        if (verifier.compensated().count(task.task) == 0) {
+          out.Add(diag::kVitalTaskUncovered, Severity::kError, SourceSpan{},
+                  "vital compensable task '" + task.task +
+                      "' is not covered by any rollback decision "
+                      "(no COMPENSATE names it)");
+        }
+        break;
+      case TaskMode::kLastResource:
+        if (verifier.tested().count(task.task) == 0) {
+          out.Add(diag::kVitalTaskUncovered, Severity::kError, SourceSpan{},
+                  "last-resource task '" + task.task +
+                      "' does not gate any decision: its unilateral "
+                      "commit is the global decision and must be tested");
+        }
+        break;
+      case TaskMode::kAutocommit:
+        if (task.retrieval && plan.retrieval &&
+            verifier.tested().count(task.task) == 0) {
+          out.Add(diag::kVitalTaskUncovered, Severity::kError, SourceSpan{},
+                  "vital retrieval task '" + task.task +
+                      "' is not tested by the retrieval decision");
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace msql::analysis

@@ -1,0 +1,51 @@
+#ifndef MSQL_ANALYSIS_DOL_VERIFIER_H_
+#define MSQL_ANALYSIS_DOL_VERIFIER_H_
+
+#include "analysis/diagnostics.h"
+#include "dol/ast.h"
+#include "translator/translator.h"
+
+namespace msql::analysis {
+
+// ---------------------------------------------------------------------------
+// DOL plan verifier (DL2xx)
+//
+// A dataflow pass over dol::DolProgram. Each task is tracked as a set of
+// *possible* states under the P/C/A/X machine (DESIGN.md §8):
+//
+//   TASK t NOCOMMIT   → {P, A}          (prepares or fails)
+//   TASK t            → {C, A}          (autocommits or fails)
+//   COMMIT t          → adds {C, A}     (commit may straggle or fail)
+//   ABORT t           → adds {A}
+//   COMPENSATE t      → adds {X}
+//   IF c THEN s ELSE s' → branches analyzed separately, states unioned
+//
+// The pass is an over-approximation: every state the engine can reach is
+// in the tracked set, so "condition is definitely false" (DL202/DL203)
+// and "task can never reach the tested state" are sound rejections.
+// Structural checks ride along: undefined tasks/channels, channels opened
+// but never used or never closed, duplicate names, decisions on tasks
+// that can never prepare, COMPENSATE without a COMPENSATION block.
+//
+//   DL201 state test on undefined task    DL206 undefined channel/task
+//   DL202 unsatisfiable state test        DL207 COMMIT/ABORT of a task
+//   DL203 unreachable IF branch                 that never prepares
+//   DL204 channel opened, never used      DL208 COMPENSATE without block
+//   DL205 channel never closed            DL209 vital task uncovered
+//                                         DL210 duplicate task/channel
+// ---------------------------------------------------------------------------
+
+/// Structural + dataflow verification of a bare DOL program.
+DiagnosticList VerifyProgram(const dol::DolProgram& program);
+
+/// VerifyProgram plus plan-level checks: every VITAL non-retrieval task
+/// must be covered by the commit and rollback decisions (DL209) — a
+/// 2PC task needs both a COMMIT and an ABORT naming it, a compensable
+/// task needs a COMPENSATE, and a last-resource task must gate some
+/// decision (appear in a condition). This is the translator-bug oracle:
+/// it must accept 100% of translator-emitted plans.
+DiagnosticList VerifyPlan(const translator::Plan& plan);
+
+}  // namespace msql::analysis
+
+#endif  // MSQL_ANALYSIS_DOL_VERIFIER_H_

@@ -1,5 +1,7 @@
 #include "core/mdbs_system.h"
 
+#include "analysis/dol_verifier.h"
+#include "analysis/msql_checker.h"
 #include "common/string_util.h"
 #include "msql/decomposer.h"
 #include "msql/expander.h"
@@ -297,6 +299,21 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
     }
   }
 
+  // Static semantic check (DESIGN.md §8) before expansion burns any
+  // simulated-network round trips. An unenforceable vital set (MS111)
+  // is a refusal — the run-time translator path reports it the same
+  // way — while any other error is a hard failure.
+  analysis::DiagnosticList diags = analysis::CheckQuery(resolved, gdd_, ad_);
+  if (diags.has_errors()) {
+    if (diags.Find(analysis::diag::kVitalSetUnenforceable) != nullptr) {
+      ExecutionReport report;
+      report.outcome = GlobalOutcome::kRefused;
+      report.detail = Status::Refused(diags.RenderAll());
+      return report;
+    }
+    return diags.ToStatus();
+  }
+
   lang::Expander expander(&gdd_);
   MSQL_ASSIGN_OR_RETURN(ExpansionResult expansion,
                         expander.Expand(resolved));
@@ -332,6 +349,7 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
   MSQL_ASSIGN_OR_RETURN(
       auto report,
       RunPlan(std::move(*plan), expansion.non_pertinent, &expansion));
+  report.diagnostics = diags.items();  // surviving findings are warnings
   MSQL_RETURN_IF_ERROR(FireTriggers(expansion, &report));
   return report;
 }
@@ -341,8 +359,21 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
   translator::Translator translator(&ad_, &gdd_);
   lang::Expander expander(&gdd_);
   std::vector<ExpansionResult> expansions;
+  std::vector<analysis::Diagnostic> warnings;
   for (const auto& query : mt.queries) {
     MSQL_ASSIGN_OR_RETURN(MsqlQuery resolved, ResolveScope(query));
+    analysis::DiagnosticList diags =
+        analysis::CheckQuery(resolved, gdd_, ad_);
+    if (diags.has_errors()) {
+      if (diags.Find(analysis::diag::kVitalSetUnenforceable) != nullptr) {
+        ExecutionReport report;
+        report.outcome = GlobalOutcome::kRefused;
+        report.detail = Status::Refused(diags.RenderAll());
+        return report;
+      }
+      return diags.ToStatus();
+    }
+    for (const auto& d : diags.items()) warnings.push_back(d);
     MSQL_ASSIGN_OR_RETURN(ExpansionResult expansion,
                           expander.Expand(resolved));
     expansions.push_back(std::move(expansion));
@@ -367,6 +398,7 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
   MSQL_ASSIGN_OR_RETURN(
       auto report, RunPlan(std::move(*plan), std::move(non_pertinent),
                            nullptr));
+  report.diagnostics = std::move(warnings);
   for (const auto& expansion : expansions) {
     MSQL_RETURN_IF_ERROR(SyncGddAfterDdl(translator::Plan{}, report.run,
                                          expansion));
@@ -377,6 +409,18 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
 Result<ExecutionReport> MultidatabaseSystem::RunPlan(
     translator::Plan plan, std::vector<std::string> non_pertinent,
     const ExpansionResult* expansion) {
+  // Translator-bug oracle: every generated plan must pass the DOL
+  // verifier before it is allowed near the federation. A rejection here
+  // is a defect in the translator, not in the user's program.
+  {
+    analysis::DiagnosticList verdict = analysis::VerifyPlan(plan);
+    if (verdict.has_errors()) {
+      return Status::Internal(
+          "translator emitted a DOL plan the verifier rejects "
+          "(translator bug):\n" +
+          verdict.RenderAll() + "\n--- plan ---\n" + plan.program.ToDol());
+    }
+  }
   dol::DolEngine engine(&env_, retry_policy_);
   ExecutionReport report;
   report.dol_text = plan.program.ToDol();
@@ -734,6 +778,257 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteViewQuery(
     out_element.table = std::move(*result);
     report.multitable.elements.push_back(std::move(out_element));
   }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Static analysis entry points (msql_lint, shell \check / \explain)
+// ---------------------------------------------------------------------------
+
+Result<AnalysisReport> MultidatabaseSystem::Analyze(
+    std::string_view msql_text) {
+  MSQL_ASSIGN_OR_RETURN(lang::MsqlInput input,
+                        lang::MsqlParser::ParseOne(msql_text));
+  return AnalyzeInput(input);
+}
+
+Result<std::vector<AnalysisReport>> MultidatabaseSystem::AnalyzeScript(
+    std::string_view msql_text) {
+  MSQL_ASSIGN_OR_RETURN(auto inputs,
+                        lang::MsqlParser::ParseScript(msql_text));
+  std::vector<AnalysisReport> reports;
+  for (const auto& input : inputs) {
+    MSQL_ASSIGN_OR_RETURN(auto report, AnalyzeInput(input));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+Result<AnalysisReport> MultidatabaseSystem::AnalyzeInput(
+    const lang::MsqlInput& input) {
+  switch (input.kind) {
+    case lang::MsqlInput::Kind::kQuery:
+      return AnalyzeQuery(*input.query);
+    case lang::MsqlInput::Kind::kMultiTransaction:
+      return AnalyzeMultiTransaction(*input.multitransaction);
+    default: {
+      // Catalog-shaping inputs are executed so later inputs of the same
+      // script are checked against the catalogs they would see. They
+      // produce no plan, hence nothing further to verify.
+      AnalysisReport report;
+      switch (input.kind) {
+        case lang::MsqlInput::Kind::kIncorporate:
+          report.kind = "incorporate";
+          report.error = ExecuteIncorporate(*input.incorporate);
+          break;
+        case lang::MsqlInput::Kind::kImport: {
+          report.kind = "import";
+          auto imported = ExecuteImport(*input.import);
+          if (!imported.ok()) report.error = imported.status();
+          break;
+        }
+        case lang::MsqlInput::Kind::kCreateMultidatabase:
+          report.kind = "create multidatabase";
+          report.error =
+              ExecuteCreateMultidatabase(*input.create_multidatabase);
+          break;
+        case lang::MsqlInput::Kind::kDropMultidatabase:
+          report.kind = "drop multidatabase";
+          report.error = ExecuteDropMultidatabase(*input.drop_multidatabase);
+          break;
+        case lang::MsqlInput::Kind::kCreateView:
+          report.kind = "create view";
+          report.error = ExecuteCreateView(*input.create_view);
+          break;
+        case lang::MsqlInput::Kind::kDropView:
+          report.kind = "drop view";
+          report.error = ExecuteDropView(*input.drop_view);
+          break;
+        case lang::MsqlInput::Kind::kCreateTrigger:
+          report.kind = "create trigger";
+          report.error = ExecuteCreateTrigger(*input.create_trigger);
+          break;
+        case lang::MsqlInput::Kind::kDropTrigger:
+          report.kind = "drop trigger";
+          report.error = ExecuteDropTrigger(*input.drop_trigger);
+          break;
+        default:
+          report.kind = "input";
+          break;
+      }
+      return report;
+    }
+  }
+}
+
+Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
+    const MsqlQuery& query) {
+  AnalysisReport report;
+  report.kind = "query";
+
+  // Views carry their own USE; analyzing the outer query against the
+  // view name would mis-report the view as an unknown table.
+  if (query.body->kind() == StatementKind::kSelect) {
+    const auto& select =
+        static_cast<const relational::SelectStmt&>(*query.body);
+    if (select.from.size() == 1 && select.from[0].database.empty() &&
+        views_.count(ToLower(select.from[0].table)) > 0) {
+      report.kind = "view query";
+      return report;
+    }
+  }
+
+  // Analysis must not move the session scope: restore it afterwards.
+  UseClause saved = current_scope_;
+  auto resolved_or = ResolveScope(query);
+  current_scope_ = std::move(saved);
+  if (!resolved_or.ok()) {
+    report.error = resolved_or.status();
+    return report;
+  }
+  MsqlQuery resolved = std::move(*resolved_or);
+  translator::Translator translator(&ad_, &gdd_);
+
+  // The dispatch mirrors ExecuteQuery: joins and data transfers skip
+  // the expansion-path checker (their identifiers are db-qualified).
+  if (resolved.body->kind() == StatementKind::kSelect) {
+    const auto& select =
+        static_cast<const relational::SelectStmt&>(*resolved.body);
+    if (lang::Decomposer::IsMultidatabase(select)) {
+      report.kind = "decomposed join";
+      lang::Decomposer decomposer(&gdd_);
+      auto decomposition = decomposer.Decompose(select);
+      if (!decomposition.ok()) {
+        report.error = decomposition.status();
+        return report;
+      }
+      auto plan = translator.TranslateDecomposedJoin(*decomposition);
+      if (!plan.ok()) {
+        report.error = plan.status();
+        return report;
+      }
+      report.translated = true;
+      report.dol_text = plan->program.ToDol();
+      report.diagnostics.Append(analysis::VerifyPlan(*plan));
+      return report;
+    }
+  }
+  if (resolved.body->kind() == StatementKind::kInsert) {
+    const auto& insert =
+        static_cast<const relational::InsertStmt&>(*resolved.body);
+    bool qualified_select = false;
+    if (insert.select_source != nullptr) {
+      for (const auto& ref : insert.select_source->from) {
+        if (!ref.database.empty()) qualified_select = true;
+      }
+    }
+    if (qualified_select && !insert.table.database.empty()) {
+      report.kind = "data transfer";
+      auto plan = translator.TranslateDataTransfer(insert);
+      if (!plan.ok()) {
+        report.error = plan.status();
+        return report;
+      }
+      report.translated = true;
+      report.dol_text = plan->program.ToDol();
+      report.diagnostics.Append(analysis::VerifyPlan(*plan));
+      return report;
+    }
+  }
+
+  report.diagnostics = analysis::CheckQuery(resolved, gdd_, ad_);
+  if (report.diagnostics.Find(analysis::diag::kVitalSetUnenforceable) !=
+      nullptr) {
+    report.refused = true;
+    report.refusal =
+        Status::Refused(report.diagnostics.RenderAll());
+    return report;
+  }
+  if (report.diagnostics.has_errors()) return report;
+
+  lang::Expander expander(&gdd_);
+  auto expansion = expander.Expand(resolved);
+  if (!expansion.ok()) {
+    report.error = expansion.status();
+    return report;
+  }
+  for (const auto& entry : resolved.use.entries) {
+    if (!entry.vital) continue;
+    for (const auto& skipped : expansion->non_pertinent) {
+      if (EqualsIgnoreCase(skipped, entry.EffectiveName())) {
+        report.refused = true;
+        report.refusal = Status::Refused(
+            "VITAL database '" + entry.EffectiveName() +
+            "' has no pertinent subquery in this multiple query");
+        return report;
+      }
+    }
+  }
+  auto plan = translator.TranslateQuery(*expansion);
+  if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kRefused) {
+      report.refused = true;
+      report.refusal = plan.status();
+    } else {
+      report.error = plan.status();
+    }
+    return report;
+  }
+  report.translated = true;
+  report.dol_text = plan->program.ToDol();
+  report.diagnostics.Append(analysis::VerifyPlan(*plan));
+  return report;
+}
+
+Result<AnalysisReport> MultidatabaseSystem::AnalyzeMultiTransaction(
+    const lang::MultiTransaction& mt) {
+  AnalysisReport report;
+  report.kind = "multitransaction";
+  UseClause saved = current_scope_;
+  lang::Expander expander(&gdd_);
+  std::vector<ExpansionResult> expansions;
+  for (const auto& query : mt.queries) {
+    auto resolved = ResolveScope(query);
+    if (!resolved.ok()) {
+      current_scope_ = saved;
+      report.error = resolved.status();
+      return report;
+    }
+    report.diagnostics.Append(
+        analysis::CheckQuery(*resolved, gdd_, ad_));
+    if (report.diagnostics.has_errors()) break;
+    auto expansion = expander.Expand(*resolved);
+    if (!expansion.ok()) {
+      current_scope_ = saved;
+      report.error = expansion.status();
+      return report;
+    }
+    expansions.push_back(std::move(*expansion));
+  }
+  current_scope_ = saved;
+  if (report.diagnostics.Find(analysis::diag::kVitalSetUnenforceable) !=
+      nullptr) {
+    report.refused = true;
+    report.refusal = Status::Refused(report.diagnostics.RenderAll());
+    return report;
+  }
+  if (report.diagnostics.has_errors()) return report;
+
+  translator::Translator translator(&ad_, &gdd_);
+  auto plan =
+      translator.TranslateMultiTransaction(expansions, mt.acceptable_states);
+  if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kRefused) {
+      report.refused = true;
+      report.refusal = plan.status();
+    } else {
+      report.error = plan.status();
+    }
+    return report;
+  }
+  report.translated = true;
+  report.dol_text = plan->program.ToDol();
+  report.diagnostics.Append(analysis::VerifyPlan(*plan));
   return report;
 }
 

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "common/result.h"
 #include "dol/engine.h"
 #include "mdbs/auxiliary_directory.h"
@@ -59,6 +60,30 @@ struct ExecutionReport {
   /// the run degraded (their answers/effects are missing) but the
   /// global outcome was not affected (§3.2.1).
   std::vector<std::string> degraded_services;
+  /// Non-fatal findings of the static checker (warnings/notes; errors
+  /// abort execution before a report exists).
+  std::vector<analysis::Diagnostic> diagnostics;
+};
+
+/// What `Analyze` (the `msql_lint` / `\check` path) reports about one
+/// MSQL input without executing it: static diagnostics, the would-be
+/// DOL program, and whether the translator would refuse the input.
+struct AnalysisReport {
+  /// "query", "multitransaction", "incorporate", ... (MsqlInput kind).
+  std::string kind;
+  /// Checker (MS1xx) findings plus, when translation succeeds, the DOL
+  /// verifier's (DL2xx) verdict over the generated plan.
+  analysis::DiagnosticList diagnostics;
+  /// Generated DOL program text ("" when not translatable).
+  std::string dol_text;
+  bool translated = false;
+  /// The plan was refused (unenforceable vital set etc.): the input is
+  /// well-formed but the requested consistency cannot be guaranteed.
+  bool refused = false;
+  Status refusal;
+  /// Hard failure past the static checks (expansion/translation error
+  /// the checker did not anticipate).
+  Status error;
 };
 
 /// The multidatabase system of Figure 1: MSQL front end, translator,
@@ -106,6 +131,19 @@ class MultidatabaseSystem {
   Result<std::vector<ExecutionReport>> ExecuteScript(
       std::string_view msql_text);
 
+  /// Statically analyzes exactly one MSQL input without executing it:
+  /// runs the MS1xx semantic checker and, when the input translates,
+  /// the DL2xx plan verifier over the generated DOL. The session scope
+  /// is left untouched.
+  Result<AnalysisReport> Analyze(std::string_view msql_text);
+
+  /// Analyzes a script. Catalog-shaping inputs (INCORPORATE, IMPORT,
+  /// CREATE MULTIDATABASE/VIEW/TRIGGER, ...) are *executed* so later
+  /// queries are checked against the catalogs they would see; queries
+  /// and multitransactions are analyzed only.
+  Result<std::vector<AnalysisReport>> AnalyzeScript(
+      std::string_view msql_text);
+
   Result<ExecutionReport> ExecuteQuery(const lang::MsqlQuery& query);
   Result<ExecutionReport> ExecuteMultiTransaction(
       const lang::MultiTransaction& mt);
@@ -133,6 +171,12 @@ class MultidatabaseSystem {
  private:
   /// Applies USE CURRENT inheritance and records the new current scope.
   Result<lang::MsqlQuery> ResolveScope(const lang::MsqlQuery& query);
+
+  /// Analyzes one parsed input (helper of Analyze/AnalyzeScript).
+  Result<AnalysisReport> AnalyzeInput(const lang::MsqlInput& input);
+  Result<AnalysisReport> AnalyzeQuery(const lang::MsqlQuery& query);
+  Result<AnalysisReport> AnalyzeMultiTransaction(
+      const lang::MultiTransaction& mt);
 
   /// Runs a translated plan and assembles the report; `expansion` (may
   /// be null) drives post-run GDD maintenance for DDL queries.

@@ -16,6 +16,8 @@ struct UseEntry {
   std::string database;
   std::string alias;  // optional; unique handle inside a multitransaction
   bool vital = false;
+  int line = 0;    // 1-based position of the database token
+  int column = 0;  // (0 when synthesized, e.g. USE CURRENT merges)
 
   /// Name the entry is referenced by (alias if present).
   const std::string& EffectiveName() const {
@@ -39,6 +41,8 @@ struct UseClause {
 struct LetBinding {
   std::vector<std::string> variable_path;
   std::vector<std::vector<std::string>> targets;  // one per USE entry
+  int line = 0;    // 1-based position of the semantic-variable token
+  int column = 0;
 
   std::string ToMsql() const;
 };
@@ -55,12 +59,17 @@ struct LetClause {
 struct CompClause {
   std::string database;  // database name or alias in the current scope
   relational::StatementPtr action;
+  int line = 0;    // 1-based position of the database token
+  int column = 0;
 
   CompClause() = default;
   CompClause(std::string db, relational::StatementPtr a)
       : database(std::move(db)), action(std::move(a)) {}
   CompClause CloneComp() const {
-    return CompClause(database, action->Clone());
+    CompClause copy(database, action->Clone());
+    copy.line = line;
+    copy.column = column;
+    return copy;
   }
   std::string ToMsql() const;
 };

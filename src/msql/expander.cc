@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "analysis/diagnostics.h"
 #include "common/string_util.h"
 
 namespace msql::lang {
+
+namespace {
+
+/// Renders a span-carrying expander error in the diagnostics format so
+/// messages point at the offending token (satellite of DESIGN.md §8).
+Status ExpansionError(std::string_view code, int line, int column,
+                      int length, std::string message,
+                      std::string fix_hint = "") {
+  analysis::Diagnostic d;
+  d.code = std::string(code);
+  d.severity = analysis::Severity::kError;
+  d.span = analysis::SourceSpan::At(line, column, length);
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  return Status::InvalidArgument(d.Render());
+}
+
+}  // namespace
 
 using relational::ColumnRefExpr;
 using relational::Expr;
@@ -397,9 +416,12 @@ Status Expander::ExpandInto(const MsqlQuery& query,
     std::set<std::string> seen;
     for (const auto& e : entries) {
       if (!seen.insert(e.EffectiveName()).second) {
-        return Status::InvalidArgument("database or alias '" +
-                                       e.EffectiveName() +
-                                       "' appears twice in the USE scope");
+        return ExpansionError(
+            analysis::diag::kDuplicateEffectiveName, e.line, e.column,
+            static_cast<int>(e.database.size()),
+            "database or alias '" + e.EffectiveName() +
+                "' appears twice in the USE scope",
+            "give the second occurrence a distinct alias");
       }
     }
   }
@@ -407,10 +429,15 @@ Status Expander::ExpandInto(const MsqlQuery& query,
   if (query.let.has_value()) {
     for (const auto& binding : query.let->bindings) {
       if (binding.targets.size() != entries.size()) {
-        return Status::InvalidArgument(
+        return ExpansionError(
+            analysis::diag::kLetArityMismatch, binding.line, binding.column,
+            static_cast<int>(binding.variable_path.empty()
+                                 ? 1
+                                 : binding.variable_path[0].size()),
             "LET " + Join(binding.variable_path, ".") + " provides " +
-            std::to_string(binding.targets.size()) + " targets for " +
-            std::to_string(entries.size()) + " scope databases");
+                std::to_string(binding.targets.size()) + " targets for " +
+                std::to_string(entries.size()) + " scope databases",
+            "LET targets bind positionally: give one per USE entry");
       }
     }
   }
@@ -445,9 +472,11 @@ Status Expander::ExpandInto(const MsqlQuery& query,
       }
     }
     if (!attached) {
-      return Status::InvalidArgument(
+      return ExpansionError(
+          analysis::diag::kCompUnknownDatabase, comp.line, comp.column,
+          static_cast<int>(comp.database.size()),
           "COMP clause names '" + comp.database +
-          "', which has no subquery in this multiple query");
+              "', which has no subquery in this multiple query");
     }
   }
   return Status::OK();
@@ -459,8 +488,13 @@ Result<StatementPtr> Expander::ExpandForDatabase(
   const UseEntry& entry = query.use.entries[entry_index];
   const std::string& db = entry.database;
   if (!gdd_->HasDatabase(db)) {
-    return Status::NotFound("database '" + db +
-                            "' is not in the GDD (IMPORT it first)");
+    analysis::Diagnostic d;
+    d.code = std::string(analysis::diag::kUnknownDatabase);
+    d.severity = analysis::Severity::kError;
+    d.span = analysis::SourceSpan::At(entry.line, entry.column,
+                                      static_cast<int>(db.size()));
+    d.message = "database '" + db + "' is not in the GDD (IMPORT it first)";
+    return Status::NotFound(d.Render());
   }
 
   // DDL bodies are replicated verbatim (multidatabase table definition).

@@ -1,5 +1,6 @@
 #include "msql/parser.h"
 
+#include "analysis/diagnostics.h"
 #include "common/string_util.h"
 #include "relational/sql/lexer.h"
 
@@ -140,10 +141,15 @@ Result<MsqlQuery> MsqlParser::ParseQuery() {
   MSQL_ASSIGN_OR_RETURN(query.body, ParseBody());
   while (cursor_->Peek().IsKeyword("comp")) {
     cursor_->Get();
+    const Token& db_tok = cursor_->Peek();
+    int line = db_tok.line, column = db_tok.column;
     MSQL_ASSIGN_OR_RETURN(std::string db,
                           cursor_->ExpectIdentifier("database name"));
     MSQL_ASSIGN_OR_RETURN(StatementPtr action, ParseBody());
-    query.comps.emplace_back(std::move(db), std::move(action));
+    CompClause comp(std::move(db), std::move(action));
+    comp.line = line;
+    comp.column = column;
+    query.comps.push_back(std::move(comp));
   }
   return query;
 }
@@ -157,16 +163,40 @@ Result<UseClause> MsqlParser::ParseUse() {
          !AtBodyStart() && cursor_->Peek().type != TokenType::kSemicolon) {
     UseEntry entry;
     if (cursor_->Match(TokenType::kLParen)) {
+      const Token& db_tok = cursor_->Peek();
+      entry.line = db_tok.line;
+      entry.column = db_tok.column;
       MSQL_ASSIGN_OR_RETURN(entry.database,
                             cursor_->ExpectIdentifier("database name"));
       MSQL_ASSIGN_OR_RETURN(entry.alias,
                             cursor_->ExpectIdentifier("database alias"));
       MSQL_RETURN_IF_ERROR(cursor_->Expect(TokenType::kRParen));
     } else {
+      const Token& db_tok = cursor_->Peek();
+      entry.line = db_tok.line;
+      entry.column = db_tok.column;
       MSQL_ASSIGN_OR_RETURN(entry.database,
                             cursor_->ExpectIdentifier("database name"));
     }
     entry.vital = cursor_->MatchKeyword("vital");
+    // A later entry with the same effective name would silently shadow
+    // the earlier one positionally (LET targets bind by index), so a
+    // duplicate is always a bug in the program.
+    for (const UseEntry& prior : use.entries) {
+      if (EqualsIgnoreCase(prior.EffectiveName(), entry.EffectiveName())) {
+        analysis::Diagnostic d;
+        d.code = std::string(analysis::diag::kDuplicateEffectiveName);
+        d.severity = analysis::Severity::kError;
+        d.span = analysis::SourceSpan::At(
+            entry.line, entry.column,
+            static_cast<int>(entry.database.size()));
+        d.message = "'" + entry.EffectiveName() +
+                    "' appears twice in the USE scope";
+        d.fix_hint = "give the second occurrence a distinct alias: USE (" +
+                     entry.database + " <alias>)";
+        return Status::InvalidArgument(d.Render());
+      }
+    }
     use.entries.push_back(std::move(entry));
   }
   if (!use.current && use.entries.empty()) {
@@ -188,6 +218,9 @@ Result<LetClause> MsqlParser::ParseLet() {
 Result<LetBinding> MsqlParser::ParseLetBinding() {
   MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("let"));
   LetBinding binding;
+  const Token& var_tok = cursor_->Peek();
+  binding.line = var_tok.line;
+  binding.column = var_tok.column;
   MSQL_ASSIGN_OR_RETURN(binding.variable_path, ParseDottedPath());
   MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("be"));
   // Targets: dotted paths until LET / body / COMP / end.

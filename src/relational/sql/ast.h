@@ -103,14 +103,24 @@ class ColumnRefExpr : public Expr {
   void set_name(std::string n) { name_ = std::move(n); }
   void clear_optional() { optional_column_ = false; }
 
+  /// 1-based source position of the name token; 0 when synthesized.
+  int line() const { return line_; }
+  int column() const { return column_; }
+  void set_position(int line, int column) {
+    line_ = line;
+    column_ = column;
+  }
+
   /// "qualifier.name" or "name".
   std::string FullName() const {
     return qualifier_.empty() ? name_ : qualifier_ + "." + name_;
   }
 
   ExprPtr Clone() const override {
-    return std::make_unique<ColumnRefExpr>(qualifier_, name_,
-                                           optional_column_);
+    auto copy = std::make_unique<ColumnRefExpr>(qualifier_, name_,
+                                                optional_column_);
+    copy->set_position(line_, column_);
+    return copy;
   }
   std::string ToSql() const override {
     return (optional_column_ ? "~" : "") + FullName();
@@ -120,6 +130,8 @@ class ColumnRefExpr : public Expr {
   std::string qualifier_;
   std::string name_;
   bool optional_column_;
+  int line_ = 0;
+  int column_ = 0;
 };
 
 /// NOT / unary minus / IS [NOT] NULL.
@@ -327,6 +339,8 @@ struct TableRef {
   std::string database;  // optional db qualifier
   std::string table;
   std::string alias;  // optional
+  int line = 0;    // 1-based source position of the table token
+  int column = 0;  // (0 when synthesized)
 
   std::string FullName() const {
     return database.empty() ? table : database + "." + table;

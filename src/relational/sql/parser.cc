@@ -187,10 +187,16 @@ Result<SelectItem> SqlParser::ParseSelectItem() {
 
 Result<TableRef> SqlParser::ParseTableRef() {
   TableRef ref;
+  const Token& head = cursor_->Peek();
+  ref.line = head.line;
+  ref.column = head.column;
   MSQL_ASSIGN_OR_RETURN(std::string first,
                         cursor_->ExpectIdentifier("table name"));
   if (cursor_->Match(TokenType::kDot)) {
     ref.database = std::move(first);
+    const Token& table_tok = cursor_->Peek();
+    ref.line = table_tok.line;
+    ref.column = table_tok.column;
     MSQL_ASSIGN_OR_RETURN(ref.table,
                           cursor_->ExpectIdentifier("table name"));
   } else {
@@ -561,8 +567,10 @@ Result<ExprPtr> SqlParser::ParsePrimary() {
             "'~' must designate a column reference, at " + tok.Where());
       }
       auto* ref = static_cast<ColumnRefExpr*>(inner.get());
-      return ExprPtr(std::make_unique<ColumnRefExpr>(
-          ref->qualifier(), ref->name(), /*optional_column=*/true));
+      auto optional = std::make_unique<ColumnRefExpr>(
+          ref->qualifier(), ref->name(), /*optional_column=*/true);
+      optional->set_position(ref->line(), ref->column());
+      return ExprPtr(std::move(optional));
     }
     case TokenType::kLParen: {
       cursor_->Get();
@@ -634,10 +642,15 @@ Result<ExprPtr> SqlParser::ParseColumnOrFunction() {
   if (cursor_->Peek().type == TokenType::kDot &&
       cursor_->Peek(1).type == TokenType::kIdentifier) {
     cursor_->Get();  // '.'
-    std::string col = ToLower(cursor_->Get().text);
-    return ExprPtr(std::make_unique<ColumnRefExpr>(name, std::move(col)));
+    Token col_tok = cursor_->Get();
+    std::string col = ToLower(col_tok.text);
+    auto ref = std::make_unique<ColumnRefExpr>(name, std::move(col));
+    ref->set_position(col_tok.line, col_tok.column);
+    return ExprPtr(std::move(ref));
   }
-  return ExprPtr(std::make_unique<ColumnRefExpr>("", std::move(name)));
+  auto ref = std::make_unique<ColumnRefExpr>("", std::move(name));
+  ref->set_position(first.line, first.column);
+  return ExprPtr(std::move(ref));
 }
 
 Result<StatementPtr> ParseSql(std::string_view text,
