@@ -2,12 +2,22 @@
 // engine → LAMs → LDBMSs. Measures per-stage host cost and end-to-end
 // cost as the federation grows, plus the simulated wall-clock the
 // engine reports (sim_ms counter).
+//
+// `--trace-out FILE` additionally runs the n=4 end-to-end pipeline once
+// with tracing enabled and writes the Chrome trace-event JSON (load in
+// Perfetto). The measured benchmark loops always run untraced.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/fixtures.h"
 #include "core/mdbs_system.h"
 #include "msql/expander.h"
 #include "msql/parser.h"
+#include "obs/trace.h"
 #include "translator/translator.h"
 
 namespace {
@@ -145,6 +155,58 @@ void BM_Pipeline_ResultVolume(benchmark::State& state) {
 }
 BENCHMARK(BM_Pipeline_ResultVolume)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
+/// One traced n=4 end-to-end run, exported as Chrome trace JSON.
+int WriteTrace(const std::string& path) {
+  SyntheticFederationOptions options;
+  options.n_databases = 4;
+  options.rows_per_table = 64;
+  auto sys = BuildSyntheticFederation(options);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "federation bootstrap failed: %s\n",
+                 sys.status().ToString().c_str());
+    return 1;
+  }
+  (*sys)->environment().tracer().set_enabled(true);
+  (*sys)->environment().metrics().set_enabled(true);
+  auto report = (*sys)->Execute(RetrievalQuery(4));
+  if (!report.ok()) {
+    std::fprintf(stderr, "traced run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << msql::obs::ExportChromeTrace((*sys)->environment().tracer());
+  std::fprintf(stderr, "%zu spans written to %s — load in Perfetto\n",
+               (*sys)->environment().tracer().spans().size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!trace_out.empty()) {
+    int status = WriteTrace(trace_out);
+    if (status != 0) return status;
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,8 @@
 //
 //   $ msql_lint program.msql ...     — lint files (exit 1 on errors)
 //   $ msql_lint --explain prog.msql  — also print the generated DOL
+//   $ msql_lint --trace-out FILE ... — write the analysis span trace as
+//                                      Chrome trace-event JSON (Perfetto)
 //   $ msql_lint -                    — lint stdin
 //
 // Programs are checked against the paper federation's catalogs (the
@@ -21,6 +23,7 @@
 
 #include "core/fixtures.h"
 #include "core/mdbs_system.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -111,18 +114,21 @@ int LintText(MultidatabaseSystem* sys, const std::string& name,
 
 int main(int argc, char** argv) {
   bool explain = false;
+  std::string trace_out;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       files.push_back(argv[i]);
     }
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: msql_lint [--explain] <program.msql>... (or '-' "
-                 "for stdin)\n");
+                 "usage: msql_lint [--explain] [--trace-out FILE] "
+                 "<program.msql>... (or '-' for stdin)\n");
     return 2;
   }
   auto sys_or = msql::core::BuildPaperFederation();
@@ -132,6 +138,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   auto sys = std::move(sys_or).value();
+  if (!trace_out.empty()) {
+    sys->environment().tracer().set_enabled(true);
+    sys->environment().metrics().set_enabled(true);
+  }
 
   int status = 0;
   for (const std::string& file : files) {
@@ -153,6 +163,17 @@ int main(int argc, char** argv) {
     int s = LintText(sys.get(), file == "-" ? "<stdin>" : file, text,
                      explain);
     if (s > status) status = s;
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 2;
+    }
+    out << msql::obs::ExportChromeTrace(sys->environment().tracer());
+    std::fprintf(stderr, "%zu spans written to %s\n",
+                 sys->environment().tracer().spans().size(),
+                 trace_out.c_str());
   }
   return status;
 }

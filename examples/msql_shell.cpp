@@ -5,9 +5,13 @@
 //
 // Inputs end at a ';' on its own or at end of line; multitransactions
 // end at END MULTITRANSACTION. Meta commands: \gdd (dump dictionary),
-// \dol (toggle printing generated DOL programs), \quit. Prefixing an
-// input with \check statically analyzes it instead of executing it;
-// \explain additionally prints the DOL program it would run.
+// \dol (toggle printing generated DOL programs), \trace (toggle span
+// tracing; each input then prints its span tree), \trace FILE (write
+// the accumulated trace as Chrome trace-event JSON, loadable in
+// Perfetto), \metrics (dump federation counters/histograms), \quit.
+// Prefixing an input with \check statically analyzes it instead of
+// executing it; \explain additionally prints the DOL program it would
+// run.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +24,7 @@
 #include "common/string_util.h"
 #include "core/fixtures.h"
 #include "core/mdbs_system.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -57,6 +62,9 @@ void PrintReport(const ExecutionReport& report, bool show_dol) {
   }
   if (show_dol && !report.dol_text.empty()) {
     std::printf("%s", report.dol_text.c_str());
+  }
+  if (!report.trace_text.empty()) {
+    std::printf("-- trace --\n%s", report.trace_text.c_str());
   }
 }
 
@@ -114,6 +122,40 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
     if (trimmed == "\\dol") {
       show_dol = !show_dol;
       std::printf("(DOL printing %s)\n", show_dol ? "on" : "off");
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\trace" || trimmed.rfind("\\trace ", 0) == 0) {
+      auto& tracer = sys->environment().tracer();
+      std::string arg(msql::Trim(trimmed.substr(std::strlen("\\trace"))));
+      if (!arg.empty()) {
+        std::ofstream out(arg);
+        if (!out) {
+          std::printf("cannot open %s\n", arg.c_str());
+        } else {
+          out << msql::obs::ExportChromeTrace(tracer);
+          std::printf("(%zu spans written to %s — load in Perfetto)\n",
+                      tracer.spans().size(), arg.c_str());
+        }
+      } else {
+        bool on = !tracer.enabled();
+        if (on) tracer.Clear();  // fresh session timeline
+        tracer.set_enabled(on);
+        sys->environment().metrics().set_enabled(on);
+        std::printf("(tracing %s)\n", on ? "on" : "off");
+      }
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\metrics") {
+      const auto& metrics = sys->environment().metrics();
+      std::string dump = metrics.Dump();
+      if (dump.empty()) {
+        std::printf("(no metrics collected%s)\n",
+                    metrics.enabled() ? "" : "; enable with \\trace");
+      } else {
+        std::printf("%s", dump.c_str());
+      }
       if (echo) std::printf("msql> ");
       continue;
     }
@@ -187,7 +229,7 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "Extended MSQL shell — federation: continental delta united avis "
-      "national\nmeta: \\gdd \\dol \\check \\explain \\quit; end inputs "
-      "with ';'\n");
+      "national\nmeta: \\gdd \\dol \\trace [file] \\metrics \\check "
+      "\\explain \\quit; end inputs with ';'\n");
   return RunStream(sys.get(), std::cin, /*echo=*/true);
 }

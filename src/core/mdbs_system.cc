@@ -25,6 +25,43 @@ std::string_view GlobalOutcomeName(GlobalOutcome outcome) {
   return "UNKNOWN";
 }
 
+namespace {
+
+std::string_view InputKindName(lang::MsqlInput::Kind kind) {
+  switch (kind) {
+    case lang::MsqlInput::Kind::kQuery: return "query";
+    case lang::MsqlInput::Kind::kMultiTransaction: return "multitransaction";
+    case lang::MsqlInput::Kind::kIncorporate: return "incorporate";
+    case lang::MsqlInput::Kind::kImport: return "import";
+    case lang::MsqlInput::Kind::kCreateMultidatabase:
+      return "create multidatabase";
+    case lang::MsqlInput::Kind::kDropMultidatabase:
+      return "drop multidatabase";
+    case lang::MsqlInput::Kind::kCreateView: return "create view";
+    case lang::MsqlInput::Kind::kDropView: return "drop view";
+    case lang::MsqlInput::Kind::kCreateTrigger: return "create trigger";
+    case lang::MsqlInput::Kind::kDropTrigger: return "drop trigger";
+  }
+  return "input";
+}
+
+}  // namespace
+
+void MultidatabaseSystem::FinishInputSpan(obs::ScopedSpan* span,
+                                          bool top_level,
+                                          ExecutionReport* report) {
+  if (!span->active()) return;
+  obs::Tracer& tracer = env_.tracer();
+  span->Annotate("outcome", GlobalOutcomeName(report->outcome));
+  uint64_t root = span->id();
+  span->End(report->run.makespan_micros);
+  if (top_level) {
+    report->trace_text = obs::ExportTextTree(tracer, root);
+    tracer.set_sim_offset_micros(tracer.sim_offset_micros() +
+                                 report->run.makespan_micros);
+  }
+}
+
 MultidatabaseSystem::MultidatabaseSystem(std::string coordinator_site)
     : env_(std::move(coordinator_site)) {}
 
@@ -116,8 +153,23 @@ Result<MsqlQuery> MultidatabaseSystem::ResolveScope(const MsqlQuery& query) {
 
 Result<ExecutionReport> MultidatabaseSystem::Execute(
     std::string_view msql_text) {
-  MSQL_ASSIGN_OR_RETURN(lang::MsqlInput input,
-                        lang::MsqlParser::ParseOne(msql_text));
+  obs::Tracer& tracer = env_.tracer();
+  const bool top_level = tracer.enabled() && tracer.current_parent() == 0;
+  obs::ScopedSpan exec_span(&tracer, "msql.execute", "frontend", 0);
+  Result<lang::MsqlInput> parsed = [&] {
+    obs::ScopedSpan parse_span(&tracer, "msql.parse", "frontend", 0);
+    return lang::MsqlParser::ParseOne(msql_text);
+  }();
+  MSQL_RETURN_IF_ERROR(parsed.status());
+  lang::MsqlInput& input = *parsed;
+  exec_span.Annotate("kind", InputKindName(input.kind));
+  auto report = ExecuteInput(input);
+  if (report.ok()) FinishInputSpan(&exec_span, top_level, &*report);
+  return report;
+}
+
+Result<ExecutionReport> MultidatabaseSystem::ExecuteInput(
+    const lang::MsqlInput& input) {
   switch (input.kind) {
     case lang::MsqlInput::Kind::kQuery:
       return ExecuteQuery(*input.query);
@@ -245,6 +297,16 @@ Result<std::vector<std::string>> MultidatabaseSystem::ExecuteImport(
 
 Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
     const MsqlQuery& query) {
+  obs::Tracer& tracer = env_.tracer();
+  const bool top_level = tracer.enabled() && tracer.current_parent() == 0;
+  obs::ScopedSpan query_span(&tracer, "msql.query", "frontend", 0);
+  auto report = ExecuteQueryImpl(query);
+  if (report.ok()) FinishInputSpan(&query_span, top_level, &*report);
+  return report;
+}
+
+Result<ExecutionReport> MultidatabaseSystem::ExecuteQueryImpl(
+    const MsqlQuery& query) {
   // A SELECT whose single FROM table names a multidatabase view is
   // answered from the view definition (before scope resolution — the
   // stored query carries its own USE).
@@ -266,10 +328,16 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
         static_cast<const relational::SelectStmt&>(*resolved.body);
     if (lang::Decomposer::IsMultidatabase(select)) {
       lang::Decomposer decomposer(&gdd_);
+      obs::ScopedSpan decompose_span(&env_.tracer(), "msql.decompose",
+                                     "frontend", 0);
       MSQL_ASSIGN_OR_RETURN(auto decomposition,
                             decomposer.Decompose(select));
+      decompose_span.End();
+      obs::ScopedSpan translate_span(&env_.tracer(), "msql.translate",
+                                     "frontend", 0);
       MSQL_ASSIGN_OR_RETURN(
           auto plan, translator.TranslateDecomposedJoin(decomposition));
+      translate_span.End();
       return RunPlan(std::move(plan), {}, nullptr);
     }
   }
@@ -285,8 +353,11 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
       }
     }
     if (qualified_select && !insert.table.database.empty()) {
+      obs::ScopedSpan translate_span(&env_.tracer(), "msql.translate",
+                                     "frontend", 0);
       MSQL_ASSIGN_OR_RETURN(auto plan,
                             translator.TranslateDataTransfer(insert));
+      translate_span.End();
       MSQL_ASSIGN_OR_RETURN(auto report,
                             RunPlan(std::move(plan), {}, nullptr));
       const dol::TaskOutcome* extract = report.run.FindTask("t_extract");
@@ -303,7 +374,9 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
   // simulated-network round trips. An unenforceable vital set (MS111)
   // is a refusal — the run-time translator path reports it the same
   // way — while any other error is a hard failure.
+  obs::ScopedSpan check_span(&env_.tracer(), "msql.check", "frontend", 0);
   analysis::DiagnosticList diags = analysis::CheckQuery(resolved, gdd_, ad_);
+  check_span.End();
   if (diags.has_errors()) {
     if (diags.Find(analysis::diag::kVitalSetUnenforceable) != nullptr) {
       ExecutionReport report;
@@ -315,8 +388,10 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
   }
 
   lang::Expander expander(&gdd_);
+  obs::ScopedSpan expand_span(&env_.tracer(), "msql.expand", "frontend", 0);
   MSQL_ASSIGN_OR_RETURN(ExpansionResult expansion,
                         expander.Expand(resolved));
+  expand_span.End();
 
   // A VITAL database with no pertinent subquery makes the requested
   // consistency unobtainable: refuse, like any unenforceable vital set.
@@ -335,7 +410,10 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
     }
   }
 
+  obs::ScopedSpan translate_span(&env_.tracer(), "msql.translate",
+                                 "frontend", 0);
   auto plan = translator.TranslateQuery(expansion);
+  translate_span.End();
   if (!plan.ok()) {
     if (plan.status().code() == StatusCode::kRefused) {
       ExecutionReport report;
@@ -356,14 +434,26 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
 
 Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
     const lang::MultiTransaction& mt) {
+  obs::Tracer& tracer = env_.tracer();
+  const bool top_level = tracer.enabled() && tracer.current_parent() == 0;
+  obs::ScopedSpan mt_span(&tracer, "msql.multitransaction", "frontend", 0);
+  auto report = ExecuteMultiTransactionImpl(mt);
+  if (report.ok()) FinishInputSpan(&mt_span, top_level, &*report);
+  return report;
+}
+
+Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransactionImpl(
+    const lang::MultiTransaction& mt) {
   translator::Translator translator(&ad_, &gdd_);
   lang::Expander expander(&gdd_);
   std::vector<ExpansionResult> expansions;
   std::vector<analysis::Diagnostic> warnings;
   for (const auto& query : mt.queries) {
     MSQL_ASSIGN_OR_RETURN(MsqlQuery resolved, ResolveScope(query));
+    obs::ScopedSpan check_span(&env_.tracer(), "msql.check", "frontend", 0);
     analysis::DiagnosticList diags =
         analysis::CheckQuery(resolved, gdd_, ad_);
+    check_span.End();
     if (diags.has_errors()) {
       if (diags.Find(analysis::diag::kVitalSetUnenforceable) != nullptr) {
         ExecutionReport report;
@@ -374,12 +464,17 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
       return diags.ToStatus();
     }
     for (const auto& d : diags.items()) warnings.push_back(d);
+    obs::ScopedSpan expand_span(&env_.tracer(), "msql.expand", "frontend", 0);
     MSQL_ASSIGN_OR_RETURN(ExpansionResult expansion,
                           expander.Expand(resolved));
+    expand_span.End();
     expansions.push_back(std::move(expansion));
   }
+  obs::ScopedSpan translate_span(&env_.tracer(), "msql.translate",
+                                 "frontend", 0);
   auto plan =
       translator.TranslateMultiTransaction(expansions, mt.acceptable_states);
+  translate_span.End();
   if (!plan.ok()) {
     if (plan.status().code() == StatusCode::kRefused) {
       ExecutionReport report;
@@ -413,6 +508,7 @@ Result<ExecutionReport> MultidatabaseSystem::RunPlan(
   // verifier before it is allowed near the federation. A rejection here
   // is a defect in the translator, not in the user's program.
   {
+    obs::ScopedSpan verify_span(&env_.tracer(), "msql.verify", "frontend", 0);
     analysis::DiagnosticList verdict = analysis::VerifyPlan(plan);
     if (verdict.has_errors()) {
       return Status::Internal(
@@ -787,9 +883,15 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteViewQuery(
 
 Result<AnalysisReport> MultidatabaseSystem::Analyze(
     std::string_view msql_text) {
-  MSQL_ASSIGN_OR_RETURN(lang::MsqlInput input,
-                        lang::MsqlParser::ParseOne(msql_text));
-  return AnalyzeInput(input);
+  obs::Tracer& tracer = env_.tracer();
+  obs::ScopedSpan analyze_span(&tracer, "msql.analyze", "frontend", 0);
+  Result<lang::MsqlInput> parsed = [&] {
+    obs::ScopedSpan parse_span(&tracer, "msql.parse", "frontend", 0);
+    return lang::MsqlParser::ParseOne(msql_text);
+  }();
+  MSQL_RETURN_IF_ERROR(parsed.status());
+  analyze_span.Annotate("kind", InputKindName(parsed->kind));
+  return AnalyzeInput(*parsed);
 }
 
 Result<std::vector<AnalysisReport>> MultidatabaseSystem::AnalyzeScript(
@@ -798,6 +900,9 @@ Result<std::vector<AnalysisReport>> MultidatabaseSystem::AnalyzeScript(
                         lang::MsqlParser::ParseScript(msql_text));
   std::vector<AnalysisReport> reports;
   for (const auto& input : inputs) {
+    obs::ScopedSpan analyze_span(&env_.tracer(), "msql.analyze", "frontend",
+                                 0);
+    analyze_span.Annotate("kind", InputKindName(input.kind));
     MSQL_ASSIGN_OR_RETURN(auto report, AnalyzeInput(input));
     reports.push_back(std::move(report));
   }
@@ -936,7 +1041,9 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
     }
   }
 
+  obs::ScopedSpan check_span(&env_.tracer(), "msql.check", "frontend", 0);
   report.diagnostics = analysis::CheckQuery(resolved, gdd_, ad_);
+  check_span.End();
   if (report.diagnostics.Find(analysis::diag::kVitalSetUnenforceable) !=
       nullptr) {
     report.refused = true;
@@ -947,7 +1054,9 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
   if (report.diagnostics.has_errors()) return report;
 
   lang::Expander expander(&gdd_);
+  obs::ScopedSpan expand_span(&env_.tracer(), "msql.expand", "frontend", 0);
   auto expansion = expander.Expand(resolved);
+  expand_span.End();
   if (!expansion.ok()) {
     report.error = expansion.status();
     return report;
@@ -964,7 +1073,10 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
       }
     }
   }
+  obs::ScopedSpan translate_span(&env_.tracer(), "msql.translate",
+                                 "frontend", 0);
   auto plan = translator.TranslateQuery(*expansion);
+  translate_span.End();
   if (!plan.ok()) {
     if (plan.status().code() == StatusCode::kRefused) {
       report.refused = true;
@@ -976,7 +1088,9 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
   }
   report.translated = true;
   report.dol_text = plan->program.ToDol();
+  obs::ScopedSpan verify_span(&env_.tracer(), "msql.verify", "frontend", 0);
   report.diagnostics.Append(analysis::VerifyPlan(*plan));
+  verify_span.End();
   return report;
 }
 

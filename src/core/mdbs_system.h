@@ -18,6 +18,7 @@
 #include "msql/expander.h"
 #include "msql/multitable.h"
 #include "netsim/environment.h"
+#include "obs/trace.h"
 #include "translator/translator.h"
 
 namespace msql::core {
@@ -63,6 +64,11 @@ struct ExecutionReport {
   /// Non-fatal findings of the static checker (warnings/notes; errors
   /// abort execution before a report exists).
   std::vector<analysis::Diagnostic> diagnostics;
+  /// Indented text tree of this input's trace spans (DESIGN.md §9).
+  /// Filled only when the environment tracer is enabled and this is the
+  /// outermost MSQL input — nested view/trigger executions appear as
+  /// subtrees of the outer input instead of reporting their own.
+  std::string trace_text;
 };
 
 /// What `Analyze` (the `msql_lint` / `\check` path) reports about one
@@ -171,6 +177,22 @@ class MultidatabaseSystem {
  private:
   /// Applies USE CURRENT inheritance and records the new current scope.
   Result<lang::MsqlQuery> ResolveScope(const lang::MsqlQuery& query);
+
+  /// Dispatches one parsed input (body of Execute, minus the tracing).
+  Result<ExecutionReport> ExecuteInput(const lang::MsqlInput& input);
+
+  /// Untraced bodies of ExecuteQuery/ExecuteMultiTransaction; the public
+  /// entry points wrap them in the input-level "frontend" span.
+  Result<ExecutionReport> ExecuteQueryImpl(const lang::MsqlQuery& query);
+  Result<ExecutionReport> ExecuteMultiTransactionImpl(
+      const lang::MultiTransaction& mt);
+
+  /// Closes the input-level span at the run's simulated makespan; at the
+  /// outermost input it renders the input's trace into the report and
+  /// advances the tracer's session offset so the next input lays out
+  /// after this one on the simulated timeline.
+  void FinishInputSpan(obs::ScopedSpan* span, bool top_level,
+                       ExecutionReport* report);
 
   /// Analyzes one parsed input (helper of Analyze/AnalyzeScript).
   Result<AnalysisReport> AnalyzeInput(const lang::MsqlInput& input);

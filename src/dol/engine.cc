@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace msql::dol {
 
@@ -68,7 +69,7 @@ std::string DolRunResult::ToString() const {
   return out;
 }
 
-Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
+void DolEngine::ResetRunState() {
   channels_.clear();
   tasks_.clear();
   task_channel_.clear();
@@ -76,21 +77,34 @@ Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
   dol_status_ = 0;
   retries_ = 0;
   reprobes_ = 0;
-  int64_t messages_before = env_->network().stats().messages_sent;
-  int64_t bytes_before = env_->network().stats().bytes_sent;
+  run_messages_ = 0;
+  run_bytes_ = 0;
+}
+
+Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
+  ResetRunState();
+  obs::ScopedSpan run_span(&env_->tracer(), "dol.run", "dol", 0);
 
   int64_t now = 0;
   for (const auto& stmt : program.statements) {
     MSQL_ASSIGN_OR_RETURN(now, ExecStmt(*stmt, now));
+    run_span.set_sim_end(now);
   }
+  run_span.Annotate("makespan_micros", now);
+  run_span.Annotate("dol_status", static_cast<int64_t>(dol_status_));
+  env_->metrics().Inc("dol.runs");
+  env_->metrics().Observe("dol.makespan_micros", now);
 
   DolRunResult result;
   result.dol_status = dol_status_;
   result.tasks = std::move(tasks_);
   result.makespan_micros = now;
-  result.messages =
-      env_->network().stats().messages_sent - messages_before;
-  result.bytes = env_->network().stats().bytes_sent - bytes_before;
+  // Per-run scoped accounting: CallService sums each call's own
+  // messages/bytes, so concurrent unrelated traffic on the same
+  // environment (probes, other runs, bootstrap SQL) is not charged to
+  // this program.
+  result.messages = run_messages_;
+  result.bytes = run_bytes_;
   result.retries = retries_;
   result.reprobes = reprobes_;
   for (const auto& [alias, channel] : channels_) {
@@ -147,10 +161,19 @@ Result<TaskOutcome*> DolEngine::FindTask(const std::string& name) {
 
 Result<CallOutcome> DolEngine::CallService(const std::string& service,
                                            const LamRequest& request,
-                                           int64_t at) {
+                                           int64_t at, int attempt_base) {
   int64_t backoff = policy_.initial_backoff_micros;
-  int attempt = 1;
+  int attempt = attempt_base;
   while (true) {
+    // One span per send attempt: re-sends show up as sibling rpc spans
+    // with increasing attempt numbers, which is how a trace answers
+    // "which retries fired" without reading aggregate counters.
+    obs::ScopedSpan rpc_span(
+        &env_->tracer(),
+        std::string("rpc:") + std::string(LamRequestTypeName(request.type)),
+        "rpc", at);
+    rpc_span.Annotate("service", service);
+    rpc_span.Annotate("attempt", static_cast<int64_t>(attempt));
     auto outcome = env_->Call(service, request, at);
     CallOutcome result;
     if (!outcome.ok()) {
@@ -163,6 +186,19 @@ Result<CallOutcome> DolEngine::CallService(const std::string& service,
           at + env_->network().default_link().latency_micros;
     } else {
       result = std::move(*outcome);
+    }
+    run_messages_ += result.messages;
+    run_bytes_ += result.bytes;
+    rpc_span.set_sim_end(result.timing.end_micros);
+    env_->metrics().Observe(
+        "rpc.sim_micros", result.timing.end_micros - at);
+    if (result.fault != netsim::FaultAction::kNone) {
+      rpc_span.Annotate("fault", netsim::FaultActionName(result.fault));
+    }
+    if (result.timed_out) rpc_span.Annotate("timed_out", "true");
+    if (!result.response.status.ok()) {
+      rpc_span.Annotate("status",
+                        StatusCodeName(result.response.status.code()));
     }
     if (result.response.status.ok()) return result;
     // Only unavailability is transient; any other failure is a definite
@@ -178,6 +214,8 @@ Result<CallOutcome> DolEngine::CallService(const std::string& service,
     if (attempt >= policy_.max_attempts) return result;
     ++attempt;
     ++retries_;
+    env_->metrics().Inc("dol.retries");
+    rpc_span.Annotate("backoff_micros", backoff);
     at = result.timing.end_micros + backoff;
     backoff = std::min(
         static_cast<int64_t>(static_cast<double>(backoff) *
@@ -187,8 +225,9 @@ Result<CallOutcome> DolEngine::CallService(const std::string& service,
 }
 
 Result<CallOutcome> DolEngine::Call(Channel* channel,
-                                    const LamRequest& request, int64_t at) {
-  return CallService(channel->service, request, at);
+                                    const LamRequest& request, int64_t at,
+                                    int attempt_base) {
+  return CallService(channel->service, request, at, attempt_base);
 }
 
 Result<TxnState> DolEngine::Reprobe(Channel* channel, int64_t* now,
@@ -197,10 +236,15 @@ Result<TxnState> DolEngine::Reprobe(Channel* channel, int64_t* now,
   probe.type = LamRequestType::kQueryTxnState;
   probe.session = channel->session;
   ++reprobes_;
+  env_->metrics().Inc("dol.reprobes");
+  obs::ScopedSpan span(&env_->tracer(), "reprobe", "2pc", *now);
+  span.Annotate("service", channel->service);
   MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, probe, *now));
   *now = outcome.timing.end_micros;
+  span.set_sim_end(*now);
   if (!outcome.response.status.ok()) {
     *probe_failed = true;
+    span.Annotate("observed", "unresolved");
     return TxnState::kActive;
   }
   *probe_failed = false;
@@ -217,14 +261,22 @@ Result<int64_t> DolEngine::ExecOpen(const OpenStmt& stmt, int64_t at) {
   channel.service = ToLower(stmt.service);
   channel.database = ToLower(stmt.database);
 
+  obs::ScopedSpan span(&env_->tracer(), "channel.open:" + alias, "channel",
+                       at);
+  span.Annotate("service", channel.service);
+  span.Annotate("database", channel.database);
+
   LamRequest open;
   open.type = LamRequestType::kOpenSession;
   open.database = channel.database;
   MSQL_ASSIGN_OR_RETURN(auto outcome, CallService(channel.service, open, at));
   int64_t end = outcome.timing.end_micros;
+  span.set_sim_end(end);
   if (!outcome.response.status.ok()) {
     channel.failed = true;
     channel.open_status = outcome.response.status;
+    span.Annotate("open_failed",
+                  StatusCodeName(outcome.response.status.code()));
   } else {
     channel.session = outcome.response.session;
   }
@@ -242,6 +294,21 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
   outcome.name = name;
   outcome.start_micros = at;
   MSQL_ASSIGN_OR_RETURN(Channel * channel, FindChannel(stmt.target_alias));
+
+  obs::ScopedSpan task_span(&env_->tracer(), "task:" + name, "dol.task", at);
+  task_span.Annotate("channel", ToLower(stmt.target_alias));
+  if (stmt.nocommit) task_span.Annotate("nocommit", "true");
+  env_->metrics().Inc("dol.tasks");
+  // The final state is only known at the task's various exits; a scope
+  // guard keeps every return annotated.
+  struct StateNote {
+    obs::ScopedSpan* span;
+    const TaskOutcome* outcome;
+    ~StateNote() {
+      span->Annotate("state", DolTaskStateName(outcome->state));
+      span->set_sim_end(outcome->end_micros);
+    }
+  } state_note{&task_span, &outcome};
 
   // Register the compensation even if the task later aborts — the
   // COMPENSATE statement validates against the *declared* block.
@@ -309,11 +376,14 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
   outcome.result = std::move(exec_out.response.result);
 
   if (stmt.nocommit) {
+    obs::ScopedSpan prep_span(&env_->tracer(), "2pc.prepare", "2pc", now);
+    prep_span.Annotate("task", name);
     LamRequest prepare;
     prepare.type = LamRequestType::kPrepare;
     prepare.session = channel->session;
     MSQL_ASSIGN_OR_RETURN(auto prep_out, Call(channel, prepare, now));
     now = prep_out.timing.end_micros;
+    prep_span.set_sim_end(now);
     bool prepared = prep_out.response.status.ok();
     if (!prepared && prep_out.timed_out && policy_.reprobe_on_timeout) {
       // A lost prepare ACK is resolved by re-probing: the transaction
@@ -335,12 +405,13 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
         }
         ++attempt;
         ++retries_;
+        env_->metrics().Inc("dol.retries");
         now += backoff;
         backoff = std::min(
             static_cast<int64_t>(static_cast<double>(backoff) *
                                  policy_.backoff_multiplier),
             policy_.max_backoff_micros);
-        MSQL_ASSIGN_OR_RETURN(auto again, Call(channel, prepare, now));
+        MSQL_ASSIGN_OR_RETURN(auto again, Call(channel, prepare, now, attempt));
         now = again.timing.end_micros;
         if (again.response.status.ok()) {
           prepared = true;
@@ -353,6 +424,8 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
         prep_out = std::move(again);
       }
     }
+    prep_span.Annotate("prepared", prepared ? "true" : "false");
+    prep_span.End(now);
     if (!prepared) {
       // A refused prepare (no 2PC support, or injected failure) leaves
       // the transaction either aborted (injected) or still active
@@ -377,11 +450,14 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
 
 Result<int64_t> DolEngine::ExecParallel(const ParallelStmt& stmt,
                                         int64_t at) {
+  obs::ScopedSpan par_span(&env_->tracer(), "dol.parbegin", "dol", at);
+  par_span.Annotate("statements", static_cast<int64_t>(stmt.body.size()));
   int64_t latest = at;
   for (const auto& inner : stmt.body) {
     MSQL_ASSIGN_OR_RETURN(int64_t end, ExecStmt(*inner, at));
     latest = std::max(latest, end);
   }
+  par_span.set_sim_end(latest);
   return latest;
 }
 
@@ -439,6 +515,17 @@ Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
     }
     MSQL_ASSIGN_OR_RETURN(Channel * channel,
                           FindChannel(task_channel_.at(task->name)));
+    obs::ScopedSpan commit_span(&env_->tracer(), "2pc.commit", "2pc", now);
+    commit_span.Annotate("task", task->name);
+    struct CommitNote {
+      obs::ScopedSpan* span;
+      const TaskOutcome* task;
+      int64_t* now;
+      ~CommitNote() {
+        span->Annotate("state", DolTaskStateName(task->state));
+        span->set_sim_end(*now);
+      }
+    } commit_note{&commit_span, task, &now};
     LamRequest commit;
     commit.type = LamRequestType::kCommit;
     commit.session = channel->session;
@@ -482,12 +569,14 @@ Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
         } else {
           ++attempt;
           ++retries_;
+          env_->metrics().Inc("dol.retries");
           now += backoff;
           backoff = std::min(
               static_cast<int64_t>(static_cast<double>(backoff) *
                                    policy_.backoff_multiplier),
               policy_.max_backoff_micros);
-          MSQL_ASSIGN_OR_RETURN(auto again, Call(channel, commit, now));
+          MSQL_ASSIGN_OR_RETURN(auto again,
+                                Call(channel, commit, now, attempt));
           now = again.timing.end_micros;
           if (again.response.status.ok()) {
             task->state = DolTaskState::kCommitted;
@@ -649,11 +738,16 @@ Result<int64_t> DolEngine::ExecClose(const CloseStmt& stmt, int64_t at) {
       channel->failed = true;
       continue;
     }
+    obs::ScopedSpan close_span(&env_->tracer(),
+                               "channel.close:" + ToLower(alias), "channel",
+                               now);
+    close_span.Annotate("service", channel->service);
     LamRequest close;
     close.type = LamRequestType::kCloseSession;
     close.session = channel->session;
     MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, close, now));
     now = outcome.timing.end_micros;
+    close_span.set_sim_end(now);
     channel->failed = true;  // no further use
     channel->session = 0;
   }

@@ -72,7 +72,9 @@ struct DolRunResult {
   std::map<std::string, TaskOutcome> tasks;
   /// Simulated makespan of the whole program.
   int64_t makespan_micros = 0;
-  /// Network traffic incurred by this run.
+  /// Network traffic incurred by this run alone, summed from the per-call
+  /// accounting (NOT a delta of the global network counters, which would
+  /// misattribute any unrelated traffic on the same environment).
   int64_t messages = 0;
   int64_t bytes = 0;
   /// Re-sends performed under the retry policy (0 for clean runs).
@@ -113,7 +115,10 @@ class DolEngine {
 
   const RetryPolicy& retry_policy() const { return policy_; }
 
-  /// Runs `program` from simulated time 0.
+  /// Runs `program` from simulated time 0. The engine is reusable: all
+  /// per-run state (channels, tasks, compensations, counters, status)
+  /// is reset at entry, so one engine instance can run a sequence of
+  /// programs without leaking prior-run state into the next result.
   Result<DolRunResult> Run(const DolProgram& program);
 
  private:
@@ -124,6 +129,9 @@ class DolEngine {
     bool failed = false;     // OPEN failed or channel closed
     Status open_status;      // failure detail
   };
+
+  /// Clears every piece of per-run state; called at the top of Run.
+  void ResetRunState();
 
   /// Executes one statement starting at `at`; returns its end time.
   Result<int64_t> ExecStmt(const DolStmt& stmt, int64_t at);
@@ -147,15 +155,18 @@ class DolEngine {
   /// kUnavailable failures (rejections, down sites) are re-sent with
   /// backoff; timeouts are returned to the caller for verb-specific
   /// handling, except idempotent probe verbs which retry too. Returns
-  /// the final outcome (end time in timing).
+  /// the final outcome (end time in timing). `attempt_base` numbers the
+  /// first send of this call in its logical operation, so the rpc spans
+  /// of verb-level re-send loops (prepare/commit) keep counting up
+  /// instead of restarting at 1.
   Result<netsim::CallOutcome> CallService(
       const std::string& service, const netsim::LamRequest& request,
-      int64_t at);
+      int64_t at, int attempt_base = 1);
 
   /// CallService on a channel's service.
   Result<netsim::CallOutcome> Call(Channel* channel,
                                    const netsim::LamRequest& request,
-                                   int64_t at);
+                                   int64_t at, int attempt_base = 1);
 
   /// Resolves a timed-out prepare/commit by re-probing the session's
   /// transaction state; returns the observed state (kActive when the
@@ -167,6 +178,9 @@ class DolEngine {
   RetryPolicy policy_;
   int64_t retries_ = 0;
   int64_t reprobes_ = 0;
+  /// Traffic of the current run, summed from CallOutcome accounting.
+  int64_t run_messages_ = 0;
+  int64_t run_bytes_ = 0;
   std::map<std::string, Channel> channels_;
   std::map<std::string, TaskOutcome> tasks_;
   /// task name → alias of the channel it ran on.

@@ -74,10 +74,60 @@ Result<CallOutcome> Environment::Call(std::string_view service_name,
 
   CallOutcome outcome;
   outcome.timing.start_micros = at_micros;
+  outcome.fault = fault.action;
+
+  // One message leg: models the transfer, accounts it to this call and
+  // emits its "net.send" span (the message-level view of §4.3's data
+  // flow). `delivered` is false for a leg that is sent and charged but
+  // never arrives.
+  auto send = [&](const std::string& from, const std::string& to,
+                  int64_t bytes, int64_t leg_start, const char* direction,
+                  bool delivered) -> Result<int64_t> {
+    MSQL_ASSIGN_OR_RETURN(int64_t micros,
+                          network_.TransferMicros(from, to, bytes));
+    outcome.messages += 1;
+    outcome.bytes += bytes;
+    metrics_.Inc("net.messages");
+    metrics_.Inc("net.bytes", bytes);
+    metrics_.Observe("net.transfer_micros", micros);
+    if (tracer_.enabled()) {
+      uint64_t span = tracer_.StartSpan("net.send", "net", leg_start);
+      tracer_.Annotate(span, "dir", direction);
+      tracer_.Annotate(span, "from", from);
+      tracer_.Annotate(span, "to", to);
+      tracer_.Annotate(span, "bytes", bytes);
+      if (!delivered) tracer_.Annotate(span, "lost", "true");
+      tracer_.EndSpan(span, leg_start + micros);
+    }
+    return micros;
+  };
+  // The LAM handles the request locally; traced as a "lam" span so the
+  // simulated timeline shows where service time goes.
+  auto handle = [&](int64_t service_start) -> LamResponse {
+    LamResponse response = lam->Handle(request, &outcome.timing.service_micros);
+    metrics_.Observe("lam.service_micros", outcome.timing.service_micros);
+    if (tracer_.enabled()) {
+      uint64_t span = tracer_.StartSpan(
+          std::string("lam:") + std::string(LamRequestTypeName(request.type)),
+          "lam", service_start);
+      tracer_.Annotate(span, "service", lam->service_name());
+      tracer_.EndSpan(span,
+                      service_start + outcome.timing.service_micros);
+    }
+    return response;
+  };
+
+  metrics_.Inc("rpc.calls");
+  if (fault.action != FaultAction::kNone) {
+    metrics_.Inc(std::string("fault.") +
+                 std::string(FaultActionName(fault.action)));
+  }
+
   MSQL_ASSIGN_OR_RETURN(
       outcome.timing.request_micros,
-      network_.TransferMicros(coordinator_site_, lam->site_name(),
-                              request.WireBytes()));
+      send(coordinator_site_, lam->site_name(), request.WireBytes(),
+           at_micros, "request",
+           fault.action != FaultAction::kLostRequest));
   if (fault.action == FaultAction::kLatencySpike) {
     outcome.timing.request_micros += fault.extra_latency_micros;
   }
@@ -101,8 +151,10 @@ Result<CallOutcome> Environment::Call(std::string_view service_name,
           "' refused " + std::string(LamRequestTypeName(request.type)));
       MSQL_ASSIGN_OR_RETURN(
           outcome.timing.response_micros,
-          network_.TransferMicros(lam->site_name(), coordinator_site_,
-                                  outcome.response.WireBytes()));
+          send(lam->site_name(), coordinator_site_,
+               outcome.response.WireBytes(),
+               at_micros + outcome.timing.request_micros, "response",
+               true));
       outcome.timing.end_micros = at_micros +
                                   outcome.timing.request_micros +
                                   outcome.timing.response_micros;
@@ -113,10 +165,12 @@ Result<CallOutcome> Environment::Call(std::string_view service_name,
       // but the acknowledgement vanishes. The coordinator only sees a
       // timeout, indistinguishable from kLostRequest.
       LamResponse executed =
-          lam->Handle(request, &outcome.timing.service_micros);
+          handle(at_micros + outcome.timing.request_micros);
       // Account the doomed response message.
-      (void)network_.TransferMicros(lam->site_name(), coordinator_site_,
-                                    executed.WireBytes());
+      (void)send(lam->site_name(), coordinator_site_, executed.WireBytes(),
+                 at_micros + outcome.timing.request_micros +
+                     outcome.timing.service_micros,
+                 "response", false);
       outcome.timed_out = true;
       outcome.request_delivered = true;
       outcome.response.status = Status::Unavailable(
@@ -132,11 +186,14 @@ Result<CallOutcome> Environment::Call(std::string_view service_name,
   }
 
   outcome.request_delivered = true;
-  outcome.response = lam->Handle(request, &outcome.timing.service_micros);
+  outcome.response = handle(at_micros + outcome.timing.request_micros);
   MSQL_ASSIGN_OR_RETURN(
       outcome.timing.response_micros,
-      network_.TransferMicros(lam->site_name(), coordinator_site_,
-                              outcome.response.WireBytes()));
+      send(lam->site_name(), coordinator_site_,
+           outcome.response.WireBytes(),
+           at_micros + outcome.timing.request_micros +
+               outcome.timing.service_micros,
+           "response", true));
   outcome.timing.end_micros =
       at_micros + outcome.timing.request_micros +
       outcome.timing.service_micros + outcome.timing.response_micros;

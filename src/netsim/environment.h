@@ -11,6 +11,8 @@
 #include "netsim/fault_injector.h"
 #include "netsim/lam.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace msql::netsim {
 
@@ -47,6 +49,14 @@ struct CallOutcome {
   /// request (true for lost-*response* faults). Decision logic must not
   /// read this — the coordinator has no such oracle.
   bool request_delivered = false;
+  /// Injected fault applied to this call (kNone for clean calls) —
+  /// trace/metrics ground truth, like `request_delivered`.
+  FaultAction fault = FaultAction::kNone;
+  /// Network traffic of this call alone (request + response legs).
+  /// Callers that need per-run totals sum these instead of diffing the
+  /// global network counters, which misattribute unrelated traffic.
+  int64_t messages = 0;
+  int64_t bytes = 0;
 };
 
 /// The multi-system execution environment: a network of sites, a
@@ -70,6 +80,14 @@ class Environment {
   /// Scripted fault schedule applied to every Call (empty by default).
   FaultInjector& fault_injector() { return fault_injector_; }
   const FaultInjector& fault_injector() const { return fault_injector_; }
+
+  /// Span tracer and metrics of this federation (DESIGN.md §9). Both
+  /// are disabled null sinks by default; everything that touches the
+  /// environment (DOL engine, MSQL front end, benches) records here.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Simulated time the coordinator waits for a response before a call
   /// is declared timed out (lost request/response faults).
@@ -104,6 +122,8 @@ class Environment {
   std::string coordinator_site_;
   Network network_;
   FaultInjector fault_injector_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
   int64_t call_timeout_micros_ = 20000;
   std::map<std::string, ServiceEntry> directory_;
   std::map<std::string, std::unique_ptr<Lam>> lams_;

@@ -46,24 +46,30 @@ class Network {
   bool HasSite(std::string_view name) const;
   std::vector<std::string> SiteNames() const;
 
-  /// Marks a site unreachable / reachable.
-  void SetSiteDown(std::string_view name, bool down);
+  /// Marks a site unreachable / reachable. Fails with kNotFound for an
+  /// unknown site — a silently ignored misspelling here used to turn a
+  /// chaos scenario into a no-op that still "passed".
+  Status SetSiteDown(std::string_view name, bool down);
   bool IsSiteDown(std::string_view name) const;
 
   /// Default parameters for links without an explicit setting.
   void set_default_link(LinkParams params) { default_link_ = params; }
   const LinkParams& default_link() const { return default_link_; }
 
-  /// Sets the parameters of the directed link `from` → `to`.
-  void SetLink(std::string_view from, std::string_view to,
-               LinkParams params);
+  /// Sets the parameters of the directed link `from` → `to`. Both
+  /// endpoints must be registered sites (kNotFound otherwise).
+  Status SetLink(std::string_view from, std::string_view to,
+                 LinkParams params);
 
   /// Parameters of the directed link (explicit or default).
   LinkParams GetLink(std::string_view from, std::string_view to) const;
 
   /// Models one message of `bytes` from `from` to `to`: returns its
   /// latency and updates the traffic counters. Fails with kUnavailable
-  /// when either endpoint is unknown or down.
+  /// when either endpoint is unknown or down. The bandwidth term is
+  /// ceiling division over a 128-bit intermediate, so sub-KB payloads
+  /// are charged at least 1us of serialization (when micros_per_kb > 0)
+  /// and multi-GB transfers cannot overflow.
   Result<int64_t> TransferMicros(std::string_view from, std::string_view to,
                                  int64_t bytes);
 

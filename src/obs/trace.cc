@@ -1,0 +1,257 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace msql::obs {
+
+namespace {
+
+int64_t HostNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal JSON string escaping (the span vocabulary is ASCII, but SQL
+/// fragments in annotations may carry quotes/backslashes).
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string_view Span::Find(std::string_view key) const {
+  for (const auto& [k, v] : annotations) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  parent_stack_.clear();
+  next_id_ = 1;
+  sim_offset_micros_ = 0;
+}
+
+Span* Tracer::Mutable(uint64_t id) {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+const Span* Tracer::FindSpan(uint64_t id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+uint64_t Tracer::StartSpan(std::string_view name, std::string_view category,
+                           int64_t sim_start_micros) {
+  if (!enabled_) return 0;
+  Span span;
+  span.id = next_id_++;
+  span.parent = current_parent();
+  span.name = std::string(name);
+  span.category = std::string(category);
+  span.sim_start_micros = sim_offset_micros_ + sim_start_micros;
+  span.sim_end_micros = span.sim_start_micros;
+  span.host_start_nanos = HostNowNanos();
+  span.host_end_nanos = span.host_start_nanos;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id, int64_t sim_end_micros) {
+  if (!enabled_) return;
+  Span* span = Mutable(id);
+  if (span == nullptr) return;
+  span->sim_end_micros =
+      std::max(span->sim_start_micros, sim_offset_micros_ + sim_end_micros);
+  span->host_end_nanos = HostNowNanos();
+}
+
+void Tracer::Annotate(uint64_t id, std::string_view key,
+                      std::string_view value) {
+  if (!enabled_) return;
+  Span* span = Mutable(id);
+  if (span == nullptr) return;
+  span->annotations.emplace_back(std::string(key), std::string(value));
+}
+
+void Tracer::Annotate(uint64_t id, std::string_view key, int64_t value) {
+  Annotate(id, key, std::string_view(std::to_string(value)));
+}
+
+void Tracer::PushParent(uint64_t id) {
+  if (!enabled_ || id == 0) return;
+  parent_stack_.push_back(id);
+}
+
+void Tracer::PopParent() {
+  if (!parent_stack_.empty()) parent_stack_.pop_back();
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name,
+                       std::string_view category, int64_t sim_start_micros)
+    : sim_end_micros_(sim_start_micros) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  id_ = tracer_->StartSpan(name, category, sim_start_micros);
+  tracer_->PushParent(id_);
+}
+
+ScopedSpan::~ScopedSpan() { End(sim_end_micros_); }
+
+void ScopedSpan::Annotate(std::string_view key, std::string_view value) {
+  if (active()) tracer_->Annotate(id_, key, value);
+}
+
+void ScopedSpan::Annotate(std::string_view key, int64_t value) {
+  if (active()) tracer_->Annotate(id_, key, value);
+}
+
+void ScopedSpan::End(int64_t sim_end_micros) {
+  if (!active()) return;
+  tracer_->EndSpan(id_, sim_end_micros);
+  tracer_->PopParent();
+  tracer_ = nullptr;
+  id_ = 0;
+}
+
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const ChromeTraceOptions& options) {
+  const auto& spans = tracer.spans();
+  // Lane assignment: coordinator work is tid 1; each dol.task span opens
+  // the next lane and its descendants inherit it. First-appearance order
+  // keeps the numbering deterministic.
+  std::map<uint64_t, int> lane_of;  // span id → tid
+  std::vector<std::pair<int, std::string>> lane_names;
+  int next_lane = 2;
+  for (const Span& span : spans) {
+    int lane = 1;
+    if (span.parent != 0) {
+      auto it = lane_of.find(span.parent);
+      if (it != lane_of.end()) lane = it->second;
+    }
+    if (span.category == "dol.task") {
+      lane = next_lane++;
+      lane_names.emplace_back(lane, span.name);
+    }
+    lane_of[span.id] = lane;
+  }
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+  {
+    std::string meta =
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"coordinator\"}}";
+    emit(meta);
+  }
+  for (const auto& [lane, name] : lane_names) {
+    std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                       "\"tid\":" + std::to_string(lane) + ",\"args\":{"
+                       "\"name\":";
+    AppendJsonString(&meta, name);
+    meta += "}}";
+    emit(meta);
+  }
+  for (const Span& span : spans) {
+    std::string event = "{\"name\":";
+    AppendJsonString(&event, span.name);
+    event += ",\"cat\":";
+    AppendJsonString(&event, span.category);
+    event += ",\"ph\":\"X\",\"ts\":" + std::to_string(span.sim_start_micros);
+    event += ",\"dur\":" +
+             std::to_string(span.sim_end_micros - span.sim_start_micros);
+    event += ",\"pid\":1,\"tid\":" + std::to_string(lane_of[span.id]);
+    event += ",\"args\":{\"span\":" + std::to_string(span.id);
+    if (span.parent != 0) {
+      event += ",\"parent\":" + std::to_string(span.parent);
+    }
+    for (const auto& [key, value] : span.annotations) {
+      event += ",";
+      AppendJsonString(&event, key);
+      event += ":";
+      AppendJsonString(&event, value);
+    }
+    if (options.include_host_time) {
+      event += ",\"host_us\":" +
+               std::to_string((span.host_end_nanos - span.host_start_nanos) /
+                              1000);
+    }
+    event += "}}";
+    emit(event);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ExportTextTree(const Tracer& tracer, uint64_t root) {
+  const auto& spans = tracer.spans();
+  std::map<uint64_t, std::vector<uint64_t>> children;
+  std::vector<uint64_t> roots;
+  for (const Span& span : spans) {
+    if (span.id == root || (root == 0 && span.parent == 0)) {
+      roots.push_back(span.id);
+    } else {
+      children[span.parent].push_back(span.id);
+    }
+  }
+  std::string out;
+  // Depth-first; children are already in creation (= start) order.
+  struct Frame {
+    uint64_t id;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Span* span = tracer.FindSpan(frame.id);
+    if (span == nullptr) continue;
+    out.append(static_cast<size_t>(frame.depth) * 2, ' ');
+    out += span->name + " [" + std::to_string(span->sim_start_micros) +
+           "us, " + std::to_string(span->sim_end_micros) + "us]";
+    for (const auto& [key, value] : span->annotations) {
+      out += " " + key + "=" + value;
+    }
+    out += "\n";
+    auto kids = children.find(frame.id);
+    if (kids != children.end()) {
+      for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+        stack.push_back({*it, frame.depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace msql::obs

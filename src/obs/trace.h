@@ -1,0 +1,151 @@
+#ifndef MSQL_OBS_TRACE_H_
+#define MSQL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace msql::obs {
+
+/// One traced interval of federation work.
+///
+/// Every span carries *two* clocks: the simulated clock the netsim
+/// timeline runs on (what the paper's cost model is about) and the host
+/// monotonic clock (what the front end actually burns). The simulated
+/// times are deterministic under a fixed seed; host times are not, so
+/// exporters omit them unless asked (golden-trace tests rely on this).
+struct Span {
+  uint64_t id = 0;
+  /// Enclosing span (0 = root).
+  uint64_t parent = 0;
+  std::string name;
+  /// Taxonomy bucket: "frontend", "dol", "dol.task", "2pc", "channel",
+  /// "rpc", "net", "lam" (DESIGN.md §9).
+  std::string category;
+  /// Simulated interval (absolute: run-relative time + the tracer's
+  /// session offset).
+  int64_t sim_start_micros = 0;
+  int64_t sim_end_micros = 0;
+  /// Host monotonic interval (steady_clock nanoseconds).
+  int64_t host_start_nanos = 0;
+  int64_t host_end_nanos = 0;
+  /// Ordered key → value notes (attempt=2, fault=lost_response, ...).
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  /// Annotation value for `key`, or "" when absent.
+  std::string_view Find(std::string_view key) const;
+};
+
+/// Span collector threaded through the whole federation pipeline.
+///
+/// Disabled by default: every method is a cheap early-out (the null
+/// sink), so instrumented hot paths cost one predictable branch. All
+/// execution is single-threaded, so the current-parent stack is enough
+/// to nest spans across module boundaries without passing ids around:
+/// a ScopedSpan pushes itself and everything started inside it becomes
+/// its child.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Drops all collected spans and resets ids, stack and offset.
+  void Clear();
+
+  /// Added to every recorded simulated time. The MDBS advances this by
+  /// each run's makespan so consecutive inputs of one session lay out
+  /// sequentially instead of piling up at sim time 0.
+  void set_sim_offset_micros(int64_t offset) { sim_offset_micros_ = offset; }
+  int64_t sim_offset_micros() const { return sim_offset_micros_; }
+
+  /// Opens a span starting at simulated time `sim_start_micros`
+  /// (run-relative; the offset is applied here). Parent is the top of
+  /// the parent stack. Returns the span id, 0 when disabled.
+  uint64_t StartSpan(std::string_view name, std::string_view category,
+                     int64_t sim_start_micros);
+  /// Closes `id` at simulated time `sim_end_micros` (run-relative).
+  void EndSpan(uint64_t id, int64_t sim_end_micros);
+  void Annotate(uint64_t id, std::string_view key, std::string_view value);
+  void Annotate(uint64_t id, std::string_view key, int64_t value);
+
+  void PushParent(uint64_t id);
+  void PopParent();
+  uint64_t current_parent() const {
+    return parent_stack_.empty() ? 0 : parent_stack_.back();
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  /// The span with `id`, or nullptr (ids are 1-based indices).
+  const Span* FindSpan(uint64_t id) const;
+
+ private:
+  Span* Mutable(uint64_t id);
+
+  bool enabled_ = false;
+  int64_t sim_offset_micros_ = 0;
+  uint64_t next_id_ = 1;
+  std::vector<Span> spans_;
+  std::vector<uint64_t> parent_stack_;
+};
+
+/// RAII span: starts on construction (pushing itself as the current
+/// parent), ends on destruction. Callers that know the simulated end
+/// time set it with `set_sim_end` / `End`; otherwise the span closes at
+/// its own start time (frontend phases live on the host clock only).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name,
+             std::string_view category, int64_t sim_start_micros = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+  bool active() const { return tracer_ != nullptr && id_ != 0; }
+
+  void Annotate(std::string_view key, std::string_view value);
+  void Annotate(std::string_view key, int64_t value);
+
+  /// Records the simulated end time the destructor will close with.
+  void set_sim_end(int64_t sim_end_micros) { sim_end_micros_ = sim_end_micros; }
+  /// Closes the span now (destructor becomes a no-op).
+  void End(int64_t sim_end_micros);
+  void End() { End(sim_end_micros_); }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  uint64_t id_ = 0;
+  int64_t sim_end_micros_ = 0;
+};
+
+/// Options of the Chrome trace-event exporter.
+struct ChromeTraceOptions {
+  /// Include host-clock durations as args ("host_us"). Off by default:
+  /// host times vary run to run and would break golden traces.
+  bool include_host_time = false;
+};
+
+/// Renders the collected spans as Chrome trace-event JSON (one complete
+/// "X" event per span on the simulated clock), loadable in Perfetto /
+/// chrome://tracing. Tracks: the coordinator is tid 1; every "dol.task"
+/// span opens its own tid so parallel tasks render as parallel lanes,
+/// and descendants inherit their task's lane. Deterministic for a fixed
+/// seed (creation order, sim clock only) unless host time is included.
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const ChromeTraceOptions& options = {});
+
+/// Renders the spans under `root` (0 = all roots) as an indented text
+/// tree with simulated intervals and annotations.
+std::string ExportTextTree(const Tracer& tracer, uint64_t root = 0);
+
+}  // namespace msql::obs
+
+#endif  // MSQL_OBS_TRACE_H_

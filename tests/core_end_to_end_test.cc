@@ -202,7 +202,8 @@ TEST_F(EndToEndTest, ReportCarriesDolProgramAndTiming) {
 }
 
 TEST_F(EndToEndTest, RetrievalOnDownNonVitalSiteYieldsPartialMultitable) {
-  sys_->environment().network().SetSiteDown("site_national", true);
+  ASSERT_TRUE(
+      sys_->environment().network().SetSiteDown("site_national", true).ok());
   auto report = Exec(
       "USE avis national\n"
       "LET car.code BE cars.code vehicle.vcode\n"

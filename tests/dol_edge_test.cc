@@ -61,7 +61,7 @@ DOLEND)");
 }
 
 TEST_F(DolEdgeTest, TransferToDownTargetFails) {
-  env_.network().SetSiteDown("site_b", true);
+  ASSERT_TRUE(env_.network().SetSiteDown("site_b", true).ok());
   auto result = Run(R"(
 DOLBEGIN
   OPEN db AT asvc AS a;

@@ -209,7 +209,7 @@ DOLEND)");
 }
 
 TEST_F(DolEngineTest, FailedOpenPoisonsChannel) {
-  env_.network().SetSiteDown("site_a", true);
+  ASSERT_TRUE(env_.network().SetSiteDown("site_a", true).ok());
   auto result = Run(R"(
 DOLBEGIN
   OPEN db AT asvc AS a;
@@ -347,6 +347,66 @@ DOLEND)");
   DolEngine engine(&env_);
   EXPECT_EQ(engine.Run(*dup_alias).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+// Regression: one engine must be reusable across Run calls — every
+// piece of per-run state (channels, tasks, compensations, counters,
+// DOLSTATUS) is reset at entry, so run 2 sees none of run 1.
+TEST_F(DolEngineTest, EngineIsReusableAcrossRuns) {
+  const char* text = R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  TASK t1 FOR a { INSERT INTO t VALUES ( 9 , 'x' ) } ENDTASK;
+  IF t1=C THEN BEGIN DOLSTATUS = 5; END;
+  CLOSE a;
+DOLEND)";
+  auto program = ParseDol(text);
+  ASSERT_TRUE(program.ok()) << program.status();
+  DolEngine engine(&env_);
+  auto first = engine.Run(*program);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = engine.Run(*program);
+  ASSERT_TRUE(second.ok()) << second.status();
+  // Identical per-run results: same status, same single task, same
+  // traffic and timing — nothing accumulated from run 1.
+  EXPECT_EQ(second->dol_status, first->dol_status);
+  EXPECT_EQ(second->tasks.size(), 1u);
+  EXPECT_EQ(second->messages, first->messages);
+  EXPECT_EQ(second->bytes, first->bytes);
+  EXPECT_EQ(second->makespan_micros, first->makespan_micros);
+  EXPECT_EQ(second->retries, 0);
+  EXPECT_EQ(second->reprobes, 0);
+  EXPECT_EQ(CountRows("asvc"), 4);  // both inserts really ran
+}
+
+// Regression: DolRunResult.messages/bytes were computed as deltas of
+// the *global* network counters, so any unrelated traffic on the same
+// environment between or during runs was billed to the run. They are
+// now summed from per-call accounting.
+TEST_F(DolEngineTest, RunTrafficIgnoresUnrelatedEnvironmentCalls) {
+  const char* text = R"(
+DOLBEGIN
+  OPEN db AT asvc AS a;
+  TASK t1 FOR a { SELECT * FROM t } ENDTASK;
+  CLOSE a;
+DOLEND)";
+  auto program = ParseDol(text);
+  ASSERT_TRUE(program.ok()) << program.status();
+  DolEngine engine(&env_);
+  auto first = engine.Run(*program);
+  ASSERT_TRUE(first.ok()) << first.status();
+  // Stray coordinator traffic outside any run (health probes, another
+  // engine's calls) must not appear in the next run's accounting.
+  netsim::LamRequest ping;
+  ping.type = netsim::LamRequestType::kPing;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(env_.Call("bsvc", ping, 0).ok());
+  }
+  auto second = engine.Run(*program);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->messages, first->messages);
+  EXPECT_EQ(second->bytes, first->bytes);
+  EXPECT_GT(second->messages, 0);
 }
 
 }  // namespace

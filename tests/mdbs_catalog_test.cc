@@ -143,7 +143,7 @@ TEST_F(CatalogOpsTest, IncorporateVerifiesReachability) {
   EXPECT_EQ(IncorporateService(&env_, &ad_, ghost).code(),
             StatusCode::kNotFound);
 
-  env_.network().SetSiteDown("site1", true);
+  ASSERT_TRUE(env_.network().SetSiteDown("site1", true).ok());
   ServiceDescriptor again = svc;
   EXPECT_EQ(IncorporateService(&env_, &ad_, again).code(),
             StatusCode::kUnavailable);

@@ -22,7 +22,7 @@ TEST(NetworkTest, DefaultAndExplicitLinks) {
   LinkParams fast;
   fast.latency_micros = 10;
   fast.micros_per_kb = 1;
-  net.SetLink("a", "b", fast);
+  ASSERT_TRUE(net.SetLink("a", "b", fast).ok());
   EXPECT_EQ(net.GetLink("a", "b").latency_micros, 10);
   // Reverse direction falls back to the default.
   EXPECT_EQ(net.GetLink("b", "a").latency_micros,
@@ -36,7 +36,7 @@ TEST(NetworkTest, TransferAccountsBytesAndMessages) {
   LinkParams link;
   link.latency_micros = 100;
   link.micros_per_kb = 1024;  // 1 us per byte
-  net.SetLink("a", "b", link);
+  ASSERT_TRUE(net.SetLink("a", "b", link).ok());
   auto micros = net.TransferMicros("a", "b", 2048);
   ASSERT_TRUE(micros.ok());
   EXPECT_EQ(*micros, 100 + 2048);
@@ -48,13 +48,64 @@ TEST(NetworkTest, DownSitesAreUnavailable) {
   Network net;
   net.AddSite("a");
   net.AddSite("b");
-  net.SetSiteDown("b", true);
+  ASSERT_TRUE(net.SetSiteDown("b", true).ok());
   EXPECT_EQ(net.TransferMicros("a", "b", 10).status().code(),
             StatusCode::kUnavailable);
-  net.SetSiteDown("b", false);
+  ASSERT_TRUE(net.SetSiteDown("b", false).ok());
   EXPECT_TRUE(net.TransferMicros("a", "b", 10).ok());
   EXPECT_EQ(net.TransferMicros("a", "ghost", 10).status().code(),
             StatusCode::kUnavailable);
+}
+
+// Regression: SetSiteDown/SetLink used to silently no-op on unknown
+// sites, so a typoed chaos script "partitioned" nothing and the test
+// that relied on it exercised the healthy path.
+TEST(NetworkTest, TogglingUnknownSitesIsAnError) {
+  Network net;
+  net.AddSite("a");
+  EXPECT_EQ(net.SetSiteDown("ghost", true).code(), StatusCode::kNotFound);
+  LinkParams link;
+  EXPECT_EQ(net.SetLink("a", "ghost", link).code(), StatusCode::kNotFound);
+  EXPECT_EQ(net.SetLink("ghost", "a", link).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(net.SetLink("a", "a", link).ok());
+}
+
+// Regression: the serialization charge was computed with truncating
+// integer division, so sub-KB payloads (every LAM control message)
+// transferred in zero simulated time.
+TEST(NetworkTest, SubKilobytePayloadsAreNotFree) {
+  Network net;
+  net.AddSite("a");
+  net.AddSite("b");
+  LinkParams link;
+  link.latency_micros = 0;
+  link.micros_per_kb = 1000;
+  ASSERT_TRUE(net.SetLink("a", "b", link).ok());
+  auto one_byte = net.TransferMicros("a", "b", 1);
+  ASSERT_TRUE(one_byte.ok());
+  EXPECT_EQ(*one_byte, 1);  // ceil(1 * 1000 / 1024)
+  auto half_kb = net.TransferMicros("a", "b", 512);
+  ASSERT_TRUE(half_kb.ok());
+  EXPECT_EQ(*half_kb, 500);  // ceil(512 * 1000 / 1024)
+}
+
+// Regression: bytes * micros_per_kb was multiplied in int64, which
+// overflows for large payloads on slow links; the weighted product now
+// goes through a 128-bit intermediate.
+TEST(NetworkTest, HugeTransfersDoNotOverflow) {
+  Network net;
+  net.AddSite("a");
+  net.AddSite("b");
+  LinkParams link;
+  link.latency_micros = 7;
+  link.micros_per_kb = 2'000'000'000;  // pathological slow link
+  ASSERT_TRUE(net.SetLink("a", "b", link).ok());
+  // 5 GB * 2e9 us/KB = 1e19 weighted micros·bytes/KB — past INT64_MAX.
+  auto micros = net.TransferMicros("a", "b", 5'000'000'000);
+  ASSERT_TRUE(micros.ok());
+  EXPECT_EQ(*micros, 7 + 9'765'625'000'000'000);
+  EXPECT_EQ(net.TransferMicros("a", "b", -1).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 std::unique_ptr<LocalEngine> SeededEngine() {
@@ -158,7 +209,7 @@ TEST(EnvironmentTest, UnknownServiceAndDownSite) {
   ping.type = LamRequestType::kPing;
   EXPECT_EQ(env.Call("ghost", ping, 0).status().code(),
             StatusCode::kNotFound);
-  env.network().SetSiteDown("site1", true);
+  ASSERT_TRUE(env.network().SetSiteDown("site1", true).ok());
   EXPECT_EQ(env.Call("svc", ping, 0).status().code(),
             StatusCode::kUnavailable);
 }

@@ -127,7 +127,8 @@ TEST_F(VitalSemanticsTest, CommitFailureAfterDecisionIsIncorrect) {
 
 TEST_F(VitalSemanticsTest, DownVitalSiteAborts) {
   double cont = ContinentalFares();
-  sys_->environment().network().SetSiteDown("site_united", true);
+  ASSERT_TRUE(
+      sys_->environment().network().SetSiteDown("site_united", true).ok());
   auto report = sys_->Execute(kFareRaise);
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_EQ(report->outcome, GlobalOutcome::kAborted);
@@ -135,7 +136,8 @@ TEST_F(VitalSemanticsTest, DownVitalSiteAborts) {
 }
 
 TEST_F(VitalSemanticsTest, DownNonVitalSiteStillSucceeds) {
-  sys_->environment().network().SetSiteDown("site_delta", true);
+  ASSERT_TRUE(
+      sys_->environment().network().SetSiteDown("site_delta", true).ok());
   auto report = sys_->Execute(kFareRaise);
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
