@@ -5,10 +5,12 @@
 //
 // Inputs end at a ';' on its own or at end of line; multitransactions
 // end at END MULTITRANSACTION. Meta commands: \gdd (dump dictionary),
-// \dol (toggle printing generated DOL programs), \trace (toggle span
-// tracing; each input then prints its span tree), \trace FILE (write
-// the accumulated trace as Chrome trace-event JSON, loadable in
-// Perfetto), \metrics (dump federation counters/histograms), \quit.
+// \dol (toggle printing generated DOL programs), \plan (toggle printing
+// each SELECT task's local physical plan — pushdown, index probes, join
+// order), \trace (toggle span tracing; each input then prints its span
+// tree), \trace FILE (write the accumulated trace as Chrome trace-event
+// JSON, loadable in Perfetto), \metrics (dump federation
+// counters/histograms), \quit.
 // Prefixing an input with \check statically analyzes it instead of
 // executing it; \explain additionally prints the DOL program it would
 // run.
@@ -62,6 +64,9 @@ void PrintReport(const ExecutionReport& report, bool show_dol) {
   }
   if (show_dol && !report.dol_text.empty()) {
     std::printf("%s", report.dol_text.c_str());
+  }
+  if (!report.plan_text.empty()) {
+    std::printf("-- local plans --\n%s", report.plan_text.c_str());
   }
   if (!report.trace_text.empty()) {
     std::printf("-- trace --\n%s", report.trace_text.c_str());
@@ -122,6 +127,13 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
     if (trimmed == "\\dol") {
       show_dol = !show_dol;
       std::printf("(DOL printing %s)\n", show_dol ? "on" : "off");
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\plan") {
+      bool on = !sys->collect_plans();
+      sys->set_collect_plans(on);
+      std::printf("(local plan printing %s)\n", on ? "on" : "off");
       if (echo) std::printf("msql> ");
       continue;
     }
@@ -229,7 +241,7 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "Extended MSQL shell — federation: continental delta united avis "
-      "national\nmeta: \\gdd \\dol \\trace [file] \\metrics \\check "
-      "\\explain \\quit; end inputs with ';'\n");
+      "national\nmeta: \\gdd \\dol \\plan \\trace [file] \\metrics "
+      "\\check \\explain \\quit; end inputs with ';'\n");
   return RunStream(sys.get(), std::cin, /*echo=*/true);
 }

@@ -71,6 +71,7 @@ Status MultidatabaseSystem::AddService(std::string_view service,
                                        netsim::LamCostModel cost_model) {
   auto engine = std::make_unique<relational::LocalEngine>(
       std::string(service), std::move(profile));
+  engine->set_collect_plan_text(collect_plans_);
   return env_.AddService(service, site, std::move(engine), cost_model);
 }
 
@@ -78,6 +79,14 @@ Result<relational::LocalEngine*> MultidatabaseSystem::GetEngine(
     std::string_view service) {
   MSQL_ASSIGN_OR_RETURN(netsim::Lam * lam, env_.GetLam(service));
   return lam->engine();
+}
+
+void MultidatabaseSystem::set_collect_plans(bool on) {
+  collect_plans_ = on;
+  for (const auto& name : env_.ServiceNames()) {
+    auto lam = env_.GetLam(name);
+    if (lam.ok()) (*lam)->engine()->set_collect_plan_text(on);
+  }
 }
 
 Status MultidatabaseSystem::RunLocalSql(std::string_view service,
@@ -596,6 +605,14 @@ Result<ExecutionReport> MultidatabaseSystem::RunPlan(
         report.multitable.elements.push_back(std::move(element));
       }
     }
+  }
+
+  // Gather the local physical plans the SELECT tasks reported (plan
+  // collection on). The tasks map is name-sorted, so the rendering is
+  // deterministic.
+  for (const auto& [name, task] : report.run.tasks) {
+    if (task.result.plan_text.empty()) continue;
+    report.plan_text += "task " + name + ":\n" + task.result.plan_text;
   }
 
   if (expansion != nullptr) {

@@ -69,6 +69,10 @@ struct ExecutionReport {
   /// outermost MSQL input — nested view/trigger executions appear as
   /// subtrees of the outer input instead of reporting their own.
   std::string trace_text;
+  /// Local physical plans of this input's SELECT tasks, one block per
+  /// task in task-name order (the shell's `\plan`). Filled only when
+  /// plan collection is on (MultidatabaseSystem::set_collect_plans).
+  std::string plan_text;
 };
 
 /// What `Analyze` (the `msql_lint` / `\check` path) reports about one
@@ -121,6 +125,12 @@ class MultidatabaseSystem {
 
   /// Direct engine access (seeding data, injecting failures in tests).
   Result<relational::LocalEngine*> GetEngine(std::string_view service);
+
+  /// Toggles local plan collection on every registered service: each
+  /// SELECT task's result then carries its planner rendering, which
+  /// RunPlan gathers into ExecutionReport::plan_text.
+  void set_collect_plans(bool on);
+  bool collect_plans() const { return collect_plans_; }
 
   /// Runs a ';'-separated sequence of local SQL statements directly on
   /// one service's database (bootstrap helper for examples/tests; this
@@ -233,6 +243,7 @@ class MultidatabaseSystem {
   /// Re-entrancy guards for views-over-views and trigger cascades.
   int view_depth_ = 0;
   int trigger_depth_ = 0;
+  bool collect_plans_ = false;
 };
 
 }  // namespace msql::core

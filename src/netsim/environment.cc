@@ -24,6 +24,9 @@ Status Environment::AddService(std::string_view service_name,
   entry.service_name = service;
   entry.site_name = site;
   directory_.emplace(service, entry);
+  // Local executors report into the federation's tracer/metrics (both
+  // are null sinks until enabled).
+  engine->SetObservability(&tracer_, &metrics_);
   lams_.emplace(service, std::make_unique<Lam>(service, site,
                                                std::move(engine),
                                                cost_model));

@@ -373,11 +373,47 @@ Result<ResultSet> LocalEngine::ExecuteStatement(SessionId session_id,
   return result;
 }
 
+Result<std::string> LocalEngine::ExplainSql(SessionId session_id,
+                                            std::string_view sql) {
+  MSQL_ASSIGN_OR_RETURN(Session * session, FindSession(session_id));
+  MSQL_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSql(sql));
+  if (stmt->kind() != StatementKind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN requires a SELECT statement");
+  }
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  MSQL_ASSIGN_OR_RETURN(Database * db, GetDatabase(session->db_name));
+  ExecutorOptions options;
+  options.record_ddl_undo = profile_.ddl_rollbackable;
+  options.use_planner = use_planner_;
+  options.tracer = tracer_;
+  options.metrics = metrics_;
+  if (session->txn != nullptr) {
+    if (session->txn->state() != TxnState::kActive) {
+      return Status::TransactionError(
+          "EXPLAIN issued against a transaction in state " +
+          std::string(TxnStateName(session->txn->state())));
+    }
+    Executor executor(db, session->txn.get(), &locks_, options);
+    return executor.ExplainSelect(select);
+  }
+  // No open transaction: plan under a short-lived read transaction
+  // (view materialization still takes and releases shared locks).
+  Transaction txn(next_txn_id_++);
+  Executor executor(db, &txn, &locks_, options);
+  Result<std::string> text = executor.ExplainSelect(select);
+  locks_.ReleaseAll(&txn);
+  return text;
+}
+
 Result<ResultSet> LocalEngine::ExecuteInTxn(Session* session,
                                             const Statement& stmt) {
   MSQL_ASSIGN_OR_RETURN(Database * db, GetDatabase(session->db_name));
   ExecutorOptions options;
   options.record_ddl_undo = profile_.ddl_rollbackable;
+  options.use_planner = use_planner_;
+  options.collect_plan_text = collect_plan_text_;
+  options.tracer = tracer_;
+  options.metrics = metrics_;
   Executor executor(db, session->txn.get(), &locks_, options);
   auto result = executor.Execute(stmt);
   ++stats_.statements_executed;

@@ -115,6 +115,30 @@ class LocalEngine {
   Result<ResultSet> ExecuteStatement(SessionId session,
                                      const Statement& stmt);
 
+  /// EXPLAIN: parses `sql` (which must be a SELECT) and returns the
+  /// local planner's text rendering of its physical plan without
+  /// running the join. Uses the session's open transaction when there
+  /// is one, a short-lived read transaction otherwise.
+  Result<std::string> ExplainSql(SessionId session, std::string_view sql);
+
+  // -- Observability / planner switches -----------------------------------
+
+  /// Points executor spans ("sql.plan"/"sql.join") and counters at the
+  /// federation's tracer/metrics (null = no instrumentation).
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
+  /// When true, every SELECT result carries its plan text (`\plan`).
+  void set_collect_plan_text(bool on) { collect_plan_text_ = on; }
+  bool collect_plan_text() const { return collect_plan_text_; }
+
+  /// Disables the local planner, reverting SELECT to the naive
+  /// cross-product join — the differential-testing oracle.
+  void set_use_planner(bool on) { use_planner_ = on; }
+  bool use_planner() const { return use_planner_; }
+
   /// Starts an explicit transaction.
   Status Begin(SessionId session);
   /// Moves the explicit transaction to prepared-to-commit. Fails with
@@ -175,6 +199,11 @@ class LocalEngine {
   FailPoint fail_point_ = FailPoint::kNone;
   double failure_probability_ = 0.0;
   Rng failure_rng_{0};
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  bool collect_plan_text_ = false;
+  bool use_planner_ = true;
 };
 
 }  // namespace msql::relational

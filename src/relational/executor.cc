@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "common/string_util.h"
 #include "relational/index.h"
@@ -38,11 +39,14 @@ class AggAccumulator {
  public:
   explicit AggAccumulator(const FunctionCallExpr* call) : call_(call) {}
 
+  /// COUNT(*): counts the row itself, NULLs and all — there is no
+  /// argument to inspect, so NULL rows are never skipped.
+  Status AccumulateStar() {
+    ++count_;
+    return Status::OK();
+  }
+
   Status Accumulate(const Value& v) {
-    if (call_->star()) {  // COUNT(*): argument ignored
-      ++count_;
-      return Status::OK();
-    }
     if (v.is_null()) return Status::OK();  // SQL: aggregates skip NULLs
     ++count_;
     const std::string& name = call_->name();
@@ -121,6 +125,50 @@ void FindIndexProbe(const Expr& where, const Table& table,
     }
   }
 }
+
+/// Hash-join key hashing, consistent with Value::Compare equality:
+/// numerics normalize to double (collapsing -0.0 into 0.0) so that
+/// hash-equal always agrees with Compare == 0 across INTEGER/REAL.
+/// NULL keys never reach the hash table — SQL `=` is never TRUE on
+/// NULL, so both sides drop NULL-keyed rows before hashing.
+struct JoinKeyHash {
+  size_t operator()(const Row& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : key) {
+      size_t e = 0;
+      if (v.is_numeric()) {
+        double d = v.NumericAsReal();
+        if (d == 0.0) d = 0.0;  // -0.0 and 0.0 compare equal
+        e = std::hash<double>{}(d);
+      } else if (v.is_boolean()) {
+        e = std::hash<bool>{}(v.AsBoolean());
+      } else if (v.is_text()) {
+        e = std::hash<std::string>{}(v.AsText());
+      }
+      h ^= e + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct JoinKeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// A row mid-join: the combined row (full SELECT width, NULL-padded in
+/// the not-yet-joined slots) plus the per-source ordinal of each part.
+/// Sorting the final rows by the ordinal tuple in FROM order reproduces
+/// the naive odometer's output order exactly.
+struct JoinedRow {
+  Row row;
+  std::vector<uint32_t> ord;
+};
 
 }  // namespace
 
@@ -201,71 +249,11 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
   if (stmt.from.empty()) {
     return Status::ExecutionError("SELECT without FROM is not supported");
   }
-  // Resolve and lock the sources: base tables are scanned directly,
-  // views are materialized by recursive execution (their base-table
-  // locks are taken by the recursion).
-  struct Source {
-    std::string effective_name;
-    TableSchema schema;
-    std::vector<Row> rows;
-  };
-  std::vector<Source> sources;
+  std::vector<ResolvedSource> sources;
   RowBinding binding;
-  for (const auto& ref : stmt.from) {
-    MSQL_RETURN_IF_ERROR(CheckQualifier(ref));
-    MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(ref.table),
-                                         LockManager::Mode::kShared));
-    std::string eff = ToLower(ref.EffectiveName());
-    Source source;
-    source.effective_name = eff;
-    if (db_->HasView(ref.table)) {
-      MSQL_ASSIGN_OR_RETURN(const SelectStmt* definition,
-                            db_->GetView(ref.table));
-      MSQL_ASSIGN_OR_RETURN(
-          source.schema,
-          InferSelectSchema(ToLower(ref.table), *definition,
-                            [this](std::string_view t)
-                                -> Result<const TableSchema*> {
-                              MSQL_ASSIGN_OR_RETURN(
-                                  const Table* base,
-                                  db_->GetTableConst(t));
-                              return &base->schema();
-                            }));
-      MSQL_ASSIGN_OR_RETURN(ResultSet materialized,
-                            ExecuteSelect(*definition));
-      if (materialized.columns.size() != source.schema.num_columns()) {
-        return Status::Internal("view schema/materialization mismatch");
-      }
-      source.rows = std::move(materialized.rows);
-    } else {
-      MSQL_ASSIGN_OR_RETURN(const Table* table,
-                            db_->GetTableConst(ref.table));
-      source.schema = table->schema();
-      // Access-path selection: a single-table query with an
-      // `col = literal` conjunct over an indexed column probes the
-      // index; everything else scans.
-      const Index* index = nullptr;
-      Value probe;
-      if (stmt.from.size() == 1 && stmt.where != nullptr) {
-        FindIndexProbe(*stmt.where, *table, &index, &probe);
-      }
-      if (index != nullptr) {
-        if (const std::vector<RowId>* ids = index->Lookup(probe)) {
-          source.rows.reserve(ids->size());
-          for (RowId id : *ids) source.rows.push_back(table->GetRow(id));
-        }
-      } else {
-        source.rows = table->ScanRows();
-      }
-    }
-    binding.AddTable(eff, source.schema);
-    sources.push_back(std::move(source));
-  }
-
-  int64_t rows_scanned = 0;
-  for (const auto& src : sources) {
-    rows_scanned += static_cast<int64_t>(src.rows.size());
-  }
+  int64_t recursive_scanned = 0;
+  MSQL_RETURN_IF_ERROR(
+      ResolveSources(stmt, &sources, &binding, &recursive_scanned));
 
   ExprEvaluator evaluator(
       &binding, [this](const SelectStmt& sub) -> Result<Value> {
@@ -303,35 +291,57 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
     return Status::ExecutionError("empty select list");
   }
 
-  // Materialize the filtered join (nested loops over the cross product).
+  // Materialize the filtered join: planned (pushdown + index probes +
+  // hash joins) by default, the naive cross product when disabled or
+  // when the planner declines the statement.
+  int64_t rows_scanned = 0;
+  int64_t rows_evaluated = 0;
+  std::string plan_text;
   std::vector<Row> matched_rows;
-  {
-    std::vector<size_t> idx(sources.size(), 0);
-    bool done = false;
+  if (options_.metrics != nullptr) options_.metrics->Inc("sql.selects");
+  bool planned = options_.use_planner;
+  if (planned) {
+    std::vector<PlannerSource> planner_sources;
+    planner_sources.reserve(sources.size());
     for (const auto& src : sources) {
-      if (src.rows.empty()) done = true;  // empty cross product
+      PlannerSource ps;
+      ps.effective_name = src.effective_name;
+      ps.schema = &src.schema;
+      ps.row_count = src.table != nullptr
+                         ? src.table->live_row_count()
+                         : src.rows.size();
+      ps.table = src.table;
+      planner_sources.push_back(std::move(ps));
     }
-    while (!done) {
-      Row combined;
-      for (size_t i = 0; i < sources.size(); ++i) {
-        const Row& part = sources[i].rows[idx[i]];
-        combined.insert(combined.end(), part.begin(), part.end());
-      }
-      bool keep = true;
-      if (stmt.where != nullptr) {
-        MSQL_ASSIGN_OR_RETURN(keep,
-                              evaluator.EvalPredicate(*stmt.where, combined));
-      }
-      if (keep) matched_rows.push_back(std::move(combined));
-      // Advance the odometer.
-      size_t level = sources.size();
-      while (level > 0) {
-        --level;
-        if (++idx[level] < sources[level].rows.size()) break;
-        idx[level] = 0;
-        if (level == 0) done = true;
+    SelectPlan plan;
+    {
+      obs::ScopedSpan plan_span(options_.tracer, "sql.plan", "sql");
+      MSQL_ASSIGN_OR_RETURN(plan, PlanSelect(stmt, planner_sources));
+      if (plan_span.active() && !plan.fallback_reason.empty()) {
+        plan_span.Annotate("fallback", plan.fallback_reason);
       }
     }
+    if (options_.collect_plan_text) plan_text = plan.Explain();
+    if (plan.fallback_reason.empty()) {
+      MSQL_ASSIGN_OR_RETURN(
+          matched_rows,
+          RunPlannedJoin(stmt, plan, &sources, evaluator, &rows_scanned,
+                         &rows_evaluated));
+    } else {
+      if (options_.metrics != nullptr) {
+        options_.metrics->Inc("sql.plan.fallbacks");
+      }
+      planned = false;
+    }
+  }
+  if (!planned) {
+    MSQL_ASSIGN_OR_RETURN(matched_rows,
+                          RunNaiveJoin(stmt, &sources, evaluator,
+                                       &rows_scanned, &rows_evaluated));
+  }
+  rows_scanned += recursive_scanned;
+  if (options_.metrics != nullptr) {
+    options_.metrics->Observe("sql.rows_evaluated", rows_evaluated);
   }
 
   // Decide between plain projection and aggregation.
@@ -343,6 +353,8 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
 
   ResultSet out;
   out.rows_scanned = rows_scanned;
+  out.rows_evaluated = rows_evaluated;
+  out.plan_text = std::move(plan_text);
   for (const auto& item : items) out.columns.push_back(OutputName(item));
 
   // Pairs of (output row, source row used for ORDER BY evaluation).
@@ -392,7 +404,7 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
         AggAccumulator acc(call);
         for (const auto& row : group_rows) {
           if (call->star()) {
-            MSQL_RETURN_IF_ERROR(acc.Accumulate(Value::Null_()));
+            MSQL_RETURN_IF_ERROR(acc.AccumulateStar());
           } else {
             if (call->args().size() != 1) {
               return Status::ExecutionError(call->name() +
@@ -497,6 +509,334 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
     for (auto& pr : produced) out.rows.push_back(std::move(pr.first));
   }
   return out;
+}
+
+Status Executor::ResolveSources(const SelectStmt& stmt,
+                                std::vector<ResolvedSource>* sources,
+                                RowBinding* binding,
+                                int64_t* recursive_scanned) {
+  for (const auto& ref : stmt.from) {
+    MSQL_RETURN_IF_ERROR(CheckQualifier(ref));
+    MSQL_RETURN_IF_ERROR(locks_->Acquire(txn_, LockKey(ref.table),
+                                         LockManager::Mode::kShared));
+    std::string eff = ToLower(ref.EffectiveName());
+    ResolvedSource source;
+    source.effective_name = eff;
+    if (db_->HasView(ref.table)) {
+      MSQL_ASSIGN_OR_RETURN(const SelectStmt* definition,
+                            db_->GetView(ref.table));
+      MSQL_ASSIGN_OR_RETURN(
+          source.schema,
+          InferSelectSchema(ToLower(ref.table), *definition,
+                            [this](std::string_view t)
+                                -> Result<const TableSchema*> {
+                              MSQL_ASSIGN_OR_RETURN(
+                                  const Table* base,
+                                  db_->GetTableConst(t));
+                              return &base->schema();
+                            }));
+      MSQL_ASSIGN_OR_RETURN(ResultSet materialized,
+                            ExecuteSelect(*definition));
+      if (materialized.columns.size() != source.schema.num_columns()) {
+        return Status::Internal("view schema/materialization mismatch");
+      }
+      // Materializing the view cost real base-table scans; fold them
+      // into this statement's accounting instead of dropping them.
+      *recursive_scanned += materialized.rows_scanned;
+      source.rows = std::move(materialized.rows);
+    } else {
+      MSQL_ASSIGN_OR_RETURN(const Table* table,
+                            db_->GetTableConst(ref.table));
+      source.schema = table->schema();
+      // Rows are fetched by the join runner once an access path is
+      // chosen (scan or index probe).
+      source.table = table;
+    }
+    binding->AddTable(eff, source.schema);
+    sources->push_back(std::move(source));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Executor::RunNaiveJoin(
+    const SelectStmt& stmt, std::vector<ResolvedSource>* sources,
+    const ExprEvaluator& evaluator, int64_t* rows_scanned,
+    int64_t* rows_evaluated) {
+  // Access-path selection as the original executor had it: only a
+  // single-table query with a `col = literal` conjunct over an indexed
+  // column probes the index; everything else scans.
+  for (auto& src : *sources) {
+    if (src.table == nullptr) continue;  // view, already materialized
+    const Index* index = nullptr;
+    Value probe;
+    if (sources->size() == 1 && stmt.where != nullptr) {
+      FindIndexProbe(*stmt.where, *src.table, &index, &probe);
+    }
+    if (index != nullptr) {
+      if (const std::vector<RowId>* ids = index->Lookup(probe)) {
+        src.rows.reserve(ids->size());
+        for (RowId id : *ids) src.rows.push_back(src.table->GetRow(id));
+      }
+    } else {
+      src.rows = src.table->ScanRows();
+    }
+  }
+  for (const auto& src : *sources) {
+    *rows_scanned += static_cast<int64_t>(src.rows.size());
+  }
+
+  // Nested loops over the cross product, one WHERE evaluation per
+  // combined row.
+  std::vector<Row> matched_rows;
+  std::vector<size_t> idx(sources->size(), 0);
+  bool done = false;
+  for (const auto& src : *sources) {
+    if (src.rows.empty()) done = true;  // empty cross product
+  }
+  while (!done) {
+    Row combined;
+    for (size_t i = 0; i < sources->size(); ++i) {
+      const Row& part = (*sources)[i].rows[idx[i]];
+      combined.insert(combined.end(), part.begin(), part.end());
+    }
+    ++*rows_evaluated;
+    bool keep = true;
+    if (stmt.where != nullptr) {
+      MSQL_ASSIGN_OR_RETURN(keep,
+                            evaluator.EvalPredicate(*stmt.where, combined));
+    }
+    if (keep) matched_rows.push_back(std::move(combined));
+    // Advance the odometer.
+    size_t level = sources->size();
+    while (level > 0) {
+      --level;
+      if (++idx[level] < (*sources)[level].rows.size()) break;
+      idx[level] = 0;
+      if (level == 0) done = true;
+    }
+  }
+  return matched_rows;
+}
+
+Result<std::vector<Row>> Executor::RunPlannedJoin(
+    const SelectStmt& stmt, const SelectPlan& plan,
+    std::vector<ResolvedSource>* sources, const ExprEvaluator& evaluator,
+    int64_t* rows_scanned, int64_t* rows_evaluated) {
+  obs::ScopedSpan join_span(options_.tracer, "sql.join", "sql");
+  if (join_span.active()) {
+    join_span.Annotate("sources",
+                       static_cast<int64_t>(plan.num_sources()));
+    join_span.Annotate("pushed_conjuncts", plan.pushed_conjuncts);
+    join_span.Annotate("equi_keys", plan.equi_conjuncts);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->Inc("sql.pushdown.conjuncts", plan.pushed_conjuncts);
+  }
+
+  // Fetch each source via its planned access path.
+  for (size_t i = 0; i < sources->size(); ++i) {
+    auto& src = (*sources)[i];
+    if (src.table == nullptr) {  // view, already materialized
+      *rows_scanned += static_cast<int64_t>(src.rows.size());
+      continue;
+    }
+    if (const PlannedProbe* probe = plan.ProbeFor(i)) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->Inc("sql.index_probes");
+      }
+      if (const std::vector<RowId>* ids =
+              probe->index->Lookup(probe->key)) {
+        src.rows.reserve(ids->size());
+        for (RowId id : *ids) src.rows.push_back(src.table->GetRow(id));
+      }
+    } else {
+      src.rows = src.table->ScanRows();
+    }
+    *rows_scanned += static_cast<int64_t>(src.rows.size());
+  }
+
+  // An empty raw source empties the cross product before any predicate
+  // runs — short-circuit exactly like the naive odometer does, so
+  // predicate errors surface (or not) identically.
+  for (const auto& src : *sources) {
+    if (src.rows.empty()) return std::vector<Row>{};
+  }
+
+  // Pushed filters: evaluate single-source conjuncts on the source's
+  // own rows, before any join.
+  for (size_t i = 0; i < sources->size(); ++i) {
+    bool has_filter = false;
+    for (const auto& f : plan.filters) {
+      if (f.source == i) has_filter = true;
+    }
+    if (!has_filter) continue;
+    auto& src = (*sources)[i];
+    RowBinding local;
+    local.AddTable(src.effective_name, src.schema);
+    ExprEvaluator local_eval(
+        &local, [this](const SelectStmt& sub) -> Result<Value> {
+          return EvalScalarSubquery(sub);
+        });
+    std::vector<Row> kept;
+    kept.reserve(src.rows.size());
+    for (auto& row : src.rows) {
+      ++*rows_evaluated;
+      bool keep = true;
+      for (const auto& f : plan.filters) {
+        if (f.source != i) continue;
+        MSQL_ASSIGN_OR_RETURN(keep,
+                              local_eval.EvalPredicate(*f.conjunct, row));
+        if (!keep) break;
+      }
+      if (keep) kept.push_back(std::move(row));
+    }
+    src.rows = std::move(kept);
+  }
+
+  size_t total_width = 0;
+  for (size_t w : plan.source_widths) total_width += w;
+
+  // The join pipeline. Each step widens the joined prefix by one source:
+  // hash build/probe when the planner found equi-keys, nested loops
+  // otherwise. Rows stay at full combined width (NULL-padded in slots
+  // not yet joined) so the statement's own binding evaluates residuals.
+  std::vector<JoinedRow> prefix;
+  for (size_t k = 0; k < plan.steps.size() && (k == 0 || !prefix.empty());
+       ++k) {
+    const JoinStep& step = plan.steps[k];
+    const auto& src = (*sources)[step.source];
+    const size_t off = plan.source_offsets[step.source];
+    if (k == 0) {
+      prefix.reserve(src.rows.size());
+      for (size_t r = 0; r < src.rows.size(); ++r) {
+        JoinedRow j;
+        j.row.assign(total_width, Value::Null_());
+        std::copy(src.rows[r].begin(), src.rows[r].end(),
+                  j.row.begin() + static_cast<ptrdiff_t>(off));
+        j.ord.assign(sources->size(), 0);
+        j.ord[step.source] = static_cast<uint32_t>(r);
+        prefix.push_back(std::move(j));
+      }
+      continue;
+    }
+
+    // Extends prefix row `p` with source row `r`, applies the step's
+    // residual conjuncts, and appends survivors to `next`.
+    std::vector<JoinedRow> next;
+    auto emit = [&](const JoinedRow& p, size_t r) -> Status {
+      ++*rows_evaluated;
+      JoinedRow j;
+      j.row = p.row;
+      std::copy(src.rows[r].begin(), src.rows[r].end(),
+                j.row.begin() + static_cast<ptrdiff_t>(off));
+      j.ord = p.ord;
+      j.ord[step.source] = static_cast<uint32_t>(r);
+      bool keep = true;
+      for (const Expr* res : step.residual) {
+        MSQL_ASSIGN_OR_RETURN(keep, evaluator.EvalPredicate(*res, j.row));
+        if (!keep) break;
+      }
+      if (keep) next.push_back(std::move(j));
+      return Status::OK();
+    };
+
+    if (!step.keys.empty()) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->Inc("sql.join.hash");
+      }
+      // Build on the new source, probe with the prefix.
+      std::unordered_map<Row, std::vector<uint32_t>, JoinKeyHash, JoinKeyEq>
+          built;
+      built.reserve(src.rows.size());
+      for (size_t r = 0; r < src.rows.size(); ++r) {
+        Row key;
+        key.reserve(step.keys.size());
+        bool null_key = false;
+        for (const auto& kk : step.keys) {
+          const Value& v = src.rows[r][kk.source_pos - off];
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          key.push_back(v);
+        }
+        if (null_key) continue;
+        built[std::move(key)].push_back(static_cast<uint32_t>(r));
+      }
+      for (const auto& p : prefix) {
+        Row key;
+        key.reserve(step.keys.size());
+        bool null_key = false;
+        for (const auto& kk : step.keys) {
+          const Value& v = p.row[kk.prefix_pos];
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          key.push_back(v);
+        }
+        if (null_key) continue;
+        auto it = built.find(key);
+        if (it == built.end()) continue;
+        for (uint32_t r : it->second) {
+          MSQL_RETURN_IF_ERROR(emit(p, r));
+        }
+      }
+    } else {
+      if (options_.metrics != nullptr) {
+        options_.metrics->Inc("sql.join.nested_loop");
+      }
+      for (const auto& p : prefix) {
+        for (size_t r = 0; r < src.rows.size(); ++r) {
+          MSQL_RETURN_IF_ERROR(emit(p, r));
+        }
+      }
+    }
+    prefix = std::move(next);
+  }
+
+  // Restore the naive output order (FROM-major odometer order), then
+  // apply the conjuncts only decidable on fully joined rows.
+  std::sort(prefix.begin(), prefix.end(),
+            [](const JoinedRow& a, const JoinedRow& b) {
+              return a.ord < b.ord;
+            });
+  std::vector<Row> matched_rows;
+  matched_rows.reserve(prefix.size());
+  for (auto& j : prefix) {
+    bool keep = true;
+    for (const Expr* res : plan.final_residual) {
+      MSQL_ASSIGN_OR_RETURN(keep, evaluator.EvalPredicate(*res, j.row));
+      if (!keep) break;
+    }
+    if (keep) matched_rows.push_back(std::move(j.row));
+  }
+  return matched_rows;
+}
+
+Result<std::string> Executor::ExplainSelect(const SelectStmt& stmt) {
+  if (stmt.from.empty()) {
+    return Status::ExecutionError("SELECT without FROM is not supported");
+  }
+  obs::ScopedSpan plan_span(options_.tracer, "sql.plan", "sql");
+  std::vector<ResolvedSource> sources;
+  RowBinding binding;
+  int64_t recursive_scanned = 0;
+  MSQL_RETURN_IF_ERROR(
+      ResolveSources(stmt, &sources, &binding, &recursive_scanned));
+  std::vector<PlannerSource> planner_sources;
+  planner_sources.reserve(sources.size());
+  for (const auto& src : sources) {
+    PlannerSource ps;
+    ps.effective_name = src.effective_name;
+    ps.schema = &src.schema;
+    ps.row_count = src.table != nullptr ? src.table->live_row_count()
+                                        : src.rows.size();
+    ps.table = src.table;
+    planner_sources.push_back(std::move(ps));
+  }
+  MSQL_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelect(stmt, planner_sources));
+  return plan.Explain();
 }
 
 Result<ResultSet> Executor::ExecuteInsert(const InsertStmt& stmt) {

@@ -5,8 +5,11 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 #include "relational/expr_eval.h"
+#include "relational/planner.h"
 #include "relational/result_set.h"
 #include "relational/sql/ast.h"
 #include "relational/txn.h"
@@ -19,6 +22,18 @@ struct ExecutorOptions {
   /// rollback); when false the caller is responsible for the Oracle-like
   /// "DDL commits prior work" dance before invoking the executor.
   bool record_ddl_undo = true;
+  /// When true (default), SELECTs run through the local planner:
+  /// predicate pushdown, per-source index probes, hash equi-joins. When
+  /// false, the original naive cross-product join runs — kept as the
+  /// differential-testing oracle.
+  bool use_planner = true;
+  /// Fill ResultSet::plan_text with the plan's EXPLAIN rendering.
+  bool collect_plan_text = false;
+  /// Optional observability sinks (null = no instrumentation). The
+  /// executor emits "sql.plan"/"sql.join" spans and join-strategy
+  /// counters when these are enabled.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Executes parsed SQL statements against one local database inside a
@@ -26,9 +41,13 @@ struct ExecutorOptions {
 /// all table access goes through `locks` (shared for reads, exclusive
 /// for writes) with the no-wait conflict policy.
 ///
-/// The executor is deliberately naive — nested-loop joins, full scans —
-/// because the paper locates multidatabase optimization in data-flow and
-/// parallelism above this layer, not in local operator efficiency.
+/// SELECT runs through the local planner (relational/planner.h):
+/// single-source conjuncts are pushed below the join, indexed
+/// `col = literal` conjuncts become probes, and `a.x = b.y` conjuncts
+/// drive build/probe hash joins in a greedy cardinality order. The
+/// original naive executor (full cross product, one WHERE evaluation
+/// per combined row) is preserved behind ExecutorOptions::use_planner
+/// as the semantics oracle for differential tests.
 class Executor {
  public:
   Executor(Database* db, Transaction* txn, LockManager* locks,
@@ -50,7 +69,47 @@ class Executor {
   Result<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
   Result<ResultSet> ExecuteDropIndex(const DropIndexStmt& stmt);
 
+  /// EXPLAIN: resolves and plans the SELECT without running the join,
+  /// returning the plan's deterministic text rendering. Views are still
+  /// materialized (their cardinality feeds the join-order estimates).
+  Result<std::string> ExplainSelect(const SelectStmt& stmt);
+
  private:
+  /// One resolved FROM source: schema, effective name, and (for views)
+  /// pre-materialized rows. Base-table rows are fetched later, once the
+  /// plan has chosen an access path.
+  struct ResolvedSource {
+    std::string effective_name;
+    TableSchema schema;
+    std::vector<Row> rows;
+    const Table* table = nullptr;  // null for views
+  };
+
+  /// Locks and resolves every FROM source, materializing views
+  /// (accumulating their recursive scan cost into `recursive_scanned`)
+  /// and building the combined-row binding.
+  Status ResolveSources(const SelectStmt& stmt,
+                        std::vector<ResolvedSource>* sources,
+                        RowBinding* binding, int64_t* recursive_scanned);
+
+  /// The planned SELECT pipeline: fetch per access path, filter pushed
+  /// conjuncts per source, run the hash/nested-loop join steps, apply
+  /// the final residual. Produces joined rows in FROM-major order.
+  Result<std::vector<Row>> RunPlannedJoin(const SelectStmt& stmt,
+                                          const SelectPlan& plan,
+                                          std::vector<ResolvedSource>* sources,
+                                          const ExprEvaluator& evaluator,
+                                          int64_t* rows_scanned,
+                                          int64_t* rows_evaluated);
+
+  /// The preserved naive oracle: full cross product, one WHERE
+  /// evaluation per combined row.
+  Result<std::vector<Row>> RunNaiveJoin(const SelectStmt& stmt,
+                                        std::vector<ResolvedSource>* sources,
+                                        const ExprEvaluator& evaluator,
+                                        int64_t* rows_scanned,
+                                        int64_t* rows_evaluated);
+
   /// Evaluates a scalar subquery: one column, at most one row; zero rows
   /// yield SQL NULL.
   Result<Value> EvalScalarSubquery(const SelectStmt& stmt);

@@ -23,8 +23,18 @@ struct ResultSet {
   /// Rows touched by INSERT/UPDATE/DELETE.
   int64_t rows_affected = 0;
   /// Rows the executor had to examine to produce this result (scan cost;
-  /// diagnostics only — excluded from equality).
+  /// diagnostics only — excluded from equality). Includes base-table
+  /// rows scanned while materializing view sources.
   int64_t rows_scanned = 0;
+  /// Row candidates the executor formed and tested: cross-product
+  /// iterations on the naive path; per-source filter evaluations plus
+  /// join candidate pairs on the planned path. Diagnostics only —
+  /// excluded from equality and wire accounting.
+  int64_t rows_evaluated = 0;
+  /// Physical-plan rendering of the SELECT that produced this result.
+  /// Filled only when the engine collects plans (`\plan`); excluded from
+  /// equality and wire accounting.
+  std::string plan_text;
 
   bool IsQueryResult() const { return !columns.empty(); }
 

@@ -101,6 +101,32 @@ TEST_F(SqlSemanticsTest, AggregatesSkipNullsCountStarDoesNot) {
   EXPECT_NEAR(rs.rows[0][4].AsReal(), (1 + 2 + 4 + 5) / 4.0, 1e-9);
 }
 
+TEST_F(SqlSemanticsTest, AggregatesOverAllNullColumn) {
+  Exec("CREATE TABLE n (x INTEGER)");
+  Exec("INSERT INTO n VALUES (NULL), (NULL), (NULL)");
+  ResultSet rs = Exec(
+      "SELECT COUNT(*), COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) FROM n");
+  EXPECT_EQ(rs.rows[0][0], Value::Integer(3));  // COUNT(*) counts NULL rows
+  EXPECT_EQ(rs.rows[0][1], Value::Integer(0));  // COUNT(x) skips them all
+  EXPECT_TRUE(rs.rows[0][2].is_null());
+  EXPECT_TRUE(rs.rows[0][3].is_null());  // all-NULL AVG is NULL, not 0/0
+  EXPECT_TRUE(rs.rows[0][4].is_null());
+  EXPECT_TRUE(rs.rows[0][5].is_null());
+}
+
+TEST_F(SqlSemanticsTest, AggregatesOverEmptyInput) {
+  // The global group exists even over zero rows: COUNTs are 0, every
+  // other aggregate is NULL.
+  ResultSet rs = Exec(
+      "SELECT COUNT(*), COUNT(i), SUM(i), AVG(i), MAX(i) FROM t "
+      "WHERE i = 99");
+  EXPECT_EQ(rs.rows[0][0], Value::Integer(0));
+  EXPECT_EQ(rs.rows[0][1], Value::Integer(0));
+  EXPECT_TRUE(rs.rows[0][2].is_null());
+  EXPECT_TRUE(rs.rows[0][3].is_null());
+  EXPECT_TRUE(rs.rows[0][4].is_null());
+}
+
 TEST_F(SqlSemanticsTest, SumTypePreservation) {
   ResultSet rs = Exec("SELECT SUM(i), SUM(r) FROM t");
   EXPECT_TRUE(rs.rows[0][0].is_integer());  // all-integer input
