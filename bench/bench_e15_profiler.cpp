@@ -1,0 +1,84 @@
+// E15: host-time overhead of the observability stack on the §3.2 fare
+// touch, layer by layer: everything off (the baseline bench_fig1 runs
+// at), metrics only, metrics+tracing, and the full profiler on top.
+// Expected shape: metrics are near-free, tracing costs the span
+// bookkeeping, and the profiler adds one subtree walk + text rendering
+// per input. The health registry is always on and therefore part of
+// every tier, including the baseline.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace {
+
+using msql::core::BuildPaperFederation;
+using msql::core::GlobalOutcome;
+using msql::core::PaperFederationOptions;
+
+/// *1.0 keeps the data numerically stable across iterations.
+constexpr const char* kFareTouch =
+    "USE continental VITAL delta united VITAL\n"
+    "UPDATE flight% SET rate% = rate% * 1.0\n"
+    "WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+enum ObsTier : int {
+  kOff = 0,
+  kMetrics = 1,
+  kMetricsTrace = 2,
+  kFullProfile = 3,
+};
+
+/// Arg(0): observability tier (ObsTier).
+void BM_ProfilerOverhead(benchmark::State& state) {
+  int tier = static_cast<int>(state.range(0));
+  PaperFederationOptions options;
+  options.flights_per_airline = 32;
+  auto sys = BuildPaperFederation(options);
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  auto& env = (*sys)->environment();
+  env.metrics().set_enabled(tier >= kMetrics);
+  env.tracer().set_enabled(tier >= kMetricsTrace);
+  (*sys)->set_collect_profiles(tier >= kFullProfile);
+  (*sys)->query_log().set_enabled(tier >= kFullProfile);
+
+  int64_t profile_bytes = 0;
+  int64_t spans = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto report = (*sys)->Execute(kFareTouch);
+    if (!report.ok() || report->outcome != GlobalOutcome::kSuccess) {
+      state.SkipWithError("fare touch did not succeed");
+      return;
+    }
+    profile_bytes += static_cast<int64_t>(report->profile_text.size());
+    spans += static_cast<int64_t>(env.tracer().spans().size());
+    ++iterations;
+    // Keep per-iteration work flat: drop the session trace and log so
+    // later iterations don't pay for earlier ones.
+    state.PauseTiming();
+    env.tracer().Clear();
+    (*sys)->query_log().Clear();
+    state.ResumeTiming();
+  }
+  double n = static_cast<double>(iterations);
+  state.counters["profile_bytes"] =
+      benchmark::Counter(static_cast<double>(profile_bytes) / n);
+  state.counters["spans"] =
+      benchmark::Counter(static_cast<double>(spans) / n);
+}
+BENCHMARK(BM_ProfilerOverhead)
+    ->Arg(kOff)
+    ->Arg(kMetrics)
+    ->Arg(kMetricsTrace)
+    ->Arg(kFullProfile)
+    ->ArgName("tier");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,6 +5,8 @@
 //   $ msql_lint --explain prog.msql  — also print the generated DOL
 //   $ msql_lint --trace-out FILE ... — write the analysis span trace as
 //                                      Chrome trace-event JSON (Perfetto)
+//   $ msql_lint --profile ...        — print a front-end phase summary
+//                                      (per-phase counts + host time)
 //   $ msql_lint -                    — lint stdin
 //
 // Programs are checked against the paper federation's catalogs (the
@@ -23,6 +25,7 @@
 
 #include "core/fixtures.h"
 #include "core/mdbs_system.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace {
@@ -114,11 +117,14 @@ int LintText(MultidatabaseSystem* sys, const std::string& name,
 
 int main(int argc, char** argv) {
   bool explain = false;
+  bool profile = false;
   std::string trace_out;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else {
@@ -127,8 +133,8 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: msql_lint [--explain] [--trace-out FILE] "
-                 "<program.msql>... (or '-' for stdin)\n");
+                 "usage: msql_lint [--explain] [--profile] "
+                 "[--trace-out FILE] <program.msql>... (or '-' for stdin)\n");
     return 2;
   }
   auto sys_or = msql::core::BuildPaperFederation();
@@ -138,7 +144,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   auto sys = std::move(sys_or).value();
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() || profile) {
     sys->environment().tracer().set_enabled(true);
     sys->environment().metrics().set_enabled(true);
   }
@@ -174,6 +180,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%zu spans written to %s\n",
                  sys->environment().tracer().spans().size(),
                  trace_out.c_str());
+  }
+  if (profile) {
+    // Whole-session front-end rollup: which phases ran how often and
+    // what they cost on the host clock (analysis does not touch the
+    // simulated network, so sim time would be all zeros here).
+    std::printf("-- front-end profile --\n%s",
+                msql::obs::RenderFrontendSummary(
+                    sys->environment().tracer(), /*include_host_time=*/true)
+                    .c_str());
   }
   return status;
 }

@@ -10,7 +10,11 @@
 // order), \trace (toggle span tracing; each input then prints its span
 // tree), \trace FILE (write the accumulated trace as Chrome trace-event
 // JSON, loadable in Perfetto), \metrics (dump federation
-// counters/histograms), \quit.
+// counters/histograms), \metrics on|off (toggle counter collection
+// independently of tracing), \profile (toggle per-input EXPLAIN ANALYZE
+// profiles — phase breakdown, per-site attribution, critical path),
+// \health (per-site health table), \qlog FILE (append a JSONL audit
+// record per executed input to FILE; \qlog off stops), \quit.
 // Prefixing an input with \check statically analyzes it instead of
 // executing it; \explain additionally prints the DOL program it would
 // run.
@@ -26,6 +30,7 @@
 #include "common/string_util.h"
 #include "core/fixtures.h"
 #include "core/mdbs_system.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace {
@@ -71,6 +76,9 @@ void PrintReport(const ExecutionReport& report, bool show_dol) {
   if (!report.trace_text.empty()) {
     std::printf("-- trace --\n%s", report.trace_text.c_str());
   }
+  if (!report.profile_text.empty()) {
+    std::printf("-- profile --\n%s", report.profile_text.c_str());
+  }
 }
 
 void PrintAnalysis(const msql::core::AnalysisReport& report,
@@ -111,6 +119,7 @@ bool InputComplete(const std::string& buffer) {
 
 int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
   bool show_dol = false;
+  std::string qlog_file;  // "" = query log not writing to a file
   std::string buffer;
   std::string line;
   // "" — execute; "check" — analyze only; "explain" — analyze + DOL.
@@ -150,23 +159,78 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
                       tracer.spans().size(), arg.c_str());
         }
       } else {
+        // Tracing no longer drags the metrics registry along: counters
+        // have their own \metrics on|off toggle.
         bool on = !tracer.enabled();
         if (on) tracer.Clear();  // fresh session timeline
         tracer.set_enabled(on);
-        sys->environment().metrics().set_enabled(on);
         std::printf("(tracing %s)\n", on ? "on" : "off");
       }
       if (echo) std::printf("msql> ");
       continue;
     }
-    if (trimmed == "\\metrics") {
-      const auto& metrics = sys->environment().metrics();
-      std::string dump = metrics.Dump();
-      if (dump.empty()) {
-        std::printf("(no metrics collected%s)\n",
-                    metrics.enabled() ? "" : "; enable with \\trace");
+    if (trimmed == "\\metrics" || trimmed.rfind("\\metrics ", 0) == 0) {
+      auto& metrics = sys->environment().metrics();
+      std::string arg(msql::Trim(trimmed.substr(std::strlen("\\metrics"))));
+      if (arg == "on" || arg == "off") {
+        metrics.set_enabled(arg == "on");
+        std::printf("(metrics collection %s)\n", arg.c_str());
       } else {
-        std::printf("%s", dump.c_str());
+        std::string dump = metrics.Dump();
+        if (dump.empty()) {
+          std::printf("(no metrics collected%s)\n",
+                      metrics.enabled() ? "" : "; enable with \\metrics on");
+        } else {
+          std::printf("%s", dump.c_str());
+        }
+      }
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\profile") {
+      bool on = !sys->collect_profiles();
+      sys->set_collect_profiles(on);
+      if (on) {
+        // The profiler reads the input's span subtree and diffs counter
+        // snapshots, so it needs both collectors live.
+        auto& tracer = sys->environment().tracer();
+        if (!tracer.enabled()) {
+          tracer.Clear();
+          tracer.set_enabled(true);
+        }
+        sys->environment().metrics().set_enabled(true);
+      }
+      std::printf("(profiling %s)\n", on ? "on" : "off");
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\health") {
+      std::printf("%s", sys->environment().health().RenderText().c_str());
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\qlog" || trimmed.rfind("\\qlog ", 0) == 0) {
+      auto& qlog = sys->query_log();
+      std::string arg(msql::Trim(trimmed.substr(std::strlen("\\qlog"))));
+      if (arg.empty()) {
+        std::printf("(query log %s; %zu record(s)%s%s)\n",
+                    qlog.enabled() ? "on" : "off", qlog.records().size(),
+                    qlog_file.empty() ? "" : " -> ",
+                    qlog_file.c_str());
+      } else if (arg == "off") {
+        qlog.set_enabled(false);
+        qlog_file.clear();
+        std::printf("(query log off)\n");
+      } else {
+        std::ofstream out(arg, std::ios::trunc);
+        if (!out) {
+          std::printf("cannot open %s\n", arg.c_str());
+        } else {
+          qlog_file = arg;
+          qlog.set_enabled(true);
+          qlog.Clear();
+          std::printf("(query log -> %s)\n", arg.c_str());
+        }
       }
       if (echo) std::printf("msql> ");
       continue;
@@ -216,6 +280,12 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
     } else {
       PrintReport(*report, show_dol);
     }
+    if (!qlog_file.empty() && sys->query_log().enabled()) {
+      // Rewrite the whole JSONL file: records are small and the final
+      // content is then always the complete session log.
+      std::ofstream out(qlog_file, std::ios::trunc);
+      if (out) out << sys->query_log().ToJsonl();
+    }
     if (echo) std::printf("msql> ");
   }
   return 0;
@@ -241,7 +311,8 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "Extended MSQL shell — federation: continental delta united avis "
-      "national\nmeta: \\gdd \\dol \\plan \\trace [file] \\metrics "
-      "\\check \\explain \\quit; end inputs with ';'\n");
+      "national\nmeta: \\gdd \\dol \\plan \\trace [file] \\metrics [on|off] "
+      "\\profile \\health \\qlog [file|off] \\check \\explain \\quit; "
+      "end inputs with ';'\n");
   return RunStream(sys.get(), std::cin, /*echo=*/true);
 }

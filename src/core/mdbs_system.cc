@@ -57,9 +57,87 @@ void MultidatabaseSystem::FinishInputSpan(obs::ScopedSpan* span,
   span->End(report->run.makespan_micros);
   if (top_level) {
     report->trace_text = obs::ExportTextTree(tracer, root);
+    if (collect_profiles_) {
+      obs::ProfileInputs inputs;
+      inputs.root = root;
+      inputs.outcome = std::string(GlobalOutcomeName(report->outcome));
+      inputs.makespan_micros = report->run.makespan_micros;
+      inputs.messages = report->run.messages;
+      inputs.bytes = report->run.bytes;
+      inputs.retries = report->run.retries;
+      inputs.reprobes = report->run.reprobes;
+      // Join the run's per-task record with the vital flags the verdicts
+      // carry and the row counters the local planner reported.
+      for (const auto& [name, task] : report->run.tasks) {
+        obs::TaskProfile tp;
+        tp.name = name;
+        tp.service = task.service;
+        tp.database = task.database;
+        tp.state = std::string(dol::DolTaskStateName(task.state));
+        for (const auto& verdict : report->verdicts) {
+          if (verdict.task == name) tp.vital = verdict.vital;
+        }
+        tp.start_micros = task.start_micros;
+        tp.end_micros = task.end_micros;
+        tp.rows_returned = static_cast<int64_t>(task.result.rows.size());
+        tp.rows_affected = task.result.rows_affected;
+        tp.rows_scanned = task.result.rows_scanned;
+        tp.rows_evaluated = task.result.rows_evaluated;
+        inputs.tasks.push_back(std::move(tp));
+      }
+      inputs.counters_before = profile_counters_before_;
+      inputs.metrics = &env_.metrics();
+      report->profile_text =
+          obs::RenderProfileText(obs::BuildQueryProfile(tracer, inputs));
+    }
     tracer.set_sim_offset_micros(tracer.sim_offset_micros() +
                                  report->run.makespan_micros);
   }
+}
+
+void MultidatabaseSystem::SnapshotProfileCounters(bool top_level) {
+  if (top_level && collect_profiles_) {
+    profile_counters_before_ = env_.metrics().CounterSnapshot();
+  }
+}
+
+void MultidatabaseSystem::LogInput(lang::MsqlInput::Kind kind,
+                                   const ExecutionReport& report) {
+  if (!query_log_.enabled()) return;
+  obs::QueryLogRecord record;
+  record.kind = std::string(InputKindName(kind));
+  record.outcome = std::string(GlobalOutcomeName(report.outcome));
+  record.dol_status = report.dol_status;
+  if (!report.detail.ok()) record.detail = report.detail.ToString();
+  record.makespan_micros = report.run.makespan_micros;
+  record.messages = report.run.messages;
+  record.bytes = report.run.bytes;
+  record.retries = report.retries_performed;
+  record.reprobes = report.reprobes_performed;
+  if (report.is_join) {
+    record.rows_returned =
+        static_cast<int64_t>(report.join_result.rows.size());
+  } else {
+    record.rows_returned =
+        static_cast<int64_t>(report.multitable.TotalRows());
+  }
+  record.rows_transferred = report.rows_transferred;
+  for (const auto& verdict : report.verdicts) {
+    obs::QueryLogRecord::Verdict v;
+    v.database = verdict.database;
+    v.service = verdict.service;
+    v.task = verdict.task;
+    v.state = std::string(dol::DolTaskStateName(verdict.state));
+    v.vital = verdict.vital;
+    record.verdicts.push_back(std::move(v));
+    if (verdict.state == dol::DolTaskState::kCompensated) {
+      record.compensations.push_back(verdict.task);
+    }
+  }
+  record.degraded_services = report.degraded_services;
+  record.non_pertinent = report.non_pertinent;
+  record.fired_triggers = report.fired_triggers;
+  query_log_.Append(std::move(record));
 }
 
 MultidatabaseSystem::MultidatabaseSystem(std::string coordinator_site)
@@ -164,6 +242,7 @@ Result<ExecutionReport> MultidatabaseSystem::Execute(
     std::string_view msql_text) {
   obs::Tracer& tracer = env_.tracer();
   const bool top_level = tracer.enabled() && tracer.current_parent() == 0;
+  SnapshotProfileCounters(top_level);
   obs::ScopedSpan exec_span(&tracer, "msql.execute", "frontend", 0);
   Result<lang::MsqlInput> parsed = [&] {
     obs::ScopedSpan parse_span(&tracer, "msql.parse", "frontend", 0);
@@ -173,7 +252,10 @@ Result<ExecutionReport> MultidatabaseSystem::Execute(
   lang::MsqlInput& input = *parsed;
   exec_span.Annotate("kind", InputKindName(input.kind));
   auto report = ExecuteInput(input);
-  if (report.ok()) FinishInputSpan(&exec_span, top_level, &*report);
+  if (report.ok()) {
+    FinishInputSpan(&exec_span, top_level, &*report);
+    LogInput(input.kind, *report);
+  }
   return report;
 }
 
@@ -230,12 +312,14 @@ Result<std::vector<ExecutionReport>> MultidatabaseSystem::ExecuteScript(
     switch (input.kind) {
       case lang::MsqlInput::Kind::kQuery: {
         MSQL_ASSIGN_OR_RETURN(auto report, ExecuteQuery(*input.query));
+        LogInput(input.kind, report);
         reports.push_back(std::move(report));
         break;
       }
       case lang::MsqlInput::Kind::kMultiTransaction: {
         MSQL_ASSIGN_OR_RETURN(auto report,
                               ExecuteMultiTransaction(*input.multitransaction));
+        LogInput(input.kind, report);
         reports.push_back(std::move(report));
         break;
       }
@@ -308,6 +392,7 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
     const MsqlQuery& query) {
   obs::Tracer& tracer = env_.tracer();
   const bool top_level = tracer.enabled() && tracer.current_parent() == 0;
+  SnapshotProfileCounters(top_level);
   obs::ScopedSpan query_span(&tracer, "msql.query", "frontend", 0);
   auto report = ExecuteQueryImpl(query);
   if (report.ok()) FinishInputSpan(&query_span, top_level, &*report);
@@ -445,6 +530,7 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
     const lang::MultiTransaction& mt) {
   obs::Tracer& tracer = env_.tracer();
   const bool top_level = tracer.enabled() && tracer.current_parent() == 0;
+  SnapshotProfileCounters(top_level);
   obs::ScopedSpan mt_span(&tracer, "msql.multitransaction", "frontend", 0);
   auto report = ExecuteMultiTransactionImpl(mt);
   if (report.ok()) FinishInputSpan(&mt_span, top_level, &*report);
@@ -554,6 +640,19 @@ Result<ExecutionReport> MultidatabaseSystem::RunPlan(
     default:
       report.outcome = GlobalOutcome::kIncorrect;
       break;
+  }
+
+  // Per-database verdicts: how each planned task ended (the query log's
+  // audit row and the profiler's vital-flag source).
+  for (const auto& planned : plan.tasks) {
+    DatabaseVerdict verdict;
+    verdict.database = planned.effective_name;
+    verdict.service = planned.service;
+    verdict.task = planned.task;
+    verdict.vital = planned.vital;
+    const dol::TaskOutcome* task = report.run.FindTask(planned.task);
+    if (task != nullptr) verdict.state = task->state;
+    report.verdicts.push_back(std::move(verdict));
   }
 
   // Graceful degradation (§3.2.1): a NON-VITAL subquery lost to

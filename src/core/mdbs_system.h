@@ -18,6 +18,8 @@
 #include "msql/expander.h"
 #include "msql/multitable.h"
 #include "netsim/environment.h"
+#include "obs/profile.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "translator/translator.h"
 
@@ -30,6 +32,17 @@ namespace msql::core {
 enum class GlobalOutcome { kSuccess, kAborted, kIncorrect, kRefused };
 
 std::string_view GlobalOutcomeName(GlobalOutcome outcome);
+
+/// How one scoped database's subquery ended (§3.2.1): the per-task
+/// verdict the global outcome was decided from. Also the row format of
+/// the query log's `verdicts` field.
+struct DatabaseVerdict {
+  std::string database;  // effective name in the USE scope
+  std::string service;
+  std::string task;      // DOL task name
+  bool vital = false;
+  dol::DolTaskState state = dol::DolTaskState::kNotRun;
+};
 
 /// Everything the coordinator reports about one executed MSQL input.
 struct ExecutionReport {
@@ -61,6 +74,9 @@ struct ExecutionReport {
   /// the run degraded (their answers/effects are missing) but the
   /// global outcome was not affected (§3.2.1).
   std::vector<std::string> degraded_services;
+  /// Per-database verdicts of the plan's tasks, in plan order (empty
+  /// for inputs that never reach a plan, e.g. refusals and DDL).
+  std::vector<DatabaseVerdict> verdicts;
   /// Non-fatal findings of the static checker (warnings/notes; errors
   /// abort execution before a report exists).
   std::vector<analysis::Diagnostic> diagnostics;
@@ -73,6 +89,12 @@ struct ExecutionReport {
   /// task in task-name order (the shell's `\plan`). Filled only when
   /// plan collection is on (MultidatabaseSystem::set_collect_plans).
   std::string plan_text;
+  /// EXPLAIN ANALYZE rendering of this input (DESIGN.md §11): phase
+  /// breakdown, per-site attribution, 2PC latency, critical path.
+  /// Filled only when profile collection is on
+  /// (MultidatabaseSystem::set_collect_profiles, which needs the
+  /// tracer) and this is the outermost input.
+  std::string profile_text;
 };
 
 /// What `Analyze` (the `msql_lint` / `\check` path) reports about one
@@ -131,6 +153,17 @@ class MultidatabaseSystem {
   /// RunPlan gathers into ExecutionReport::plan_text.
   void set_collect_plans(bool on);
   bool collect_plans() const { return collect_plans_; }
+
+  /// Toggles per-input profiling (ExecutionReport::profile_text). The
+  /// profiler reads the input's span subtree, so it only produces
+  /// output while the environment tracer is enabled.
+  void set_collect_profiles(bool on) { collect_profiles_ = on; }
+  bool collect_profiles() const { return collect_profiles_; }
+
+  /// Structured JSONL audit log of executed inputs (DESIGN.md §11).
+  /// Disabled by default; the shell's `\qlog` and tests enable it.
+  obs::QueryLog& query_log() { return query_log_; }
+  const obs::QueryLog& query_log() const { return query_log_; }
 
   /// Runs a ';'-separated sequence of local SQL statements directly on
   /// one service's database (bootstrap helper for examples/tests; this
@@ -198,11 +231,21 @@ class MultidatabaseSystem {
       const lang::MultiTransaction& mt);
 
   /// Closes the input-level span at the run's simulated makespan; at the
-  /// outermost input it renders the input's trace into the report and
-  /// advances the tracer's session offset so the next input lays out
-  /// after this one on the simulated timeline.
+  /// outermost input it renders the input's trace (and, when profile
+  /// collection is on, its profile) into the report and advances the
+  /// tracer's session offset so the next input lays out after this one
+  /// on the simulated timeline.
   void FinishInputSpan(obs::ScopedSpan* span, bool top_level,
                        ExecutionReport* report);
+
+  /// Snapshot of the metrics counters, taken at top-level input entry so
+  /// the profiler can attribute counter growth to the input.
+  void SnapshotProfileCounters(bool top_level);
+
+  /// Appends one query-log record for an executed input (no-op while
+  /// the log is disabled). Only top-level inputs are logged — nested
+  /// view/trigger executions are part of their outer input's record.
+  void LogInput(lang::MsqlInput::Kind kind, const ExecutionReport& report);
 
   /// Analyzes one parsed input (helper of Analyze/AnalyzeScript).
   Result<AnalysisReport> AnalyzeInput(const lang::MsqlInput& input);
@@ -244,6 +287,10 @@ class MultidatabaseSystem {
   int view_depth_ = 0;
   int trigger_depth_ = 0;
   bool collect_plans_ = false;
+  bool collect_profiles_ = false;
+  /// Counter values at top-level input entry (profile delta baseline).
+  std::map<std::string, int64_t, std::less<>> profile_counters_before_;
+  obs::QueryLog query_log_;
 };
 
 }  // namespace msql::core

@@ -294,6 +294,8 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
   outcome.name = name;
   outcome.start_micros = at;
   MSQL_ASSIGN_OR_RETURN(Channel * channel, FindChannel(stmt.target_alias));
+  outcome.service = channel->service;
+  outcome.database = channel->database;
 
   obs::ScopedSpan task_span(&env_->tracer(), "task:" + name, "dol.task", at);
   task_span.Annotate("channel", ToLower(stmt.target_alias));

@@ -53,6 +53,11 @@ struct RetryPolicy {
 /// Final record of one task's execution.
 struct TaskOutcome {
   std::string name;
+  /// Service and database of the channel the task ran on (from the
+  /// OPEN the task's alias resolved to) — what the profiler joins task
+  /// rows to sites with.
+  std::string service;
+  std::string database;
   DolTaskState state = DolTaskState::kNotRun;
   /// Failure detail of the last operation that aborted the task (OK for
   /// clean runs).

@@ -72,6 +72,25 @@ Result<CallOutcome> Environment::Call(std::string_view service_name,
                             "' is not registered in the environment");
   }
   Lam* lam = lam_it->second.get();
+  auto outcome = CallImpl(lam, request, at_micros);
+  // Feed the health monitor with the coordinator's view of the call:
+  // a timed-out call failed even if the LAM secretly executed it, and a
+  // network-level error (site down) is a failure with no usable timing.
+  if (outcome.ok()) {
+    health_.Record(lam->service_name(), lam->site_name(),
+                   outcome->response.status.ok(), outcome->timed_out,
+                   outcome->fault != FaultAction::kNone,
+                   outcome->timing.end_micros - outcome->timing.start_micros);
+  } else {
+    health_.Record(lam->service_name(), lam->site_name(), /*ok=*/false,
+                   /*timed_out=*/false, /*faulted=*/false,
+                   /*latency_micros=*/0);
+  }
+  return outcome;
+}
+
+Result<CallOutcome> Environment::CallImpl(Lam* lam, const LamRequest& request,
+                                          int64_t at_micros) {
   FaultDecision fault =
       fault_injector_.Decide(lam->service_name(), request.type);
 

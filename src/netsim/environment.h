@@ -11,6 +11,7 @@
 #include "netsim/fault_injector.h"
 #include "netsim/lam.h"
 #include "netsim/network.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -89,6 +90,11 @@ class Environment {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Per-site health monitor, fed by every Call. Unlike tracer/metrics
+  /// this is always on (DESIGN.md §11): a few integer updates per RPC.
+  obs::HealthRegistry& health() { return health_; }
+  const obs::HealthRegistry& health() const { return health_; }
+
   /// Simulated time the coordinator waits for a response before a call
   /// is declared timed out (lost request/response faults).
   void set_call_timeout_micros(int64_t micros) {
@@ -119,11 +125,17 @@ class Environment {
                            const LamRequest& request, int64_t at_micros);
 
  private:
+  /// The round-trip model behind Call; Call wraps it to feed the health
+  /// registry on every return path.
+  Result<CallOutcome> CallImpl(Lam* lam, const LamRequest& request,
+                               int64_t at_micros);
+
   std::string coordinator_site_;
   Network network_;
   FaultInjector fault_injector_;
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  obs::HealthRegistry health_;
   int64_t call_timeout_micros_ = 20000;
   std::map<std::string, ServiceEntry> directory_;
   std::map<std::string, std::unique_ptr<Lam>> lams_;

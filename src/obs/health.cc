@@ -1,0 +1,100 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msql::obs {
+
+std::string_view HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kUnreachable: return "unreachable";
+  }
+  return "unknown";
+}
+
+void SiteHealth::Record(bool ok, bool timed_out, bool faulted,
+                        int64_t latency_micros) {
+  ++attempts_;
+  if (!ok) ++failures_;
+  if (timed_out) ++timeouts_;
+  if (faulted) ++faults_;
+  consecutive_failures_ = ok ? 0 : consecutive_failures_ + 1;
+  latency_.Observe(latency_micros);
+  window_failed_[static_cast<size_t>(window_next_)] = !ok;
+  window_next_ = (window_next_ + 1) % kWindow;
+  window_size_ = std::min(window_size_ + 1, kWindow);
+}
+
+int SiteHealth::window_attempts() const { return window_size_; }
+
+int SiteHealth::window_failures() const {
+  int failed = 0;
+  for (int i = 0; i < window_size_; ++i) {
+    if (window_failed_[static_cast<size_t>(i)]) ++failed;
+  }
+  return failed;
+}
+
+HealthState SiteHealth::state() const {
+  if (consecutive_failures_ >= kUnreachableAfter) {
+    return HealthState::kUnreachable;
+  }
+  if (window_failures() > 0) return HealthState::kDegraded;
+  return HealthState::kHealthy;
+}
+
+void HealthRegistry::Record(std::string_view service, std::string_view site,
+                            bool ok, bool timed_out, bool faulted,
+                            int64_t latency_micros) {
+  auto it = sites_.find(service);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(service), Entry{}).first;
+    it->second.site = std::string(site);
+  }
+  it->second.health.Record(ok, timed_out, faulted, latency_micros);
+}
+
+const SiteHealth* HealthRegistry::Get(std::string_view service) const {
+  auto it = sites_.find(service);
+  return it == sites_.end() ? nullptr : &it->second.health;
+}
+
+std::string_view HealthRegistry::SiteOf(std::string_view service) const {
+  auto it = sites_.find(service);
+  return it == sites_.end() ? std::string_view() : it->second.site;
+}
+
+std::string HealthRegistry::RenderText() const {
+  std::string out =
+      "service          site             state        att  fail  t/o  flt"
+      "  win(fail/att)  p50_us  p95_us  p99_us\n";
+  if (sites_.empty()) {
+    out += "(no calls recorded)\n";
+    return out;
+  }
+  for (const auto& [service, entry] : sites_) {
+    const SiteHealth& h = entry.health;
+    char window[24];
+    std::snprintf(window, sizeof(window), "%d/%d", h.window_failures(),
+                  h.window_attempts());
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "%-16s %-16s %-11s %5lld %5lld %4lld %4lld  %13s %7lld %7lld %7lld\n",
+        service.c_str(), entry.site.c_str(),
+        std::string(HealthStateName(h.state())).c_str(),
+        static_cast<long long>(h.attempts()),
+        static_cast<long long>(h.failures()),
+        static_cast<long long>(h.timeouts()),
+        static_cast<long long>(h.faults()), window,
+        static_cast<long long>(h.latency().Quantile(0.5)),
+        static_cast<long long>(h.latency().Quantile(0.95)),
+        static_cast<long long>(h.latency().Quantile(0.99)));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace msql::obs

@@ -1,0 +1,18 @@
+#ifndef MSQL_OBS_JSON_UTIL_H_
+#define MSQL_OBS_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace msql::obs {
+
+/// Appends `text` to `out` as a quoted JSON string. Minimal escaping:
+/// the span/metric vocabulary is ASCII, but SQL fragments carried in
+/// annotations and log records may hold quotes, backslashes and control
+/// characters. Shared by the trace, profile and query-log exporters so
+/// all observability JSON escapes identically.
+void AppendJsonString(std::string* out, std::string_view text);
+
+}  // namespace msql::obs
+
+#endif  // MSQL_OBS_JSON_UTIL_H_

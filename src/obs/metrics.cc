@@ -93,6 +93,7 @@ std::string MetricsRegistry::Dump() const {
            " min=" + std::to_string(h.min()) +
            " p50=" + std::to_string(h.Quantile(0.5)) +
            " p95=" + std::to_string(h.Quantile(0.95)) +
+           " p99=" + std::to_string(h.Quantile(0.99)) +
            " max=" + std::to_string(h.max()) + "\n";
   }
   return out;

@@ -59,7 +59,15 @@ class MetricsRegistry {
   /// Histogram by name (nullptr when absent).
   const Histogram* GetHistogram(std::string_view name) const;
 
-  /// Sorted, deterministic text dump (counters then histograms).
+  /// Copy of all counters at this instant. The profiler diffs two
+  /// snapshots to attribute counter growth to one MSQL input.
+  std::map<std::string, int64_t, std::less<>> CounterSnapshot() const {
+    return counters_;
+  }
+
+  /// Sorted, deterministic text dump: counters, then histograms with
+  /// count/sum/min/p50/p95/p99/max columns (quantiles are log2-bucket
+  /// upper bounds — good to a factor of two).
   std::string Dump() const;
 
  private:

@@ -1,0 +1,460 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+
+#include "obs/json_util.h"
+
+namespace msql::obs {
+
+namespace {
+
+int64_t ParseInt(std::string_view text) {
+  if (text.empty()) return 0;
+  return std::strtoll(std::string(text).c_str(), nullptr, 10);
+}
+
+int64_t Duration(const Span& span) {
+  return span.sim_end_micros - span.sim_start_micros;
+}
+
+/// Front-end phase a span contributes to ("" = not a phase: container
+/// spans like msql.execute and msql.query hold phases, they aren't one).
+std::string_view PhaseOf(const Span& span) {
+  if (span.category != "frontend") return {};
+  std::string_view name = span.name;
+  if (name.rfind("msql.", 0) != 0) return {};
+  name.remove_prefix(5);
+  if (name == "execute" || name == "query" || name == "multitransaction" ||
+      name == "analyze") {
+    return {};
+  }
+  return name;
+}
+
+/// The paper's pipeline order; phases outside this list render after it
+/// in first-appearance order.
+constexpr std::string_view kPhaseOrder[] = {"parse",     "check",  "expand",
+                                            "decompose", "translate",
+                                            "verify"};
+
+SiteProfile* SiteFor(std::vector<SiteProfile>* sites,
+                     std::string_view service) {
+  for (SiteProfile& site : *sites) {
+    if (site.service == service) return &site;
+  }
+  sites->push_back(SiteProfile{});
+  sites->back().service = std::string(service);
+  return &sites->back();
+}
+
+std::string Micros(int64_t value) { return std::to_string(value) + "us"; }
+
+}  // namespace
+
+QueryProfile BuildQueryProfile(const Tracer& tracer,
+                               const ProfileInputs& inputs) {
+  QueryProfile profile;
+  profile.outcome = inputs.outcome;
+  profile.makespan_micros = inputs.makespan_micros;
+  profile.messages = inputs.messages;
+  profile.bytes = inputs.bytes;
+  profile.retries = inputs.retries;
+  profile.reprobes = inputs.reprobes;
+  profile.tasks = inputs.tasks;
+
+  const auto& spans = tracer.spans();
+  const size_t n = spans.size();
+  // Parents are always created before their children (the parent-stack
+  // discipline), so one forward pass settles subtree membership and the
+  // nearest-ancestor rpc service context of every span.
+  std::vector<char> in_subtree(n + 1, inputs.root == 0 ? 1 : 0);
+  std::vector<std::string_view> service_ctx(n + 1);
+  const Span* root_span =
+      inputs.root == 0 ? nullptr : tracer.FindSpan(inputs.root);
+  if (inputs.root != 0 && root_span == nullptr) return profile;
+  int64_t base = root_span != nullptr ? root_span->sim_start_micros
+                 : (n > 0 ? spans.front().sim_start_micros : 0);
+
+  std::vector<PhaseProfile> extra_phases;
+  PhaseProfile ordered[std::size(kPhaseOrder)];
+  for (size_t i = 0; i < std::size(kPhaseOrder); ++i) {
+    ordered[i].name = std::string(kPhaseOrder[i]);
+  }
+
+  for (const Span& span : spans) {
+    if (inputs.root != 0) {
+      in_subtree[span.id] =
+          span.id == inputs.root ||
+          (span.parent != 0 && in_subtree[span.parent]);
+    }
+    service_ctx[span.id] = span.category == "rpc"
+                               ? span.Find("service")
+                               : service_ctx[span.parent];
+    if (!in_subtree[span.id]) continue;
+
+    if (std::string_view phase = PhaseOf(span); !phase.empty()) {
+      PhaseProfile* slot = nullptr;
+      for (PhaseProfile& p : ordered) {
+        if (p.name == phase) slot = &p;
+      }
+      if (slot == nullptr) {
+        for (PhaseProfile& p : extra_phases) {
+          if (p.name == phase) slot = &p;
+        }
+      }
+      if (slot == nullptr) {
+        extra_phases.push_back(PhaseProfile{});
+        extra_phases.back().name = std::string(phase);
+        slot = &extra_phases.back();
+      }
+      slot->count += 1;
+      slot->host_nanos += span.host_end_nanos - span.host_start_nanos;
+    } else if (span.category == "rpc") {
+      SiteProfile* site = SiteFor(&profile.sites, span.Find("service"));
+      std::string verb = span.name.rfind("rpc:", 0) == 0
+                             ? span.name.substr(4)
+                             : span.name;
+      bool first_attempt = span.Find("attempt") == "1";
+      site->attempts += 1;
+      site->verb_attempts[verb] += 1;
+      if (first_attempt) {
+        site->calls += 1;
+        site->verb_calls[verb] += 1;
+      } else {
+        site->retries += 1;
+      }
+      if (!span.Find("fault").empty()) site->faults += 1;
+      if (span.Find("timed_out") == "true") site->timeouts += 1;
+      site->rpc_micros += Duration(span);
+    } else if (span.category == "lam") {
+      SiteFor(&profile.sites, span.Find("service"))->lam_micros +=
+          Duration(span);
+    } else if (span.category == "net") {
+      // Message legs carry no service of their own: attribute them to
+      // the enclosing rpc span's service.
+      std::string_view service = service_ctx[span.parent];
+      if (!service.empty()) {
+        SiteProfile* site = SiteFor(&profile.sites, service);
+        site->messages += 1;
+        int64_t bytes = ParseInt(span.Find("bytes"));
+        if (span.Find("dir") == "request") {
+          site->bytes_to_site += bytes;
+        } else {
+          site->bytes_from_site += bytes;
+        }
+      }
+    } else if (span.category == "2pc") {
+      if (span.name == "2pc.prepare") {
+        profile.two_pc.prepares += 1;
+        profile.two_pc.prepare_micros += Duration(span);
+      } else if (span.name == "2pc.commit") {
+        profile.two_pc.commits += 1;
+        profile.two_pc.commit_micros += Duration(span);
+      } else if (span.name == "reprobe") {
+        profile.two_pc.reprobes += 1;
+        profile.two_pc.reprobe_micros += Duration(span);
+      }
+    } else if (span.category == "dol" && span.name == "dol.run") {
+      profile.execute_micros += Duration(span);
+    }
+  }
+  for (PhaseProfile& p : ordered) {
+    if (p.count > 0) profile.phases.push_back(std::move(p));
+  }
+  for (PhaseProfile& p : extra_phases) {
+    profile.phases.push_back(std::move(p));
+  }
+  std::sort(profile.sites.begin(), profile.sites.end(),
+            [](const SiteProfile& a, const SiteProfile& b) {
+              return a.service < b.service;
+            });
+
+  // Critical path: from the root, repeatedly descend into the child
+  // whose interval ends last (ties: earliest-created child, which is
+  // deterministic). The deepest service-attributed step names the site
+  // bounding the makespan.
+  std::map<uint64_t, std::vector<uint64_t>> children;
+  uint64_t walk_root = inputs.root;
+  for (const Span& span : spans) {
+    if (!in_subtree[span.id]) continue;
+    if (inputs.root == 0 && span.parent == 0 && walk_root == 0) {
+      walk_root = span.id;
+    }
+    if (span.id != walk_root) children[span.parent].push_back(span.id);
+  }
+  uint64_t cursor = walk_root;
+  while (cursor != 0) {
+    const Span* span = tracer.FindSpan(cursor);
+    if (span == nullptr) break;
+    CriticalPathStep step;
+    step.name = span->name;
+    step.category = span->category;
+    step.sim_start_micros = span->sim_start_micros - base;
+    step.sim_end_micros = span->sim_end_micros - base;
+    std::string_view service = span->Find("service");
+    if (service.empty()) service = service_ctx[span->id];
+    step.service = std::string(service);
+    if (!step.service.empty()) profile.bounding_service = step.service;
+    if (span->category == "dol.task") {
+      profile.bounding_task = span->name.rfind("task:", 0) == 0
+                                  ? span->name.substr(5)
+                                  : span->name;
+    }
+    profile.critical_path.push_back(std::move(step));
+    auto kids = children.find(cursor);
+    if (kids == children.end()) break;
+    uint64_t best = 0;
+    int64_t best_end = INT64_MIN;
+    for (uint64_t kid : kids->second) {
+      const Span* child = tracer.FindSpan(kid);
+      if (child != nullptr && child->sim_end_micros > best_end) {
+        best = kid;
+        best_end = child->sim_end_micros;
+      }
+    }
+    cursor = best;
+  }
+
+  if (inputs.metrics != nullptr) {
+    for (const auto& [name, value] : inputs.metrics->CounterSnapshot()) {
+      auto it = inputs.counters_before.find(name);
+      int64_t before = it == inputs.counters_before.end() ? 0 : it->second;
+      if (value != before) profile.counter_deltas[name] = value - before;
+    }
+  }
+  return profile;
+}
+
+std::string RenderProfileText(const QueryProfile& profile,
+                              const ProfileRenderOptions& options) {
+  std::string out;
+  out += "outcome=" + profile.outcome +
+         " makespan=" + Micros(profile.makespan_micros) +
+         " messages=" + std::to_string(profile.messages) +
+         " bytes=" + std::to_string(profile.bytes) +
+         " retries=" + std::to_string(profile.retries) +
+         " reprobes=" + std::to_string(profile.reprobes) + "\n";
+  out += "front end:";
+  if (profile.phases.empty()) out += " (none)";
+  for (size_t i = 0; i < profile.phases.size(); ++i) {
+    const PhaseProfile& p = profile.phases[i];
+    out += (i == 0 ? " " : ", ") + p.name + " x" + std::to_string(p.count);
+    if (options.include_host_time) {
+      out += " (" + std::to_string(p.host_nanos / 1000) + "host_us)";
+    }
+  }
+  out += "  |  execute: " + Micros(profile.execute_micros) + " (sim)\n";
+  if (!profile.sites.empty()) {
+    out += "sites:\n";
+    out += "  service            calls   att  retry  fault  t/o"
+           "    rpc_us    lam_us  msgs  bytes_to  bytes_from\n";
+    for (const SiteProfile& site : profile.sites) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %7lld %5lld %6lld %6lld %4lld %9lld %9lld"
+                    " %5lld %9lld %11lld\n",
+                    site.service.c_str(),
+                    static_cast<long long>(site.calls),
+                    static_cast<long long>(site.attempts),
+                    static_cast<long long>(site.retries),
+                    static_cast<long long>(site.faults),
+                    static_cast<long long>(site.timeouts),
+                    static_cast<long long>(site.rpc_micros),
+                    static_cast<long long>(site.lam_micros),
+                    static_cast<long long>(site.messages),
+                    static_cast<long long>(site.bytes_to_site),
+                    static_cast<long long>(site.bytes_from_site));
+      out += line;
+      out += "    verbs:";
+      for (const auto& [verb, attempts] : site.verb_attempts) {
+        auto calls_it = site.verb_calls.find(verb);
+        int64_t calls = calls_it == site.verb_calls.end() ? 0
+                                                          : calls_it->second;
+        out += " " + verb + "=" + std::to_string(calls);
+        if (attempts != calls) out += "/" + std::to_string(attempts);
+      }
+      out += "\n";
+    }
+  }
+  out += "2pc: prepare x" + std::to_string(profile.two_pc.prepares) + " (" +
+         Micros(profile.two_pc.prepare_micros) + "), commit x" +
+         std::to_string(profile.two_pc.commits) + " (" +
+         Micros(profile.two_pc.commit_micros) + "), reprobe x" +
+         std::to_string(profile.two_pc.reprobes) + " (" +
+         Micros(profile.two_pc.reprobe_micros) + ")\n";
+  if (!profile.tasks.empty()) {
+    out += "tasks:\n";
+    for (const TaskProfile& task : profile.tasks) {
+      out += "  " + task.name + "  " + task.state + "  [" +
+             Micros(task.start_micros) + ", " + Micros(task.end_micros) +
+             "]  " + task.service + "/" + task.database +
+             (task.vital ? "  VITAL" : "") +
+             "  rows=" + std::to_string(task.rows_returned) +
+             " affected=" + std::to_string(task.rows_affected) +
+             " scanned=" + std::to_string(task.rows_scanned) +
+             " evaluated=" + std::to_string(task.rows_evaluated) + "\n";
+    }
+  }
+  if (!profile.critical_path.empty()) {
+    out += "critical path:\n";
+    std::string indent = "  ";
+    for (const CriticalPathStep& step : profile.critical_path) {
+      out += indent + step.name + " [" + Micros(step.sim_start_micros) +
+             ", " + Micros(step.sim_end_micros) + "]";
+      if (!step.service.empty()) out += " service=" + step.service;
+      out += "\n";
+      indent += "  ";
+    }
+  }
+  if (!profile.bounding_service.empty()) {
+    out += "bounding site: " + profile.bounding_service;
+    if (!profile.bounding_task.empty()) {
+      out += " (task " + profile.bounding_task + ")";
+    }
+    out += "\n";
+  }
+  if (!profile.counter_deltas.empty()) {
+    out += "counters (delta):\n";
+    for (const auto& [name, delta] : profile.counter_deltas) {
+      out += "  " + name + " " + (delta >= 0 ? "+" : "") +
+             std::to_string(delta) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderProfileJson(const QueryProfile& profile) {
+  std::string out = "{\"outcome\":";
+  AppendJsonString(&out, profile.outcome);
+  out += ",\"makespan_micros\":" + std::to_string(profile.makespan_micros);
+  out += ",\"messages\":" + std::to_string(profile.messages);
+  out += ",\"bytes\":" + std::to_string(profile.bytes);
+  out += ",\"retries\":" + std::to_string(profile.retries);
+  out += ",\"reprobes\":" + std::to_string(profile.reprobes);
+  out += ",\"execute_micros\":" + std::to_string(profile.execute_micros);
+  out += ",\"phases\":[";
+  for (size_t i = 0; i < profile.phases.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(&out, profile.phases[i].name);
+    out += ",\"count\":" + std::to_string(profile.phases[i].count) + "}";
+  }
+  out += "],\"sites\":[";
+  for (size_t i = 0; i < profile.sites.size(); ++i) {
+    if (i > 0) out += ",";
+    const SiteProfile& site = profile.sites[i];
+    out += "{\"service\":";
+    AppendJsonString(&out, site.service);
+    out += ",\"calls\":" + std::to_string(site.calls);
+    out += ",\"attempts\":" + std::to_string(site.attempts);
+    out += ",\"retries\":" + std::to_string(site.retries);
+    out += ",\"faults\":" + std::to_string(site.faults);
+    out += ",\"timeouts\":" + std::to_string(site.timeouts);
+    out += ",\"rpc_micros\":" + std::to_string(site.rpc_micros);
+    out += ",\"lam_micros\":" + std::to_string(site.lam_micros);
+    out += ",\"messages\":" + std::to_string(site.messages);
+    out += ",\"bytes_to_site\":" + std::to_string(site.bytes_to_site);
+    out += ",\"bytes_from_site\":" + std::to_string(site.bytes_from_site);
+    out += ",\"verbs\":{";
+    bool first = true;
+    for (const auto& [verb, attempts] : site.verb_attempts) {
+      if (!first) out += ",";
+      first = false;
+      AppendJsonString(&out, verb);
+      out += ":" + std::to_string(attempts);
+    }
+    out += "}}";
+  }
+  out += "],\"two_pc\":{\"prepares\":" +
+         std::to_string(profile.two_pc.prepares) +
+         ",\"prepare_micros\":" + std::to_string(profile.two_pc.prepare_micros) +
+         ",\"commits\":" + std::to_string(profile.two_pc.commits) +
+         ",\"commit_micros\":" + std::to_string(profile.two_pc.commit_micros) +
+         ",\"reprobes\":" + std::to_string(profile.two_pc.reprobes) +
+         ",\"reprobe_micros\":" +
+         std::to_string(profile.two_pc.reprobe_micros) + "}";
+  out += ",\"tasks\":[";
+  for (size_t i = 0; i < profile.tasks.size(); ++i) {
+    if (i > 0) out += ",";
+    const TaskProfile& task = profile.tasks[i];
+    out += "{\"name\":";
+    AppendJsonString(&out, task.name);
+    out += ",\"service\":";
+    AppendJsonString(&out, task.service);
+    out += ",\"database\":";
+    AppendJsonString(&out, task.database);
+    out += ",\"state\":";
+    AppendJsonString(&out, task.state);
+    out += std::string(",\"vital\":") + (task.vital ? "true" : "false");
+    out += ",\"start_micros\":" + std::to_string(task.start_micros);
+    out += ",\"end_micros\":" + std::to_string(task.end_micros);
+    out += ",\"rows_returned\":" + std::to_string(task.rows_returned);
+    out += ",\"rows_affected\":" + std::to_string(task.rows_affected);
+    out += ",\"rows_scanned\":" + std::to_string(task.rows_scanned);
+    out += ",\"rows_evaluated\":" + std::to_string(task.rows_evaluated);
+    out += "}";
+  }
+  out += "],\"critical_path\":[";
+  for (size_t i = 0; i < profile.critical_path.size(); ++i) {
+    if (i > 0) out += ",";
+    const CriticalPathStep& step = profile.critical_path[i];
+    out += "{\"name\":";
+    AppendJsonString(&out, step.name);
+    out += ",\"start_micros\":" + std::to_string(step.sim_start_micros);
+    out += ",\"end_micros\":" + std::to_string(step.sim_end_micros);
+    if (!step.service.empty()) {
+      out += ",\"service\":";
+      AppendJsonString(&out, step.service);
+    }
+    out += "}";
+  }
+  out += "],\"bounding_service\":";
+  AppendJsonString(&out, profile.bounding_service);
+  out += ",\"bounding_task\":";
+  AppendJsonString(&out, profile.bounding_task);
+  out += ",\"counter_deltas\":{";
+  bool first = true;
+  for (const auto& [name, delta] : profile.counter_deltas) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":" + std::to_string(delta);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RenderFrontendSummary(const Tracer& tracer,
+                                  bool include_host_time) {
+  // First-appearance order keeps the summary deterministic for a given
+  // span stream.
+  std::vector<PhaseProfile> phases;
+  for (const Span& span : tracer.spans()) {
+    if (span.category != "frontend") continue;
+    PhaseProfile* slot = nullptr;
+    for (PhaseProfile& p : phases) {
+      if (p.name == span.name) slot = &p;
+    }
+    if (slot == nullptr) {
+      phases.push_back(PhaseProfile{});
+      phases.back().name = span.name;
+      slot = &phases.back();
+    }
+    slot->count += 1;
+    slot->host_nanos += span.host_end_nanos - span.host_start_nanos;
+  }
+  std::string out;
+  for (const PhaseProfile& p : phases) {
+    out += p.name + " x" + std::to_string(p.count);
+    if (include_host_time) {
+      out += " host_us=" + std::to_string(p.host_nanos / 1000);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace msql::obs

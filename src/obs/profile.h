@@ -1,0 +1,163 @@
+#ifndef MSQL_OBS_PROFILE_H_
+#define MSQL_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace msql::obs {
+
+/// One front-end phase rollup (parse/check/expand/decompose/translate/
+/// verify). Front-end spans are host-clock-only — their simulated
+/// duration is zero by design — so the only duration here is host time,
+/// which is nondeterministic and excluded from golden renderings.
+struct PhaseProfile {
+  std::string name;  // "parse", "check", ...
+  int64_t count = 0;
+  int64_t host_nanos = 0;
+};
+
+/// Everything one input cost at one service, summed from its rpc / lam /
+/// net.send spans (DESIGN.md §11).
+struct SiteProfile {
+  std::string service;
+  /// Logical RPCs (first-attempt rpc spans).
+  int64_t calls = 0;
+  /// Send attempts (every rpc span, re-sends included).
+  int64_t attempts = 0;
+  /// Re-sends (attempt > 1).
+  int64_t retries = 0;
+  /// Attempts that hit an injected fault.
+  int64_t faults = 0;
+  /// Attempts the coordinator timed out on.
+  int64_t timeouts = 0;
+  /// Simulated time the coordinator spent inside this site's rpc spans
+  /// (round-trip wait, backoff excluded).
+  int64_t rpc_micros = 0;
+  /// Simulated LAM service time (the local DBMS actually working).
+  int64_t lam_micros = 0;
+  /// Message legs to/from this site.
+  int64_t messages = 0;
+  /// Request-leg bytes (coordinator → site).
+  int64_t bytes_to_site = 0;
+  /// Response-leg bytes (site → coordinator).
+  int64_t bytes_from_site = 0;
+  /// Verb → logical calls / send attempts.
+  std::map<std::string, int64_t> verb_calls;
+  std::map<std::string, int64_t> verb_attempts;
+};
+
+/// 2PC cost rollup: prepare / commit round latency and re-probes.
+struct TwoPcProfile {
+  int64_t prepares = 0;
+  int64_t prepare_micros = 0;
+  int64_t commits = 0;
+  int64_t commit_micros = 0;
+  int64_t reprobes = 0;
+  int64_t reprobe_micros = 0;
+};
+
+/// Per-task accounting joined from the DOL run result and the local
+/// planner's row counters (the span tree does not carry row counts, so
+/// the caller supplies these).
+struct TaskProfile {
+  std::string name;
+  std::string service;
+  std::string database;
+  std::string state;  // DolTaskStateName value
+  bool vital = false;
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;
+  int64_t rows_returned = 0;
+  int64_t rows_affected = 0;
+  int64_t rows_scanned = 0;
+  int64_t rows_evaluated = 0;
+};
+
+/// One hop of the critical-path walk (root → deepest-ending child).
+struct CriticalPathStep {
+  std::string name;
+  std::string category;
+  int64_t sim_start_micros = 0;
+  int64_t sim_end_micros = 0;
+  /// Service this span is attributed to ("" for coordinator-only work).
+  std::string service;
+};
+
+/// Full cost attribution of one executed MSQL input: the answer to
+/// "where did the makespan go and which site bounded it" computed from
+/// the input's span subtree plus metrics deltas.
+struct QueryProfile {
+  std::string outcome;
+  int64_t makespan_micros = 0;
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t retries = 0;
+  int64_t reprobes = 0;
+  std::vector<PhaseProfile> phases;
+  /// Simulated duration of the DOL run (the execute side of the
+  /// front-end/execute split).
+  int64_t execute_micros = 0;
+  std::vector<SiteProfile> sites;
+  TwoPcProfile two_pc;
+  std::vector<TaskProfile> tasks;
+  std::vector<CriticalPathStep> critical_path;
+  /// Service bounding the makespan: the deepest service-attributed span
+  /// on the critical path ("" when the path never leaves the
+  /// coordinator).
+  std::string bounding_service;
+  /// DOL task on the critical path ("" when none).
+  std::string bounding_task;
+  /// Counter growth attributed to this input (after − before snapshot).
+  std::map<std::string, int64_t> counter_deltas;
+};
+
+/// What the caller (the MDBS) knows that the span tree does not.
+struct ProfileInputs {
+  /// Root span of the input (0 = profile the whole trace).
+  uint64_t root = 0;
+  std::string outcome;
+  int64_t makespan_micros = 0;
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t retries = 0;
+  int64_t reprobes = 0;
+  /// Per-task rows/state joined from the run result (already sorted).
+  std::vector<TaskProfile> tasks;
+  /// Counter snapshot taken before the input ran; diffed against
+  /// `metrics` to produce `counter_deltas`. `metrics` may be null.
+  std::map<std::string, int64_t, std::less<>> counters_before;
+  const MetricsRegistry* metrics = nullptr;
+};
+
+/// Computes the profile of the span subtree under `inputs.root`. All
+/// simulated times are normalized to the root span's start, so the
+/// rendering is independent of the session's sim offset.
+QueryProfile BuildQueryProfile(const Tracer& tracer,
+                               const ProfileInputs& inputs);
+
+struct ProfileRenderOptions {
+  /// Include host-clock durations for the front-end phases. Off by
+  /// default: host times vary run to run and break golden output.
+  bool include_host_time = false;
+};
+
+/// Deterministic text report (the shell's `\profile` / EXPLAIN ANALYZE).
+std::string RenderProfileText(const QueryProfile& profile,
+                              const ProfileRenderOptions& options = {});
+
+/// The same profile as a single JSON object.
+std::string RenderProfileJson(const QueryProfile& profile);
+
+/// Aggregates every front-end span in the trace by phase (count + host
+/// time) — the whole-session summary behind `msql_lint --profile`.
+std::string RenderFrontendSummary(const Tracer& tracer,
+                                  bool include_host_time);
+
+}  // namespace msql::obs
+
+#endif  // MSQL_OBS_PROFILE_H_

@@ -1,0 +1,102 @@
+#include "obs/query_log.h"
+
+#include "obs/json_util.h"
+
+namespace msql::obs {
+
+namespace {
+
+void AppendField(std::string* out, const char* key, std::string_view value) {
+  if (out->back() != '{') *out += ",";
+  AppendJsonString(out, key);
+  *out += ":";
+  AppendJsonString(out, value);
+}
+
+void AppendField(std::string* out, const char* key, int64_t value) {
+  if (out->back() != '{') *out += ",";
+  AppendJsonString(out, key);
+  *out += ":" + std::to_string(value);
+}
+
+void AppendBoolField(std::string* out, const char* key, bool value) {
+  if (out->back() != '{') *out += ",";
+  AppendJsonString(out, key);
+  *out += value ? ":true" : ":false";
+}
+
+void AppendStringArray(std::string* out, const char* key,
+                       const std::vector<std::string>& values) {
+  if (out->back() != '{') *out += ",";
+  AppendJsonString(out, key);
+  *out += ":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ",";
+    AppendJsonString(out, values[i]);
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+std::string QueryLogRecord::ToJson() const {
+  std::string out = "{";
+  AppendField(&out, "seq", seq);
+  AppendField(&out, "kind", kind);
+  AppendField(&out, "outcome", outcome);
+  AppendField(&out, "dol_status", dol_status);
+  AppendField(&out, "detail", detail);
+  AppendField(&out, "sim_start_micros", sim_start_micros);
+  AppendField(&out, "makespan_micros", makespan_micros);
+  AppendField(&out, "messages", messages);
+  AppendField(&out, "bytes", bytes);
+  AppendField(&out, "retries", retries);
+  AppendField(&out, "reprobes", reprobes);
+  AppendField(&out, "rows_returned", rows_returned);
+  AppendField(&out, "rows_transferred", rows_transferred);
+  out += ",\"verdicts\":[";
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    if (i > 0) out += ",";
+    const Verdict& v = verdicts[i];
+    out += "{";
+    AppendField(&out, "database", v.database);
+    AppendField(&out, "service", v.service);
+    AppendField(&out, "task", v.task);
+    AppendBoolField(&out, "vital", v.vital);
+    AppendField(&out, "state", v.state);
+    out += "}";
+  }
+  out += "]";
+  AppendStringArray(&out, "compensations", compensations);
+  AppendStringArray(&out, "degraded_services", degraded_services);
+  AppendStringArray(&out, "non_pertinent", non_pertinent);
+  AppendStringArray(&out, "fired_triggers", fired_triggers);
+  out += "}";
+  return out;
+}
+
+void QueryLog::Clear() {
+  records_.clear();
+  next_seq_ = 1;
+  sim_cursor_micros_ = 0;
+}
+
+const QueryLogRecord* QueryLog::Append(QueryLogRecord record) {
+  if (!enabled_) return nullptr;
+  record.seq = next_seq_++;
+  record.sim_start_micros = sim_cursor_micros_;
+  sim_cursor_micros_ += record.makespan_micros;
+  records_.push_back(std::move(record));
+  return &records_.back();
+}
+
+std::string QueryLog::ToJsonl() const {
+  std::string out;
+  for (const QueryLogRecord& record : records_) {
+    out += record.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace msql::obs

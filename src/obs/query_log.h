@@ -1,0 +1,95 @@
+#ifndef MSQL_OBS_QUERY_LOG_H_
+#define MSQL_OBS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msql::obs {
+
+/// One line of the structured audit log: what the federation decided
+/// about one executed MSQL input (§3.2's global outcome model), plus
+/// the simulated cost of getting there. All fields are derived from the
+/// deterministic simulation — under a fixed seed the JSONL rendering is
+/// byte-identical run to run, which is what the golden tests pin.
+struct QueryLogRecord {
+  /// 1-based position of this record in the session log.
+  int64_t seq = 0;
+  /// MSQL input kind ("query", "multitransaction", "incorporate", ...).
+  std::string kind;
+  /// Global outcome name (SUCCESS | ABORTED | INCORRECT | REFUSED).
+  std::string outcome;
+  /// DOLSTATUS the plan ended with.
+  int dol_status = 0;
+  /// Refusal / abort / degradation detail ("" for clean successes).
+  std::string detail;
+  /// Simulated start of this input on the session timeline (cumulative
+  /// makespan of all earlier records — inputs execute sequentially).
+  int64_t sim_start_micros = 0;
+  int64_t makespan_micros = 0;
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t retries = 0;
+  int64_t reprobes = 0;
+  int64_t rows_returned = 0;
+  int64_t rows_transferred = 0;
+
+  /// How one scoped database's subquery ended (§3.2.1): the per-task
+  /// verdict the global outcome was decided from.
+  struct Verdict {
+    std::string database;  // effective name in the USE scope
+    std::string service;
+    std::string task;      // DOL task name
+    std::string state;     // DolTaskStateName value
+    bool vital = false;
+  };
+  std::vector<Verdict> verdicts;
+
+  /// Tasks whose COMP clause fired (state COMPENSATED).
+  std::vector<std::string> compensations;
+  /// Services whose NON-VITAL subqueries were lost to unavailability.
+  std::vector<std::string> degraded_services;
+  /// Scope databases discarded as non-pertinent.
+  std::vector<std::string> non_pertinent;
+  /// Interdatabase triggers fired by this input.
+  std::vector<std::string> fired_triggers;
+
+  /// Single-line JSON object (no trailing newline), keys in fixed order.
+  std::string ToJson() const;
+};
+
+/// Session-scoped audit log. Disabled by default like the tracer; when
+/// enabled, the MDBS appends one record per executed top-level input.
+class QueryLog {
+ public:
+  QueryLog() = default;
+
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Clear();
+
+  /// Appends `record` (when enabled), assigning its `seq` and
+  /// `sim_start_micros` from the session cursor, which then advances by
+  /// the record's makespan. Returns the stored record, or nullptr when
+  /// the log is disabled.
+  const QueryLogRecord* Append(QueryLogRecord record);
+
+  const std::vector<QueryLogRecord>& records() const { return records_; }
+
+  /// All records as JSON Lines (one object per line).
+  std::string ToJsonl() const;
+
+ private:
+  bool enabled_ = false;
+  int64_t next_seq_ = 1;
+  int64_t sim_cursor_micros_ = 0;
+  std::vector<QueryLogRecord> records_;
+};
+
+}  // namespace msql::obs
+
+#endif  // MSQL_OBS_QUERY_LOG_H_

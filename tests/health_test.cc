@@ -1,0 +1,180 @@
+// Per-site health registry (DESIGN.md §11): rolling verdicts derived
+// from the rpc instrumentation — healthy / degraded / unreachable —
+// always on, independent of the tracer and metrics toggles.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+#include "dol/engine.h"
+#include "netsim/fault_injector.h"
+#include "obs/health.h"
+
+namespace msql::core {
+namespace {
+
+using dol::RetryPolicy;
+using netsim::FaultAction;
+using netsim::FaultPlan;
+using netsim::FaultRule;
+using netsim::LamRequestType;
+using obs::HealthState;
+using obs::SiteHealth;
+
+constexpr const char* kMultipleQuery =
+    "USE avis national\n"
+    "LET car.type.status BE cars.cartype.carst vehicle.vty.vstat\n"
+    "SELECT %code, type, ~rate\n"
+    "FROM car\n"
+    "WHERE status = 'available'";
+
+constexpr const char* kFareRaise =
+    "USE continental VITAL delta united VITAL\n"
+    "UPDATE flight% SET rate% = rate% * 1.1\n"
+    "WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+// SiteHealth state machine: failures degrade, enough consecutive
+// failures declare the site unreachable, a success re-opens it, and a
+// full clean window restores healthy.
+TEST(SiteHealthTest, StateTransitionsFollowTheWindow) {
+  SiteHealth h;
+  EXPECT_EQ(h.state(), HealthState::kHealthy);
+  h.Record(true, false, false, 100);
+  EXPECT_EQ(h.state(), HealthState::kHealthy);
+  h.Record(false, false, true, 100);
+  EXPECT_EQ(h.state(), HealthState::kDegraded);
+  for (int i = 1; i < SiteHealth::kUnreachableAfter; ++i) {
+    h.Record(false, true, false, 0);
+  }
+  EXPECT_EQ(h.state(), HealthState::kUnreachable);
+  EXPECT_EQ(h.consecutive_failures(), SiteHealth::kUnreachableAfter);
+  // One success: reachable again, but the window still remembers.
+  h.Record(true, false, false, 100);
+  EXPECT_EQ(h.state(), HealthState::kDegraded);
+  EXPECT_EQ(h.consecutive_failures(), 0);
+  // A full clean window flushes the failures out.
+  for (int i = 0; i < SiteHealth::kWindow; ++i) {
+    h.Record(true, false, false, 100);
+  }
+  EXPECT_EQ(h.state(), HealthState::kHealthy);
+  EXPECT_EQ(h.window_failures(), 0);
+  // Totals are cumulative, not windowed.
+  EXPECT_EQ(h.failures(), SiteHealth::kUnreachableAfter);
+  EXPECT_EQ(h.timeouts(), SiteHealth::kUnreachableAfter - 1);
+  EXPECT_EQ(h.faults(), 1);
+}
+
+// The registry is always on: a plain federation (no tracer, no
+// metrics) still knows which sites it talked to after one input.
+TEST(HealthRegistryTest, AlwaysOnWithoutTracerOrMetrics) {
+  auto sys_or = BuildPaperFederation();
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status();
+  auto sys = std::move(*sys_or);
+  ASSERT_FALSE(sys->environment().tracer().enabled());
+  // Bootstrap (INCORPORATE/IMPORT) already talked to every site; start
+  // the observation window at the query.
+  sys->environment().health().Clear();
+  auto report = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->outcome, GlobalOutcome::kSuccess);
+
+  auto& health = sys->environment().health();
+  for (const char* svc : {"avis_svc", "national_svc"}) {
+    const SiteHealth* site = health.Get(svc);
+    ASSERT_NE(site, nullptr) << svc;
+    EXPECT_EQ(site->state(), HealthState::kHealthy) << svc;
+    EXPECT_GT(site->attempts(), 0) << svc;
+    EXPECT_EQ(site->failures(), 0) << svc;
+    EXPECT_GT(site->latency().Quantile(0.5), 0) << svc;
+  }
+  EXPECT_EQ(health.SiteOf("avis_svc"), "site_avis");
+  // Never-called services have no entry.
+  EXPECT_EQ(health.Get("united_svc"), nullptr);
+}
+
+// Transient faults absorbed by retries still mark the site degraded:
+// the input succeeded, but an operator can see the site misbehaved.
+TEST(HealthRegistryTest, AbsorbedTransientFaultsDegradeTheSite) {
+  auto sys_or = BuildPaperFederation();
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status();
+  auto sys = std::move(*sys_or);
+  sys->set_retry_policy(RetryPolicy::WithAttempts(3));
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::Transient(
+      "united_svc", LamRequestType::kExecute, /*k=*/2));
+  sys->environment().fault_injector().SetPlan(plan);
+  auto report = sys->Execute(kFareRaise);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+
+  auto& health = sys->environment().health();
+  const SiteHealth* united = health.Get("united_svc");
+  ASSERT_NE(united, nullptr);
+  EXPECT_EQ(united->state(), HealthState::kDegraded);
+  EXPECT_EQ(united->failures(), 2);
+  EXPECT_EQ(united->faults(), 2);
+  // The healthy sites are unaffected by united's trouble.
+  const SiteHealth* delta = health.Get("delta_svc");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->state(), HealthState::kHealthy);
+}
+
+// A site rejecting everything goes unreachable once the retry budget
+// burns kUnreachableAfter consecutive failures into its history.
+TEST(HealthRegistryTest, PersistentRejectionTurnsUnreachable) {
+  auto sys_or = BuildPaperFederation();
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status();
+  auto sys = std::move(*sys_or);
+  sys->set_retry_policy(RetryPolicy::WithAttempts(5));
+  FaultRule down;
+  down.service = "united_svc";
+  down.request_type = std::nullopt;  // every verb
+  down.action = FaultAction::kReject;
+  down.count = -1;  // forever
+  FaultPlan plan;
+  plan.rules.push_back(down);
+  sys->environment().fault_injector().SetPlan(plan);
+  sys->environment().health().Clear();  // drop the bootstrap history
+  auto report = sys->Execute(kFareRaise);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kAborted);
+
+  const SiteHealth* united = sys->environment().health().Get("united_svc");
+  ASSERT_NE(united, nullptr);
+  EXPECT_EQ(united->state(), HealthState::kUnreachable);
+  EXPECT_GE(united->consecutive_failures(), SiteHealth::kUnreachableAfter);
+  EXPECT_EQ(united->failures(), united->attempts());
+}
+
+// The rendered table is deterministic, sorted and complete.
+TEST(HealthRegistryTest, RenderTextIsDeterministic) {
+  auto sys_or = BuildPaperFederation();
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status();
+  auto sys = std::move(*sys_or);
+  auto& health = sys->environment().health();
+  health.Clear();  // drop the bootstrap history
+  EXPECT_NE(health.RenderText().find("(no calls recorded)"),
+            std::string::npos);
+
+  auto report = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(report.ok()) << report.status();
+  std::string first = health.RenderText();
+  EXPECT_EQ(first, health.RenderText());
+  for (const char* needle :
+       {"service", "state", "p50_us", "p95_us", "p99_us", "avis_svc",
+        "national_svc", "site_avis", "healthy"}) {
+    EXPECT_NE(first.find(needle), std::string::npos) << needle;
+  }
+  // avis sorts before national.
+  EXPECT_LT(first.find("avis_svc"), first.find("national_svc"));
+
+  health.Clear();
+  EXPECT_EQ(health.Get("avis_svc"), nullptr);
+  EXPECT_NE(health.RenderText().find("(no calls recorded)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace msql::core

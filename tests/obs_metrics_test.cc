@@ -1,0 +1,111 @@
+// Histogram / MetricsRegistry edge cases (DESIGN.md §9/§11): quantile
+// semantics at the bucket boundaries, the p50/p95/p99 dump columns and
+// the counter snapshot the profiler diffs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace msql::obs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Quantile(0.0), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.Quantile(1.0), 0);
+}
+
+TEST(HistogramTest, AllZeroSamplesStayZeroAtEveryQuantile) {
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.Observe(0);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.Quantile(0.0), 0);
+  EXPECT_EQ(h.Quantile(0.99), 0);
+  EXPECT_EQ(h.Quantile(1.0), 0);
+}
+
+TEST(HistogramTest, SingleSampleAnswersEveryQuantileWithItself) {
+  Histogram h;
+  h.Observe(7);
+  EXPECT_EQ(h.min(), 7);
+  EXPECT_EQ(h.max(), 7);
+  // A single sample has rank 0 for every q; the bucket upper bound (7
+  // for bucket [4,8)) is clamped to the observed max.
+  EXPECT_EQ(h.Quantile(0.0), 7);
+  EXPECT_EQ(h.Quantile(0.5), 7);
+  EXPECT_EQ(h.Quantile(1.0), 7);
+}
+
+TEST(HistogramTest, QuantileZeroAndOneHitTheExtremeBuckets) {
+  Histogram h;
+  // One sample per power-of-two bucket boundary: buckets 1..4.
+  for (int64_t v : {1, 2, 4, 8}) h.Observe(v);
+  // q=0 → rank 0 → first occupied bucket, upper bound 1.
+  EXPECT_EQ(h.Quantile(0.0), 1);
+  // q=1 → rank 3 → the bucket of 8 ([8,16), upper 15) clamped to max 8.
+  EXPECT_EQ(h.Quantile(1.0), 8);
+  // q=0.5 → rank 1 → bucket of 2 ([2,4)), upper bound 3: the factor-of-
+  // two resolution the log2 bucketing promises, no better.
+  EXPECT_EQ(h.Quantile(0.5), 3);
+}
+
+TEST(HistogramTest, ExactPowerOfTwoLandsInItsHalfOpenBucket) {
+  Histogram h;
+  h.Observe(8);  // bucket [8,16): upper bound 15, clamped to max
+  EXPECT_EQ(h.Quantile(0.5), 8);
+  h.Observe(9);
+  // Same bucket; upper bound 15 now clamps to max 9.
+  EXPECT_EQ(h.Quantile(1.0), 9);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Observe(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.Quantile(1.0), 0);
+}
+
+TEST(MetricsRegistryTest, DumpCarriesAllThreeQuantileColumns) {
+  MetricsRegistry metrics;
+  metrics.set_enabled(true);
+  metrics.Inc("rpc.calls", 3);
+  for (int64_t v : {100, 200, 400, 800}) {
+    metrics.Observe("rpc.sim_micros", v);
+  }
+  std::string dump = metrics.Dump();
+  EXPECT_NE(dump.find("rpc.calls = 3"), std::string::npos);
+  EXPECT_NE(dump.find(" p50="), std::string::npos);
+  EXPECT_NE(dump.find(" p95="), std::string::npos);
+  EXPECT_NE(dump.find(" p99="), std::string::npos);
+  // Rank truncation: p99 of four samples is rank floor(.99*3)=2 — the
+  // 400 sample's bucket [256,512), upper bound 511.
+  EXPECT_NE(dump.find(" p99=511 "), std::string::npos);
+  EXPECT_NE(dump.find(" max=800"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CounterSnapshotDiffsAttributeGrowth) {
+  MetricsRegistry metrics;
+  metrics.set_enabled(true);
+  metrics.Inc("dol.runs");
+  auto before = metrics.CounterSnapshot();
+  metrics.Inc("dol.runs");
+  metrics.Inc("dol.tasks", 4);
+  auto after = metrics.CounterSnapshot();
+  EXPECT_EQ(after["dol.runs"] - before["dol.runs"], 1);
+  EXPECT_EQ(after["dol.tasks"] - before["dol.tasks"], 4);
+  // The snapshot is a copy, not a view.
+  metrics.Inc("dol.runs");
+  EXPECT_EQ(after["dol.runs"], 2);
+}
+
+}  // namespace
+}  // namespace msql::obs

@@ -1,0 +1,213 @@
+// Query profiler (DESIGN.md §11): per-site attribution built from the
+// input's span subtree, critical-path identification of the bounding
+// site, 2PC latency rollup, and golden determinism of the rendered
+// profile under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+#include "dol/engine.h"
+#include "netsim/fault_injector.h"
+#include "obs/profile.h"
+
+namespace msql::core {
+namespace {
+
+using netsim::FaultPlan;
+using netsim::FaultRule;
+
+constexpr const char* kMultipleQuery =
+    "USE avis national\n"
+    "LET car.type.status BE cars.cartype.carst vehicle.vty.vstat\n"
+    "SELECT %code, type, ~rate\n"
+    "FROM car\n"
+    "WHERE status = 'available'";
+
+constexpr const char* kFareRaise =
+    "USE continental VITAL delta united VITAL\n"
+    "UPDATE flight% SET rate% = rate% * 1.1\n"
+    "WHERE sour% = 'Houston' AND dest% = 'San Antonio'";
+
+std::unique_ptr<MultidatabaseSystem> ProfiledFederation() {
+  auto sys = BuildPaperFederation();
+  EXPECT_TRUE(sys.ok()) << sys.status();
+  (*sys)->environment().tracer().set_enabled(true);
+  (*sys)->environment().metrics().set_enabled(true);
+  (*sys)->set_collect_profiles(true);
+  return std::move(*sys);
+}
+
+// The ISSUE.md acceptance scenario: a paper-scope multiple query with
+// one artificially slow LAM must name that site on the critical path.
+TEST(ObsProfileTest, SlowLamBoundsTheCriticalPath) {
+  auto sys = ProfiledFederation();
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule::Spike("national_svc", 30000));
+  sys->environment().fault_injector().SetPlan(plan);
+  auto report = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  ASSERT_FALSE(report->profile_text.empty());
+  EXPECT_NE(report->profile_text.find("bounding site: national_svc"),
+            std::string::npos)
+      << report->profile_text;
+  // The bounding task is national's subquery task.
+  EXPECT_NE(report->profile_text.find("t_national"), std::string::npos)
+      << report->profile_text;
+  // Both sites appear in the attribution table.
+  EXPECT_NE(report->profile_text.find("avis_svc"), std::string::npos);
+  EXPECT_NE(report->profile_text.find("national_svc"), std::string::npos);
+}
+
+// The profile's site table is an exact decomposition of the run
+// accounting: attempts sum to the rpc.calls counter delta, messages and
+// bytes sum to the run totals, and execute time is the makespan.
+TEST(ObsProfileTest, SiteAttributionSumsToRunAndMetricsTotals) {
+  auto sys = ProfiledFederation();
+  auto report = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  obs::ProfileInputs inputs;
+  inputs.root = 0;  // whole trace = this single input
+  inputs.outcome = std::string(GlobalOutcomeName(report->outcome));
+  inputs.makespan_micros = report->run.makespan_micros;
+  inputs.messages = report->run.messages;
+  inputs.bytes = report->run.bytes;
+  auto profile =
+      obs::BuildQueryProfile(sys->environment().tracer(), inputs);
+
+  ASSERT_FALSE(profile.sites.empty());
+  int64_t attempts = 0, messages = 0, bytes = 0, verb_calls = 0;
+  for (const auto& site : profile.sites) {
+    attempts += site.attempts;
+    messages += site.messages;
+    bytes += site.bytes_to_site + site.bytes_from_site;
+    EXPECT_GT(site.lam_micros, 0) << site.service;
+    EXPECT_LE(site.lam_micros, site.rpc_micros) << site.service;
+    int64_t site_verb_calls = 0;
+    for (const auto& [verb, n] : site.verb_calls) site_verb_calls += n;
+    EXPECT_EQ(site_verb_calls, site.calls) << site.service;
+    verb_calls += site_verb_calls;
+  }
+  const auto& metrics = sys->environment().metrics();
+  EXPECT_EQ(attempts, metrics.Get("rpc.calls"));
+  EXPECT_EQ(messages, report->run.messages);
+  EXPECT_EQ(bytes, report->run.bytes);
+  EXPECT_GT(verb_calls, 0);
+  EXPECT_EQ(profile.execute_micros, report->run.makespan_micros);
+  // Clean run: no retries, faults or timeouts anywhere.
+  for (const auto& site : profile.sites) {
+    EXPECT_EQ(site.retries, 0) << site.service;
+    EXPECT_EQ(site.faults, 0) << site.service;
+    EXPECT_EQ(site.timeouts, 0) << site.service;
+  }
+  // The critical path starts at the input root and ends inside some
+  // service; its steps never travel backwards in time.
+  ASSERT_GE(profile.critical_path.size(), 2u);
+  for (size_t i = 1; i < profile.critical_path.size(); ++i) {
+    EXPECT_GE(profile.critical_path[i].sim_start_micros,
+              profile.critical_path[i - 1].sim_start_micros);
+    EXPECT_LE(profile.critical_path[i].sim_end_micros,
+              profile.critical_path[i - 1].sim_end_micros);
+  }
+  EXPECT_FALSE(profile.bounding_service.empty());
+}
+
+// A 2PC update across three airlines rolls its prepare/commit rounds
+// into the profile (delta and united prepare; §3.2's fare raise).
+TEST(ObsProfileTest, TwoPcRoundsAreProfiled) {
+  auto sys = ProfiledFederation();
+  auto report = sys->Execute(kFareRaise);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->outcome, GlobalOutcome::kSuccess);
+
+  obs::ProfileInputs inputs;
+  inputs.root = 0;
+  auto profile =
+      obs::BuildQueryProfile(sys->environment().tracer(), inputs);
+  EXPECT_GT(profile.two_pc.prepares, 0);
+  EXPECT_GT(profile.two_pc.prepare_micros, 0);
+  EXPECT_GT(profile.two_pc.commits, 0);
+  EXPECT_GT(profile.two_pc.commit_micros, 0);
+  EXPECT_EQ(profile.two_pc.reprobes, 0);
+  EXPECT_NE(report->profile_text.find("2pc: prepare"), std::string::npos)
+      << report->profile_text;
+}
+
+// Golden profile: two fresh federations under the same seed and fault
+// plan render byte-identical profile text and JSON (host time is
+// excluded by default — nothing nondeterministic is left).
+TEST(ObsProfileTest, ProfileTextIsByteIdenticalUnderFixedSeed) {
+  std::string first_text, second_text, first_json, second_json;
+  for (int run = 0; run < 2; ++run) {
+    auto sys = ProfiledFederation();
+    FaultPlan plan;
+    plan.rules.push_back(FaultRule::Spike("national_svc", 30000));
+    sys->environment().fault_injector().SetPlan(plan);
+    auto report = sys->Execute(kMultipleQuery);
+    ASSERT_TRUE(report.ok()) << report.status();
+    obs::ProfileInputs inputs;
+    inputs.root = 0;
+    inputs.outcome = std::string(GlobalOutcomeName(report->outcome));
+    auto profile =
+        obs::BuildQueryProfile(sys->environment().tracer(), inputs);
+    (run == 0 ? first_text : second_text) = report->profile_text;
+    (run == 0 ? first_json : second_json) =
+        obs::RenderProfileJson(profile);
+  }
+  EXPECT_GT(first_text.size(), 200u);
+  EXPECT_EQ(first_text, second_text);
+  EXPECT_EQ(first_json, second_json);
+  EXPECT_EQ(first_text.find("host_us"), std::string::npos);
+  // JSON shape smoke check.
+  EXPECT_EQ(first_json.rfind("{", 0), 0u);
+  EXPECT_NE(first_json.find("\"sites\":["), std::string::npos);
+  EXPECT_NE(first_json.find("\"critical_path\":["), std::string::npos);
+}
+
+// Profiles are normalized to the input's own start: the second input of
+// a session reports the same attribution as the first even though it
+// runs later on the session timeline.
+TEST(ObsProfileTest, ProfileIsIndependentOfTheSessionSimOffset) {
+  auto sys = ProfiledFederation();
+  auto first = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_FALSE(first->profile_text.empty());
+  EXPECT_EQ(first->profile_text, second->profile_text);
+}
+
+// Off by default: without set_collect_profiles the report carries no
+// profile text even when tracing is on.
+TEST(ObsProfileTest, ProfilingIsOffByDefault) {
+  auto sys_or = BuildPaperFederation();
+  ASSERT_TRUE(sys_or.ok()) << sys_or.status();
+  auto sys = std::move(*sys_or);
+  sys->environment().tracer().set_enabled(true);
+  sys->environment().metrics().set_enabled(true);
+  auto report = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->profile_text.empty());
+}
+
+// Counter deltas isolate one input's growth from the session counters.
+TEST(ObsProfileTest, CounterDeltasCoverOnlyTheProfiledInput) {
+  auto sys = ProfiledFederation();
+  auto first = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = sys->Execute(kMultipleQuery);
+  ASSERT_TRUE(second.ok()) << second.status();
+  // Both profiles report the same dol.runs delta (exactly this input),
+  // not the cumulative session counter.
+  for (const std::string* text :
+       {&first->profile_text, &second->profile_text}) {
+    EXPECT_NE(text->find("dol.runs +1"), std::string::npos) << *text;
+  }
+}
+
+}  // namespace
+}  // namespace msql::core
