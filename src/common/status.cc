@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kBusy:
+      return "Busy";
     case StatusCode::kInternal:
       return "Internal";
   }

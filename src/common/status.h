@@ -26,6 +26,7 @@ enum class StatusCode {
   kRefused,           // plan-time refusal: vital set not enforceable
   kAborted,           // operation rolled back (deadlock, injected failure)
   kUnavailable,       // site or service unreachable
+  kBusy,              // would block on a lock; retry once the holder ends
   kInternal,          // invariant breakage inside the MDBS itself
 };
 
@@ -75,6 +76,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

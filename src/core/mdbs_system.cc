@@ -413,6 +413,56 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQueryImpl(
     }
   }
 
+  MSQL_ASSIGN_OR_RETURN(PreparedInput prepared, PrepareQuery(query));
+  if (prepared.immediate.has_value()) return *std::move(prepared.immediate);
+  MSQL_RETURN_IF_ERROR(VerifyPreparedPlan(prepared.plan));
+  dol::DolEngine engine(&env_, retry_policy_);
+  auto run = engine.Run(prepared.plan.program);
+  return FinishPreparedRun(std::move(prepared), std::move(run));
+}
+
+Result<PreparedInput> MultidatabaseSystem::Prepare(
+    std::string_view msql_text) {
+  MSQL_ASSIGN_OR_RETURN(auto inputs, lang::MsqlParser::ParseScript(msql_text));
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument(
+        "Prepare expects exactly one MSQL input, got " +
+        std::to_string(inputs.size()));
+  }
+  return PrepareInput(inputs[0]);
+}
+
+Result<PreparedInput> MultidatabaseSystem::PrepareInput(
+    const lang::MsqlInput& input) {
+  switch (input.kind) {
+    case lang::MsqlInput::Kind::kQuery:
+      return PrepareQuery(*input.query);
+    case lang::MsqlInput::Kind::kMultiTransaction:
+      return PrepareMultiTransaction(*input.multitransaction);
+    default:
+      return Status::InvalidArgument(
+          "only queries and multitransactions can be prepared for "
+          "concurrent execution");
+  }
+}
+
+Result<PreparedInput> MultidatabaseSystem::PrepareQuery(
+    const MsqlQuery& query) {
+  // View queries re-enter the serial front end per multitable element;
+  // they do not compile down to a single plan.
+  if (query.body->kind() == StatementKind::kSelect) {
+    const auto& select =
+        static_cast<const relational::SelectStmt&>(*query.body);
+    if (select.from.size() == 1 && select.from[0].database.empty() &&
+        views_.count(ToLower(select.from[0].table)) > 0) {
+      return Status::InvalidArgument(
+          "multidatabase view queries execute serially and cannot be "
+          "prepared");
+    }
+  }
+
+  PreparedInput prepared;
+  prepared.kind = lang::MsqlInput::Kind::kQuery;
   MSQL_ASSIGN_OR_RETURN(MsqlQuery resolved, ResolveScope(query));
   translator::Translator translator(&ad_, &gdd_);
 
@@ -430,9 +480,9 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQueryImpl(
       obs::ScopedSpan translate_span(&env_.tracer(), "msql.translate",
                                      "frontend", 0);
       MSQL_ASSIGN_OR_RETURN(
-          auto plan, translator.TranslateDecomposedJoin(decomposition));
+          prepared.plan, translator.TranslateDecomposedJoin(decomposition));
       translate_span.End();
-      return RunPlan(std::move(plan), {}, nullptr);
+      return prepared;
     }
   }
 
@@ -449,18 +499,11 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQueryImpl(
     if (qualified_select && !insert.table.database.empty()) {
       obs::ScopedSpan translate_span(&env_.tracer(), "msql.translate",
                                      "frontend", 0);
-      MSQL_ASSIGN_OR_RETURN(auto plan,
+      MSQL_ASSIGN_OR_RETURN(prepared.plan,
                             translator.TranslateDataTransfer(insert));
       translate_span.End();
-      MSQL_ASSIGN_OR_RETURN(auto report,
-                            RunPlan(std::move(plan), {}, nullptr));
-      const dol::TaskOutcome* extract = report.run.FindTask("t_extract");
-      if (extract != nullptr) {
-        report.rows_transferred =
-            static_cast<int64_t>(extract->result.rows.size());
-      }
-      report.multitable.elements.clear();  // not a retrieval answer
-      return report;
+      prepared.data_transfer = true;
+      return prepared;
     }
   }
 
@@ -476,7 +519,8 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQueryImpl(
       ExecutionReport report;
       report.outcome = GlobalOutcome::kRefused;
       report.detail = Status::Refused(diags.RenderAll());
-      return report;
+      prepared.immediate = std::move(report);
+      return prepared;
     }
     return diags.ToStatus();
   }
@@ -499,7 +543,8 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQueryImpl(
             "VITAL database '" + entry.EffectiveName() +
             "' has no pertinent subquery in this multiple query");
         report.non_pertinent = expansion.non_pertinent;
-        return report;
+        prepared.immediate = std::move(report);
+        return prepared;
       }
     }
   }
@@ -514,16 +559,17 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteQueryImpl(
       report.outcome = GlobalOutcome::kRefused;
       report.detail = plan.status();
       report.non_pertinent = expansion.non_pertinent;
-      return report;
+      prepared.immediate = std::move(report);
+      return prepared;
     }
     return plan.status();
   }
-  MSQL_ASSIGN_OR_RETURN(
-      auto report,
-      RunPlan(std::move(*plan), expansion.non_pertinent, &expansion));
-  report.diagnostics = diags.items();  // surviving findings are warnings
-  MSQL_RETURN_IF_ERROR(FireTriggers(expansion, &report));
-  return report;
+  prepared.plan = std::move(*plan);
+  prepared.non_pertinent = expansion.non_pertinent;
+  prepared.warnings = diags.items();  // surviving findings are warnings
+  prepared.fire_triggers = true;
+  prepared.expansion = std::move(expansion);
+  return prepared;
 }
 
 Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
@@ -539,6 +585,18 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransaction(
 
 Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransactionImpl(
     const lang::MultiTransaction& mt) {
+  MSQL_ASSIGN_OR_RETURN(PreparedInput prepared, PrepareMultiTransaction(mt));
+  if (prepared.immediate.has_value()) return *std::move(prepared.immediate);
+  MSQL_RETURN_IF_ERROR(VerifyPreparedPlan(prepared.plan));
+  dol::DolEngine engine(&env_, retry_policy_);
+  auto run = engine.Run(prepared.plan.program);
+  return FinishPreparedRun(std::move(prepared), std::move(run));
+}
+
+Result<PreparedInput> MultidatabaseSystem::PrepareMultiTransaction(
+    const lang::MultiTransaction& mt) {
+  PreparedInput prepared;
+  prepared.kind = lang::MsqlInput::Kind::kMultiTransaction;
   translator::Translator translator(&ad_, &gdd_);
   lang::Expander expander(&gdd_);
   std::vector<ExpansionResult> expansions;
@@ -554,7 +612,8 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransactionImpl(
         ExecutionReport report;
         report.outcome = GlobalOutcome::kRefused;
         report.detail = Status::Refused(diags.RenderAll());
-        return report;
+        prepared.immediate = std::move(report);
+        return prepared;
       }
       return diags.ToStatus();
     }
@@ -575,7 +634,8 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransactionImpl(
       ExecutionReport report;
       report.outcome = GlobalOutcome::kRefused;
       report.detail = plan.status();
-      return report;
+      prepared.immediate = std::move(report);
+      return prepared;
     }
     return plan.status();
   }
@@ -585,39 +645,36 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteMultiTransactionImpl(
                          expansion.non_pertinent.begin(),
                          expansion.non_pertinent.end());
   }
-  MSQL_ASSIGN_OR_RETURN(
-      auto report, RunPlan(std::move(*plan), std::move(non_pertinent),
-                           nullptr));
-  report.diagnostics = std::move(warnings);
-  for (const auto& expansion : expansions) {
-    MSQL_RETURN_IF_ERROR(SyncGddAfterDdl(translator::Plan{}, report.run,
-                                         expansion));
-  }
-  return report;
+  prepared.plan = std::move(*plan);
+  prepared.non_pertinent = std::move(non_pertinent);
+  prepared.warnings = std::move(warnings);
+  prepared.mt_expansions = std::move(expansions);
+  return prepared;
 }
 
-Result<ExecutionReport> MultidatabaseSystem::RunPlan(
-    translator::Plan plan, std::vector<std::string> non_pertinent,
-    const ExpansionResult* expansion) {
+Status MultidatabaseSystem::VerifyPreparedPlan(
+    const translator::Plan& plan) {
   // Translator-bug oracle: every generated plan must pass the DOL
   // verifier before it is allowed near the federation. A rejection here
   // is a defect in the translator, not in the user's program.
-  {
-    obs::ScopedSpan verify_span(&env_.tracer(), "msql.verify", "frontend", 0);
-    analysis::DiagnosticList verdict = analysis::VerifyPlan(plan);
-    if (verdict.has_errors()) {
-      return Status::Internal(
-          "translator emitted a DOL plan the verifier rejects "
-          "(translator bug):\n" +
-          verdict.RenderAll() + "\n--- plan ---\n" + plan.program.ToDol());
-    }
+  obs::ScopedSpan verify_span(&env_.tracer(), "msql.verify", "frontend", 0);
+  analysis::DiagnosticList verdict = analysis::VerifyPlan(plan);
+  if (verdict.has_errors()) {
+    return Status::Internal(
+        "translator emitted a DOL plan the verifier rejects "
+        "(translator bug):\n" +
+        verdict.RenderAll() + "\n--- plan ---\n" + plan.program.ToDol());
   }
-  dol::DolEngine engine(&env_, retry_policy_);
+  return Status::OK();
+}
+
+ExecutionReport MultidatabaseSystem::AssembleRunReport(
+    const translator::Plan& plan, std::vector<std::string> non_pertinent,
+    Result<dol::DolRunResult> run) {
   ExecutionReport report;
   report.dol_text = plan.program.ToDol();
   report.non_pertinent = std::move(non_pertinent);
 
-  auto run = engine.Run(plan.program);
   if (!run.ok()) {
     // Program-level failure (failed compensation, protocol violation):
     // the multidatabase state may be incorrect.
@@ -713,9 +770,33 @@ Result<ExecutionReport> MultidatabaseSystem::RunPlan(
     if (task.result.plan_text.empty()) continue;
     report.plan_text += "task " + name + ":\n" + task.result.plan_text;
   }
+  return report;
+}
 
-  if (expansion != nullptr) {
-    MSQL_RETURN_IF_ERROR(SyncGddAfterDdl(plan, report.run, *expansion));
+Result<ExecutionReport> MultidatabaseSystem::FinishPreparedRun(
+    PreparedInput prepared, Result<dol::DolRunResult> run) {
+  const bool ran = run.ok();
+  ExecutionReport report = AssembleRunReport(
+      prepared.plan, std::move(prepared.non_pertinent), std::move(run));
+  if (prepared.data_transfer) {
+    const dol::TaskOutcome* extract = report.run.FindTask("t_extract");
+    if (extract != nullptr) {
+      report.rows_transferred =
+          static_cast<int64_t>(extract->result.rows.size());
+    }
+    report.multitable.elements.clear();  // not a retrieval answer
+  }
+  report.diagnostics = std::move(prepared.warnings);
+  if (ran && prepared.expansion.has_value()) {
+    MSQL_RETURN_IF_ERROR(
+        SyncGddAfterDdl(prepared.plan, report.run, *prepared.expansion));
+  }
+  for (const auto& expansion : prepared.mt_expansions) {
+    MSQL_RETURN_IF_ERROR(SyncGddAfterDdl(translator::Plan{}, report.run,
+                                         expansion));
+  }
+  if (prepared.fire_triggers && prepared.expansion.has_value()) {
+    MSQL_RETURN_IF_ERROR(FireTriggers(*prepared.expansion, &report));
   }
   return report;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -118,6 +119,34 @@ struct AnalysisReport {
   Status error;
 };
 
+/// A frontend-compiled MSQL input: the translated DOL plan plus
+/// everything needed to assemble its ExecutionReport once a driver has
+/// run the plan. Produced by Prepare/PrepareInput, consumed by
+/// FinishPreparedRun. The serial entry points use this split
+/// internally; the concurrent federation server uses it to prepare each
+/// session's input at admission, step the plan through
+/// DolEngine::BeginRun/Deliver interleaved with other sessions, and
+/// assemble the report when the program completes.
+struct PreparedInput {
+  lang::MsqlInput::Kind kind = lang::MsqlInput::Kind::kQuery;
+  translator::Plan plan;
+  /// Scope databases discarded as non-pertinent during disambiguation.
+  std::vector<std::string> non_pertinent;
+  /// Non-fatal checker findings to surface on the final report.
+  std::vector<analysis::Diagnostic> warnings;
+  /// Expansion behind a plain query plan (GDD sync + trigger source).
+  std::optional<lang::ExpansionResult> expansion;
+  /// Expansions behind a multitransaction plan (GDD sync).
+  std::vector<lang::ExpansionResult> mt_expansions;
+  /// INSERT..SELECT data transfer: fix up rows_transferred post-run.
+  bool data_transfer = false;
+  /// Fire interdatabase triggers after the run (plain query path only).
+  bool fire_triggers = false;
+  /// Input resolved entirely at prepare time (refusals): nothing to
+  /// run, report this as-is.
+  std::optional<ExecutionReport> immediate;
+};
+
 /// The multidatabase system of Figure 1: MSQL front end, translator,
 /// DOL engine and catalog, wired to a simulated multi-service
 /// environment. One instance = one federation.
@@ -196,6 +225,33 @@ class MultidatabaseSystem {
   Result<ExecutionReport> ExecuteQuery(const lang::MsqlQuery& query);
   Result<ExecutionReport> ExecuteMultiTransaction(
       const lang::MultiTransaction& mt);
+
+  // -- Prepared execution (the concurrent server's protocol) ---------------
+
+  /// Parses exactly one MSQL input and runs the whole front end on it
+  /// (scope resolution, checking, expansion, translation), yielding a
+  /// plan an external driver can run later. Only queries and
+  /// multitransactions are preparable — catalog-shaping inputs and view
+  /// queries execute serially (kUnimplemented).
+  Result<PreparedInput> Prepare(std::string_view msql_text);
+  /// Same, for an already-parsed input.
+  Result<PreparedInput> PrepareInput(const lang::MsqlInput& input);
+
+  /// Translator-bug oracle: every prepared plan must pass the DOL
+  /// verifier before it is allowed near the federation. A rejection
+  /// here is a defect in the translator, not in the user's program.
+  Status VerifyPreparedPlan(const translator::Plan& plan);
+
+  /// Assembles the ExecutionReport of a prepared input whose plan a
+  /// driver has run (`run` being DolEngine::Run/TakeResult output),
+  /// including post-run GDD maintenance and trigger firing.
+  Result<ExecutionReport> FinishPreparedRun(PreparedInput prepared,
+                                            Result<dol::DolRunResult> run);
+
+  /// Appends one query-log record for an executed input (no-op while
+  /// the log is disabled). Only top-level inputs are logged — nested
+  /// view/trigger executions are part of their outer input's record.
+  void LogInput(lang::MsqlInput::Kind kind, const ExecutionReport& report);
   Status ExecuteIncorporate(const lang::IncorporateStmt& stmt);
   Result<std::vector<std::string>> ExecuteImport(const lang::ImportStmt& stmt);
 
@@ -242,22 +298,26 @@ class MultidatabaseSystem {
   /// the profiler can attribute counter growth to the input.
   void SnapshotProfileCounters(bool top_level);
 
-  /// Appends one query-log record for an executed input (no-op while
-  /// the log is disabled). Only top-level inputs are logged — nested
-  /// view/trigger executions are part of their outer input's record.
-  void LogInput(lang::MsqlInput::Kind kind, const ExecutionReport& report);
-
   /// Analyzes one parsed input (helper of Analyze/AnalyzeScript).
   Result<AnalysisReport> AnalyzeInput(const lang::MsqlInput& input);
   Result<AnalysisReport> AnalyzeQuery(const lang::MsqlQuery& query);
   Result<AnalysisReport> AnalyzeMultiTransaction(
       const lang::MultiTransaction& mt);
 
-  /// Runs a translated plan and assembles the report; `expansion` (may
-  /// be null) drives post-run GDD maintenance for DDL queries.
-  Result<ExecutionReport> RunPlan(translator::Plan plan,
-                                  std::vector<std::string> non_pertinent,
-                                  const lang::ExpansionResult* expansion);
+  /// Front halves of the two preparable input kinds: everything up to
+  /// (and including) translation.
+  Result<PreparedInput> PrepareQuery(const lang::MsqlQuery& query);
+  Result<PreparedInput> PrepareMultiTransaction(
+      const lang::MultiTransaction& mt);
+
+  /// Turns a finished (or failed) DOL run of `plan` into the raw
+  /// ExecutionReport: outcome/dol_status mapping, per-database verdicts,
+  /// degradation notes and retrieval assembly. Pure function of its
+  /// arguments — FinishPreparedRun layers the catalog side effects on
+  /// top.
+  ExecutionReport AssembleRunReport(const translator::Plan& plan,
+                                    std::vector<std::string> non_pertinent,
+                                    Result<dol::DolRunResult> run);
 
   /// Applies committed DDL tasks to the GDD so it keeps mirroring the
   /// local conceptual schemas.

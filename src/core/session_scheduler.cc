@@ -1,0 +1,386 @@
+#include "core/session_scheduler.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace msql::core {
+
+FederationServer::FederationServer(MultidatabaseSystem* system,
+                                   ServerConfig config)
+    : system_(system), config_(config) {}
+
+uint64_t FederationServer::Submit(std::string msql_text) {
+  auto session = std::make_unique<Session>();
+  session->id = sessions_.size() + 1;
+  session->text = std::move(msql_text);
+  session->result.session_id = session->id;
+  sessions_.push_back(std::move(session));
+  return sessions_.back()->id;
+}
+
+Result<std::vector<SessionResult>> FederationServer::RunAll() {
+  netsim::Environment& env = system_->environment();
+  // Local engines must wait on lock conflicts (reporting kBusy + the
+  // blockers) instead of aborting, for the duration of the batch.
+  using WaitPolicy = relational::LockManager::WaitPolicy;
+  std::vector<std::pair<relational::LockManager*, WaitPolicy>> saved;
+  for (const auto& name : env.ServiceNames()) {
+    auto lam = env.GetLam(name);
+    if (!lam.ok()) continue;
+    relational::LockManager& locks = (*lam)->engine()->lock_manager();
+    saved.emplace_back(&locks, locks.wait_policy());
+    locks.set_wait_policy(WaitPolicy::kWait);
+  }
+  auto results = RunBatch();
+  for (auto& [locks, policy] : saved) locks->set_wait_policy(policy);
+  return results;
+}
+
+Result<std::vector<SessionResult>> FederationServer::RunBatch() {
+  clock_ = 0;
+  while (true) {
+    // Admission control: fill free slots in submit order.
+    while (next_unadmitted_ < sessions_.size() &&
+           (config_.max_admitted <= 0 || active_ < config_.max_admitted)) {
+      Admit(*sessions_[next_unadmitted_++]);
+    }
+    // Pick the ready session with the earliest effective call time
+    // (ties go to the lowest session id): calls reach the netsim in
+    // global time order, which keeps per-service admission queues FIFO.
+    Session* next = nullptr;
+    int64_t next_at = 0;
+    bool any_parked = false;
+    // Sessions are admitted in order and mostly finish in order, so the
+    // live window is [watermark_, next_unadmitted_): everything below
+    // the watermark is done, everything at or above next_unadmitted_ is
+    // still waiting for admission. Keeps the per-step scan proportional
+    // to the admitted set, not the whole batch.
+    while (watermark_ < sessions_.size() &&
+           sessions_[watermark_]->state == SessionState::kDone) {
+      ++watermark_;
+    }
+    for (size_t i = watermark_; i < next_unadmitted_; ++i) {
+      Session& s = *sessions_[i];
+      if (s.state == SessionState::kParked) any_parked = true;
+      if (s.state != SessionState::kReady) continue;
+      const dol::DolEngine::PendingRpc* rpc = s.engine->pending();
+      int64_t at = std::max(rpc->at, s.resume_at);
+      if (next == nullptr || at < next_at) {
+        next = &s;
+        next_at = at;
+      }
+    }
+    if (next == nullptr) {
+      if (any_parked) {
+        // Nothing runnable: every admitted session is blocked on locks.
+        BreakStall();
+        continue;
+      }
+      if (next_unadmitted_ < sessions_.size()) continue;  // admit more
+      break;  // batch complete
+    }
+    clock_ = std::max(clock_, next_at);
+    Step(*next, next_at);
+    // Lock-wait timeout sweep on the advanced clock.
+    if (config_.lock_wait_timeout_micros > 0) {
+      for (size_t i = watermark_; i < next_unadmitted_; ++i) {
+        Session& s = *sessions_[i];
+        if (s.state == SessionState::kParked &&
+            clock_ - s.parked_since >= config_.lock_wait_timeout_micros) {
+          AbortParked(s,
+                      "lock wait timeout: blocked for " +
+                          std::to_string(clock_ - s.parked_since) +
+                          "us at service '" + s.parked_service + "'",
+                      /*deadlock=*/false);
+        }
+      }
+    }
+  }
+  std::vector<SessionResult> results;
+  results.reserve(sessions_.size());
+  for (auto& entry : sessions_) results.push_back(std::move(entry->result));
+  sessions_.clear();
+  local_owner_.clear();
+  next_unadmitted_ = 0;
+  watermark_ = 0;
+  active_ = 0;
+  return results;
+}
+
+void FederationServer::SwapSpans(Session& s) {
+  s.span_stack = system_->environment().tracer().ExchangeParentStack(
+      std::move(s.span_stack));
+}
+
+void FederationServer::Admit(Session& s) {
+  s.state = SessionState::kReady;
+  ++active_;
+  s.result.admit_micros = clock_;
+  s.resume_at = clock_;
+  SwapSpans(s);
+  obs::Tracer& tracer = system_->environment().tracer();
+  s.root_span = tracer.StartSpan("session:" + std::to_string(s.id),
+                                 "server", clock_);
+  if (s.root_span != 0) tracer.PushParent(s.root_span);
+  auto prepared = system_->Prepare(s.text);
+  if (!prepared.ok()) {
+    s.result.status = prepared.status();
+    s.result.finish_micros = clock_;
+    CloseSession(s);
+    return;
+  }
+  if (prepared->immediate.has_value()) {
+    // Refused at prepare time: nothing to run.
+    ExecutionReport report = *std::move(prepared->immediate);
+    system_->LogInput(prepared->kind, report);
+    s.result.report = std::move(report);
+    s.result.finish_micros = clock_;
+    CloseSession(s);
+    return;
+  }
+  Status verified = system_->VerifyPreparedPlan(prepared->plan);
+  if (!verified.ok()) {
+    s.result.status = verified;
+    s.result.finish_micros = clock_;
+    CloseSession(s);
+    return;
+  }
+  s.prepared = std::move(*prepared);
+  s.engine = std::make_unique<dol::DolEngine>(&system_->environment(),
+                                              system_->retry_policy());
+  Status begun = s.engine->BeginRun(s.prepared->plan.program, clock_);
+  if (!begun.ok()) {
+    s.result.status = begun;
+    s.result.finish_micros = clock_;
+    CloseSession(s);
+    return;
+  }
+  if (s.engine->done()) {  // a program with no remote calls
+    Finish(s, s.engine->TakeResult());
+    return;
+  }
+  SwapSpans(s);
+}
+
+void FederationServer::Step(Session& s, int64_t at) {
+  netsim::Environment& env = system_->environment();
+  const dol::DolEngine::PendingRpc& rpc = *s.engine->pending();
+  // Copy what post-delivery bookkeeping needs: Deliver invalidates rpc.
+  const std::string service = rpc.service;
+  const netsim::LamRequestType verb = rpc.request.type;
+  const relational::SessionId local_session = rpc.request.session;
+
+  SwapSpans(s);
+  auto outcome = env.Call(service, rpc.request, at);
+  if (outcome.ok() &&
+      outcome->response.status.code() == StatusCode::kBusy) {
+    // The statement would block on another session's locks: withhold
+    // the response from the engine and park the session until a
+    // lock-releasing verb completes at this service. The retry simply
+    // re-issues the same request — the local executor acquires every
+    // lock before its first mutation, so re-execution is safe.
+    SwapSpans(s);
+    ++s.result.busy_probes;
+    ++s.result.lock_waits;
+    s.state = SessionState::kParked;
+    s.parked_service = service;
+    s.parked_since = outcome->timing.end_micros;
+    s.waits_for.clear();
+    for (relational::SessionId blocker : outcome->response.blocked_by) {
+      auto it = local_owner_.find({service, blocker});
+      if (it != local_owner_.end() && it->second != s.id) {
+        s.waits_for.push_back(it->second);
+      }
+    }
+    if (config_.deadlock_detection) {
+      Session* victim = FindDeadlockVictim(s);
+      if (victim != nullptr) {
+        AbortParked(*victim,
+                    "deadlock victim: aborted to break a waits-for cycle",
+                    /*deadlock=*/true);
+      }
+    }
+    return;
+  }
+
+  const bool ok_response = outcome.ok() && outcome->response.status.ok();
+  const relational::SessionId opened =
+      outcome.ok() ? outcome->response.session : 0;
+  const int64_t end = outcome.ok() ? outcome->timing.end_micros : at;
+  s.engine->Deliver(std::move(outcome));
+  if (s.engine->done()) {
+    Finish(s, s.engine->TakeResult());
+  } else {
+    SwapSpans(s);
+  }
+
+  // Maintain the (service, local session) -> federation session map the
+  // waits-for graph is built from.
+  if (verb == netsim::LamRequestType::kOpenSession && ok_response &&
+      opened != 0) {
+    local_owner_[{service, opened}] = s.id;
+  } else if (verb == netsim::LamRequestType::kCloseSession) {
+    local_owner_.erase({service, local_session});
+  }
+
+  // A completed lock-releasing verb may have freed parked sessions: a
+  // finished EXEC committed (autocommit) or aborted its statement's
+  // transaction, COMMIT/ROLLBACK ended an explicit one.
+  switch (verb) {
+    case netsim::LamRequestType::kExecute:
+    case netsim::LamRequestType::kCommit:
+    case netsim::LamRequestType::kRollback:
+    case netsim::LamRequestType::kCloseSession:
+      WakeParked(service, end);
+      break;
+    default:
+      break;
+  }
+}
+
+void FederationServer::WakeParked(const std::string& service, int64_t now) {
+  // Parked sessions are always admitted, so they live in the
+  // [watermark_, next_unadmitted_) window (see RunBatch).
+  for (size_t i = watermark_; i < next_unadmitted_; ++i) {
+    Session& s = *sessions_[i];
+    if (s.state != SessionState::kParked || s.parked_service != service) {
+      continue;
+    }
+    s.state = SessionState::kReady;
+    s.resume_at = std::max(s.resume_at, now);
+    s.result.lock_wait_micros += std::max<int64_t>(0, now - s.parked_since);
+    s.waits_for.clear();
+  }
+}
+
+FederationServer::Session* FederationServer::FindDeadlockVictim(Session& s) {
+  // Waits-for edges only change when a session parks, so any new cycle
+  // passes through the session that just parked: search for a path
+  // leading back to it.
+  std::set<uint64_t> visited;
+  std::vector<Session*> path;
+  std::function<bool(Session&)> walk = [&](Session& node) -> bool {
+    path.push_back(&node);
+    for (uint64_t target : node.waits_for) {
+      if (target == s.id) return true;
+      if (visited.count(target) > 0) continue;
+      visited.insert(target);
+      Session& next = *sessions_[target - 1];
+      if (next.state == SessionState::kParked && walk(next)) return true;
+    }
+    path.pop_back();
+    return false;
+  };
+  if (!walk(s)) return nullptr;
+  Session* victim = nullptr;
+  for (Session* node : path) {
+    if (victim == nullptr || node->id > victim->id) victim = node;
+  }
+  return victim;
+}
+
+void FederationServer::BreakStall() {
+  Session* victim = nullptr;
+  for (size_t i = watermark_; i < next_unadmitted_; ++i) {
+    Session* s = sessions_[i].get();
+    if (s->state == SessionState::kParked &&
+        (victim == nullptr || s->id > victim->id)) {
+      victim = s;
+    }
+  }
+  if (victim != nullptr) {
+    AbortParked(*victim,
+                "lock wait stalled: every admitted session is blocked; "
+                "aborted to restore progress",
+                /*deadlock=*/false);
+  }
+}
+
+void FederationServer::AbortParked(Session& s, const std::string& reason,
+                                   bool deadlock) {
+  const dol::DolEngine::PendingRpc& rpc = *s.engine->pending();
+  const std::string service = rpc.service;
+  netsim::Environment& env = system_->environment();
+  // Release what the blocked statement's transaction already holds at
+  // the contended site. Elsewhere the session's own DOL recovery path
+  // (ABORT prepared tasks, compensate committed ones) cleans up as for
+  // any aborted subtransaction; the status is ignored because there may
+  // be nothing to roll back.
+  auto lam = env.GetLam(service);
+  if (lam.ok()) {
+    (void)(*lam)->engine()->Rollback(rpc.request.session);
+  }
+  const int64_t now = std::max(clock_, s.parked_since);
+  s.result.lock_wait_micros += std::max<int64_t>(0, now - s.parked_since);
+  if (deadlock) {
+    s.result.deadlock_victim = true;
+  } else {
+    s.result.lock_timeout = true;
+  }
+  s.state = SessionState::kReady;
+  s.resume_at = now;
+  s.waits_for.clear();
+
+  netsim::CallOutcome aborted;
+  aborted.response.status = Status::Aborted(reason);
+  aborted.response.txn_state = relational::TxnState::kAborted;
+  aborted.timing.start_micros = s.parked_since;
+  aborted.timing.end_micros = now;
+  SwapSpans(s);
+  s.engine->Deliver(Result<netsim::CallOutcome>(std::move(aborted)));
+  if (s.engine->done()) {
+    Finish(s, s.engine->TakeResult());
+  } else {
+    SwapSpans(s);
+  }
+  // The rollback freed this session's locks at `service`.
+  WakeParked(service, now);
+}
+
+void FederationServer::Finish(Session& s, Result<dol::DolRunResult> run) {
+  int64_t end = clock_;
+  if (run.ok()) end = s.result.admit_micros + run->makespan_micros;
+  const lang::MsqlInput::Kind kind = s.prepared->kind;
+  auto report =
+      system_->FinishPreparedRun(std::move(*s.prepared), std::move(run));
+  if (!report.ok()) {
+    s.result.status = report.status();
+  } else {
+    system_->LogInput(kind, *report);
+    s.result.report = std::move(*report);
+  }
+  s.result.finish_micros = end;
+  // The server learns the outcome when the final response lands, so
+  // sessions waiting on admission cannot start before that instant.
+  clock_ = std::max(clock_, end);
+  CloseSession(s);
+}
+
+void FederationServer::CloseSession(Session& s) {
+  // Destroy the engine while the session's span context is current so
+  // any abandoned in-flight spans unwind onto the right stack.
+  s.engine.reset();
+  obs::Tracer& tracer = system_->environment().tracer();
+  if (s.root_span != 0) {
+    tracer.Annotate(s.root_span, "outcome",
+                    s.result.report.has_value()
+                        ? GlobalOutcomeName(s.result.report->outcome)
+                        : "error");
+    if (s.result.deadlock_victim) {
+      tracer.Annotate(s.root_span, "deadlock_victim", "true");
+    }
+    if (s.result.lock_timeout) {
+      tracer.Annotate(s.root_span, "lock_timeout", "true");
+    }
+    tracer.PopParent();
+    tracer.EndSpan(s.root_span, s.result.finish_micros);
+  }
+  SwapSpans(s);
+  s.state = SessionState::kDone;
+  --active_;
+  s.result.makespan_micros =
+      s.result.finish_micros - s.result.admit_micros;
+}
+
+}  // namespace msql::core

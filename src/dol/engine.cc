@@ -1,6 +1,7 @@
 #include "dol/engine.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/string_util.h"
 #include "obs/trace.h"
@@ -81,24 +82,45 @@ void DolEngine::ResetRunState() {
   run_bytes_ = 0;
 }
 
-Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
-  ResetRunState();
-  obs::ScopedSpan run_span(&env_->tracer(), "dol.run", "dol", 0);
+// -- Stepper ----------------------------------------------------------------
 
-  int64_t now = 0;
-  for (const auto& stmt : program.statements) {
-    MSQL_ASSIGN_OR_RETURN(now, ExecStmt(*stmt, now));
-    run_span.set_sim_end(now);
+void DolEngine::RpcAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  engine->pending_.emplace(PendingState{std::move(rpc), handle, this});
+}
+
+Status DolEngine::BeginRun(const DolProgram& program, int64_t start_micros) {
+  AbandonRun();  // an engine is always reusable, even after a dropped run
+  ResetRunState();
+  running_ = true;
+  run_start_micros_ = start_micros;
+  root_.emplace(RunProgram(program));
+  root_->Start();
+  return Status::OK();
+}
+
+void DolEngine::Deliver(Result<CallOutcome> outcome) {
+  assert(pending_.has_value() && "Deliver without a pending RPC");
+  if (!pending_) return;
+  PendingState state = std::move(*pending_);
+  pending_.reset();
+  state.awaiter->outcome.emplace(std::move(outcome));
+  state.continuation.resume();
+}
+
+Result<DolRunResult> DolEngine::TakeResult() {
+  if (!done()) {
+    return Status::Internal("TakeResult called before the DOL run finished");
   }
-  run_span.Annotate("makespan_micros", now);
-  run_span.Annotate("dol_status", static_cast<int64_t>(dol_status_));
-  env_->metrics().Inc("dol.runs");
-  env_->metrics().Observe("dol.makespan_micros", now);
+  Result<int64_t> final_now = root_->Take();
+  root_.reset();
+  pending_.reset();
+  running_ = false;
+  if (!final_now.ok()) return final_now.status();
 
   DolRunResult result;
   result.dol_status = dol_status_;
   result.tasks = std::move(tasks_);
-  result.makespan_micros = now;
+  result.makespan_micros = *final_now - run_start_micros_;
   // Per-run scoped accounting: CallService sums each call's own
   // messages/bytes, so concurrent unrelated traffic on the same
   // environment (probes, other runs, bootstrap SQL) is not charged to
@@ -115,31 +137,70 @@ Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
   return result;
 }
 
-Result<int64_t> DolEngine::ExecStmt(const DolStmt& stmt, int64_t at) {
+void DolEngine::AbandonRun() {
+  pending_.reset();
+  // Destroying the root frame unwinds every suspended child frame; their
+  // locals (open spans, state notes) run their destructors normally.
+  root_.reset();
+  running_ = false;
+}
+
+Result<DolRunResult> DolEngine::Run(const DolProgram& program) {
+  MSQL_RETURN_IF_ERROR(BeginRun(program, 0));
+  // Service each pending call immediately against the environment: the
+  // exact operation order of the pre-stepper interpreter.
+  while (!done()) {
+    const PendingRpc& rpc = *pending();
+    Deliver(env_->Call(rpc.service, rpc.request, rpc.at));
+  }
+  return TakeResult();
+}
+
+DolTask<int64_t> DolEngine::RunProgram(const DolProgram& program) {
+  obs::ScopedSpan run_span(&env_->tracer(), "dol.run", "dol",
+                           run_start_micros_);
+  int64_t now = run_start_micros_;
+  for (const auto& stmt : program.statements) {
+    MSQL_CO_AWAIT_OR_RETURN(now, ExecStmt(*stmt, now));
+    run_span.set_sim_end(now);
+  }
+  run_span.Annotate("makespan_micros", now - run_start_micros_);
+  run_span.Annotate("dol_status", static_cast<int64_t>(dol_status_));
+  env_->metrics().Inc("dol.runs");
+  env_->metrics().Observe("dol.makespan_micros", now - run_start_micros_);
+  co_return now;
+}
+
+// -- Interpreter ------------------------------------------------------------
+
+DolTask<int64_t> DolEngine::ExecStmt(const DolStmt& stmt, int64_t at) {
   switch (stmt.kind()) {
     case DolStmtKind::kOpen:
-      return ExecOpen(static_cast<const OpenStmt&>(stmt), at);
+      co_return co_await ExecOpen(static_cast<const OpenStmt&>(stmt), at);
     case DolStmtKind::kTask:
-      return ExecTask(static_cast<const TaskStmt&>(stmt), at);
+      co_return co_await ExecTask(static_cast<const TaskStmt&>(stmt), at);
     case DolStmtKind::kParallel:
-      return ExecParallel(static_cast<const ParallelStmt&>(stmt), at);
+      co_return co_await ExecParallel(static_cast<const ParallelStmt&>(stmt),
+                                      at);
     case DolStmtKind::kIf:
-      return ExecIf(static_cast<const IfStmt&>(stmt), at);
+      co_return co_await ExecIf(static_cast<const IfStmt&>(stmt), at);
     case DolStmtKind::kCommit:
-      return ExecCommit(static_cast<const CommitStmt&>(stmt), at);
+      co_return co_await ExecCommit(static_cast<const CommitStmt&>(stmt), at);
     case DolStmtKind::kAbort:
-      return ExecAbort(static_cast<const AbortStmt&>(stmt), at);
+      co_return co_await ExecAbort(static_cast<const AbortStmt&>(stmt), at);
     case DolStmtKind::kCompensate:
-      return ExecCompensate(static_cast<const CompensateStmt&>(stmt), at);
+      co_return co_await ExecCompensate(
+          static_cast<const CompensateStmt&>(stmt), at);
     case DolStmtKind::kTransfer:
-      return ExecTransfer(static_cast<const TransferStmt&>(stmt), at);
+      co_return co_await ExecTransfer(static_cast<const TransferStmt&>(stmt),
+                                      at);
     case DolStmtKind::kSetStatus:
       dol_status_ = static_cast<const SetStatusStmt&>(stmt).value;
-      return at;
+      co_return at;
     case DolStmtKind::kClose:
-      return ExecClose(static_cast<const CloseStmt&>(stmt), at);
+      co_return co_await ExecClose(static_cast<const CloseStmt&>(stmt), at);
   }
-  return Status::Internal("unhandled DOL statement kind");
+  co_return Status::Internal("unhandled DOL statement kind");
 }
 
 Result<DolEngine::Channel*> DolEngine::FindChannel(const std::string& alias) {
@@ -159,9 +220,9 @@ Result<TaskOutcome*> DolEngine::FindTask(const std::string& name) {
   return &it->second;
 }
 
-Result<CallOutcome> DolEngine::CallService(const std::string& service,
-                                           const LamRequest& request,
-                                           int64_t at, int attempt_base) {
+DolTask<CallOutcome> DolEngine::CallService(const std::string& service,
+                                            const LamRequest& request,
+                                            int64_t at, int attempt_base) {
   int64_t backoff = policy_.initial_backoff_micros;
   int attempt = attempt_base;
   while (true) {
@@ -174,7 +235,12 @@ Result<CallOutcome> DolEngine::CallService(const std::string& service,
         "rpc", at);
     rpc_span.Annotate("service", service);
     rpc_span.Annotate("attempt", static_cast<int64_t>(attempt));
-    auto outcome = env_->Call(service, request, at);
+    // Park here: the driver (Run's loop, or the federation scheduler)
+    // decides when this call is serviced and with what outcome. The
+    // awaiter is a named local, not a temporary — GCC 12 materializes a
+    // temporary awaiter at the wrong address, corrupting its members.
+    RpcAwaiter awaiter{this, PendingRpc{service, request, at}, {}};
+    auto outcome = co_await awaiter;
     CallOutcome result;
     if (!outcome.ok()) {
       // Network-level failure (site down): surface it as a
@@ -195,23 +261,26 @@ Result<CallOutcome> DolEngine::CallService(const std::string& service,
     if (result.fault != netsim::FaultAction::kNone) {
       rpc_span.Annotate("fault", netsim::FaultActionName(result.fault));
     }
+    if (result.timing.queue_micros > 0) {
+      rpc_span.Annotate("queue_micros", result.timing.queue_micros);
+    }
     if (result.timed_out) rpc_span.Annotate("timed_out", "true");
     if (!result.response.status.ok()) {
       rpc_span.Annotate("status",
                         StatusCodeName(result.response.status.code()));
     }
-    if (result.response.status.ok()) return result;
+    if (result.response.status.ok()) co_return result;
     // Only unavailability is transient; any other failure is a definite
     // local verdict and retrying cannot change it.
     if (result.response.status.code() != StatusCode::kUnavailable) {
-      return result;
+      co_return result;
     }
     // A timed-out call may have been executed; re-sending is only safe
     // for idempotent verbs — the caller resolves the rest by re-probe.
     if (result.timed_out && !RetryableOnTimeout(request.type)) {
-      return result;
+      co_return result;
     }
-    if (attempt >= policy_.max_attempts) return result;
+    if (attempt >= policy_.max_attempts) co_return result;
     ++attempt;
     ++retries_;
     env_->metrics().Inc("dol.retries");
@@ -224,14 +293,14 @@ Result<CallOutcome> DolEngine::CallService(const std::string& service,
   }
 }
 
-Result<CallOutcome> DolEngine::Call(Channel* channel,
-                                    const LamRequest& request, int64_t at,
-                                    int attempt_base) {
-  return CallService(channel->service, request, at, attempt_base);
+DolTask<CallOutcome> DolEngine::Call(Channel* channel,
+                                     const LamRequest& request, int64_t at,
+                                     int attempt_base) {
+  co_return co_await CallService(channel->service, request, at, attempt_base);
 }
 
-Result<TxnState> DolEngine::Reprobe(Channel* channel, int64_t* now,
-                                    bool* probe_failed) {
+DolTask<TxnState> DolEngine::Reprobe(Channel* channel, int64_t* now,
+                                     bool* probe_failed) {
   LamRequest probe;
   probe.type = LamRequestType::kQueryTxnState;
   probe.session = channel->session;
@@ -239,23 +308,23 @@ Result<TxnState> DolEngine::Reprobe(Channel* channel, int64_t* now,
   env_->metrics().Inc("dol.reprobes");
   obs::ScopedSpan span(&env_->tracer(), "reprobe", "2pc", *now);
   span.Annotate("service", channel->service);
-  MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, probe, *now));
+  MSQL_CO_AWAIT_OR_RETURN(auto outcome, Call(channel, probe, *now));
   *now = outcome.timing.end_micros;
   span.set_sim_end(*now);
   if (!outcome.response.status.ok()) {
     *probe_failed = true;
     span.Annotate("observed", "unresolved");
-    return TxnState::kActive;
+    co_return TxnState::kActive;
   }
   *probe_failed = false;
-  return outcome.response.txn_state;
+  co_return outcome.response.txn_state;
 }
 
-Result<int64_t> DolEngine::ExecOpen(const OpenStmt& stmt, int64_t at) {
+DolTask<int64_t> DolEngine::ExecOpen(const OpenStmt& stmt, int64_t at) {
   std::string alias = ToLower(stmt.alias);
   if (channels_.count(alias) > 0) {
-    return Status::InvalidArgument("DOL alias '" + alias +
-                                   "' is already open");
+    co_return Status::InvalidArgument("DOL alias '" + alias +
+                                      "' is already open");
   }
   Channel channel;
   channel.service = ToLower(stmt.service);
@@ -269,7 +338,8 @@ Result<int64_t> DolEngine::ExecOpen(const OpenStmt& stmt, int64_t at) {
   LamRequest open;
   open.type = LamRequestType::kOpenSession;
   open.database = channel.database;
-  MSQL_ASSIGN_OR_RETURN(auto outcome, CallService(channel.service, open, at));
+  MSQL_CO_AWAIT_OR_RETURN(auto outcome,
+                          CallService(channel.service, open, at));
   int64_t end = outcome.timing.end_micros;
   span.set_sim_end(end);
   if (!outcome.response.status.ok()) {
@@ -281,19 +351,27 @@ Result<int64_t> DolEngine::ExecOpen(const OpenStmt& stmt, int64_t at) {
     channel.session = outcome.response.session;
   }
   channels_.emplace(alias, std::move(channel));
-  return end;
+  co_return end;
 }
 
-Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
+DolTask<int64_t> DolEngine::DrainTxn(Channel* channel, int64_t when) {
+  LamRequest rollback;
+  rollback.type = LamRequestType::kRollback;
+  rollback.session = channel->session;
+  MSQL_CO_AWAIT_OR_RETURN(auto rb_out, Call(channel, rollback, when));
+  co_return rb_out.timing.end_micros;
+}
+
+DolTask<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
   std::string name = ToLower(stmt.name);
   if (tasks_.count(name) > 0) {
-    return Status::InvalidArgument("DOL task '" + name +
-                                   "' is declared twice");
+    co_return Status::InvalidArgument("DOL task '" + name +
+                                      "' is declared twice");
   }
   TaskOutcome outcome;
   outcome.name = name;
   outcome.start_micros = at;
-  MSQL_ASSIGN_OR_RETURN(Channel * channel, FindChannel(stmt.target_alias));
+  MSQL_CO_ASSIGN_OR_RETURN(Channel * channel, FindChannel(stmt.target_alias));
   outcome.service = channel->service;
   outcome.database = channel->database;
 
@@ -321,7 +399,7 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
     outcome.last_status = channel->open_status;
     outcome.end_micros = at;
     tasks_.emplace(name, std::move(outcome));
-    return at;
+    co_return at;
   }
 
   int64_t now = at;
@@ -331,30 +409,23 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
     outcome.end_micros = end;
     return end;
   };
-  // Best-effort rollback after a timed-out call: the lost call may have
-  // left a transaction open and holding locks. A rollback failure is
-  // ignored — there may be nothing to roll back.
-  auto drain_txn = [&](int64_t when) -> Result<int64_t> {
-    LamRequest rollback;
-    rollback.type = LamRequestType::kRollback;
-    rollback.session = channel->session;
-    MSQL_ASSIGN_OR_RETURN(auto rb_out, Call(channel, rollback, when));
-    return rb_out.timing.end_micros;
-  };
+  // Best-effort rollback after a timed-out call (DrainTxn): the lost
+  // call may have left a transaction open and holding locks. A rollback
+  // failure is ignored — there may be nothing to roll back.
 
   if (stmt.nocommit) {
     LamRequest begin;
     begin.type = LamRequestType::kBegin;
     begin.session = channel->session;
-    MSQL_ASSIGN_OR_RETURN(auto begin_out, Call(channel, begin, now));
+    MSQL_CO_AWAIT_OR_RETURN(auto begin_out, Call(channel, begin, now));
     now = begin_out.timing.end_micros;
     if (!begin_out.response.status.ok()) {
       if (begin_out.timed_out) {
-        MSQL_ASSIGN_OR_RETURN(now, drain_txn(now));
+        MSQL_CO_AWAIT_OR_RETURN(now, DrainTxn(channel, now));
       }
       now = abort_task(begin_out.response.status, now);
       tasks_.emplace(name, std::move(outcome));
-      return now;
+      co_return now;
     }
   }
 
@@ -362,18 +433,18 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
   exec.type = LamRequestType::kExecute;
   exec.session = channel->session;
   exec.sql = stmt.body_sql;
-  MSQL_ASSIGN_OR_RETURN(auto exec_out, Call(channel, exec, now));
+  MSQL_CO_AWAIT_OR_RETURN(auto exec_out, Call(channel, exec, now));
   now = exec_out.timing.end_micros;
   if (!exec_out.response.status.ok()) {
     // On a definite local failure the engine has already aborted the
     // enclosing transaction; after a timeout the statement may have
     // been applied with the transaction still open, so drain it.
     if (exec_out.timed_out && stmt.nocommit) {
-      MSQL_ASSIGN_OR_RETURN(now, drain_txn(now));
+      MSQL_CO_AWAIT_OR_RETURN(now, DrainTxn(channel, now));
     }
     now = abort_task(exec_out.response.status, now);
     tasks_.emplace(name, std::move(outcome));
-    return now;
+    co_return now;
   }
   outcome.result = std::move(exec_out.response.result);
 
@@ -383,7 +454,7 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
     LamRequest prepare;
     prepare.type = LamRequestType::kPrepare;
     prepare.session = channel->session;
-    MSQL_ASSIGN_OR_RETURN(auto prep_out, Call(channel, prepare, now));
+    MSQL_CO_AWAIT_OR_RETURN(auto prep_out, Call(channel, prepare, now));
     now = prep_out.timing.end_micros;
     prep_span.set_sim_end(now);
     bool prepared = prep_out.response.status.ok();
@@ -395,8 +466,8 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
       int64_t backoff = policy_.initial_backoff_micros;
       while (true) {
         bool probe_failed = false;
-        MSQL_ASSIGN_OR_RETURN(TxnState state,
-                              Reprobe(channel, &now, &probe_failed));
+        MSQL_CO_AWAIT_OR_RETURN(TxnState state,
+                                Reprobe(channel, &now, &probe_failed));
         if (!probe_failed && state == TxnState::kPrepared) {
           prepared = true;
           break;
@@ -413,7 +484,8 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
             static_cast<int64_t>(static_cast<double>(backoff) *
                                  policy_.backoff_multiplier),
             policy_.max_backoff_micros);
-        MSQL_ASSIGN_OR_RETURN(auto again, Call(channel, prepare, now, attempt));
+        MSQL_CO_AWAIT_OR_RETURN(auto again,
+                                Call(channel, prepare, now, attempt));
         now = again.timing.end_micros;
         if (again.response.status.ok()) {
           prepared = true;
@@ -434,11 +506,11 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
       // (refused): roll it back so no locks leak, then mark aborted.
       if (prep_out.response.txn_state == relational::TxnState::kActive ||
           prep_out.timed_out) {
-        MSQL_ASSIGN_OR_RETURN(now, drain_txn(now));
+        MSQL_CO_AWAIT_OR_RETURN(now, DrainTxn(channel, now));
       }
       now = abort_task(prep_out.response.status, now);
       tasks_.emplace(name, std::move(outcome));
-      return now;
+      co_return now;
     }
     outcome.state = DolTaskState::kPrepared;
   } else {
@@ -447,30 +519,32 @@ Result<int64_t> DolEngine::ExecTask(const TaskStmt& stmt, int64_t at) {
   outcome.end_micros = now;
   task_channel_[name] = ToLower(stmt.target_alias);
   tasks_.emplace(name, std::move(outcome));
-  return now;
+  co_return now;
 }
 
-Result<int64_t> DolEngine::ExecParallel(const ParallelStmt& stmt,
-                                        int64_t at) {
+DolTask<int64_t> DolEngine::ExecParallel(const ParallelStmt& stmt,
+                                         int64_t at) {
   obs::ScopedSpan par_span(&env_->tracer(), "dol.parbegin", "dol", at);
   par_span.Annotate("statements", static_cast<int64_t>(stmt.body.size()));
   int64_t latest = at;
+  // Branches are *stepped* in program order but their simulated clocks
+  // all fork from `at` — the forked-clock parallelism of §4.3.
   for (const auto& inner : stmt.body) {
-    MSQL_ASSIGN_OR_RETURN(int64_t end, ExecStmt(*inner, at));
+    MSQL_CO_AWAIT_OR_RETURN(int64_t end, ExecStmt(*inner, at));
     latest = std::max(latest, end);
   }
   par_span.set_sim_end(latest);
-  return latest;
+  co_return latest;
 }
 
-Result<int64_t> DolEngine::ExecIf(const IfStmt& stmt, int64_t at) {
-  MSQL_ASSIGN_OR_RETURN(bool taken, EvalCond(*stmt.condition));
+DolTask<int64_t> DolEngine::ExecIf(const IfStmt& stmt, int64_t at) {
+  MSQL_CO_ASSIGN_OR_RETURN(bool taken, EvalCond(*stmt.condition));
   const auto& branch = taken ? stmt.then_branch : stmt.else_branch;
   int64_t now = at;
   for (const auto& inner : branch) {
-    MSQL_ASSIGN_OR_RETURN(now, ExecStmt(*inner, now));
+    MSQL_CO_AWAIT_OR_RETURN(now, ExecStmt(*inner, now));
   }
-  return now;
+  co_return now;
 }
 
 Result<bool> DolEngine::EvalCond(const DolCond& cond) const {
@@ -505,18 +579,18 @@ Result<bool> DolEngine::EvalCond(const DolCond& cond) const {
   return Status::Internal("unhandled condition kind");
 }
 
-Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
+DolTask<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
   int64_t now = at;
   for (const auto& task_name : stmt.tasks) {
-    MSQL_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
+    MSQL_CO_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
     if (task->state == DolTaskState::kCommitted) continue;  // idempotent
     if (task->state != DolTaskState::kPrepared) {
-      return Status::TransactionError(
+      co_return Status::TransactionError(
           "COMMIT of task '" + task->name + "' in state " +
           std::string(DolTaskStateName(task->state)));
     }
-    MSQL_ASSIGN_OR_RETURN(Channel * channel,
-                          FindChannel(task_channel_.at(task->name)));
+    MSQL_CO_ASSIGN_OR_RETURN(Channel * channel,
+                             FindChannel(task_channel_.at(task->name)));
     obs::ScopedSpan commit_span(&env_->tracer(), "2pc.commit", "2pc", now);
     commit_span.Annotate("task", task->name);
     struct CommitNote {
@@ -531,7 +605,7 @@ Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
     LamRequest commit;
     commit.type = LamRequestType::kCommit;
     commit.session = channel->session;
-    MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, commit, now));
+    MSQL_CO_AWAIT_OR_RETURN(auto outcome, Call(channel, commit, now));
     now = outcome.timing.end_micros;
     if (outcome.response.status.ok()) {
       task->state = DolTaskState::kCommitted;
@@ -547,8 +621,8 @@ Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
       bool resolved = false;
       while (!resolved) {
         bool probe_failed = false;
-        MSQL_ASSIGN_OR_RETURN(TxnState state,
-                              Reprobe(channel, &now, &probe_failed));
+        MSQL_CO_AWAIT_OR_RETURN(TxnState state,
+                                Reprobe(channel, &now, &probe_failed));
         if (probe_failed) {
           // State unobservable: conservatively mark aborted; the plan's
           // verify step will report the execution incorrect.
@@ -577,8 +651,8 @@ Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
               static_cast<int64_t>(static_cast<double>(backoff) *
                                    policy_.backoff_multiplier),
               policy_.max_backoff_micros);
-          MSQL_ASSIGN_OR_RETURN(auto again,
-                                Call(channel, commit, now, attempt));
+          MSQL_CO_AWAIT_OR_RETURN(auto again,
+                                  Call(channel, commit, now, attempt));
           now = again.timing.end_micros;
           if (again.response.status.ok()) {
             task->state = DolTaskState::kCommitted;
@@ -597,86 +671,86 @@ Result<int64_t> DolEngine::ExecCommit(const CommitStmt& stmt, int64_t at) {
     task->state = DolTaskState::kAborted;
     task->last_status = outcome.response.status;
   }
-  return now;
+  co_return now;
 }
 
-Result<int64_t> DolEngine::ExecAbort(const AbortStmt& stmt, int64_t at) {
+DolTask<int64_t> DolEngine::ExecAbort(const AbortStmt& stmt, int64_t at) {
   int64_t now = at;
   for (const auto& task_name : stmt.tasks) {
-    MSQL_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
+    MSQL_CO_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
     if (task->state == DolTaskState::kAborted ||
         task->state == DolTaskState::kNotRun) {
       task->state = DolTaskState::kAborted;
       continue;
     }
     if (task->state != DolTaskState::kPrepared) {
-      return Status::TransactionError(
+      co_return Status::TransactionError(
           "ABORT of task '" + task->name + "' in state " +
           std::string(DolTaskStateName(task->state)) +
           " (committed tasks must be compensated)");
     }
-    MSQL_ASSIGN_OR_RETURN(Channel * channel,
-                          FindChannel(task_channel_.at(task->name)));
+    MSQL_CO_ASSIGN_OR_RETURN(Channel * channel,
+                             FindChannel(task_channel_.at(task->name)));
     LamRequest rollback;
     rollback.type = LamRequestType::kRollback;
     rollback.session = channel->session;
-    MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, rollback, now));
+    MSQL_CO_AWAIT_OR_RETURN(auto outcome, Call(channel, rollback, now));
     now = outcome.timing.end_micros;
     task->state = DolTaskState::kAborted;
     if (!outcome.response.status.ok()) {
       task->last_status = outcome.response.status;
     }
   }
-  return now;
+  co_return now;
 }
 
-Result<int64_t> DolEngine::ExecCompensate(const CompensateStmt& stmt,
-                                          int64_t at) {
+DolTask<int64_t> DolEngine::ExecCompensate(const CompensateStmt& stmt,
+                                           int64_t at) {
   int64_t now = at;
   for (const auto& task_name : stmt.tasks) {
-    MSQL_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
+    MSQL_CO_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(task_name));
     if (task->state != DolTaskState::kCommitted) {
-      return Status::TransactionError(
+      co_return Status::TransactionError(
           "COMPENSATE of task '" + task->name + "' in state " +
           std::string(DolTaskStateName(task->state)) +
           " (only committed tasks can be compensated)");
     }
     auto comp_it = compensations_.find(task->name);
     if (comp_it == compensations_.end() || comp_it->second.empty()) {
-      return Status::TransactionError(
+      co_return Status::TransactionError(
           "task '" + task->name + "' declares no COMPENSATION block");
     }
-    MSQL_ASSIGN_OR_RETURN(Channel * channel,
-                          FindChannel(task_channel_.at(task->name)));
+    MSQL_CO_ASSIGN_OR_RETURN(Channel * channel,
+                             FindChannel(task_channel_.at(task->name)));
     LamRequest exec;
     exec.type = LamRequestType::kExecute;
     exec.session = channel->session;
     exec.sql = comp_it->second;
-    MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, exec, now));
+    MSQL_CO_AWAIT_OR_RETURN(auto outcome, Call(channel, exec, now));
     now = outcome.timing.end_micros;
     if (!outcome.response.status.ok()) {
       // A failed compensation leaves the multidatabase incorrect; no
       // sound plan can recover, so surface it as a program error.
-      return Status::TransactionError(
+      co_return Status::TransactionError(
           "compensation of task '" + task->name + "' failed: " +
           outcome.response.status.ToString());
     }
     task->state = DolTaskState::kCompensated;
   }
-  return now;
+  co_return now;
 }
 
-Result<int64_t> DolEngine::ExecTransfer(const TransferStmt& stmt,
-                                        int64_t at) {
-  MSQL_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(stmt.task));
+DolTask<int64_t> DolEngine::ExecTransfer(const TransferStmt& stmt,
+                                         int64_t at) {
+  MSQL_CO_ASSIGN_OR_RETURN(TaskOutcome * task, FindTask(stmt.task));
   if (!task->result.IsQueryResult()) {
-    return Status::InvalidArgument("TRANSFER source task '" + task->name +
-                                   "' produced no query result");
+    co_return Status::InvalidArgument("TRANSFER source task '" + task->name +
+                                      "' produced no query result");
   }
-  MSQL_ASSIGN_OR_RETURN(Channel * channel, FindChannel(stmt.target_alias));
+  MSQL_CO_ASSIGN_OR_RETURN(Channel * channel, FindChannel(stmt.target_alias));
   if (channel->failed) {
-    return Status::Unavailable("TRANSFER target channel '" +
-                               stmt.target_alias + "' is not usable");
+    co_return Status::Unavailable("TRANSFER target channel '" +
+                                  stmt.target_alias + "' is not usable");
   }
 
   int64_t now = at;
@@ -695,9 +769,9 @@ Result<int64_t> DolEngine::ExecTransfer(const TransferStmt& stmt,
     create_req.type = LamRequestType::kExecute;
     create_req.session = channel->session;
     create_req.sql = create;
-    MSQL_ASSIGN_OR_RETURN(auto create_out, Call(channel, create_req, at));
+    MSQL_CO_AWAIT_OR_RETURN(auto create_out, Call(channel, create_req, at));
     now = create_out.timing.end_micros;
-    MSQL_RETURN_IF_ERROR(create_out.response.status);
+    MSQL_CO_RETURN_IF_ERROR(create_out.response.status);
   }
 
   if (!task->result.rows.empty()) {
@@ -725,17 +799,17 @@ Result<int64_t> DolEngine::ExecTransfer(const TransferStmt& stmt,
     insert_req.type = LamRequestType::kExecute;
     insert_req.session = channel->session;
     insert_req.sql = std::move(insert);
-    MSQL_ASSIGN_OR_RETURN(auto insert_out, Call(channel, insert_req, now));
+    MSQL_CO_AWAIT_OR_RETURN(auto insert_out, Call(channel, insert_req, now));
     now = insert_out.timing.end_micros;
-    MSQL_RETURN_IF_ERROR(insert_out.response.status);
+    MSQL_CO_RETURN_IF_ERROR(insert_out.response.status);
   }
-  return now;
+  co_return now;
 }
 
-Result<int64_t> DolEngine::ExecClose(const CloseStmt& stmt, int64_t at) {
+DolTask<int64_t> DolEngine::ExecClose(const CloseStmt& stmt, int64_t at) {
   int64_t now = at;
   for (const auto& alias : stmt.aliases) {
-    MSQL_ASSIGN_OR_RETURN(Channel * channel, FindChannel(alias));
+    MSQL_CO_ASSIGN_OR_RETURN(Channel * channel, FindChannel(alias));
     if (channel->failed || channel->session == 0) {
       channel->failed = true;
       continue;
@@ -747,13 +821,13 @@ Result<int64_t> DolEngine::ExecClose(const CloseStmt& stmt, int64_t at) {
     LamRequest close;
     close.type = LamRequestType::kCloseSession;
     close.session = channel->session;
-    MSQL_ASSIGN_OR_RETURN(auto outcome, Call(channel, close, now));
+    MSQL_CO_AWAIT_OR_RETURN(auto outcome, Call(channel, close, now));
     now = outcome.timing.end_micros;
     close_span.set_sim_end(now);
     channel->failed = true;  // no further use
     channel->session = 0;
   }
-  return now;
+  co_return now;
 }
 
 }  // namespace msql::dol

@@ -1,13 +1,16 @@
 #ifndef MSQL_DOL_ENGINE_H_
 #define MSQL_DOL_ENGINE_H_
 
+#include <coroutine>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "dol/ast.h"
+#include "dol/task.h"
 #include "netsim/environment.h"
 #include "relational/result_set.h"
 
@@ -117,6 +120,10 @@ class DolEngine {
  public:
   explicit DolEngine(netsim::Environment* env, RetryPolicy policy = {})
       : env_(env), policy_(policy) {}
+  ~DolEngine() { AbandonRun(); }
+
+  DolEngine(const DolEngine&) = delete;
+  DolEngine& operator=(const DolEngine&) = delete;
 
   const RetryPolicy& retry_policy() const { return policy_; }
 
@@ -124,7 +131,57 @@ class DolEngine {
   /// per-run state (channels, tasks, compensations, counters, status)
   /// is reset at entry, so one engine instance can run a sequence of
   /// programs without leaking prior-run state into the next result.
+  ///
+  /// Implemented on top of the stepper below — BeginRun, then a loop
+  /// that services each pending RPC against the environment in program
+  /// order, which reproduces the pre-stepper run-to-completion
+  /// interpreter operation for operation.
   Result<DolRunResult> Run(const DolProgram& program);
+
+  // -- Resumable stepper (DESIGN.md §12) ---------------------------------
+  //
+  // A run is a cooperative task: the interpreter executes until it needs
+  // a remote call, then parks with that call exposed through pending().
+  // The driver (Run above, or the concurrent federation scheduler)
+  // decides when and with what outcome the call completes and resumes
+  // the run with Deliver. At most one RPC is pending per engine — DOL
+  // PARBEGIN keeps its forked-clock semantics (every branch starts at
+  // the block's start time), so branches are *stepped* sequentially
+  // while their simulated intervals overlap.
+
+  /// One remote call the parked run is waiting on.
+  struct PendingRpc {
+    std::string service;
+    netsim::LamRequest request;
+    /// Simulated time the coordinator issues the call.
+    int64_t at = 0;
+  };
+
+  /// Starts `program` at simulated time `start_micros` and executes up
+  /// to the first pending RPC (or to completion for programs that never
+  /// call out). `program` must outlive the run. Fails if a run is
+  /// already in flight.
+  Status BeginRun(const DolProgram& program, int64_t start_micros = 0);
+
+  /// A run has been started and not yet collected with TakeResult.
+  bool running() const { return running_; }
+  /// The run finished (TakeResult is ready).
+  bool done() const { return running_ && root_ && root_->Done(); }
+  /// The RPC the run is parked on (nullptr when !running or done).
+  const PendingRpc* pending() const {
+    return pending_ ? &pending_->rpc : nullptr;
+  }
+
+  /// Resumes the parked run with the outcome of its pending call;
+  /// afterwards the engine is either done() or parked on a new RPC.
+  void Deliver(Result<netsim::CallOutcome> outcome);
+
+  /// Collects the finished run's result and ends the run.
+  Result<DolRunResult> TakeResult();
+
+  /// Drops an in-flight run (frames unwound, no result). No-op when no
+  /// run is active.
+  void AbandonRun();
 
  private:
   struct Channel {
@@ -135,21 +192,50 @@ class DolEngine {
     Status open_status;      // failure detail
   };
 
-  /// Clears every piece of per-run state; called at the top of Run.
+  /// Awaiting this parks the run and exposes the call via pending();
+  /// Deliver fills `outcome` and resumes.
+  struct RpcAwaiter {
+    DolEngine* engine;
+    PendingRpc rpc;
+    std::optional<Result<netsim::CallOutcome>> outcome;
+
+    bool await_ready() { return false; }
+    void await_suspend(std::coroutine_handle<> handle);
+    Result<netsim::CallOutcome> await_resume() {
+      return std::move(*outcome);
+    }
+  };
+
+  /// The parked run: the continuation to resume and the awaiter slot the
+  /// delivered outcome goes into.
+  struct PendingState {
+    PendingRpc rpc;
+    std::coroutine_handle<> continuation;
+    RpcAwaiter* awaiter = nullptr;
+  };
+
+  /// Clears every piece of per-run state; called at the top of BeginRun.
   void ResetRunState();
 
-  /// Executes one statement starting at `at`; returns its end time.
-  Result<int64_t> ExecStmt(const DolStmt& stmt, int64_t at);
+  /// Root coroutine of one run: the statement loop of the pre-stepper
+  /// Run, ending at the program's final simulated time.
+  DolTask<int64_t> RunProgram(const DolProgram& program);
 
-  Result<int64_t> ExecOpen(const OpenStmt& stmt, int64_t at);
-  Result<int64_t> ExecTask(const TaskStmt& stmt, int64_t at);
-  Result<int64_t> ExecParallel(const ParallelStmt& stmt, int64_t at);
-  Result<int64_t> ExecIf(const IfStmt& stmt, int64_t at);
-  Result<int64_t> ExecCommit(const CommitStmt& stmt, int64_t at);
-  Result<int64_t> ExecAbort(const AbortStmt& stmt, int64_t at);
-  Result<int64_t> ExecCompensate(const CompensateStmt& stmt, int64_t at);
-  Result<int64_t> ExecTransfer(const TransferStmt& stmt, int64_t at);
-  Result<int64_t> ExecClose(const CloseStmt& stmt, int64_t at);
+  /// Executes one statement starting at `at`; returns its end time.
+  DolTask<int64_t> ExecStmt(const DolStmt& stmt, int64_t at);
+
+  DolTask<int64_t> ExecOpen(const OpenStmt& stmt, int64_t at);
+  /// Best-effort rollback of a channel's possibly-open transaction after
+  /// a timed-out call; returns the rollback's end time.
+  DolTask<int64_t> DrainTxn(Channel* channel, int64_t when);
+  DolTask<int64_t> ExecTask(const TaskStmt& stmt, int64_t at);
+  DolTask<int64_t> ExecParallel(const ParallelStmt& stmt, int64_t at);
+  DolTask<int64_t> ExecIf(const IfStmt& stmt, int64_t at);
+  DolTask<int64_t> ExecCommit(const CommitStmt& stmt, int64_t at);
+  DolTask<int64_t> ExecAbort(const AbortStmt& stmt, int64_t at);
+  DolTask<int64_t> ExecCompensate(const CompensateStmt& stmt, int64_t at);
+  DolTask<int64_t> ExecTransfer(const TransferStmt& stmt, int64_t at);
+  DolTask<int64_t> ExecClose(const CloseStmt& stmt, int64_t at);
 
   Result<bool> EvalCond(const DolCond& cond) const;
 
@@ -164,23 +250,28 @@ class DolEngine {
   /// first send of this call in its logical operation, so the rpc spans
   /// of verb-level re-send loops (prepare/commit) keep counting up
   /// instead of restarting at 1.
-  Result<netsim::CallOutcome> CallService(
+  DolTask<netsim::CallOutcome> CallService(
       const std::string& service, const netsim::LamRequest& request,
       int64_t at, int attempt_base = 1);
 
   /// CallService on a channel's service.
-  Result<netsim::CallOutcome> Call(Channel* channel,
-                                   const netsim::LamRequest& request,
-                                   int64_t at, int attempt_base = 1);
+  DolTask<netsim::CallOutcome> Call(Channel* channel,
+                                    const netsim::LamRequest& request,
+                                    int64_t at, int attempt_base = 1);
 
   /// Resolves a timed-out prepare/commit by re-probing the session's
   /// transaction state; returns the observed state (kActive when the
   /// probe itself could not be resolved, flagged via `probe_failed`).
-  Result<relational::TxnState> Reprobe(Channel* channel, int64_t* now,
-                                       bool* probe_failed);
+  DolTask<relational::TxnState> Reprobe(Channel* channel, int64_t* now,
+                                        bool* probe_failed);
 
   netsim::Environment* env_;
   RetryPolicy policy_;
+  /// Stepper state of the in-flight run.
+  std::optional<DolTask<int64_t>> root_;
+  std::optional<PendingState> pending_;
+  bool running_ = false;
+  int64_t run_start_micros_ = 0;
   int64_t retries_ = 0;
   int64_t reprobes_ = 0;
   /// Traffic of the current run, summed from CallOutcome accounting.

@@ -1,0 +1,117 @@
+#ifndef MSQL_DOL_TASK_H_
+#define MSQL_DOL_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/result.h"
+
+namespace msql::dol {
+
+/// Lazy coroutine returning a Result<T> — the execution substrate of the
+/// resumable DOL stepper (DESIGN.md §12).
+///
+/// Every interpreter method of DolEngine is such a coroutine; awaiting a
+/// child transfers control into it symmetrically (no host-stack growth),
+/// and a child that suspends on an RPC leaves the whole chain parked
+/// until DolEngine::Deliver resumes it. The task owns its coroutine
+/// frame: destroying a DolTask mid-run unwinds the frame (and, through
+/// the frame's locals, every child task) without running the suspended
+/// code, which is what lets a scheduler drop an in-flight session.
+template <typename T>
+class [[nodiscard]] DolTask {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::optional<Result<T>> result;
+    /// Awaiting coroutine to resume at completion (none for the root).
+    std::coroutine_handle<> continuation;
+
+    DolTask get_return_object() { return DolTask(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    /// Completion hands control straight back to the awaiter (symmetric
+    /// transfer), keeping resume chains flat.
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(Result<T> value) { result.emplace(std::move(value)); }
+    /// No exceptions cross public API boundaries in this library; a
+    /// throw inside the interpreter is an invariant breakage.
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit DolTask(Handle handle) : handle_(handle) {}
+  DolTask(DolTask&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = {};
+  }
+  DolTask(const DolTask&) = delete;
+  DolTask& operator=(const DolTask&) = delete;
+  DolTask& operator=(DolTask&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = other.handle_;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  ~DolTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  /// Starts the (lazy) coroutine; used on the root task only — children
+  /// start through co_await's symmetric transfer.
+  void Start() { handle_.resume(); }
+  bool Done() const { return handle_.done(); }
+  /// Completed value; valid only when Done().
+  Result<T> Take() { return std::move(*handle_.promise().result); }
+
+  // -- Awaiter interface (co_await child_task) ---------------------------
+  bool await_ready() { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  Result<T> await_resume() { return std::move(*handle_.promise().result); }
+
+ private:
+  Handle handle_;
+};
+
+}  // namespace msql::dol
+
+/// Coroutine counterparts of MSQL_ASSIGN_OR_RETURN / MSQL_RETURN_IF_ERROR.
+/// MSQL_CO_AWAIT_OR_RETURN awaits a DolTask; MSQL_CO_ASSIGN_OR_RETURN
+/// unwraps a plain Result expression inside a coroutine body.
+#define MSQL_CO_AWAIT_OR_RETURN(lhs, task_expr)                 \
+  MSQL_CO_ASSIGN_IMPL_(                                         \
+      MSQL_RESULT_CONCAT_(_msql_co_result_, __LINE__), lhs,     \
+      co_await (task_expr))
+
+#define MSQL_CO_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  MSQL_CO_ASSIGN_IMPL_(                                         \
+      MSQL_RESULT_CONCAT_(_msql_co_result_, __LINE__), lhs, (rexpr))
+
+#define MSQL_CO_ASSIGN_IMPL_(var, lhs, rexpr) \
+  auto var = rexpr;                           \
+  if (!var.ok()) co_return var.status();      \
+  lhs = std::move(var).value()
+
+#define MSQL_CO_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::msql::Status _msql_co_st = (expr);          \
+    if (!_msql_co_st.ok()) co_return _msql_co_st; \
+  } while (0)
+
+#endif  // MSQL_DOL_TASK_H_

@@ -31,6 +31,7 @@ int64_t LamRequest::WireBytes() const {
 
 int64_t LamResponse::WireBytes() const {
   int64_t bytes = 64 + static_cast<int64_t>(status.message().size());
+  bytes += 8 * static_cast<int64_t>(blocked_by.size());
   for (const auto& col : result.columns) {
     bytes += static_cast<int64_t>(col.size()) + 4;
   }
@@ -79,6 +80,9 @@ LamResponse Lam::Handle(const LamRequest& request, int64_t* service_micros) {
         response.result = std::move(*result);
       } else {
         response.status = result.status();
+        if (result.status().code() == StatusCode::kBusy) {
+          response.blocked_by = engine_->BlockingSessions();
+        }
       }
       break;
     }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "relational/engine.h"
@@ -61,6 +62,10 @@ struct LamResponse {
   relational::ResultSet result;          // kExecute responses
   relational::SessionId session = 0;     // kOpenSession responses
   relational::TxnState txn_state = relational::TxnState::kCommitted;
+  /// kBusy responses: local sessions whose transactions hold the locks
+  /// this request would block on. The coordinator maps them back to
+  /// federation sessions to build waits-for edges.
+  std::vector<relational::SessionId> blocked_by;
 
   int64_t WireBytes() const;
 };

@@ -15,8 +15,12 @@ std::string_view HealthStateName(HealthState state) {
 }
 
 void SiteHealth::Record(bool ok, bool timed_out, bool faulted,
-                        int64_t latency_micros) {
+                        int64_t latency_micros, int64_t queue_micros) {
   ++attempts_;
+  if (queue_micros > 0) {
+    ++queue_waits_;
+    queue_delay_.Observe(queue_micros);
+  }
   if (!ok) ++failures_;
   if (timed_out) ++timeouts_;
   if (faulted) ++faults_;
@@ -47,13 +51,14 @@ HealthState SiteHealth::state() const {
 
 void HealthRegistry::Record(std::string_view service, std::string_view site,
                             bool ok, bool timed_out, bool faulted,
-                            int64_t latency_micros) {
+                            int64_t latency_micros, int64_t queue_micros) {
   auto it = sites_.find(service);
   if (it == sites_.end()) {
     it = sites_.emplace(std::string(service), Entry{}).first;
     it->second.site = std::string(site);
   }
-  it->second.health.Record(ok, timed_out, faulted, latency_micros);
+  it->second.health.Record(ok, timed_out, faulted, latency_micros,
+                           queue_micros);
 }
 
 const SiteHealth* HealthRegistry::Get(std::string_view service) const {
@@ -93,6 +98,27 @@ std::string HealthRegistry::RenderText() const {
         static_cast<long long>(h.latency().Quantile(0.95)),
         static_cast<long long>(h.latency().Quantile(0.99)));
     out += line;
+  }
+  bool any_queued = false;
+  for (const auto& [service, entry] : sites_) {
+    if (entry.health.queue_waits() > 0) any_queued = true;
+  }
+  if (any_queued) {
+    out += "queue delay (admission wait at capacity-limited services):\n";
+    for (const auto& [service, entry] : sites_) {
+      const SiteHealth& h = entry.health;
+      if (h.queue_waits() == 0) continue;
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-16s waits %5lld  p50_us %7lld  p95_us %7lld  "
+                    "p99_us %7lld\n",
+                    service.c_str(),
+                    static_cast<long long>(h.queue_waits()),
+                    static_cast<long long>(h.queue_delay().Quantile(0.5)),
+                    static_cast<long long>(h.queue_delay().Quantile(0.95)),
+                    static_cast<long long>(h.queue_delay().Quantile(0.99)));
+      out += line;
+    }
   }
   return out;
 }

@@ -34,7 +34,13 @@ class SiteHealth {
   /// Records one finished call. `ok` is the coordinator's view (a
   /// timed-out call is not ok even if the LAM secretly executed it);
   /// `latency_micros` is the simulated time the coordinator waited.
-  void Record(bool ok, bool timed_out, bool faulted, int64_t latency_micros);
+  /// `queue_micros` is the time the request sat in the service's
+  /// admission queue before a server picked it up (0 when the service
+  /// has no concurrency limit or was idle) — the contention signal of
+  /// a loaded federation, tracked separately from latency so a slow
+  /// site and a busy site are distinguishable.
+  void Record(bool ok, bool timed_out, bool faulted, int64_t latency_micros,
+              int64_t queue_micros = 0);
 
   int64_t attempts() const { return attempts_; }
   int64_t failures() const { return failures_; }
@@ -44,6 +50,9 @@ class SiteHealth {
   int window_attempts() const;
   int window_failures() const;
   const Histogram& latency() const { return latency_; }
+  /// Calls that waited in the admission queue, and the wait histogram.
+  int64_t queue_waits() const { return queue_waits_; }
+  const Histogram& queue_delay() const { return queue_delay_; }
 
   HealthState state() const;
 
@@ -53,7 +62,9 @@ class SiteHealth {
   int64_t timeouts_ = 0;
   int64_t faults_ = 0;
   int64_t consecutive_failures_ = 0;
+  int64_t queue_waits_ = 0;
   Histogram latency_;
+  Histogram queue_delay_;
   /// Ring buffer of the last kWindow call verdicts (true = failed).
   std::array<bool, kWindow> window_failed_{};
   int window_size_ = 0;
@@ -75,7 +86,8 @@ class HealthRegistry {
   void Clear() { sites_.clear(); }
 
   void Record(std::string_view service, std::string_view site, bool ok,
-              bool timed_out, bool faulted, int64_t latency_micros);
+              bool timed_out, bool faulted, int64_t latency_micros,
+              int64_t queue_micros = 0);
 
   /// Health of `service`, or nullptr when it was never called.
   const SiteHealth* Get(std::string_view service) const;

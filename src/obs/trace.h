@@ -81,6 +81,16 @@ class Tracer {
     return parent_stack_.empty() ? 0 : parent_stack_.back();
   }
 
+  /// Replaces the parent stack with `stack` and returns the previous
+  /// one. The concurrent scheduler swaps each session's saved span
+  /// context in around every resume (and out after), so spans recorded
+  /// by interleaved sessions nest under their own session's spans even
+  /// though the tracer itself is single-stacked.
+  std::vector<uint64_t> ExchangeParentStack(std::vector<uint64_t> stack) {
+    std::swap(parent_stack_, stack);
+    return stack;
+  }
+
   const std::vector<Span>& spans() const { return spans_; }
   /// The span with `id`, or nullptr (ids are 1-based indices).
   const Span* FindSpan(uint64_t id) const;

@@ -274,6 +274,19 @@ Result<bool> LocalEngine::InTransaction(SessionId session_id) const {
   return session->txn != nullptr;
 }
 
+std::vector<SessionId> LocalEngine::BlockingSessions() const {
+  std::vector<SessionId> out;
+  for (TxnId blocker : locks_.last_conflict()) {
+    for (const auto& [id, session] : sessions_) {
+      if (session.txn != nullptr && session.txn->id() == blocker) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 Result<ResultSet> LocalEngine::Execute(SessionId session,
                                        std::string_view sql) {
   MSQL_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSql(sql));
@@ -361,10 +374,14 @@ Result<ResultSet> LocalEngine::ExecuteStatement(SessionId session_id,
   MSQL_ASSIGN_OR_RETURN(auto result, ExecuteInTxn(session, stmt));
 
   // DDL that cannot be rolled back commits immediately even inside an
-  // explicit transaction on Oracle-like engines.
+  // explicit transaction on Oracle-like engines. The commit decision
+  // keys off explicit_txn rather than the autocommit flag above: a
+  // statement that parked on a busy lock left its implicit transaction
+  // open, and its retry must still commit it even though the retry saw
+  // session->txn != nullptr at entry.
   bool force_commit_now =
-      is_ddl && profile_.ddl_commits_prior_work && !autocommit;
-  if (autocommit || force_commit_now) {
+      is_ddl && profile_.ddl_commits_prior_work && session->explicit_txn;
+  if (!session->explicit_txn || force_commit_now) {
     MSQL_RETURN_IF_ERROR(CommitTxn(session));
     if (force_commit_now) {
       MSQL_RETURN_IF_ERROR(Begin(session_id));
@@ -418,7 +435,15 @@ Result<ResultSet> LocalEngine::ExecuteInTxn(Session* session,
   auto result = executor.Execute(stmt);
   ++stats_.statements_executed;
   if (!result.ok()) {
-    // Any failure aborts the enclosing local transaction.
+    // A would-block verdict is not a failure: the transaction stays
+    // open (holding the locks it already has — hold-and-wait is what
+    // makes deadlock real) and the whole statement is retried from
+    // scratch once a blocker releases. Safe because the executor takes
+    // every lock before its first mutation.
+    if (result.status().code() == StatusCode::kBusy) {
+      return result.status();
+    }
+    // Any other failure aborts the enclosing local transaction.
     Status undo = AbortTxn(session);
     if (!undo.ok()) return undo;
     return result.status();

@@ -156,6 +156,18 @@ class LocalEngine {
   /// True if the session has an open explicit transaction.
   Result<bool> InTransaction(SessionId session) const;
 
+  // -- Concurrency ---------------------------------------------------------
+
+  /// The engine's lock table (wait-policy switch, introspection).
+  LockManager& lock_manager() { return locks_; }
+  const LockManager& lock_manager() const { return locks_; }
+
+  /// Local sessions whose transactions blocked the most recent kBusy
+  /// verdict (resolved from LockManager::last_conflict; empty when the
+  /// blocking transactions already ended). The LAM forwards these to
+  /// the coordinator, which turns them into waits-for edges.
+  std::vector<SessionId> BlockingSessions() const;
+
   // -- Failure injection ---------------------------------------------------
 
   /// Arms a one-shot failure at the given point (engine-wide).

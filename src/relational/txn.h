@@ -95,30 +95,69 @@ class Transaction {
   std::set<std::string> held_locks_;
 };
 
-/// Table-granularity strict two-phase locking with a *no-wait* policy:
-/// a conflicting request fails immediately with kAborted instead of
-/// blocking. No-wait keeps the single-threaded simulation deterministic
-/// and models the paper's "local conflicts, failure, deadlock" abort
-/// sources (§3.2) without a waits-for graph.
+/// Hierarchical strict two-phase locking (database → table).
+///
+/// A table lock request on "db.table" first takes the matching
+/// *intention* lock (IS for shared, IX for exclusive) on the database
+/// node "db", then the S/X lock on the table itself — the classic
+/// multi-granularity protocol, so a future database-level operation can
+/// conflict with table traffic without enumerating tables. Resources
+/// without a '.' are locked flat (no parent).
+///
+/// Conflict policy is selectable:
+///   - kNoWait (default): a conflicting request fails immediately with
+///     kAborted. Deterministic, no waits-for graph — the single-session
+///     behavior of §3.2 ("local conflicts, failure, deadlock").
+///   - kWait: a conflicting request fails with kBusy and records the
+///     blocking transactions in `last_conflict()`; the caller (the
+///     concurrent federation scheduler) parks the session and retries
+///     when a blocker releases. The lock table itself never blocks —
+///     waiting is cooperative, on the simulated clock.
 class LockManager {
  public:
-  enum class Mode { kShared, kExclusive };
+  enum class Mode {
+    kIntentionShared,
+    kIntentionExclusive,
+    kShared,
+    kExclusive,
+  };
+  enum class WaitPolicy { kNoWait, kWait };
+
+  void set_wait_policy(WaitPolicy policy) { wait_policy_ = policy; }
+  WaitPolicy wait_policy() const { return wait_policy_; }
 
   /// Acquires (or upgrades) a lock on `resource` for `txn`. On conflict
-  /// returns kAborted and leaves the lock table unchanged.
+  /// leaves the lock table unchanged and returns kAborted (no-wait) or
+  /// kBusy (wait), recording the holders that blocked the request.
   Status Acquire(Transaction* txn, const std::string& resource, Mode mode);
 
   /// Releases every lock held by `txn`.
   void ReleaseAll(Transaction* txn);
 
-  /// Number of distinct locked resources (introspection for tests).
+  /// Transactions that blocked the most recent failed Acquire (empty
+  /// after a successful one). The scheduler turns these into waits-for
+  /// edges for deadlock detection.
+  const std::vector<TxnId>& last_conflict() const { return last_conflict_; }
+
+  /// Number of distinct locked resources (introspection for tests);
+  /// database-level intention nodes count too.
   size_t locked_resource_count() const { return locks_.size(); }
+
+  /// True when `holding` may coexist with `requested` on one resource.
+  static bool Compatible(Mode holding, Mode requested);
 
  private:
   struct LockEntry {
-    Mode mode = Mode::kShared;
-    std::set<TxnId> holders;
+    /// Per-holder granted mode — holders of one resource can hold
+    /// different modes (e.g. IS next to IX at the database node).
+    std::map<TxnId, Mode> holders;
   };
+
+  Status AcquireOne(Transaction* txn, const std::string& resource,
+                    Mode mode);
+
+  WaitPolicy wait_policy_ = WaitPolicy::kNoWait;
+  std::vector<TxnId> last_conflict_;
   std::map<std::string, LockEntry> locks_;
 };
 
