@@ -1,8 +1,10 @@
 // msqlcheck front end: static analysis of MSQL programs without
 // executing them.
 //
-//   $ msql_lint program.msql ...     — lint files (exit 1 on errors)
+//   $ msql_lint program.msql ...     — lint files
 //   $ msql_lint --explain prog.msql  — also print the generated DOL
+//   $ msql_lint --conflicts ...      — print each plan's access summary
+//                                      and the pairwise conflict matrix
 //   $ msql_lint --trace-out FILE ... — write the analysis span trace as
 //                                      Chrome trace-event JSON (Perfetto)
 //   $ msql_lint --profile ...        — print a front-end phase summary
@@ -12,9 +14,10 @@
 // Programs are checked against the paper federation's catalogs (the
 // same GDD/AD msql_shell boots with), so a program that lints clean
 // here runs unmodified in the shell. Shell meta lines ('\gdd', ...)
-// are ignored. Exit status: 0 clean or warnings only, 1 when any
-// MS1xx/DL2xx error or refusal is reported, 2 when the input does not
-// parse or the federation cannot be built.
+// are ignored. Exit status: 0 clean, 1 warnings only, 2 when any
+// MS1xx/DL2xx/DL3xx error or refusal is reported or the input does not
+// parse / the federation cannot be built (see --help).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/conflict_analyzer.h"
 #include "core/fixtures.h"
 #include "core/mdbs_system.h"
 #include "obs/profile.h"
@@ -33,11 +37,42 @@ namespace {
 using msql::core::AnalysisReport;
 using msql::core::MultidatabaseSystem;
 
+constexpr const char* kUsage =
+    "usage: msql_lint [options] <program.msql>... (or '-' for stdin)\n";
+
+void PrintHelp() {
+  std::printf(
+      "%s"
+      "\n"
+      "Statically analyzes MSQL programs against the paper federation's\n"
+      "catalogs without executing them: MS1xx semantic checks, DL2xx plan\n"
+      "verification and DL3xx conflict/deadlock analysis.\n"
+      "\n"
+      "options:\n"
+      "  --explain          print the generated DOL program per input\n"
+      "  --conflicts        print each plan's predicted access summary\n"
+      "                     (per-site read/write sets, lock modes,\n"
+      "                     acquisition order, 2PC holds) and the pairwise\n"
+      "                     conflict matrix across the script's inputs\n"
+      "  --profile          print a front-end phase summary\n"
+      "  --trace-out FILE   write the analysis span trace as Chrome\n"
+      "                     trace-event JSON (Perfetto)\n"
+      "  --help             show this help\n"
+      "\n"
+      "exit status:\n"
+      "  0  clean: no diagnostics above note severity\n"
+      "  1  warnings only: findings worth reading, but every input is\n"
+      "     executable\n"
+      "  2  errors: MS/DL error diagnostics, refused plans, hard\n"
+      "     analysis failures, unparseable input, or bootstrap failure\n",
+      kUsage);
+}
+
 /// Blanks out shell meta lines ('\'-prefixed) in place of removing
 /// them, so diagnostic line numbers keep pointing into the real file.
-/// \check and \explain prefix an input in the shell — for those only
-/// the command itself is blanked and the MSQL text after it is kept
-/// (every input is analyzed here anyway).
+/// \check, \explain and \conflicts prefix an input in the shell — for
+/// those only the command itself is blanked and the MSQL text after it
+/// is kept (every input is analyzed here anyway).
 std::string StripMetaLines(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -48,7 +83,7 @@ std::string StripMetaLines(const std::string& text) {
     if (first == std::string::npos || line[first] != '\\') {
       out += line;
     } else {
-      for (const char* cmd : {"\\check ", "\\explain "}) {
+      for (const char* cmd : {"\\check ", "\\explain ", "\\conflicts "}) {
         if (line.compare(first, std::strlen(cmd), cmd) == 0) {
           out += std::string(first + std::strlen(cmd), ' ');
           out += line.substr(first + std::strlen(cmd));
@@ -61,9 +96,10 @@ std::string StripMetaLines(const std::string& text) {
   return out;
 }
 
-/// Lints one source text; returns the worst exit status seen.
+/// Lints one source text; returns the worst exit status seen
+/// (0 clean / 1 warnings / 2 errors).
 int LintText(MultidatabaseSystem* sys, const std::string& name,
-             const std::string& raw, bool explain) {
+             const std::string& raw, bool explain, bool conflicts) {
   std::string source = StripMetaLines(raw);
   auto reports = sys->AnalyzeScript(source);
   if (!reports.ok()) {
@@ -72,13 +108,15 @@ int LintText(MultidatabaseSystem* sys, const std::string& name,
     return 2;
   }
   int status = 0;
+  auto raise = [&status](int s) { status = std::max(status, s); };
   size_t input_index = 0;
   for (const AnalysisReport& report : *reports) {
     ++input_index;
     for (const auto& d : report.diagnostics.items()) {
       std::printf("%s:%s\n", name.c_str(), d.RenderPretty(source).c_str());
     }
-    if (report.diagnostics.has_errors()) status = status < 1 ? 1 : status;
+    if (report.diagnostics.warning_count() > 0) raise(1);
+    if (report.diagnostics.has_errors()) raise(2);
     if (report.refused) {
       // MS111-style refusals already printed themselves above as error
       // diagnostics; translator-level refusals (vital non-pertinent
@@ -87,19 +125,31 @@ int LintText(MultidatabaseSystem* sys, const std::string& name,
         std::printf("%s: input %zu refused: %s\n", name.c_str(), input_index,
                     report.refusal.ToString().c_str());
       }
-      status = status < 1 ? 1 : status;
+      raise(2);
     }
     if (!report.error.ok()) {
       std::printf("%s: input %zu (%s): %s\n", name.c_str(), input_index,
                   report.kind.c_str(), report.error.ToString().c_str());
-      status = status < 1 ? 1 : status;
+      raise(2);
     }
     if (explain && report.translated) {
       std::printf("-- input %zu (%s) translates to:\n%s", input_index,
                   report.kind.c_str(), report.dol_text.c_str());
     }
+    if (conflicts && report.summary.has_value()) {
+      std::printf("-- input %zu (%s) %s", input_index, report.kind.c_str(),
+                  report.summary->Render().c_str());
+    }
   }
-  if (status == 0) {
+  if (conflicts) {
+    std::vector<const msql::analysis::AccessSummary*> summaries;
+    for (const auto& report : *reports) {
+      summaries.push_back(report.summary.has_value() ? &*report.summary
+                                                     : nullptr);
+    }
+    std::printf("%s", msql::analysis::RenderConflictMatrix(summaries).c_str());
+  }
+  if (status <= 1) {
     std::printf("%s: %zu input(s), %zu warning(s), no errors\n",
                 name.c_str(), reports->size(),
                 [&] {
@@ -118,13 +168,20 @@ int LintText(MultidatabaseSystem* sys, const std::string& name,
 int main(int argc, char** argv) {
   bool explain = false;
   bool profile = false;
+  bool conflicts = false;
   std::string trace_out;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--conflicts") == 0) {
+      conflicts = true;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintHelp();
+      return 0;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else {
@@ -132,9 +189,7 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr,
-                 "usage: msql_lint [--explain] [--profile] "
-                 "[--trace-out FILE] <program.msql>... (or '-' for stdin)\n");
+    std::fprintf(stderr, "%s(see --help)\n", kUsage);
     return 2;
   }
   auto sys_or = msql::core::BuildPaperFederation();
@@ -167,7 +222,7 @@ int main(int argc, char** argv) {
       text = buf.str();
     }
     int s = LintText(sys.get(), file == "-" ? "<stdin>" : file, text,
-                     explain);
+                     explain, conflicts);
     if (s > status) status = s;
   }
   if (!trace_out.empty()) {

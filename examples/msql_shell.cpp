@@ -17,7 +17,9 @@
 // record per executed input to FILE; \qlog off stops), \quit.
 // Prefixing an input with \check statically analyzes it instead of
 // executing it; \explain additionally prints the DOL program it would
-// run.
+// run; \conflicts additionally prints the plan's predicted access
+// summary (per-site read/write sets, lock modes, acquisition order,
+// 2PC holds — the DL3xx conflict analyzer's view).
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -82,7 +84,8 @@ void PrintReport(const ExecutionReport& report, bool show_dol) {
 }
 
 void PrintAnalysis(const msql::core::AnalysisReport& report,
-                   const std::string& source, bool show_dol) {
+                   const std::string& source, bool show_dol,
+                   bool show_conflicts) {
   for (const auto& d : report.diagnostics.items()) {
     std::printf("%s\n", d.RenderPretty(source).c_str());
   }
@@ -104,6 +107,9 @@ void PrintAnalysis(const msql::core::AnalysisReport& report,
   if (show_dol && report.translated) {
     std::printf("%s", report.dol_text.c_str());
   }
+  if (show_conflicts && report.summary.has_value()) {
+    std::printf("%s", report.summary->Render().c_str());
+  }
 }
 
 /// True when `buffer` holds a complete input (a ';' outside a pending
@@ -122,7 +128,8 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
   std::string qlog_file;  // "" = query log not writing to a file
   std::string buffer;
   std::string line;
-  // "" — execute; "check" — analyze only; "explain" — analyze + DOL.
+  // "" — execute; "check" — analyze only; "explain" — analyze + DOL;
+  // "conflicts" — analyze + access summary.
   std::string analyze_mode;
   if (echo) std::printf("msql> ");
   while (std::getline(in, line)) {
@@ -235,11 +242,11 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
       if (echo) std::printf("msql> ");
       continue;
     }
-    // \check / \explain prefix an input: strip the command and keep
-    // accumulating the MSQL text as usual; on completion the input is
-    // analyzed instead of executed.
+    // \check / \explain / \conflicts prefix an input: strip the command
+    // and keep accumulating the MSQL text as usual; on completion the
+    // input is analyzed instead of executed.
     if (buffer.empty()) {
-      for (const char* cmd : {"\\check", "\\explain"}) {
+      for (const char* cmd : {"\\check", "\\explain", "\\conflicts"}) {
         if (trimmed.rfind(cmd, 0) == 0 &&
             (trimmed.size() == std::strlen(cmd) ||
              std::isspace(static_cast<unsigned char>(
@@ -269,7 +276,8 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
       if (!analysis.ok()) {
         std::printf("error: %s\n", analysis.status().ToString().c_str());
       } else {
-        PrintAnalysis(*analysis, input, show_dol || mode == "explain");
+        PrintAnalysis(*analysis, input, show_dol || mode == "explain",
+                      mode == "conflicts");
       }
       if (echo) std::printf("msql> ");
       continue;
@@ -312,7 +320,7 @@ int main(int argc, char** argv) {
   std::printf(
       "Extended MSQL shell — federation: continental delta united avis "
       "national\nmeta: \\gdd \\dol \\plan \\trace [file] \\metrics [on|off] "
-      "\\profile \\health \\qlog [file|off] \\check \\explain \\quit; "
-      "end inputs with ';'\n");
+      "\\profile \\health \\qlog [file|off] \\check \\explain \\conflicts "
+      "\\quit; end inputs with ';'\n");
   return RunStream(sys.get(), std::cin, /*echo=*/true);
 }

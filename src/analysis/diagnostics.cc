@@ -49,6 +49,28 @@ std::string_view SourceLine(std::string_view source, int line) {
   return source.substr(start, end - start);
 }
 
+constexpr int kTabWidth = 4;
+
+/// Expands tabs to spaces at kTabWidth stops. `columns`, when given,
+/// maps 1-based source columns (as the lexer counts them: one column per
+/// character, tabs included) to 1-based columns in the expanded text so
+/// the caret lines up under the excerpt.
+std::string ExpandTabs(std::string_view text, std::vector<int>* columns) {
+  std::string out;
+  out.reserve(text.size());
+  if (columns) columns->clear();
+  for (char c : text) {
+    if (columns) columns->push_back(static_cast<int>(out.size()) + 1);
+    if (c == '\t') {
+      out.append(kTabWidth - out.size() % kTabWidth, ' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (columns) columns->push_back(static_cast<int>(out.size()) + 1);
+  return out;
+}
+
 }  // namespace
 
 std::string Diagnostic::RenderPretty(std::string_view source) const {
@@ -57,10 +79,14 @@ std::string Diagnostic::RenderPretty(std::string_view source) const {
   if (span.known()) {
     std::string_view text = SourceLine(source, span.line);
     if (!text.empty()) {
+      std::vector<int> columns;
+      std::string expanded = ExpandTabs(text, &columns);
       std::string gutter = std::to_string(span.line);
-      out << "\n  " << gutter << " | " << text;
+      out << "\n  " << gutter << " | " << expanded;
       out << "\n  " << std::string(gutter.size(), ' ') << " | ";
-      int caret_col = std::min<int>(span.column, static_cast<int>(text.size()) + 1);
+      int raw_col =
+          std::min<int>(span.column, static_cast<int>(text.size()) + 1);
+      int caret_col = columns[raw_col > 0 ? raw_col - 1 : 0];
       out << std::string(caret_col > 0 ? caret_col - 1 : 0, ' ');
       out << "^" << std::string(span.length > 1 ? span.length - 1 : 0, '~');
     }

@@ -74,6 +74,15 @@ inline constexpr std::string_view kDecisionOnUnpreparedTask = "DL207";
 inline constexpr std::string_view kCompensateWithoutBlock = "DL208";
 inline constexpr std::string_view kVitalTaskUncovered = "DL209";
 inline constexpr std::string_view kDuplicateTaskName = "DL210";
+// -- DL3xx: conflict & deadlock analysis ------------------------------------
+inline constexpr std::string_view kLockOrderInversion = "DL301";
+inline constexpr std::string_view kSelfDeadlock = "DL302";
+inline constexpr std::string_view kExclusiveHeldAcrossRetry = "DL303";
+inline constexpr std::string_view kUncommittedIntraRead = "DL304";
+inline constexpr std::string_view kWideTwoPcBracket = "DL305";
+inline constexpr std::string_view kOpaqueTaskSql = "DL306";
+inline constexpr std::string_view kParallelSiblingWrites = "DL307";
+inline constexpr std::string_view kDdlOnSharedTable = "DL308";
 }  // namespace diag
 
 struct Diagnostic {

@@ -1103,6 +1103,17 @@ Result<std::vector<AnalysisReport>> MultidatabaseSystem::AnalyzeScript(
     MSQL_ASSIGN_OR_RETURN(auto report, AnalyzeInput(input));
     reports.push_back(std::move(report));
   }
+  // Cross-input pass: inputs of one script are what a deployment runs as
+  // concurrent sessions, so check every translated pair for lock-order
+  // inversion (DL301). The warning lands on the later input.
+  for (size_t j = 1; j < reports.size(); ++j) {
+    if (!reports[j].summary) continue;
+    for (size_t i = 0; i < j; ++i) {
+      if (!reports[i].summary) continue;
+      reports[j].diagnostics.Append(analysis::CheckPlanPair(
+          *reports[i].summary, *reports[j].summary, i + 1, j + 1));
+    }
+  }
   return reports;
 }
 
@@ -1212,6 +1223,9 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
       report.translated = true;
       report.dol_text = plan->program.ToDol();
       report.diagnostics.Append(analysis::VerifyPlan(*plan));
+      report.summary = analysis::SummarizePlan(*plan);
+      report.diagnostics.Append(
+          analysis::AnalyzeConflicts(*plan, *report.summary));
       return report;
     }
   }
@@ -1234,6 +1248,9 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
       report.translated = true;
       report.dol_text = plan->program.ToDol();
       report.diagnostics.Append(analysis::VerifyPlan(*plan));
+      report.summary = analysis::SummarizePlan(*plan);
+      report.diagnostics.Append(
+          analysis::AnalyzeConflicts(*plan, *report.summary));
       return report;
     }
   }
@@ -1287,6 +1304,9 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
   report.dol_text = plan->program.ToDol();
   obs::ScopedSpan verify_span(&env_.tracer(), "msql.verify", "frontend", 0);
   report.diagnostics.Append(analysis::VerifyPlan(*plan));
+  report.summary = analysis::SummarizePlan(*plan);
+  report.diagnostics.Append(
+      analysis::AnalyzeConflicts(*plan, *report.summary));
   verify_span.End();
   return report;
 }
@@ -1340,6 +1360,9 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeMultiTransaction(
   report.translated = true;
   report.dol_text = plan->program.ToDol();
   report.diagnostics.Append(analysis::VerifyPlan(*plan));
+  report.summary = analysis::SummarizePlan(*plan);
+  report.diagnostics.Append(
+      analysis::AnalyzeConflicts(*plan, *report.summary));
   return report;
 }
 

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/conflict_analyzer.h"
 #include "analysis/diagnostics.h"
 #include "common/result.h"
 #include "dol/engine.h"
@@ -117,6 +118,11 @@ struct AnalysisReport {
   /// Hard failure past the static checks (expansion/translation error
   /// the checker did not anticipate).
   Status error;
+  /// Predicted per-site read/write sets and acquisition order of the
+  /// generated plan (present iff `translated`). Feeds the DL3xx
+  /// conflict diagnostics, `msql_lint --conflicts` and the scheduler's
+  /// conflict-aware admission.
+  std::optional<analysis::AccessSummary> summary;
 };
 
 /// A frontend-compiled MSQL input: the translated DOL plan plus

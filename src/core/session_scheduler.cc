@@ -40,11 +40,7 @@ Result<std::vector<SessionResult>> FederationServer::RunAll() {
 Result<std::vector<SessionResult>> FederationServer::RunBatch() {
   clock_ = 0;
   while (true) {
-    // Admission control: fill free slots in submit order.
-    while (next_unadmitted_ < sessions_.size() &&
-           (config_.max_admitted <= 0 || active_ < config_.max_admitted)) {
-      Admit(*sessions_[next_unadmitted_++]);
-    }
+    AdmitEligible();
     // Pick the ready session with the earliest effective call time
     // (ties go to the lowest session id): calls reach the netsim in
     // global time order, which keeps per-service admission queues FIFO.
@@ -65,6 +61,9 @@ Result<std::vector<SessionResult>> FederationServer::RunBatch() {
       if (s.state == SessionState::kParked) any_parked = true;
       if (s.state != SessionState::kReady) continue;
       const dol::DolEngine::PendingRpc* rpc = s.engine->pending();
+      if (config_.conflict_aware && s.summary != nullptr) {
+        ObservePhase(s, *rpc);
+      }
       int64_t at = std::max(rpc->at, s.resume_at);
       if (next == nullptr || at < next_at) {
         next = &s;
@@ -77,7 +76,11 @@ Result<std::vector<SessionResult>> FederationServer::RunBatch() {
         BreakStall();
         continue;
       }
-      if (next_unadmitted_ < sessions_.size()) continue;  // admit more
+      // Admit more — including deferred sessions, which can always run
+      // once the sessions they were held against have finished.
+      if (next_unadmitted_ < sessions_.size() || !deferred_.empty()) {
+        continue;
+      }
       break;  // batch complete
     }
     clock_ = std::max(clock_, next_at);
@@ -105,7 +108,80 @@ Result<std::vector<SessionResult>> FederationServer::RunBatch() {
   next_unadmitted_ = 0;
   watermark_ = 0;
   active_ = 0;
+  deferred_.clear();
+  graph_ = analysis::ConflictGraph();
+  graph_dirty_ = false;
   return results;
+}
+
+void FederationServer::AdmitEligible() {
+  // Deferred sessions first (they were submitted earlier): once a risky
+  // peer finishes, the deferral reason may be gone. Only worth
+  // re-checking when the admitted set changed.
+  if (graph_dirty_ && !deferred_.empty()) {
+    std::vector<size_t> still_deferred;
+    for (size_t index : deferred_) {
+      Session& s = *sessions_[index];
+      if (config_.max_admitted > 0 && active_ >= config_.max_admitted) {
+        still_deferred.push_back(index);
+        continue;
+      }
+      std::vector<uint64_t> against;
+      if (graph_.WouldRiskDeadlock(*s.summary, &against)) {
+        s.deferred_against.insert(against.begin(), against.end());
+        ++s.result.admission_deferrals;
+        still_deferred.push_back(index);
+        continue;
+      }
+      Admit(s);
+    }
+    deferred_ = std::move(still_deferred);
+    graph_dirty_ = false;
+  }
+  // Fill the remaining slots in submit order.
+  while (next_unadmitted_ < sessions_.size() &&
+         (config_.max_admitted <= 0 || active_ < config_.max_admitted)) {
+    Session& s = *sessions_[next_unadmitted_];
+    Consider(s);
+    if (config_.conflict_aware && s.summary != nullptr) {
+      std::vector<uint64_t> against;
+      if (graph_.WouldRiskDeadlock(*s.summary, &against)) {
+        s.deferred_against.insert(against.begin(), against.end());
+        ++s.result.admission_deferrals;
+        deferred_.push_back(next_unadmitted_++);
+        continue;
+      }
+    }
+    ++next_unadmitted_;
+    Admit(s);
+  }
+}
+
+void FederationServer::ObservePhase(Session& s,
+                                    const dol::DolEngine::PendingRpc& rpc) {
+  using netsim::LamRequestType;
+  bool acquiring = true;
+  switch (rpc.request.type) {
+    case LamRequestType::kPrepare:
+    case LamRequestType::kCommit:
+    case LamRequestType::kRollback:
+    case LamRequestType::kQueryTxnState:
+    case LamRequestType::kCloseSession:
+      acquiring = false;
+      break;
+    default:
+      // OPEN/BEGIN/EXECUTE (and the introspection verbs, conservatively)
+      // may still take new table locks.
+      break;
+  }
+  if (!acquiring && !s.quiesced) {
+    s.quiesced = true;
+    graph_.Quiesce(s.id);
+    graph_dirty_ = true;
+  } else if (acquiring && s.quiesced) {
+    s.quiesced = false;
+    graph_.Reactivate(s.id);
+  }
 }
 
 void FederationServer::SwapSpans(Session& s) {
@@ -113,11 +189,9 @@ void FederationServer::SwapSpans(Session& s) {
       std::move(s.span_stack));
 }
 
-void FederationServer::Admit(Session& s) {
-  s.state = SessionState::kReady;
-  ++active_;
-  s.result.admit_micros = clock_;
-  s.resume_at = clock_;
+void FederationServer::Consider(Session& s) {
+  if (s.considered) return;
+  s.considered = true;
   SwapSpans(s);
   obs::Tracer& tracer = system_->environment().tracer();
   s.root_span = tracer.StartSpan("session:" + std::to_string(s.id),
@@ -125,28 +199,52 @@ void FederationServer::Admit(Session& s) {
   if (s.root_span != 0) tracer.PushParent(s.root_span);
   auto prepared = system_->Prepare(s.text);
   if (!prepared.ok()) {
-    s.result.status = prepared.status();
+    s.prepare_status = prepared.status();
+    SwapSpans(s);
+    return;
+  }
+  if (!prepared->immediate.has_value()) {
+    s.prepare_status = system_->VerifyPreparedPlan(prepared->plan);
+    if (s.prepare_status.ok()) {
+      s.summary = std::make_shared<analysis::AccessSummary>(
+          analysis::SummarizePlan(prepared->plan));
+    }
+  }
+  if (s.prepare_status.ok()) s.prepared = std::move(*prepared);
+  SwapSpans(s);
+}
+
+void FederationServer::Admit(Session& s) {
+  Consider(s);
+  s.state = SessionState::kReady;
+  ++active_;
+  s.result.admit_micros = clock_;
+  s.resume_at = clock_;
+  SwapSpans(s);
+  if (!s.prepare_status.ok()) {
+    s.result.status = s.prepare_status;
     s.result.finish_micros = clock_;
     CloseSession(s);
     return;
   }
-  if (prepared->immediate.has_value()) {
+  if (s.prepared->immediate.has_value()) {
     // Refused at prepare time: nothing to run.
-    ExecutionReport report = *std::move(prepared->immediate);
-    system_->LogInput(prepared->kind, report);
+    ExecutionReport report = *std::move(s.prepared->immediate);
+    system_->LogInput(s.prepared->kind, report);
     s.result.report = std::move(report);
     s.result.finish_micros = clock_;
     CloseSession(s);
     return;
   }
-  Status verified = system_->VerifyPreparedPlan(prepared->plan);
-  if (!verified.ok()) {
-    s.result.status = verified;
-    s.result.finish_micros = clock_;
-    CloseSession(s);
-    return;
+  if (s.summary != nullptr) {
+    s.result.predicted_conflicts =
+        static_cast<int64_t>(graph_.Contending(*s.summary).size());
+    s.result.summary = s.summary;
+    graph_.Admit(s.id, s.summary);
+    graph_dirty_ = true;
   }
-  s.prepared = std::move(*prepared);
+  s.result.avoided_deadlocks =
+      static_cast<int64_t>(s.deferred_against.size());
   s.engine = std::make_unique<dol::DolEngine>(&system_->environment(),
                                               system_->retry_policy());
   Status begun = s.engine->BeginRun(s.prepared->plan.program, clock_);
@@ -191,6 +289,13 @@ void FederationServer::Step(Session& s, int64_t at) {
       auto it = local_owner_.find({service, blocker});
       if (it != local_owner_.end() && it->second != s.id) {
         s.waits_for.push_back(it->second);
+        // Oracle record: every runtime blocker pair must be a
+        // statically predicted conflict (tests/conflict_oracle_test).
+        auto& observed = s.result.observed_blockers;
+        if (std::find(observed.begin(), observed.end(), it->second) ==
+            observed.end()) {
+          observed.push_back(it->second);
+        }
       }
     }
     if (config_.deadlock_detection) {
@@ -379,6 +484,8 @@ void FederationServer::CloseSession(Session& s) {
   SwapSpans(s);
   s.state = SessionState::kDone;
   --active_;
+  graph_.Remove(s.id);
+  graph_dirty_ = true;
   s.result.makespan_micros =
       s.result.finish_micros - s.result.admit_micros;
 }

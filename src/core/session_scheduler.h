@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -28,7 +29,16 @@ struct ServerConfig {
   /// largest-id session of any cycle immediately, instead of waiting
   /// for the lock-wait timeout to fire.
   bool deadlock_detection = true;
+  /// Conflict-aware admission: compile each session's static access
+  /// summary (analysis::SummarizePlan) and delay admitting a session
+  /// whose lock-acquisition order can deadlock against an
+  /// already-admitted one (analysis::ConflictGraph). Deadlocks become a
+  /// scheduling decision instead of a runtime victim abort.
+  bool conflict_aware = false;
 };
+
+/// The scheduler-facing name of the server knobs.
+using SchedulerConfig = ServerConfig;
 
 /// Everything the server reports about one submitted session.
 struct SessionResult {
@@ -54,6 +64,22 @@ struct SessionResult {
   /// The session was force-aborted by the lock-wait timeout or the
   /// stall breaker.
   bool lock_timeout = false;
+  /// Admitted sessions the analyzer classified as contending with this
+  /// one at admission time (any read/write or write/write overlap).
+  int64_t predicted_conflicts = 0;
+  /// Times conflict-aware admission passed this session over because
+  /// its lock order could deadlock against an admitted session.
+  int64_t admission_deferrals = 0;
+  /// Distinct sessions this one was held back from running against —
+  /// each a statically predicted deadlock that never got to happen.
+  int64_t avoided_deadlocks = 0;
+  /// Federation sessions observed blocking this one at runtime (every
+  /// park's resolved waits-for edges; input to the differential oracle
+  /// that checks prediction soundness).
+  std::vector<uint64_t> observed_blockers;
+  /// The session's static access summary (null when the input never
+  /// produced a plan).
+  std::shared_ptr<const analysis::AccessSummary> summary;
 };
 
 /// Discrete-event scheduler that interleaves N MSQL sessions on the
@@ -100,6 +126,19 @@ class FederationServer {
     uint64_t id = 0;
     std::string text;
     SessionState state = SessionState::kWaiting;
+    /// Frontend compilation ran (Consider is idempotent).
+    bool considered = false;
+    /// Outcome of Consider's Prepare/verify, reported at admission.
+    Status prepare_status;
+    /// Static access summary of the prepared plan (null when the input
+    /// resolved at prepare time or failed to prepare).
+    std::shared_ptr<const analysis::AccessSummary> summary;
+    /// Sessions conflict-aware admission deferred this one against.
+    std::set<uint64_t> deferred_against;
+    /// The session's pending call is past lock acquisition
+    /// (prepare/commit/rollback), mirrored into the conflict graph so
+    /// admission stops deferring candidates against it.
+    bool quiesced = false;
     std::optional<PreparedInput> prepared;
     std::unique_ptr<dol::DolEngine> engine;
     /// The session's tracer parent stack while it is suspended (holds
@@ -119,8 +158,23 @@ class FederationServer {
 
   /// RunAll body (RunAll wraps it in the lock-policy save/restore).
   Result<std::vector<SessionResult>> RunBatch();
-  /// Prepares the session's input and starts its DOL program.
+  /// Admission sweep: re-checks deferred sessions when the admitted set
+  /// changed, then fills free slots in submit order, deferring
+  /// candidates whose summaries risk a lock-order deadlock when
+  /// `conflict_aware` is on.
+  void AdmitEligible();
+  /// Runs the frontend once on the session (Prepare + plan verifier +
+  /// access summary); idempotent, so deferred sessions compile once.
+  void Consider(Session& s);
+  /// Starts the session's DOL program (Consider'd first if needed).
   void Admit(Session& s);
+  /// Tracks the session's lock-acquisition phase off its pending call:
+  /// once the next verb is prepare/commit/rollback the session cannot
+  /// join a new deadlock cycle, so the conflict graph quiesces it and
+  /// deferred candidates become admittable while it commits. A later
+  /// lock-acquiring verb (compensation, vital-task retry) reactivates
+  /// it.
+  void ObservePhase(Session& s, const dol::DolEngine::PendingRpc& rpc);
   /// Issues the session's pending RPC at `at`: parks it on kBusy,
   /// delivers the outcome otherwise.
   void Step(Session& s, int64_t at);
@@ -157,6 +211,14 @@ class FederationServer {
   std::map<std::pair<std::string, relational::SessionId>, uint64_t>
       local_owner_;
   size_t next_unadmitted_ = 0;
+  /// Indices of considered sessions held back by conflict-aware
+  /// admission, in submit order.
+  std::vector<size_t> deferred_;
+  /// Admitted summaries (conflict-aware admission's view of the
+  /// running set).
+  analysis::ConflictGraph graph_;
+  /// The admitted set changed since deferred_ was last re-checked.
+  bool graph_dirty_ = false;
   /// All sessions below this index are kDone (admission order makes the
   /// finished prefix contiguous in the common case); the scheduler's
   /// per-step scans start here.

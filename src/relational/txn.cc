@@ -162,6 +162,7 @@ Status LockManager::AcquireOne(Transaction* txn, const std::string& resource,
   }
   entry.holders[txn->id()] = target;
   txn->held_locks().insert(resource);
+  if (audit_) audit_log_.emplace_back(resource, target);
   return Status::OK();
 }
 

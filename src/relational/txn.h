@@ -7,6 +7,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -146,6 +147,19 @@ class LockManager {
   /// True when `holding` may coexist with `requested` on one resource.
   static bool Compatible(Mode holding, Mode requested);
 
+  /// Test-only audit trail: when enabled, every successful grant is
+  /// appended as (resource, mode) — upgrades and re-grants included.
+  /// The conflict-analyzer property tests compare this against the
+  /// statically predicted access sets.
+  void set_audit(bool on) {
+    audit_ = on;
+    if (!on) audit_log_.clear();
+  }
+  const std::vector<std::pair<std::string, Mode>>& audit_log() const {
+    return audit_log_;
+  }
+  void clear_audit_log() { audit_log_.clear(); }
+
  private:
   struct LockEntry {
     /// Per-holder granted mode — holders of one resource can hold
@@ -159,6 +173,8 @@ class LockManager {
   WaitPolicy wait_policy_ = WaitPolicy::kNoWait;
   std::vector<TxnId> last_conflict_;
   std::map<std::string, LockEntry> locks_;
+  bool audit_ = false;
+  std::vector<std::pair<std::string, Mode>> audit_log_;
 };
 
 }  // namespace msql::relational

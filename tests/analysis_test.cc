@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/conflict_analyzer.h"
 #include "analysis/diagnostics.h"
 #include "analysis/dol_verifier.h"
 #include "analysis/msql_checker.h"
@@ -48,6 +49,24 @@ TEST(DiagnosticsTest, RenderForms) {
   EXPECT_NE(pretty.find("^~~~~~~~~"), std::string::npos) << pretty;
   EXPECT_NE(pretty.find("help: check the spelling"), std::string::npos)
       << pretty;
+}
+
+TEST(DiagnosticsTest, RenderPrettyExpandsTabs) {
+  // The excerpt expands tabs to 4-column stops and the caret column is
+  // remapped accordingly: raw column 9 ('nosuchcol' after a leading
+  // tab) lands on expanded column 12, not under the wrong character.
+  Diagnostic d;
+  d.code = "MS103";
+  d.severity = Severity::kError;
+  d.span = SourceSpan::At(2, 9, 9);
+  d.message = "column 'nosuchcol' resolves in no scope database";
+  std::string pretty =
+      d.RenderPretty("USE avis\n\tSELECT nosuchcol FROM cars;\n");
+  EXPECT_NE(pretty.find("2 |     SELECT nosuchcol FROM cars;"),
+            std::string::npos)
+      << pretty;
+  std::string caret_line = "| " + std::string(11, ' ') + "^~~~~~~~";
+  EXPECT_NE(pretty.find(caret_line), std::string::npos) << pretty;
 }
 
 TEST(DiagnosticsTest, ListAccountingAndStatus) {
@@ -537,6 +556,285 @@ DOLEND
 }
 
 // ---------------------------------------------------------------------------
+// Conflict analyzer (DL3xx) — one golden test per code
+// ---------------------------------------------------------------------------
+
+translator::Plan PlanOf(const std::string& text) {
+  auto program = dol::ParseDol(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  translator::Plan plan;
+  if (program.ok()) plan.program = std::move(*program);
+  return plan;
+}
+
+DiagnosticList ConflictDiags(const translator::Plan& plan) {
+  return AnalyzeConflicts(plan, SummarizePlan(plan));
+}
+
+const Diagnostic* ExpectDiag(const DiagnosticList& list,
+                             std::string_view code, Severity severity) {
+  const Diagnostic* d = list.Find(code);
+  EXPECT_NE(d, nullptr) << "no " << code << " in:\n" << list.RenderAll();
+  if (d != nullptr) EXPECT_EQ(d->severity, severity) << d->Render();
+  return d;
+}
+
+TEST(ConflictAnalyzerTest, SummaryPredictsSitesModesAndOrder) {
+  auto plan = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  OPEN national AT national_svc AS n;
+  TASK t1 NOCOMMIT FOR a { UPDATE cars SET carst = 'TAKEN'
+                           WHERE code = (SELECT MIN(code) FROM cars) }
+  ENDTASK;
+  TASK t2 FOR n { SELECT vnum FROM vehicle }
+  ENDTASK;
+  CLOSE a n;
+DOLEND
+)");
+  AccessSummary summary = SummarizePlan(plan);
+  const TaskAccess* cars = summary.Find("avis_svc", "avis.cars");
+  ASSERT_NE(cars, nullptr);
+  EXPECT_EQ(cars->mode, PredictedMode::kExclusive);
+  EXPECT_EQ(cars->step, 1);
+  EXPECT_TRUE(cars->held_across_2pc);
+  const TaskAccess* vehicle = summary.Find("national_svc",
+                                           "national.vehicle");
+  ASSERT_NE(vehicle, nullptr);
+  EXPECT_EQ(vehicle->mode, PredictedMode::kShared);
+  EXPECT_EQ(vehicle->step, 2);
+  EXPECT_FALSE(vehicle->held_across_2pc);
+  EXPECT_EQ(summary.two_pc_sites, 1);
+  std::string render = summary.Render();
+  EXPECT_NE(render.find("X avis.cars  step 1  [held across 2PC]"),
+            std::string::npos)
+      << render;
+  EXPECT_NE(render.find("acquisition order: avis_svc -> national_svc"),
+            std::string::npos)
+      << render;
+}
+
+TEST(ConflictAnalyzerTest, Dl301LockOrderInversionAcrossInputs) {
+  auto first = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  OPEN national AT national_svc AS n;
+  TASK ta NOCOMMIT FOR a { UPDATE cars SET carst = 'TAKEN' }
+  ENDTASK;
+  TASK tb NOCOMMIT FOR n { UPDATE vehicle SET vstat = 'TAKEN' }
+  ENDTASK;
+  CLOSE a n;
+DOLEND
+)");
+  auto second = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  OPEN national AT national_svc AS n;
+  TASK tb NOCOMMIT FOR n { UPDATE vehicle SET vstat = 'TAKEN' }
+  ENDTASK;
+  TASK ta NOCOMMIT FOR a { UPDATE cars SET carst = 'TAKEN' }
+  ENDTASK;
+  CLOSE a n;
+DOLEND
+)");
+  AccessSummary sa = SummarizePlan(first);
+  AccessSummary sb = SummarizePlan(second);
+  PairwiseConflict conflict = Classify(sa, sb);
+  EXPECT_EQ(conflict.kind, ConflictKind::kWriteWrite);
+  EXPECT_TRUE(conflict.deadlock_risk);
+  auto diags = CheckPlanPair(sa, sb, 1, 2);
+  const Diagnostic* d = ExpectDiag(diags, diag::kLockOrderInversion,
+                                   Severity::kWarning);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("inputs 1 and 2 may first-acquire contended "
+                            "resources in opposite orders"),
+            std::string::npos)
+      << d->Render();
+  // Same acquisition order on both sides: contention but no inversion.
+  EXPECT_FALSE(Classify(sa, sa).deadlock_risk);
+  EXPECT_TRUE(CheckPlanPair(sa, sa, 1, 2).empty());
+  std::string matrix = RenderConflictMatrix({&sa, &sb});
+  EXPECT_NE(matrix.find("!W"), std::string::npos) << matrix;
+}
+
+TEST(ConflictAnalyzerTest, Dl302SelfDeadlockViaAliasedSessions) {
+  auto plan = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a1;
+  OPEN avis AT avis_svc AS a2;
+  TASK t1 NOCOMMIT FOR a1 { UPDATE cars SET carst = 'TAKEN' }
+  ENDTASK;
+  TASK t2 FOR a2 { SELECT code FROM cars }
+  ENDTASK;
+  COMMIT t1;
+  CLOSE a1 a2;
+DOLEND
+)");
+  auto diags = ConflictDiags(plan);
+  const Diagnostic* d = ExpectDiag(diags, diag::kSelfDeadlock,
+                                   Severity::kError);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("task 't2' needs avis.cars"),
+            std::string::npos)
+      << d->Render();
+  EXPECT_NE(d->message.find("holds it in X across the 2PC bracket"),
+            std::string::npos)
+      << d->Render();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ConflictAnalyzerTest, Dl303ExclusiveHeldAcrossRetryableVital) {
+  auto plan = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  OPEN national AT national_svc AS n;
+  TASK t1 NOCOMMIT FOR a { UPDATE cars SET carst = 'TAKEN' }
+  ENDTASK;
+  TASK t2 NOCOMMIT FOR n { UPDATE vehicle SET vstat = 'TAKEN' }
+  ENDTASK;
+  CLOSE a n;
+DOLEND
+)");
+  translator::PlanTask vital_task;
+  vital_task.task = "t2";
+  vital_task.database = "national";
+  vital_task.service = "national_svc";
+  vital_task.vital = true;
+  vital_task.retrieval = false;
+  vital_task.mode = translator::TaskMode::kTwoPhase;
+  plan.tasks.push_back(vital_task);
+  auto diags = ConflictDiags(plan);
+  const Diagnostic* d = ExpectDiag(diags, diag::kExclusiveHeldAcrossRetry,
+                                   Severity::kNote);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("task 't1' holds avis.cars exclusively"),
+            std::string::npos)
+      << d->Render();
+  EXPECT_NE(d->message.find("vital task 't2' at national_svc"),
+            std::string::npos)
+      << d->Render();
+}
+
+TEST(ConflictAnalyzerTest, Dl304UncommittedIntraMtRead) {
+  auto plan = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  TASK t1 FOR a { UPDATE cars SET carst = 'TAKEN' }
+  ENDTASK;
+  TASK t2 FOR a { SELECT code FROM cars }
+  ENDTASK;
+  CLOSE a;
+DOLEND
+)");
+  auto diags = ConflictDiags(plan);
+  const Diagnostic* d = ExpectDiag(diags, diag::kUncommittedIntraRead,
+                                   Severity::kWarning);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("task 't2' reads avis.cars after sibling "
+                            "task 't1' wrote it in autocommit"),
+            std::string::npos)
+      << d->Render();
+  EXPECT_NE(d->fix_hint.find("make 't1' NOCOMMIT"), std::string::npos)
+      << d->Render();
+  EXPECT_FALSE(diags.has_errors()) << diags.RenderAll();
+}
+
+TEST(ConflictAnalyzerTest, Dl305WideTwoPcBracket) {
+  auto plan = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  OPEN national AT national_svc AS n;
+  TASK t1 NOCOMMIT FOR a { UPDATE cars SET carst = 'TAKEN' }
+  ENDTASK;
+  TASK t2 NOCOMMIT FOR n { UPDATE vehicle SET vstat = 'TAKEN' }
+  ENDTASK;
+  CLOSE a n;
+DOLEND
+)");
+  AccessSummary summary = SummarizePlan(plan);
+  EXPECT_EQ(summary.two_pc_sites, 2);
+  auto diags = AnalyzeConflicts(plan, summary);
+  const Diagnostic* d = ExpectDiag(diags, diag::kWideTwoPcBracket,
+                                   Severity::kNote);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("2PC bracket holds locks at 2 sites"),
+            std::string::npos)
+      << d->Render();
+  // No vital tasks registered, so the retry-window note stays silent.
+  EXPECT_EQ(diags.Find(diag::kExclusiveHeldAcrossRetry), nullptr)
+      << diags.RenderAll();
+}
+
+TEST(ConflictAnalyzerTest, Dl306OpaqueTaskSqlWidensToWildcard) {
+  auto plan = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  TASK t1 FOR a { FROB THE KNOB }
+  ENDTASK;
+  CLOSE a;
+DOLEND
+)");
+  AccessSummary summary = SummarizePlan(plan);
+  EXPECT_EQ(summary.opaque_services.count("avis_svc"), 1u);
+  const TaskAccess* wildcard = summary.Find("avis_svc", "avis.*");
+  ASSERT_NE(wildcard, nullptr);
+  EXPECT_EQ(wildcard->mode, PredictedMode::kExclusive);
+  auto diags = AnalyzeConflicts(plan, summary);
+  const Diagnostic* d = ExpectDiag(diags, diag::kOpaqueTaskSql,
+                                   Severity::kWarning);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("task 't1' has SQL the analyzer cannot parse"),
+            std::string::npos)
+      << d->Render();
+  // The wildcard overlaps every table of avis, and nothing elsewhere.
+  EXPECT_TRUE(ResourcesOverlap("avis.*", "avis.cars"));
+  EXPECT_FALSE(ResourcesOverlap("avis.*", "national.vehicle"));
+}
+
+TEST(ConflictAnalyzerTest, Dl307ParallelSiblingWrites) {
+  auto plan = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  PARBEGIN
+    TASK p1 FOR a { UPDATE cars SET carst = 'A' }
+    ENDTASK;
+    TASK p2 FOR a { UPDATE cars SET carst = 'B' }
+    ENDTASK;
+  PAREND;
+  CLOSE a;
+DOLEND
+)");
+  auto diags = ConflictDiags(plan);
+  const Diagnostic* d = ExpectDiag(diags, diag::kParallelSiblingWrites,
+                                   Severity::kWarning);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("parallel tasks 'p1' and 'p2' both write "
+                            "avis.cars"),
+            std::string::npos)
+      << d->Render();
+}
+
+TEST(ConflictAnalyzerTest, Dl308DdlOnSharedTable) {
+  auto plan = PlanOf(R"(
+DOLBEGIN
+  OPEN avis AT avis_svc AS a;
+  TASK t1 FOR a { DROP TABLE cars }
+  ENDTASK;
+  TASK t2 FOR a { SELECT code FROM cars }
+  ENDTASK;
+  CLOSE a;
+DOLEND
+)");
+  auto diags = ConflictDiags(plan);
+  const Diagnostic* d = ExpectDiag(diags, diag::kDdlOnSharedTable,
+                                   Severity::kNote);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("task 't1' runs DDL on avis.cars"),
+            std::string::npos)
+      << d->Render();
+}
+
+// ---------------------------------------------------------------------------
 // Analyze API contract
 // ---------------------------------------------------------------------------
 
@@ -621,6 +919,63 @@ TEST_F(AnalyzeTest, AnalyzeMultiTransaction) {
   EXPECT_NE(report->dol_text.find("PARBEGIN"), std::string::npos);
 }
 
+TEST_F(AnalyzeTest, AnalyzeAttachesAccessSummary) {
+  auto report = sys_->Analyze(
+      "BEGIN MULTITRANSACTION\n"
+      "USE continental delta\n"
+      "LET fitab.snu.sstat.clname BE\n"
+      "  f838.seatnu.seatstatus.clientname\n"
+      "  fnu747.snu.sstat.passname\n"
+      "UPDATE fitab SET sstat = 'TAKEN', clname = 'wenders'\n"
+      "WHERE snu = (SELECT MIN(snu) FROM fitab WHERE sstat = 'FREE');\n"
+      "COMMIT\n"
+      "  continental\n"
+      "  delta\n"
+      "END MULTITRANSACTION");
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->summary.has_value());
+  // Both airline updates run NOCOMMIT inside the commit bracket, so the
+  // predicted 2PC footprint spans both sites and DL305 says so.
+  EXPECT_EQ(report->summary->two_pc_sites, 2);
+  EXPECT_NE(report->diagnostics.Find(diag::kWideTwoPcBracket), nullptr)
+      << report->diagnostics.RenderAll();
+  EXPECT_FALSE(report->diagnostics.has_errors())
+      << report->diagnostics.RenderAll();
+}
+
+TEST_F(AnalyzeTest, AnalyzeScriptFlagsCrossInputInversion) {
+  auto mt = [](bool continental_first) {
+    std::string continental =
+        "USE continental\n"
+        "UPDATE f838 SET seatstatus = 'TAKEN', clientname = 'w'\n"
+        "WHERE seatnu = (SELECT MIN(seatnu) FROM f838 "
+        "WHERE seatstatus = 'FREE');\n";
+    std::string delta =
+        "USE delta\n"
+        "UPDATE fnu747 SET sstat = 'TAKEN', passname = 'w'\n"
+        "WHERE snu = (SELECT MIN(snu) FROM fnu747 WHERE sstat = 'FREE');\n";
+    return "BEGIN MULTITRANSACTION\n" +
+           (continental_first ? continental + delta
+                              : delta + continental) +
+           "COMMIT\n  continental AND delta\nEND MULTITRANSACTION";
+  };
+  auto reports =
+      sys_->AnalyzeScript(mt(true) + "\n" + mt(false) + "\n");
+  ASSERT_TRUE(reports.ok()) << reports.status();
+  ASSERT_EQ(reports->size(), 2u);
+  ASSERT_TRUE((*reports)[0].summary.has_value());
+  ASSERT_TRUE((*reports)[1].summary.has_value());
+  // Opposite site orders across the two inputs: the second report
+  // carries the cross-input DL301.
+  EXPECT_EQ((*reports)[0].diagnostics.Find(diag::kLockOrderInversion),
+            nullptr)
+      << (*reports)[0].diagnostics.RenderAll();
+  const Diagnostic* d =
+      (*reports)[1].diagnostics.Find(diag::kLockOrderInversion);
+  ASSERT_NE(d, nullptr) << (*reports)[1].diagnostics.RenderAll();
+  EXPECT_EQ(d->severity, Severity::kWarning) << d->Render();
+}
+
 // ---------------------------------------------------------------------------
 // Property: the verifier accepts every translator-emitted plan
 // ---------------------------------------------------------------------------
@@ -658,7 +1013,9 @@ TEST(VerifierPropertyTest, AcceptsTranslatorPlansOverRandomPaperScopes) {
     ASSERT_TRUE(report->translated) << text << "\n"
                                     << report->diagnostics.RenderAll();
     for (const auto& d : report->diagnostics.items()) {
-      EXPECT_NE(d.code.substr(0, 2), "DL")
+      // DL3xx conflict notes are legitimate on translator plans; the
+      // property is that the *verifier* (DL2xx) accepts them.
+      EXPECT_NE(d.code.substr(0, 3), "DL2")
           << text << "\nverifier rejected a translator plan:\n"
           << d.Render() << "\n"
           << report->dol_text;
@@ -715,7 +1072,9 @@ TEST(VerifierPropertyTest, AcceptsTranslatorPlansOverMixedCommitModes) {
     ASSERT_TRUE(report->translated) << text << "\n"
                                     << report->diagnostics.RenderAll();
     for (const auto& d : report->diagnostics.items()) {
-      EXPECT_NE(d.code.substr(0, 2), "DL")
+      // DL3xx conflict notes are legitimate on translator plans; the
+      // property is that the *verifier* (DL2xx) accepts them.
+      EXPECT_NE(d.code.substr(0, 3), "DL2")
           << text << "\nverifier rejected a translator plan:\n"
           << d.Render() << "\n"
           << report->dol_text;
