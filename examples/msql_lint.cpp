@@ -50,6 +50,8 @@ void PrintHelp() {
       "\n"
       "options:\n"
       "  --explain          print the generated DOL program per input\n"
+      "                     (plus the optimizer's cost breakdown for\n"
+      "                     decomposed multidatabase joins)\n"
       "  --conflicts        print each plan's predicted access summary\n"
       "                     (per-site read/write sets, lock modes,\n"
       "                     acquisition order, 2PC holds) and the pairwise\n"
@@ -135,6 +137,10 @@ int LintText(MultidatabaseSystem* sys, const std::string& name,
     if (explain && report.translated) {
       std::printf("-- input %zu (%s) translates to:\n%s", input_index,
                   report.kind.c_str(), report.dol_text.c_str());
+      if (!report.cost_text.empty()) {
+        std::printf("-- input %zu %s", input_index,
+                    report.cost_text.c_str());
+      }
     }
     if (conflicts && report.summary.has_value()) {
       std::printf("-- input %zu (%s) %s", input_index, report.kind.c_str(),

@@ -14,7 +14,11 @@
 // independently of tracing), \profile (toggle per-input EXPLAIN ANALYZE
 // profiles — phase breakdown, per-site attribution, critical path),
 // \health (per-site health table), \qlog FILE (append a JSONL audit
-// record per executed input to FILE; \qlog off stops), \quit.
+// record per executed input to FILE; \qlog off stops), \cost (toggle
+// printing the distributed optimizer's cost breakdown — movement
+// strategy and estimated transfer micros per subquery), \cost on|off
+// (switch between the cost-based optimizer and the paper-heuristic
+// fallback), \quit.
 // Prefixing an input with \check statically analyzes it instead of
 // executing it; \explain additionally prints the DOL program it would
 // run; \conflicts additionally prints the plan's predicted access
@@ -42,7 +46,8 @@ using msql::core::GlobalOutcome;
 using msql::core::GlobalOutcomeName;
 using msql::core::MultidatabaseSystem;
 
-void PrintReport(const ExecutionReport& report, bool show_dol) {
+void PrintReport(const ExecutionReport& report, bool show_dol,
+                 bool show_cost) {
   std::printf("-- %s (DOLSTATUS=%d",
               std::string(GlobalOutcomeName(report.outcome)).c_str(),
               report.dol_status);
@@ -74,6 +79,9 @@ void PrintReport(const ExecutionReport& report, bool show_dol) {
   }
   if (!report.plan_text.empty()) {
     std::printf("-- local plans --\n%s", report.plan_text.c_str());
+  }
+  if (show_cost && !report.cost_text.empty()) {
+    std::printf("-- distributed cost --\n%s", report.cost_text.c_str());
   }
   if (!report.trace_text.empty()) {
     std::printf("-- trace --\n%s", report.trace_text.c_str());
@@ -125,6 +133,7 @@ bool InputComplete(const std::string& buffer) {
 
 int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
   bool show_dol = false;
+  bool show_cost = false;
   std::string qlog_file;  // "" = query log not writing to a file
   std::string buffer;
   std::string line;
@@ -150,6 +159,21 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
       bool on = !sys->collect_plans();
       sys->set_collect_plans(on);
       std::printf("(local plan printing %s)\n", on ? "on" : "off");
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\cost" || trimmed.rfind("\\cost ", 0) == 0) {
+      std::string arg(msql::Trim(trimmed.substr(std::strlen("\\cost"))));
+      if (arg == "on" || arg == "off") {
+        sys->set_cost_based_optimizer(arg == "on");
+        std::printf("(optimizer: %s)\n",
+                    arg == "on" ? "cost-based (run ANALYZE for stats)"
+                                : "paper heuristics");
+      } else {
+        show_cost = !show_cost;
+        std::printf("(cost breakdown printing %s)\n",
+                    show_cost ? "on" : "off");
+      }
       if (echo) std::printf("msql> ");
       continue;
     }
@@ -286,7 +310,7 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
     } else {
-      PrintReport(*report, show_dol);
+      PrintReport(*report, show_dol, show_cost);
     }
     if (!qlog_file.empty() && sys->query_log().enabled()) {
       // Rewrite the whole JSONL file: records are small and the final
@@ -319,8 +343,8 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "Extended MSQL shell — federation: continental delta united avis "
-      "national\nmeta: \\gdd \\dol \\plan \\trace [file] \\metrics [on|off] "
-      "\\profile \\health \\qlog [file|off] \\check \\explain \\conflicts "
-      "\\quit; end inputs with ';'\n");
+      "national\nmeta: \\gdd \\dol \\plan \\cost [on|off] \\trace [file] "
+      "\\metrics [on|off] \\profile \\health \\qlog [file|off] \\check "
+      "\\explain \\conflicts \\quit; end inputs with ';'\n");
   return RunStream(sys.get(), std::cin, /*echo=*/true);
 }

@@ -33,6 +33,7 @@ std::string_view InputKindName(lang::MsqlInput::Kind kind) {
     case lang::MsqlInput::Kind::kMultiTransaction: return "multitransaction";
     case lang::MsqlInput::Kind::kIncorporate: return "incorporate";
     case lang::MsqlInput::Kind::kImport: return "import";
+    case lang::MsqlInput::Kind::kAnalyze: return "analyze";
     case lang::MsqlInput::Kind::kCreateMultidatabase:
       return "create multidatabase";
     case lang::MsqlInput::Kind::kDropMultidatabase:
@@ -279,6 +280,13 @@ Result<ExecutionReport> MultidatabaseSystem::ExecuteInput(
       report.outcome = GlobalOutcome::kSuccess;
       return report;
     }
+    case lang::MsqlInput::Kind::kAnalyze: {
+      MSQL_ASSIGN_OR_RETURN(auto analyzed, ExecuteAnalyze(*input.analyze));
+      (void)analyzed;
+      ExecutionReport report;
+      report.outcome = GlobalOutcome::kSuccess;
+      return report;
+    }
     case lang::MsqlInput::Kind::kCreateMultidatabase:
       MSQL_RETURN_IF_ERROR(
           ExecuteCreateMultidatabase(*input.create_multidatabase));
@@ -330,6 +338,13 @@ Result<std::vector<ExecutionReport>> MultidatabaseSystem::ExecuteScript(
       case lang::MsqlInput::Kind::kImport: {
         MSQL_ASSIGN_OR_RETURN(auto imported, ExecuteImport(*input.import));
         (void)imported;
+        reports.emplace_back();
+        break;
+      }
+      case lang::MsqlInput::Kind::kAnalyze: {
+        MSQL_ASSIGN_OR_RETURN(auto analyzed,
+                              ExecuteAnalyze(*input.analyze));
+        (void)analyzed;
         reports.emplace_back();
         break;
       }
@@ -386,6 +401,58 @@ Result<std::vector<std::string>> MultidatabaseSystem::ExecuteImport(
   spec.view = stmt.view;
   spec.columns = stmt.columns;
   return mdbs::ImportDatabase(&env_, ad_, &gdd_, spec);
+}
+
+Result<std::vector<std::string>> MultidatabaseSystem::ExecuteAnalyze(
+    const lang::AnalyzeStmt& stmt) {
+  mdbs::AnalyzeSpec spec;
+  spec.database = stmt.database;
+  spec.table = stmt.table;
+  return mdbs::AnalyzeDatabase(&env_, ad_, &gdd_, spec);
+}
+
+lang::CostContext MultidatabaseSystem::BuildCostContext() const {
+  lang::CostContext ctx;
+  ctx.mdbs_site = env_.coordinator_site();
+  for (const auto& db_name : gdd_.DatabaseNames()) {
+    auto db = gdd_.GetDatabase(db_name);
+    if (!db.ok()) continue;
+    auto entry = env_.GetServiceEntry((*db)->service);
+    if (entry.ok()) {
+      const std::string& site = (*entry)->site_name;
+      ctx.site_of_db[db_name] = site;
+      const netsim::LinkParams to =
+          env_.network().GetLink(ctx.mdbs_site, site);
+      ctx.links[{ctx.mdbs_site, site}] =
+          lang::LinkCost{to.latency_micros, to.micros_per_kb};
+      const netsim::LinkParams from =
+          env_.network().GetLink(site, ctx.mdbs_site);
+      ctx.links[{site, ctx.mdbs_site}] =
+          lang::LinkCost{from.latency_micros, from.micros_per_kb};
+    }
+    // Median, not mean: bulk catalog calls (IMPORT/ANALYZE responses
+    // carry whole schemas or scans) would otherwise inflate a healthy
+    // site's observed latency and skew movement decisions against it.
+    const obs::SiteHealth* health = env_.health().Get((*db)->service);
+    if (health != nullptr && health->latency().count() > 0) {
+      ctx.observed_latency_micros[db_name] =
+          static_cast<double>(health->latency().Quantile(0.5));
+    }
+    // Only fresh snapshots enter the context: a missing entry is the
+    // decomposer's signal to fall back to the paper heuristics.
+    for (const auto& [table_name, stats] : (*db)->stats) {
+      if (!gdd_.TableStatsFresh(db_name, table_name)) continue;
+      lang::TableCostStats ts;
+      ts.row_count = stats.row_count;
+      ts.avg_row_bytes = stats.avg_row_bytes;
+      for (const auto& [col_name, col] : stats.columns) {
+        ts.columns[col_name] = lang::ColumnCostStats{
+            col.distinct_values, col.avg_width_bytes};
+      }
+      ctx.stats[{db_name, table_name}] = std::move(ts);
+    }
+  }
+  return ctx;
 }
 
 Result<ExecutionReport> MultidatabaseSystem::ExecuteQuery(
@@ -472,11 +539,18 @@ Result<PreparedInput> MultidatabaseSystem::PrepareQuery(
         static_cast<const relational::SelectStmt&>(*resolved.body);
     if (lang::Decomposer::IsMultidatabase(select)) {
       lang::Decomposer decomposer(&gdd_);
+      lang::CostContext cost_context;
+      if (cost_based_optimizer_) {
+        cost_context = BuildCostContext();
+        decomposer.set_cost_based(true);
+        decomposer.set_cost_context(&cost_context);
+      }
       obs::ScopedSpan decompose_span(&env_.tracer(), "msql.decompose",
                                      "frontend", 0);
       MSQL_ASSIGN_OR_RETURN(auto decomposition,
                             decomposer.Decompose(select));
       decompose_span.End();
+      prepared.cost_text = decomposition.cost_text;
       obs::ScopedSpan translate_span(&env_.tracer(), "msql.translate",
                                      "frontend", 0);
       MSQL_ASSIGN_OR_RETURN(
@@ -787,6 +861,7 @@ Result<ExecutionReport> MultidatabaseSystem::FinishPreparedRun(
     report.multitable.elements.clear();  // not a retrieval answer
   }
   report.diagnostics = std::move(prepared.warnings);
+  report.cost_text = std::move(prepared.cost_text);
   if (ran && prepared.expansion.has_value()) {
     MSQL_RETURN_IF_ERROR(
         SyncGddAfterDdl(prepared.plan, report.run, *prepared.expansion));
@@ -1140,6 +1215,12 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeInput(
           if (!imported.ok()) report.error = imported.status();
           break;
         }
+        case lang::MsqlInput::Kind::kAnalyze: {
+          report.kind = "analyze";
+          auto analyzed = ExecuteAnalyze(*input.analyze);
+          if (!analyzed.ok()) report.error = analyzed.status();
+          break;
+        }
         case lang::MsqlInput::Kind::kCreateMultidatabase:
           report.kind = "create multidatabase";
           report.error =
@@ -1210,11 +1291,18 @@ Result<AnalysisReport> MultidatabaseSystem::AnalyzeQuery(
     if (lang::Decomposer::IsMultidatabase(select)) {
       report.kind = "decomposed join";
       lang::Decomposer decomposer(&gdd_);
+      lang::CostContext cost_context;
+      if (cost_based_optimizer_) {
+        cost_context = BuildCostContext();
+        decomposer.set_cost_based(true);
+        decomposer.set_cost_context(&cost_context);
+      }
       auto decomposition = decomposer.Decompose(select);
       if (!decomposition.ok()) {
         report.error = decomposition.status();
         return report;
       }
+      report.cost_text = (*decomposition).cost_text;
       auto plan = translator.TranslateDecomposedJoin(*decomposition);
       if (!plan.ok()) {
         report.error = plan.status();

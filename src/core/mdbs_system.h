@@ -17,6 +17,7 @@
 #include "mdbs/catalog_ops.h"
 #include "mdbs/global_data_dictionary.h"
 #include "msql/ast.h"
+#include "msql/cost_model.h"
 #include "msql/expander.h"
 #include "msql/multitable.h"
 #include "netsim/environment.h"
@@ -97,6 +98,12 @@ struct ExecutionReport {
   /// (MultidatabaseSystem::set_collect_profiles, which needs the
   /// tracer) and this is the outermost input.
   std::string profile_text;
+  /// Cost breakdown of a decomposed multidatabase join: the chosen
+  /// coordinator, per-subquery movement strategy (ship-whole vs.
+  /// semi-join) and estimated transfer costs — or the reason the
+  /// optimizer fell back to the paper heuristics. Filled only while the
+  /// cost-based optimizer is enabled (set_cost_based_optimizer).
+  std::string cost_text;
 };
 
 /// What `Analyze` (the `msql_lint` / `\check` path) reports about one
@@ -123,6 +130,9 @@ struct AnalysisReport {
   /// conflict diagnostics, `msql_lint --conflicts` and the scheduler's
   /// conflict-aware admission.
   std::optional<analysis::AccessSummary> summary;
+  /// Cost breakdown of a would-be decomposed join (see
+  /// ExecutionReport::cost_text).
+  std::string cost_text;
 };
 
 /// A frontend-compiled MSQL input: the translated DOL plan plus
@@ -148,6 +158,8 @@ struct PreparedInput {
   bool data_transfer = false;
   /// Fire interdatabase triggers after the run (plain query path only).
   bool fire_triggers = false;
+  /// Cost breakdown of a decomposed join, forwarded to the report.
+  std::string cost_text;
   /// Input resolved entirely at prepare time (refusals): nothing to
   /// run, report this as-is.
   std::optional<ExecutionReport> immediate;
@@ -194,6 +206,15 @@ class MultidatabaseSystem {
   /// output while the environment tracer is enabled.
   void set_collect_profiles(bool on) { collect_profiles_ = on; }
   bool collect_profiles() const { return collect_profiles_; }
+
+  /// Toggles the cost-based distributed optimizer for decomposed joins
+  /// (DESIGN.md §14). On by default, but each query silently falls back
+  /// to the paper heuristics until fresh ANALYZE statistics exist for
+  /// every involved table, so behavior only changes after ANALYZE runs.
+  /// Off = the provable paper-heuristic path, pinned by the distopt
+  /// differential tests.
+  void set_cost_based_optimizer(bool on) { cost_based_optimizer_ = on; }
+  bool cost_based_optimizer() const { return cost_based_optimizer_; }
 
   /// Structured JSONL audit log of executed inputs (DESIGN.md §11).
   /// Disabled by default; the shell's `\qlog` and tests enable it.
@@ -260,6 +281,12 @@ class MultidatabaseSystem {
   void LogInput(lang::MsqlInput::Kind kind, const ExecutionReport& report);
   Status ExecuteIncorporate(const lang::IncorporateStmt& stmt);
   Result<std::vector<std::string>> ExecuteImport(const lang::ImportStmt& stmt);
+  Result<std::vector<std::string>> ExecuteAnalyze(const lang::AnalyzeStmt& stmt);
+
+  /// Snapshots the cost-based optimizer's inputs: fresh GDD statistics,
+  /// per-link transfer parameters from the netsim topology and observed
+  /// mean latencies from the health registry (DESIGN.md §14).
+  lang::CostContext BuildCostContext() const;
 
   // -- Multidatabases, views, triggers (§2 extensions) ---------------------
 
@@ -354,6 +381,7 @@ class MultidatabaseSystem {
   int trigger_depth_ = 0;
   bool collect_plans_ = false;
   bool collect_profiles_ = false;
+  bool cost_based_optimizer_ = true;
   /// Counter values at top-level input entry (profile delta baseline).
   std::map<std::string, int64_t, std::less<>> profile_counters_before_;
   obs::QueryLog query_log_;

@@ -99,4 +99,67 @@ Result<std::vector<std::string>> ImportDatabase(
   return imported;
 }
 
+Result<std::vector<std::string>> AnalyzeDatabase(
+    netsim::Environment* env, const AuxiliaryDirectory& ad,
+    GlobalDataDictionary* gdd, const AnalyzeSpec& spec) {
+  // The database must already be imported — ANALYZE annotates the GDD's
+  // existing table definitions, it never discovers new ones.
+  MSQL_ASSIGN_OR_RETURN(const GddDatabase* db,
+                        gdd->GetDatabase(spec.database));
+  MSQL_ASSIGN_OR_RETURN(const ServiceDescriptor* service,
+                        ad.GetService(db->service));
+  if (spec.table.has_value() &&
+      !gdd->HasTable(spec.database, *spec.table)) {
+    return Status::NotFound("table '" + *spec.table +
+                            "' is not in the GDD for '" + db->name +
+                            "' (IMPORT it before ANALYZE)");
+  }
+
+  LamRequest analyze;
+  analyze.type = LamRequestType::kAnalyze;
+  analyze.database = ToLower(spec.database);
+  if (spec.table.has_value()) analyze.sql = ToLower(*spec.table);
+  MSQL_ASSIGN_OR_RETURN(auto outcome,
+                        env->Call(service->name, analyze, /*at_micros=*/0));
+  MSQL_RETURN_IF_ERROR(outcome.response.status);
+
+  // Group the (table, column, row_count, distinct, min, max, avg_width)
+  // rows into per-table snapshots.
+  std::map<std::string, TableStats> pending;
+  std::vector<std::string> table_order;
+  for (const auto& row : outcome.response.result.rows) {
+    if (row.size() != 7 || !row[0].is_text() || !row[1].is_text() ||
+        !row[2].is_integer() || !row[3].is_integer() || !row[4].is_text() ||
+        !row[5].is_text() || !row[6].is_real()) {
+      return Status::Internal("malformed ANALYZE row from service '" +
+                              service->name + "'");
+    }
+    const std::string& table_name = row[0].AsText();
+    auto it = pending.find(table_name);
+    if (it == pending.end()) {
+      table_order.push_back(table_name);
+      it = pending.emplace(table_name, TableStats{}).first;
+    }
+    it->second.row_count = row[2].AsInteger();
+    ColumnStats col;
+    col.distinct_values = row[3].AsInteger();
+    col.min_value = row[4].AsText();
+    col.max_value = row[5].AsText();
+    col.avg_width_bytes = row[6].AsReal();
+    it->second.avg_row_bytes += col.avg_width_bytes;
+    it->second.columns.emplace(row[1].AsText(), std::move(col));
+  }
+
+  std::vector<std::string> analyzed;
+  for (const auto& table_name : table_order) {
+    // Locally visible tables that were never imported stay invisible at
+    // the multidatabase level; skip them rather than widen the catalog.
+    if (!gdd->HasTable(spec.database, table_name)) continue;
+    MSQL_RETURN_IF_ERROR(gdd->PutTableStats(
+        spec.database, table_name, std::move(pending[table_name])));
+    analyzed.push_back(table_name);
+  }
+  return analyzed;
+}
+
 }  // namespace msql::mdbs

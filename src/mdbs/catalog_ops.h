@@ -43,6 +43,23 @@ Result<std::vector<std::string>> ImportDatabase(
     netsim::Environment* env, const AuxiliaryDirectory& ad,
     GlobalDataDictionary* gdd, const ImportSpec& spec);
 
+/// Parameters of an ANALYZE DATABASE statement:
+///   ANALYZE DATABASE <db> [ TABLE <table> ]
+/// No table → analyze every imported table of the database.
+struct AnalyzeSpec {
+  std::string database;
+  std::optional<std::string> table;
+};
+
+/// Executes ANALYZE DATABASE: asks the database's LAM (kAnalyze) to
+/// scan the named table (or all of them) and installs the per-column
+/// statistics snapshots in the GDD, bumping each table's stats version.
+/// Only tables already imported into the GDD are recorded — ANALYZE
+/// never widens the visible catalog. Returns the analyzed table names.
+Result<std::vector<std::string>> AnalyzeDatabase(
+    netsim::Environment* env, const AuxiliaryDirectory& ad,
+    GlobalDataDictionary* gdd, const AnalyzeSpec& spec);
+
 }  // namespace msql::mdbs
 
 #endif  // MSQL_MDBS_CATALOG_OPS_H_

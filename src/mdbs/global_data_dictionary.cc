@@ -62,6 +62,10 @@ Status GlobalDataDictionary::PutTable(std::string_view database,
   }
   std::string table_name = schema.table_name();
   it->second.tables[table_name] = std::move(schema);
+  // A (re-)IMPORT may change the column list, so any existing ANALYZE
+  // snapshot is now stale. Bumping the generation (rather than erasing
+  // the stats) keeps the staleness observable and testable.
+  ++it->second.schema_generations[table_name];
   return Status::OK();
 }
 
@@ -72,11 +76,14 @@ Status GlobalDataDictionary::RemoveTable(std::string_view database,
     return Status::NotFound("database '" + std::string(database) +
                             "' is not in the GDD");
   }
-  if (it->second.tables.erase(ToLower(table)) == 0) {
+  std::string table_key = ToLower(table);
+  if (it->second.tables.erase(table_key) == 0) {
     return Status::NotFound("table '" + std::string(table) +
                             "' is not in the GDD for '" + it->second.name +
                             "'");
   }
+  it->second.stats.erase(table_key);
+  it->second.schema_generations.erase(table_key);
   return Status::OK();
 }
 
@@ -101,6 +108,57 @@ Result<const relational::TableSchema*> GlobalDataDictionary::GetTable(
                             "'");
   }
   return &table_it->second;
+}
+
+Status GlobalDataDictionary::PutTableStats(std::string_view database,
+                                           std::string_view table,
+                                           TableStats stats) {
+  auto it = databases_.find(ToLower(database));
+  if (it == databases_.end()) {
+    return Status::NotFound("database '" + std::string(database) +
+                            "' is not in the GDD");
+  }
+  std::string table_key = ToLower(table);
+  if (it->second.tables.count(table_key) == 0) {
+    return Status::NotFound("table '" + std::string(table) +
+                            "' is not in the GDD for '" + it->second.name +
+                            "' (IMPORT it before ANALYZE)");
+  }
+  auto stats_it = it->second.stats.find(table_key);
+  stats.version =
+      stats_it == it->second.stats.end() ? 1 : stats_it->second.version + 1;
+  stats.schema_generation = it->second.schema_generations[table_key];
+  it->second.stats[table_key] = std::move(stats);
+  return Status::OK();
+}
+
+Result<const TableStats*> GlobalDataDictionary::GetTableStats(
+    std::string_view database, std::string_view table) const {
+  auto it = databases_.find(ToLower(database));
+  if (it == databases_.end()) {
+    return Status::NotFound("database '" + std::string(database) +
+                            "' is not in the GDD");
+  }
+  auto stats_it = it->second.stats.find(ToLower(table));
+  if (stats_it == it->second.stats.end()) {
+    return Status::NotFound("no statistics for '" + it->second.name + "." +
+                            std::string(table) + "' (run ANALYZE)");
+  }
+  return &stats_it->second;
+}
+
+bool GlobalDataDictionary::TableStatsFresh(std::string_view database,
+                                           std::string_view table) const {
+  auto it = databases_.find(ToLower(database));
+  if (it == databases_.end()) return false;
+  std::string table_key = ToLower(table);
+  auto stats_it = it->second.stats.find(table_key);
+  if (stats_it == it->second.stats.end()) return false;
+  auto gen_it = it->second.schema_generations.find(table_key);
+  uint64_t current = gen_it == it->second.schema_generations.end()
+                         ? 0
+                         : gen_it->second;
+  return stats_it->second.schema_generation == current;
 }
 
 Result<std::vector<std::string>> GlobalDataDictionary::MatchTables(

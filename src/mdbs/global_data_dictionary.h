@@ -1,6 +1,7 @@
 #ifndef MSQL_MDBS_GLOBAL_DATA_DICTIONARY_H_
 #define MSQL_MDBS_GLOBAL_DATA_DICTIONARY_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -11,6 +12,33 @@
 
 namespace msql::mdbs {
 
+/// Per-column statistics gathered by ANALYZE against the local engine.
+struct ColumnStats {
+  /// Number of distinct non-NULL values observed.
+  int64_t distinct_values = 0;
+  /// Display renderings of the smallest/largest non-NULL value (empty
+  /// when the column held only NULLs or the table was empty).
+  std::string min_value;
+  std::string max_value;
+  /// Average wire bytes per value (display bytes + per-value framing),
+  /// matching the LamResponse::WireBytes accounting so transfer-cost
+  /// estimates line up with what netsim actually charges.
+  double avg_width_bytes = 0.0;
+};
+
+/// Per-table statistics snapshot. `version` bumps on every re-ANALYZE;
+/// `schema_generation` records the GDD schema generation the snapshot
+/// was taken against, so a re-IMPORT makes the stats detectably stale.
+struct TableStats {
+  int64_t row_count = 0;
+  /// Average wire bytes per full tuple (sum of column avg widths).
+  double avg_row_bytes = 0.0;
+  int64_t version = 0;
+  uint64_t schema_generation = 0;
+  /// column name → stats.
+  std::map<std::string, ColumnStats> columns;
+};
+
 /// One database known at the multidatabase level: its serving service
 /// and the (possibly partial) schemas imported for its tables.
 struct GddDatabase {
@@ -18,6 +46,12 @@ struct GddDatabase {
   std::string service;
   /// table name → imported schema (possibly a partial column list).
   std::map<std::string, relational::TableSchema> tables;
+  /// table name → ANALYZE statistics (absent until analyzed).
+  std::map<std::string, TableStats> stats;
+  /// table name → schema generation, bumped every time PutTable
+  /// replaces the definition. Stats carrying an older generation are
+  /// stale and the optimizer falls back to the paper heuristics.
+  std::map<std::string, uint64_t> schema_generations;
 };
 
 /// The Global Data Dictionary: "a repository for the names of the
@@ -47,6 +81,27 @@ class GlobalDataDictionary {
   bool HasTable(std::string_view database, std::string_view table) const;
   Result<const relational::TableSchema*> GetTable(
       std::string_view database, std::string_view table) const;
+
+  // -- Statistics catalog (ANALYZE) ---------------------------------------
+
+  /// Records an ANALYZE snapshot for `database.table`. The table must
+  /// already be imported (kNotFound otherwise). The dictionary manages
+  /// versioning: the stored snapshot's `version` is the previous
+  /// version + 1 and its `schema_generation` is stamped to the table's
+  /// current generation, marking the stats fresh.
+  Status PutTableStats(std::string_view database, std::string_view table,
+                       TableStats stats);
+
+  /// Stats for `database.table`; kNotFound when the database, table or
+  /// snapshot does not exist. The snapshot may be stale — check
+  /// TableStatsFresh before trusting it for optimization.
+  Result<const TableStats*> GetTableStats(std::string_view database,
+                                          std::string_view table) const;
+
+  /// True iff a stats snapshot exists and was taken against the
+  /// table's current schema generation (i.e. no re-IMPORT since).
+  bool TableStatsFresh(std::string_view database,
+                       std::string_view table) const;
 
   /// Table names in `database` matching an MSQL '%' pattern.
   Result<std::vector<std::string>> MatchTables(

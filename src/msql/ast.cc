@@ -88,6 +88,12 @@ std::string ImportStmt::ToMsql() const {
   return out;
 }
 
+std::string AnalyzeStmt::ToMsql() const {
+  std::string out = "ANALYZE DATABASE " + database;
+  if (table.has_value()) out += " TABLE " + *table;
+  return out;
+}
+
 std::string CreateMultidatabaseStmt::ToMsql() const {
   return "CREATE MULTIDATABASE " + name + " (" + Join(members, " ") + ")";
 }

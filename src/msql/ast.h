@@ -111,6 +111,17 @@ struct ImportStmt {
   std::string ToMsql() const;
 };
 
+/// ANALYZE DATABASE <db> [TABLE <t>] — gathers per-table/per-column
+/// statistics (row counts, distinct values, min/max, average tuple
+/// bytes) from the database's local engine into the GDD statistics
+/// catalog, for the cost-based distributed optimizer.
+struct AnalyzeStmt {
+  std::string database;
+  std::optional<std::string> table;
+
+  std::string ToMsql() const;
+};
+
 /// CREATE MULTIDATABASE <name> ( <db> [,] <db> ... ) — defines a virtual
 /// database aggregating existing ones; USE <name> then stands for its
 /// members ("creation and manipulation of ... virtual databases", §2).
@@ -198,6 +209,7 @@ struct MsqlInput {
     kMultiTransaction,
     kIncorporate,
     kImport,
+    kAnalyze,
     kCreateMultidatabase,
     kDropMultidatabase,
     kCreateView,
@@ -211,6 +223,7 @@ struct MsqlInput {
   std::optional<MultiTransaction> multitransaction;
   std::optional<IncorporateStmt> incorporate;
   std::optional<ImportStmt> import;
+  std::optional<AnalyzeStmt> analyze;
   std::optional<CreateMultidatabaseStmt> create_multidatabase;
   std::optional<DropMultidatabaseStmt> drop_multidatabase;
   std::optional<CreateViewStmt> create_view;

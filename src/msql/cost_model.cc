@@ -1,0 +1,40 @@
+#include "msql/cost_model.h"
+
+#include <algorithm>
+
+namespace msql::lang {
+
+const TableCostStats* CostContext::FindStats(
+    const std::string& database, const std::string& table) const {
+  auto it = stats.find({database, table});
+  return it == stats.end() ? nullptr : &it->second;
+}
+
+const LinkCost& CostContext::LinkBetween(const std::string& from_site,
+                                         const std::string& to_site) const {
+  auto it = links.find({from_site, to_site});
+  return it == links.end() ? default_link : it->second;
+}
+
+double CostContext::HopMicros(const std::string& database,
+                              double bytes) const {
+  auto site_it = site_of_db.find(database);
+  const std::string site =
+      site_it == site_of_db.end() ? std::string() : site_it->second;
+  const LinkCost& link = LinkBetween(site, mdbs_site);
+  double latency = static_cast<double>(link.latency_micros);
+  auto obs_it = observed_latency_micros.find(database);
+  if (obs_it != observed_latency_micros.end()) {
+    latency = std::max(latency, obs_it->second);
+  }
+  return latency +
+         bytes * static_cast<double>(link.micros_per_kb) / 1024.0;
+}
+
+double CostContext::ShipMicros(const std::string& from_db,
+                               const std::string& to_db,
+                               double bytes) const {
+  return HopMicros(from_db, bytes) + HopMicros(to_db, bytes);
+}
+
+}  // namespace msql::lang

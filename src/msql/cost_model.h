@@ -1,0 +1,77 @@
+#ifndef MSQL_MSQL_COST_MODEL_H_
+#define MSQL_MSQL_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace msql::lang {
+
+/// Per-link transfer parameters, mirrored from the netsim topology as
+/// plain data so the decomposer can cost plans without depending on a
+/// live Environment (tests hand-craft contexts).
+struct LinkCost {
+  int64_t latency_micros = 1000;
+  int64_t micros_per_kb = 100;
+};
+
+/// Per-column slice of a fresh ANALYZE snapshot.
+struct ColumnCostStats {
+  int64_t distinct_values = 0;
+  double avg_width_bytes = 0.0;
+};
+
+/// Per-table slice of a fresh ANALYZE snapshot. Only *fresh* snapshots
+/// belong in a CostContext — the builder filters out stale ones (taken
+/// before a re-IMPORT), so a missing entry here means "fall back to the
+/// paper heuristics".
+struct TableCostStats {
+  int64_t row_count = 0;
+  double avg_row_bytes = 0.0;
+  std::map<std::string, ColumnCostStats> columns;
+};
+
+/// Everything the cost-based decomposer consults, snapshotted from the
+/// GDD statistics catalog, the netsim topology and the obs health
+/// registry. Transfers in this system always transit the MDBS
+/// coordinator site (a task result returns there in the EXEC response
+/// before a TRANSFER pushes it to the target service), so shipping
+/// between two databases is modelled as two hops through `mdbs_site`.
+struct CostContext {
+  /// Site of the MDBS federation coordinator.
+  std::string mdbs_site;
+  /// database → site name.
+  std::map<std::string, std::string> site_of_db;
+  /// database → observed request latency (micros, median) from the
+  /// health registry; absent when the service has never been called.
+  std::map<std::string, double> observed_latency_micros;
+  /// (from site, to site) → link parameters; `default_link` otherwise.
+  std::map<std::pair<std::string, std::string>, LinkCost> links;
+  LinkCost default_link;
+  /// (database, table) → fresh statistics.
+  std::map<std::pair<std::string, std::string>, TableCostStats> stats;
+
+  /// Fresh stats for `database.table`, or nullptr (→ heuristics).
+  const TableCostStats* FindStats(const std::string& database,
+                                  const std::string& table) const;
+
+  const LinkCost& LinkBetween(const std::string& from_site,
+                              const std::string& to_site) const;
+
+  /// Estimated micros for one hop carrying `bytes` between a database's
+  /// site and the MDBS site. The effective latency is the larger of the
+  /// topology's link latency and the health registry's observed median,
+  /// so a degraded site gets costed as degraded.
+  double HopMicros(const std::string& database, double bytes) const;
+
+  /// Estimated micros to ship `bytes` from `from_db` to `to_db` via the
+  /// MDBS site (two hops; same formula when the databases coincide —
+  /// the partial result still makes the round trip through the MDBS).
+  double ShipMicros(const std::string& from_db, const std::string& to_db,
+                    double bytes) const;
+};
+
+}  // namespace msql::lang
+
+#endif  // MSQL_MSQL_COST_MODEL_H_

@@ -1,6 +1,7 @@
 #include "msql/decomposer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -278,23 +279,260 @@ Result<Decomposition> Decomposer::Decompose(const SelectStmt& stmt) const {
     MSQL_RETURN_IF_ERROR(need_from(*ob.expr));
   }
 
-  // Coordinator: database contributing the most tables (ties → first
-  // alphabetically).
-  std::string coordinator;
-  size_t best = 0;
+  // Heuristic coordinator: database contributing the most tables.
+  // Candidates are iterated in sorted name order with a strict '>', so
+  // ties deterministically resolve to the first alphabetically — never
+  // to FROM/USE clause order or map iteration order.
+  std::string heuristic_coordinator;
   {
+    size_t best = 0;
     std::vector<std::string> sorted = database_order;
     std::sort(sorted.begin(), sorted.end());
     for (const auto& db : sorted) {
       if (tables_of_db[db].size() > best) {
         best = tables_of_db[db].size();
-        coordinator = db;
+        heuristic_coordinator = db;
       }
+    }
+  }
+
+  // -- Cost-based coordinator + movement strategy -------------------------
+  // With fresh ANALYZE statistics for every involved table, estimate each
+  // database's post-pushdown partial result (rows × shipped bytes/row)
+  // and (a) pick the coordinator minimizing the total estimated transfer
+  // cost, (b) per remote subquery choose ship-whole vs. a semi-join-style
+  // key-filter transfer. Any statistics gap falls back to the paper
+  // heuristics for the whole query.
+  std::string coordinator = heuristic_coordinator;
+  bool cost_based_applied = false;
+  std::string cost_text;
+  struct SemiChoice {
+    std::string target_eff, target_col;      // join column on this db
+    std::string provider_eff, provider_col;  // join column at coordinator
+    double key_count = 0;
+    double key_bytes = 0;
+    double reduced_rows = 0;
+    double semi_micros = 0;
+    double whole_micros = 0;
+  };
+  std::map<std::string, SemiChoice> semi_of_db;
+  std::map<std::string, double> est_rows_of_db;
+  std::map<std::string, double> est_row_bytes_of_db;
+  if (cost_based_ && cost_context_ != nullptr) {
+    const CostContext& ctx = *cost_context_;
+    // Fresh stats for every effective table, or name what's missing.
+    std::map<std::string, const TableCostStats*> stats_of_eff;
+    std::string missing;
+    for (const auto& [eff, bound] : binding) {
+      const TableCostStats* ts =
+          ctx.FindStats(bound.database, bound.schema->table_name());
+      if (ts == nullptr && missing.empty()) {
+        missing = bound.database + "." + bound.schema->table_name();
+      }
+      stats_of_eff[eff] = ts;
+    }
+    if (!missing.empty()) {
+      cost_text = "cost: mode=heuristic coordinator=" +
+                  heuristic_coordinator + " (no fresh statistics for " +
+                  missing + "; run ANALYZE)\n";
+    } else {
+      auto distinct_of = [&](const ColumnRefExpr& ref) -> double {
+        auto resolved = ResolveTableOf(ref, binding);
+        if (!resolved.ok()) return 0.0;
+        const TableCostStats* ts = stats_of_eff[*resolved];
+        auto it = ts->columns.find(ToLower(ref.name()));
+        return it == ts->columns.end()
+                   ? 0.0
+                   : static_cast<double>(it->second.distinct_values);
+      };
+      auto width_of = [&](const ColumnRefExpr& ref) -> double {
+        auto resolved = ResolveTableOf(ref, binding);
+        if (!resolved.ok()) return 8.0;
+        const TableCostStats* ts = stats_of_eff[*resolved];
+        auto it = ts->columns.find(ToLower(ref.name()));
+        return it == ts->columns.end() || it->second.avg_width_bytes <= 0.0
+                   ? 8.0
+                   : it->second.avg_width_bytes;
+      };
+      // Selectivity of one pushed-down conjunct, using column distinct
+      // counts when available and the planner's textbook fractions
+      // (eq 1/10, other 1/3) otherwise.
+      auto selectivity_of = [&](const Expr* c) -> double {
+        if (c->kind() != ExprKind::kBinary) return 1.0 / 3.0;
+        const auto& b = static_cast<const BinaryExpr&>(*c);
+        if (b.op() != BinaryOp::kEq) return 1.0 / 3.0;
+        const ColumnRefExpr* l =
+            b.left().kind() == ExprKind::kColumnRef
+                ? static_cast<const ColumnRefExpr*>(&b.left())
+                : nullptr;
+        const ColumnRefExpr* r =
+            b.right().kind() == ExprKind::kColumnRef
+                ? static_cast<const ColumnRefExpr*>(&b.right())
+                : nullptr;
+        if (l != nullptr && r != nullptr) {
+          double d = std::max({distinct_of(*l), distinct_of(*r), 1.0});
+          return 1.0 / d;
+        }
+        const ColumnRefExpr* col = l != nullptr ? l : r;
+        if (col != nullptr) {
+          double d = distinct_of(*col);
+          if (d >= 1.0) return 1.0 / d;
+        }
+        return 1.0 / 10.0;
+      };
+      for (const auto& db : database_order) {
+        double rows = 1.0;
+        double row_bytes = 0.0;
+        for (const auto& eff : tables_of_db[db]) {
+          rows *= static_cast<double>(stats_of_eff[eff]->row_count);
+          const TableCostStats* ts = stats_of_eff[eff];
+          for (const auto& col : needed[eff]) {
+            auto it = ts->columns.find(ToLower(col));
+            row_bytes += it == ts->columns.end() ||
+                                 it->second.avg_width_bytes <= 0.0
+                             ? 8.0
+                             : it->second.avg_width_bytes;
+          }
+        }
+        for (const Expr* c : local_conjuncts[db]) {
+          rows *= selectivity_of(c);
+        }
+        est_rows_of_db[db] = std::max(rows, 1.0);
+        // A table shipping only the constant `one` still moves ~8 bytes
+        // per row of framing.
+        est_row_bytes_of_db[db] = std::max(row_bytes, 8.0);
+      }
+      // (a) Coordinator: minimize the total cost of moving every partial
+      // result to the candidate. Iteration is in sorted name order with
+      // table count as the tie-breaker, so exact cost ties resolve by
+      // contribution size then name — again independent of clause order.
+      std::vector<std::string> sorted = database_order;
+      std::sort(sorted.begin(), sorted.end());
+      double best_cost = 0.0;
+      size_t best_tables = 0;
+      bool first = true;
+      for (const auto& candidate : sorted) {
+        double total = 0.0;
+        for (const auto& db : database_order) {
+          total += ctx.ShipMicros(
+              db, candidate, est_rows_of_db[db] * est_row_bytes_of_db[db]);
+        }
+        const size_t tables = tables_of_db[candidate].size();
+        if (first || total < best_cost ||
+            (total == best_cost && tables > best_tables)) {
+          first = false;
+          best_cost = total;
+          best_tables = tables;
+          coordinator = candidate;
+        }
+      }
+      cost_based_applied = true;
+      // (b) Movement: for each remote subquery, look for an equi-join
+      // conjunct against the coordinator and compare shipping the whole
+      // partial result with shipping the coordinator's DISTINCT join
+      // keys there first (two extra round trips to install and drop the
+      // key table, then only the matching rows travel).
+      for (const auto& db : database_order) {
+        if (db == coordinator) continue;
+        for (const Expr* c : global_conjuncts) {
+          if (c->kind() != ExprKind::kBinary) continue;
+          const auto& b = static_cast<const BinaryExpr&>(*c);
+          if (b.op() != BinaryOp::kEq) continue;
+          if (b.left().kind() != ExprKind::kColumnRef ||
+              b.right().kind() != ExprKind::kColumnRef) {
+            continue;
+          }
+          const auto& l = static_cast<const ColumnRefExpr&>(b.left());
+          const auto& r = static_cast<const ColumnRefExpr&>(b.right());
+          auto lt = ResolveTableOf(l, binding);
+          auto rt = ResolveTableOf(r, binding);
+          if (!lt.ok() || !rt.ok()) continue;
+          const std::string& ldb = binding.at(*lt).database;
+          const std::string& rdb = binding.at(*rt).database;
+          const ColumnRefExpr* target = nullptr;
+          const ColumnRefExpr* provider = nullptr;
+          std::string target_eff, provider_eff;
+          if (ldb == db && rdb == coordinator) {
+            target = &l, provider = &r;
+            target_eff = *lt, provider_eff = *rt;
+          } else if (rdb == db && ldb == coordinator) {
+            target = &r, provider = &l;
+            target_eff = *rt, provider_eff = *lt;
+          } else {
+            continue;
+          }
+          SemiChoice choice;
+          choice.target_eff = target_eff;
+          choice.target_col = ToLower(target->name());
+          choice.provider_eff = provider_eff;
+          choice.provider_col = ToLower(provider->name());
+          choice.key_count = std::max(distinct_of(*provider), 1.0);
+          choice.key_bytes = choice.key_count * width_of(*provider);
+          const double target_distinct =
+              std::max(distinct_of(*target), 1.0);
+          const double reduction =
+              std::min(1.0, choice.key_count / target_distinct);
+          choice.reduced_rows =
+              std::max(1.0, est_rows_of_db[db] * reduction);
+          const double bytes_whole =
+              est_rows_of_db[db] * est_row_bytes_of_db[db];
+          choice.whole_micros = ctx.ShipMicros(db, coordinator, bytes_whole);
+          choice.semi_micros =
+              ctx.ShipMicros(coordinator, db, choice.key_bytes) +
+              ctx.ShipMicros(db, coordinator,
+                             choice.reduced_rows * est_row_bytes_of_db[db]) +
+              2.0 * ctx.HopMicros(db, 0.0);
+          if (choice.semi_micros < choice.whole_micros) {
+            semi_of_db[db] = choice;
+          }
+          break;  // first matching conjunct decides — deterministic
+        }
+      }
+      // Deterministic cost breakdown for EXPLAIN/profile output.
+      auto fmt = [](double v) {
+        return std::to_string(std::llround(v));
+      };
+      cost_text = "cost: mode=cost-based coordinator=" + coordinator;
+      cost_text += coordinator == heuristic_coordinator
+                       ? " (same as heuristic)\n"
+                       : " (heuristic would pick " + heuristic_coordinator +
+                             ")\n";
+      double total = 0.0;
+      double heuristic_total = 0.0;
+      for (const auto& db : database_order) {
+        const double bytes =
+            est_rows_of_db[db] * est_row_bytes_of_db[db];
+        heuristic_total +=
+            ctx.ShipMicros(db, heuristic_coordinator, bytes);
+        auto semi_it = semi_of_db.find(db);
+        cost_text += "  sub " + db + ": est " + fmt(est_rows_of_db[db]) +
+                     " row(s) x " + fmt(est_row_bytes_of_db[db]) +
+                     " bytes/row -> ";
+        if (semi_it == semi_of_db.end()) {
+          const double us = ctx.ShipMicros(db, coordinator, bytes);
+          total += us;
+          cost_text += "ship-whole, est " + fmt(us) + "us\n";
+        } else {
+          const SemiChoice& sc = semi_it->second;
+          total += sc.semi_micros;
+          cost_text += "semi-join keys " + sc.provider_eff + "." +
+                       sc.provider_col + " (" + fmt(sc.key_count) +
+                       " key(s), est reduced " + fmt(sc.reduced_rows) +
+                       " row(s)), est " + fmt(sc.semi_micros) +
+                       "us (ship-whole " + fmt(sc.whole_micros) + "us)\n";
+        }
+      }
+      cost_text += "  total est transfer " + fmt(total) +
+                   "us (all-to-heuristic-coordinator " +
+                   fmt(heuristic_total) + "us); pushdown " +
+                   (push_down_conjuncts_ ? "on" : "off") + "\n";
     }
   }
 
   Decomposition out;
   out.coordinator = coordinator;
+  out.cost_based = cost_based_applied;
+  out.cost_text = std::move(cost_text);
   std::map<std::string, std::string> temp_of_database;
   for (const auto& db : database_order) {
     temp_of_database[db] = "mdbs_tmp_" + db;
@@ -351,6 +589,72 @@ Result<Decomposition> Decomposer::Decompose(const SelectStmt& stmt) const {
                               std::move(clone));
     }
     sub.select->where = std::move(local_where);
+    // Semi-join movement: rewrite this subquery to join against the key
+    // table the translator will install from the coordinator's DISTINCT
+    // join keys, so only matching rows ship back. The keys are exactly
+    // those surviving the coordinator's own pushed-down filters, hence a
+    // superset of the keys in Q''s final join — dropping non-matching
+    // rows here cannot change the global result.
+    auto semi_it = semi_of_db.find(db);
+    if (semi_it != semi_of_db.end()) {
+      const SemiChoice& sc = semi_it->second;
+      sub.semi_join = true;
+      sub.key_provider_db = coordinator;
+      sub.key_table = "mdbs_key_" + db;
+      auto key_select = std::make_unique<SelectStmt>();
+      key_select->distinct = true;
+      SelectItem key_item;
+      key_item.expr =
+          std::make_unique<ColumnRefExpr>(sc.provider_eff, sc.provider_col);
+      key_item.alias = "k0";
+      key_select->items.push_back(std::move(key_item));
+      for (const auto& provider_eff : tables_of_db[coordinator]) {
+        const BoundTable& pb = binding.at(provider_eff);
+        TableRef pref;
+        pref.table = pb.schema->table_name();
+        if (!EqualsIgnoreCase(provider_eff, pb.schema->table_name())) {
+          pref.alias = provider_eff;
+        }
+        key_select->from.push_back(std::move(pref));
+      }
+      ExprPtr key_where;
+      for (const Expr* c : local_conjuncts[coordinator]) {
+        ExprPtr clone = c->Clone();
+        key_where = key_where == nullptr
+                        ? std::move(clone)
+                        : std::make_unique<BinaryExpr>(
+                              BinaryOp::kAnd, std::move(key_where),
+                              std::move(clone));
+      }
+      key_select->where = std::move(key_where);
+      sub.key_select = std::move(key_select);
+      const BoundTable& pb = binding.at(sc.provider_eff);
+      auto pidx = pb.schema->FindColumn(sc.provider_col);
+      if (!pidx.has_value()) {
+        return Status::Internal("semi-join key column vanished: " +
+                                sc.provider_col);
+      }
+      ColumnDef key_def = pb.schema->column(*pidx);
+      key_def.name = "k0";
+      std::vector<ColumnDef> key_cols;
+      key_cols.push_back(std::move(key_def));
+      MSQL_ASSIGN_OR_RETURN(
+          sub.key_schema,
+          TableSchema::Create(sub.key_table, std::move(key_cols)));
+      TableRef key_ref;
+      key_ref.table = sub.key_table;
+      sub.select->from.push_back(std::move(key_ref));
+      ExprPtr key_eq = std::make_unique<BinaryExpr>(
+          BinaryOp::kEq,
+          std::make_unique<ColumnRefExpr>(sc.target_eff, sc.target_col),
+          std::make_unique<ColumnRefExpr>(sub.key_table, "k0"));
+      sub.select->where =
+          sub.select->where == nullptr
+              ? std::move(key_eq)
+              : std::make_unique<BinaryExpr>(BinaryOp::kAnd,
+                                             std::move(sub.select->where),
+                                             std::move(key_eq));
+    }
     MSQL_ASSIGN_OR_RETURN(
         sub.temp_schema,
         TableSchema::Create(sub.temp_table, std::move(temp_cols)));

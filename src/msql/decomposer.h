@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "mdbs/global_data_dictionary.h"
+#include "msql/cost_model.h"
 #include "relational/schema.h"
 #include "relational/sql/ast.h"
 
@@ -26,21 +27,50 @@ struct Decomposition {
     std::unique_ptr<relational::SelectStmt> select;
     /// Schema of the shipped partial result.
     relational::TableSchema temp_schema;
+
+    // -- Semi-join movement (cost-based mode only) ----------------------
+    /// When true, this subquery is reduced before shipping: the
+    /// translator first runs `key_select` at `key_provider_db` (SELECT
+    /// DISTINCT of the join key through that database's local filters),
+    /// transfers the keys to this subquery's database as `key_table`,
+    /// and `select` — already rewritten to join against `key_table` —
+    /// ships only the matching rows to the coordinator.
+    bool semi_join = false;
+    std::string key_provider_db;
+    std::string key_table;
+    std::unique_ptr<relational::SelectStmt> key_select;
+    relational::TableSchema key_schema;
   };
   std::vector<SubQuery> subqueries;
   /// "One of the LDBSs is designated as the coordinator and will
   /// evaluate the modified global query."
   std::string coordinator;
   std::unique_ptr<relational::SelectStmt> global_query;
+  /// True when the coordinator/movement choices came from the cost
+  /// model (fresh statistics were available for every involved table).
+  bool cost_based = false;
+  /// Deterministic cost breakdown of the chosen plan (or the reason the
+  /// optimizer fell back to the paper heuristics). Empty when the
+  /// cost-based mode is disabled entirely.
+  std::string cost_text;
 };
 
 /// Query-graph decomposer for multidatabase joins ("joining of data that
 /// reside in different databases", §2). WHERE conjuncts whose columns
 /// all bind to one database are pushed into that database's subquery;
-/// cross-database conjuncts stay in Q'. The coordinator is the database
-/// contributing the most tables (first alphabetically on ties) — a
-/// data-flow heuristic in the spirit of §5's "optimization ... related
-/// more to data flow control and parallelism".
+/// cross-database conjuncts stay in Q'.
+///
+/// Coordinator choice — the paper-heuristic path picks the database
+/// contributing the most tables, breaking ties deterministically by
+/// database name (first alphabetically); it never depends on FROM/USE
+/// clause order or map iteration order. The cost-based path (enabled
+/// via set_cost_based + a CostContext) instead picks the candidate
+/// minimizing the estimated bytes·link cost of moving every partial
+/// result to it, and additionally chooses per-subquery movement:
+/// ship-whole vs. a semi-join-style key-filter transfer. Whenever any
+/// involved table lacks fresh ANALYZE statistics the decomposer falls
+/// back to the paper heuristics for the whole query, so behavior is
+/// bit-identical to the legacy path until ANALYZE has run.
 class Decomposer {
  public:
   explicit Decomposer(const mdbs::GlobalDataDictionary* gdd) : gdd_(gdd) {}
@@ -51,6 +81,16 @@ class Decomposer {
   /// (experiment E11); defaults to true.
   void set_push_down_conjuncts(bool push_down) {
     push_down_conjuncts_ = push_down;
+  }
+
+  /// Enables cost-based coordinator/movement selection. Also requires a
+  /// CostContext; without one the paper heuristics apply.
+  void set_cost_based(bool cost_based) { cost_based_ = cost_based; }
+
+  /// Borrowed cost inputs (statistics + topology + health snapshot);
+  /// must outlive Decompose calls. nullptr disables costing.
+  void set_cost_context(const CostContext* context) {
+    cost_context_ = context;
   }
 
   /// True if the SELECT's FROM clause spans more than one database
@@ -65,6 +105,8 @@ class Decomposer {
  private:
   const mdbs::GlobalDataDictionary* gdd_;
   bool push_down_conjuncts_ = true;
+  bool cost_based_ = false;
+  const CostContext* cost_context_ = nullptr;
 };
 
 }  // namespace msql::lang

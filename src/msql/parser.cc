@@ -61,6 +61,11 @@ Result<MsqlInput> MsqlParser::ParseInput() {
     MSQL_ASSIGN_OR_RETURN(input.import, ParseImport());
     return input;
   }
+  if (tok.IsKeyword("analyze")) {
+    input.kind = MsqlInput::Kind::kAnalyze;
+    MSQL_ASSIGN_OR_RETURN(input.analyze, ParseAnalyze());
+    return input;
+  }
   if (tok.IsKeyword("begin") &&
       cursor_->Peek(1).IsKeyword("multitransaction")) {
     input.kind = MsqlInput::Kind::kMultiTransaction;
@@ -351,6 +356,20 @@ Result<ImportStmt> MsqlParser::ParseImport() {
         stmt.columns.push_back(std::move(col));
       }
     }
+  }
+  return stmt;
+}
+
+Result<AnalyzeStmt> MsqlParser::ParseAnalyze() {
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("analyze"));
+  MSQL_RETURN_IF_ERROR(cursor_->ExpectKeyword("database"));
+  AnalyzeStmt stmt;
+  MSQL_ASSIGN_OR_RETURN(stmt.database,
+                        cursor_->ExpectIdentifier("database name"));
+  if (cursor_->MatchKeyword("table")) {
+    MSQL_ASSIGN_OR_RETURN(std::string table,
+                          cursor_->ExpectIdentifier("table name"));
+    stmt.table = std::move(table);
   }
   return stmt;
 }

@@ -51,6 +51,7 @@ class MsqlParser {
   Result<relational::StatementPtr> ParseBody();
   Result<IncorporateStmt> ParseIncorporate();
   Result<ImportStmt> ParseImport();
+  Result<AnalyzeStmt> ParseAnalyze();
   Result<MultiTransaction> ParseMultiTransaction();
   Result<CreateMultidatabaseStmt> ParseCreateMultidatabase();
   Result<CreateViewStmt> ParseCreateView();

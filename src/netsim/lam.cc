@@ -1,5 +1,7 @@
 #include "netsim/lam.h"
 
+#include <set>
+
 #include "common/string_util.h"
 
 namespace msql::netsim {
@@ -20,6 +22,7 @@ std::string_view LamRequestTypeName(LamRequestType type) {
     case LamRequestType::kQueryTxnState: return "STATUS";
     case LamRequestType::kDescribe: return "DESCRIBE";
     case LamRequestType::kDescribeView: return "DESCRIBEVIEW";
+    case LamRequestType::kAnalyze: return "ANALYZE";
   }
   return "UNKNOWN";
 }
@@ -157,6 +160,65 @@ LamResponse Lam::Handle(const LamRequest& request, int64_t* service_micros) {
             relational::Value::Text(col.name),
             relational::Value::Text(std::string(TypeName(col.type))),
             relational::Value::Integer(col.width)});
+      }
+      rows_touched = static_cast<int64_t>(response.result.rows.size());
+      break;
+    }
+    case LamRequestType::kAnalyze: {
+      auto db = engine_->GetDatabaseConst(request.database);
+      if (!db.ok()) {
+        response.status = db.status();
+        break;
+      }
+      response.result.columns = {"table_name",  "column_name",
+                                 "row_count",   "distinct_values",
+                                 "min_value",   "max_value",
+                                 "avg_width_bytes"};
+      std::vector<std::string> tables;
+      if (request.sql.empty()) {
+        tables = (*db)->TableNames();
+      } else {
+        tables.push_back(ToLower(request.sql));
+      }
+      for (const auto& table_name : tables) {
+        auto table = (*db)->GetTableConst(table_name);
+        if (!table.ok()) {
+          response.status = table.status();
+          break;
+        }
+        const relational::TableSchema& schema = (*table)->schema();
+        const std::vector<relational::Row> rows = (*table)->ScanRows();
+        rows_scanned += static_cast<int64_t>(rows.size());
+        for (size_t c = 0; c < schema.columns().size(); ++c) {
+          std::set<std::string> distinct;
+          const relational::Value* min_v = nullptr;
+          const relational::Value* max_v = nullptr;
+          int64_t width_sum = 0;
+          for (const relational::Row& row : rows) {
+            const relational::Value& v = row[c];
+            width_sum += static_cast<int64_t>(v.ToDisplayString().size()) + 4;
+            if (v.is_null()) continue;
+            distinct.insert(v.ToSqlLiteral());
+            if (min_v == nullptr || v.Compare(*min_v) < 0) min_v = &v;
+            if (max_v == nullptr || v.Compare(*max_v) > 0) max_v = &v;
+          }
+          const double avg_width =
+              rows.empty() ? 0.0
+                           : static_cast<double>(width_sum) /
+                                 static_cast<double>(rows.size());
+          response.result.rows.push_back(relational::Row{
+              relational::Value::Text(table_name),
+              relational::Value::Text(schema.columns()[c].name),
+              relational::Value::Integer(
+                  static_cast<int64_t>(rows.size())),
+              relational::Value::Integer(
+                  static_cast<int64_t>(distinct.size())),
+              relational::Value::Text(
+                  min_v == nullptr ? "" : min_v->ToDisplayString()),
+              relational::Value::Text(
+                  max_v == nullptr ? "" : max_v->ToDisplayString()),
+              relational::Value::Real(avg_width)});
+        }
       }
       rows_touched = static_cast<int64_t>(response.result.rows.size());
       break;

@@ -38,6 +38,12 @@ enum class LamRequestType {
   /// View introspection used by IMPORT VIEW: same row format, for the
   /// view named in `sql` (required).
   kDescribeView,
+  /// Statistics gathering used by ANALYZE: scans the named table (or
+  /// every table when `sql` is empty) and returns one row per column in
+  /// the form (table_name, column_name, row_count, distinct_values,
+  /// min_value, max_value, avg_width_bytes). Widths follow the
+  /// LamResponse::WireBytes accounting (display bytes + 4 framing).
+  kAnalyze,
 };
 
 std::string_view LamRequestTypeName(LamRequestType type);

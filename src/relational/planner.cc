@@ -237,7 +237,11 @@ Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
 
   // -- Cardinality estimates ---------------------------------------------
   // Textbook selectivities: a probe yields rows/distinct-keys, a pushed
-  // equality keeps 1/10, any other pushed filter 1/3.
+  // equality keeps 1/10, any other pushed filter 1/3. Estimates are
+  // clamped to >= 1 row post-filter: an empty or heavily filtered source
+  // still pays per-step bookkeeping and must never look cost-free, or
+  // `est 0 row(s)` propagates through joins that still scan the other
+  // side.
   plan.estimated_rows.assign(sources.size(), 0.0);
   for (size_t i = 0; i < sources.size(); ++i) {
     double est = static_cast<double>(sources[i].row_count);
@@ -251,7 +255,7 @@ Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
                        BinaryOp::kEq;
       est /= is_eq ? 10.0 : 3.0;
     }
-    plan.estimated_rows[i] = est;
+    plan.estimated_rows[i] = std::max(est, 1.0);
   }
 
   // -- Greedy join ordering ----------------------------------------------
@@ -262,6 +266,19 @@ Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
   // with one side on the new source become hash keys, the rest become
   // the step's residual filter.
   std::vector<bool> joined(sources.size(), false);
+  // Static hash-connectivity degree: how many unconsumed equi-join
+  // pairs touch source i. Used as the first tie-breaker so that, when
+  // estimates tie, the plan anchors on the source with the most join
+  // partners instead of whichever came first in the FROM clause.
+  auto connectivity = [&](size_t i) -> int {
+    int degree = 0;
+    for (const auto& info : conjuncts) {
+      if (info.consumed || !info.is_equi_pair) continue;
+      if (info.left_source == info.right_source) continue;
+      if (info.left_source == i || info.right_source == i) ++degree;
+    }
+    return degree;
+  };
   auto smallest = [&](bool need_connection) -> int {
     int best = -1;
     for (size_t i = 0; i < sources.size(); ++i) {
@@ -278,10 +295,26 @@ Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
         }
         if (!connected) continue;
       }
-      if (best < 0 ||
-          plan.estimated_rows[i] < plan.estimated_rows[best]) {
+      if (best < 0) {
         best = static_cast<int>(i);
+        continue;
       }
+      // Primary: smallest estimate. Ties break by hash-connectivity
+      // (higher degree first), then by source name — never by FROM
+      // position, which would make plans (and rows_scanned) depend on
+      // clause order.
+      const double est_i = plan.estimated_rows[i];
+      const double est_best = plan.estimated_rows[best];
+      bool better = est_i < est_best;
+      if (est_i == est_best) {
+        const int deg_i = connectivity(i);
+        const int deg_best = connectivity(static_cast<size_t>(best));
+        better = deg_i > deg_best ||
+                 (deg_i == deg_best &&
+                  plan.source_names[i] <
+                      plan.source_names[static_cast<size_t>(best)]);
+      }
+      if (better) best = static_cast<int>(i);
     }
     return best;
   };

@@ -531,8 +531,20 @@ Result<Plan> Translator::TranslateDecomposedJoin(
     plan.program.statements.push_back(std::move(open));
   }
 
+  // Parallel wave: ship-whole subqueries run directly; a semi-join
+  // subquery is deferred — the wave instead runs its key-extraction
+  // SELECT DISTINCT at the provider (coordinator) database.
   auto wave = std::make_unique<ParallelStmt>();
   for (const auto& sub : decomposition.subqueries) {
+    if (sub.semi_join) {
+      auto keys = std::make_unique<TaskStmt>();
+      keys->name = "k_" + sub.database;
+      keys->target_alias = sub.key_provider_db;
+      keys->body_sql = sub.key_select->ToSql();
+      wave->body.push_back(std::move(keys));
+      subquery_tasks.push_back("t_" + sub.database);
+      continue;
+    }
     auto task = std::make_unique<TaskStmt>();
     task->name = "t_" + sub.database;
     task->target_alias = sub.database;
@@ -541,6 +553,40 @@ Result<Plan> Translator::TranslateDecomposedJoin(
     wave->body.push_back(std::move(task));
   }
   plan.program.statements.push_back(std::move(wave));
+
+  // Semi-join reduction phase: once a key extraction commits, install
+  // the keys at the remote site, run the reduced subquery there, then
+  // drop the key table. If the extraction failed, t_<db> never runs and
+  // the decide condition below resolves to ABORTED.
+  for (const auto& sub : decomposition.subqueries) {
+    if (!sub.semi_join) continue;
+    auto guard = std::make_unique<IfStmt>();
+    guard->condition =
+        StateIs("k_" + sub.database, DolTaskState::kCommitted);
+    auto transfer = std::make_unique<TransferStmt>();
+    transfer->task = "k_" + sub.database;
+    transfer->target_alias = sub.database;
+    transfer->table = sub.key_table;
+    for (const auto& col : sub.key_schema.columns()) {
+      TransferStmt::ColumnSpec spec;
+      spec.name = col.name;
+      spec.type_name = std::string(TypeName(col.type));
+      spec.width = col.width;
+      transfer->columns.push_back(std::move(spec));
+    }
+    guard->then_branch.push_back(std::move(transfer));
+    auto task = std::make_unique<TaskStmt>();
+    task->name = "t_" + sub.database;
+    task->target_alias = sub.database;
+    task->body_sql = sub.select->ToSql();
+    guard->then_branch.push_back(std::move(task));
+    auto drop_keys = std::make_unique<TaskStmt>();
+    drop_keys->name = "dropk_" + sub.database;
+    drop_keys->target_alias = sub.database;
+    drop_keys->body_sql = "DROP TABLE " + sub.key_table;
+    guard->then_branch.push_back(std::move(drop_keys));
+    plan.program.statements.push_back(std::move(guard));
+  }
 
   // Collection phase at the coordinator, guarded on all partials done.
   std::vector<DolStmtPtr> collect;
@@ -593,6 +639,15 @@ Result<Plan> Translator::TranslateDecomposedJoin(
   plan.program.statements.push_back(std::move(close));
 
   for (const auto& sub : decomposition.subqueries) {
+    if (sub.semi_join) {
+      PlanTask keys;
+      keys.task = "k_" + sub.database;
+      keys.database = sub.key_provider_db;
+      keys.effective_name = sub.key_provider_db;
+      keys.retrieval = true;
+      keys.mode = TaskMode::kAutocommit;
+      plan.tasks.push_back(std::move(keys));
+    }
     PlanTask info;
     info.task = "t_" + sub.database;
     info.database = sub.database;

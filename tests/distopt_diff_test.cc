@@ -1,0 +1,229 @@
+// Differential tests for the cost-based distributed optimizer: on every
+// seed and query, the cost-based path (statistics catalog + transfer
+// cost model + semi-join movement) must return exactly the answer the
+// provable paper-heuristic fallback returns. The fallback stays
+// reachable through MultidatabaseSystem::set_cost_based_optimizer(false)
+// and is exercised here as the oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+
+namespace msql::core {
+namespace {
+
+/// Rows of a join answer as a sorted multiset of display strings —
+/// coordinator-side evaluation order is not part of the contract.
+std::vector<std::string> SortedRows(const relational::ResultSet& rs) {
+  std::vector<std::string> out;
+  for (const auto& row : rs.rows) {
+    std::string line;
+    for (const auto& v : row) line += v.ToDisplayString() + "|";
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// One random multidatabase join over the paper federation's schemas.
+std::string RandomJoinQuery(Rng* rng) {
+  auto rate_literal = [&] {
+    return std::to_string(rng->NextInRange(50, 400));
+  };
+  switch (rng->NextBelow(4)) {
+    case 0: {
+      std::string q =
+          "USE avis continental\n"
+          "SELECT cars.code, flights.flnu "
+          "FROM avis.cars, continental.flights "
+          "WHERE cars.rate ";
+      q += rng->NextBool(0.5) ? "=" : "<";
+      q += " flights.rate";
+      if (rng->NextBool(0.5)) q += " AND cars.carst = 'available'";
+      if (rng->NextBool(0.5)) q += " AND flights.rate < " + rate_literal();
+      return q;
+    }
+    case 1: {
+      std::string q =
+          "USE avis delta\n"
+          "SELECT cars.code, flight.fnu FROM avis.cars, delta.flight "
+          "WHERE cars.rate ";
+      q += rng->NextBool(0.5) ? "=" : "<";
+      q += " flight.rate";
+      if (rng->NextBool(0.5)) q += " AND cars.rate > " + rate_literal();
+      return q;
+    }
+    case 2: {
+      std::string q =
+          "USE continental delta\n"
+          "SELECT flights.flnu, flight.fnu "
+          "FROM continental.flights, delta.flight "
+          "WHERE flights.rate = flight.rate";
+      if (rng->NextBool(0.5)) q += " AND flight.rate < " + rate_literal();
+      return q;
+    }
+    default:
+      return "USE avis continental delta\n"
+             "SELECT COUNT(*) FROM avis.cars, continental.flights, "
+             "delta.flight WHERE cars.rate < flights.rate "
+             "AND flights.rate = flight.rate";
+  }
+}
+
+TEST(DistOptDiffTest, CostBasedAgreesWithHeuristicFallbackAcrossSeeds) {
+  for (uint64_t seed : {7u, 21u, 1993u}) {
+    PaperFederationOptions options;
+    options.seed = seed;
+    auto cost_sys = BuildPaperFederation(options);
+    auto heur_sys = BuildPaperFederation(options);
+    ASSERT_TRUE(cost_sys.ok()) << cost_sys.status();
+    ASSERT_TRUE(heur_sys.ok()) << heur_sys.status();
+    ASSERT_TRUE((*cost_sys)->cost_based_optimizer());  // on by default
+    (*heur_sys)->set_cost_based_optimizer(false);
+    for (const char* db :
+         {"continental", "delta", "united", "avis", "national"}) {
+      auto analyzed =
+          (*cost_sys)->Execute("ANALYZE DATABASE " + std::string(db));
+      ASSERT_TRUE(analyzed.ok()) << db << " -> " << analyzed.status();
+    }
+
+    Rng rng(seed);
+    for (int q = 0; q < 8; ++q) {
+      std::string sql = RandomJoinQuery(&rng);
+      auto cost = (*cost_sys)->Execute(sql);
+      auto heur = (*heur_sys)->Execute(sql);
+      ASSERT_EQ(cost.ok(), heur.ok())
+          << "seed " << seed << ": " << sql << "\ncost: " << cost.status()
+          << "\nheuristic: " << heur.status();
+      if (!cost.ok()) continue;
+      EXPECT_EQ(cost->outcome, heur->outcome) << "seed " << seed << ": "
+                                              << sql;
+      EXPECT_EQ(cost->join_result.columns, heur->join_result.columns);
+      EXPECT_EQ(SortedRows(cost->join_result),
+                SortedRows(heur->join_result))
+          << "seed " << seed << ": " << sql;
+      // The cost breakdown travels with the report only on the
+      // cost-based path, and ANALYZE has run for every table.
+      EXPECT_NE(cost->cost_text.find("mode=cost-based"), std::string::npos)
+          << sql << "\n" << cost->cost_text;
+      EXPECT_TRUE(heur->cost_text.empty()) << heur->cost_text;
+    }
+  }
+}
+
+TEST(DistOptDiffTest, WithoutAnalyzeCostModeFallsBackPerQuery) {
+  // Cost-based mode is on by default but statistics do not exist until
+  // ANALYZE runs, so the very first join must take (and report) the
+  // heuristic fallback — behavior-identical to the paper path.
+  auto sys = BuildPaperFederation();
+  ASSERT_TRUE(sys.ok()) << sys.status();
+  auto report = (*sys)->Execute(
+      "USE avis continental\n"
+      "SELECT cars.code, flights.flnu FROM avis.cars, continental.flights "
+      "WHERE cars.rate < flights.rate");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, GlobalOutcome::kSuccess);
+  EXPECT_NE(report->cost_text.find("mode=heuristic"), std::string::npos)
+      << report->cost_text;
+  EXPECT_NE(report->cost_text.find("run ANALYZE"), std::string::npos);
+
+  // After ANALYZE the same query reports a costed plan.
+  ASSERT_TRUE((*sys)->Execute("ANALYZE DATABASE avis").ok());
+  ASSERT_TRUE((*sys)->Execute("ANALYZE DATABASE continental").ok());
+  auto costed = (*sys)->Execute(
+      "USE avis continental\n"
+      "SELECT cars.code, flights.flnu FROM avis.cars, continental.flights "
+      "WHERE cars.rate < flights.rate");
+  ASSERT_TRUE(costed.ok()) << costed.status();
+  EXPECT_NE(costed->cost_text.find("mode=cost-based"), std::string::npos)
+      << costed->cost_text;
+  EXPECT_EQ(SortedRows(report->join_result), SortedRows(costed->join_result));
+}
+
+/// Skewed two-database federation: `alpha.small` holds 3 rows with 3
+/// distinct keys, `beta.big` holds `big_rows` rows keyed 0..big_rows-1.
+Result<std::unique_ptr<MultidatabaseSystem>> BuildSkewedPair(int big_rows) {
+  auto sys = std::make_unique<MultidatabaseSystem>();
+  for (const char* svc : {"alpha_svc", "beta_svc"}) {
+    MSQL_RETURN_IF_ERROR(sys->AddService(
+        svc, std::string("site_") + svc,
+        relational::CapabilityProfile::IngresLike()));
+  }
+  MSQL_ASSIGN_OR_RETURN(auto* alpha, sys->GetEngine("alpha_svc"));
+  MSQL_RETURN_IF_ERROR(alpha->CreateDatabase("alpha"));
+  MSQL_RETURN_IF_ERROR(sys->RunLocalSql(
+      "alpha_svc", "alpha",
+      "CREATE TABLE small (k INTEGER, tag TEXT);"
+      "INSERT INTO small VALUES (1, 'a'), (2, 'b'), (3, 'c')"));
+  MSQL_ASSIGN_OR_RETURN(auto* beta, sys->GetEngine("beta_svc"));
+  MSQL_RETURN_IF_ERROR(beta->CreateDatabase("beta"));
+  MSQL_RETURN_IF_ERROR(
+      sys->RunLocalSql("beta_svc", "beta",
+                       "CREATE TABLE big (k INTEGER, v REAL)"));
+  for (int start = 0; start < big_rows; start += 500) {
+    std::string insert = "INSERT INTO big VALUES ";
+    for (int i = start; i < std::min(start + 500, big_rows); ++i) {
+      if (i > start) insert += ", ";
+      insert += "(" + std::to_string(i) + ", " + std::to_string(i) + ".5)";
+    }
+    MSQL_RETURN_IF_ERROR(sys->RunLocalSql("beta_svc", "beta", insert));
+  }
+  for (const char* db : {"alpha", "beta"}) {
+    auto inc = sys->Execute(
+        "INCORPORATE SERVICE " + std::string(db) + "_svc SITE site_" + db +
+        "_svc CONNECTMODE CONNECT COMMITMODE NOCOMMIT CREATE NOCOMMIT "
+        "INSERT NOCOMMIT DROP NOCOMMIT");
+    MSQL_RETURN_IF_ERROR(inc.status());
+    auto imp = sys->Execute("IMPORT DATABASE " + std::string(db) +
+                            " FROM SERVICE " + db + "_svc");
+    MSQL_RETURN_IF_ERROR(imp.status());
+  }
+  return sys;
+}
+
+TEST(DistOptDiffTest, SemiJoinReductionPreservesAnswersAndSavesBytes) {
+  constexpr int kBigRows = 5000;
+  const std::string sql =
+      "USE alpha beta\n"
+      "SELECT small.tag, big.v FROM alpha.small, beta.big "
+      "WHERE small.k = big.k";
+
+  auto heur_sys = BuildSkewedPair(kBigRows);
+  ASSERT_TRUE(heur_sys.ok()) << heur_sys.status();
+  (*heur_sys)->set_cost_based_optimizer(false);
+  auto heur = (*heur_sys)->Execute(sql);
+  ASSERT_TRUE(heur.ok()) << heur.status();
+  ASSERT_EQ(heur->outcome, GlobalOutcome::kSuccess);
+  ASSERT_EQ(heur->join_result.rows.size(), 3u);
+
+  auto cost_sys = BuildSkewedPair(kBigRows);
+  ASSERT_TRUE(cost_sys.ok()) << cost_sys.status();
+  ASSERT_TRUE((*cost_sys)->Execute("ANALYZE DATABASE alpha").ok());
+  ASSERT_TRUE((*cost_sys)->Execute("ANALYZE DATABASE beta").ok());
+  auto cost = (*cost_sys)->Execute(sql);
+  ASSERT_TRUE(cost.ok()) << cost.status();
+  EXPECT_EQ(cost->outcome, GlobalOutcome::kSuccess);
+  EXPECT_EQ(SortedRows(cost->join_result), SortedRows(heur->join_result));
+  // 3 provider keys against 5000 distinct remote keys: the optimizer
+  // must choose the key-filter transfer and move far fewer bytes.
+  EXPECT_NE(cost->cost_text.find("semi-join keys"), std::string::npos)
+      << cost->cost_text;
+  EXPECT_LT(cost->run.bytes, heur->run.bytes / 10)
+      << "cost-based moved " << cost->run.bytes << " bytes vs heuristic "
+      << heur->run.bytes << "\n" << cost->cost_text;
+  // The installed key table was dropped at the remote site.
+  auto beta_engine = (*cost_sys)->GetEngine("beta_svc");
+  ASSERT_TRUE(beta_engine.ok());
+  auto beta_db = (*beta_engine)->GetDatabaseConst("beta");
+  ASSERT_TRUE(beta_db.ok());
+  EXPECT_FALSE((*beta_db)->HasTable("mdbs_key_beta"));
+}
+
+}  // namespace
+}  // namespace msql::core

@@ -106,6 +106,53 @@ TEST(GddTest, WildcardMatching) {
             StatusCode::kNotFound);
 }
 
+TEST(GddTest, StatsRoundTripVersioningAndFreshness) {
+  GlobalDataDictionary gdd;
+  ASSERT_TRUE(gdd.RegisterDatabase("avis", "svc").ok());
+  // ANALYZE before IMPORT is rejected: stats attach to a known table.
+  TableStats stats;
+  stats.row_count = 42;
+  stats.avg_row_bytes = 16.0;
+  stats.columns["id"] = ColumnStats{7, "1", "99", 8.0};
+  EXPECT_EQ(gdd.PutTableStats("avis", "cars", stats).code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(gdd.PutTable("avis", MakeSchema("cars")).ok());
+  ASSERT_TRUE(gdd.PutTableStats("avis", "cars", stats).ok());
+  auto got = gdd.GetTableStats("avis", "CARS");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ((*got)->row_count, 42);
+  EXPECT_EQ((*got)->version, 1);
+  ASSERT_EQ((*got)->columns.count("id"), 1u);
+  EXPECT_EQ((*got)->columns.at("id").distinct_values, 7);
+  EXPECT_EQ((*got)->columns.at("id").min_value, "1");
+  EXPECT_EQ((*got)->columns.at("id").max_value, "99");
+  EXPECT_TRUE(gdd.TableStatsFresh("avis", "cars"));
+
+  // Re-ANALYZE bumps the version, even via a caller-supplied snapshot.
+  ASSERT_TRUE(gdd.PutTableStats("avis", "cars", stats).ok());
+  EXPECT_EQ((*gdd.GetTableStats("avis", "cars"))->version, 2);
+
+  // A re-IMPORT bumps the schema generation: the stats survive for
+  // inspection but are no longer fresh until the next ANALYZE.
+  ASSERT_TRUE(gdd.PutTable("avis", MakeSchema("cars")).ok());
+  EXPECT_TRUE(gdd.GetTableStats("avis", "cars").ok());
+  EXPECT_FALSE(gdd.TableStatsFresh("avis", "cars"));
+  ASSERT_TRUE(gdd.PutTableStats("avis", "cars", stats).ok());
+  EXPECT_TRUE(gdd.TableStatsFresh("avis", "cars"));
+  EXPECT_EQ((*gdd.GetTableStats("avis", "cars"))->version, 3);
+
+  // Unknown objects surface kNotFound; removal erases the stats too.
+  EXPECT_EQ(gdd.GetTableStats("avis", "ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(gdd.GetTableStats("ghost", "cars").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(gdd.TableStatsFresh("avis", "ghost"));
+  ASSERT_TRUE(gdd.RemoveTable("avis", "cars").ok());
+  EXPECT_EQ(gdd.GetTableStats("avis", "cars").status().code(),
+            StatusCode::kNotFound);
+}
+
 class CatalogOpsTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -122,6 +169,14 @@ class CatalogOpsTest : public ::testing::Test {
                     ->Execute(s,
                               "CREATE TABLE staff (sid INTEGER, "
                               "name TEXT(30))")
+                    .ok());
+    // A few rows (with NULLs and duplicates) so ANALYZE has something
+    // to measure: code has 2 distinct non-NULL values over 4 rows.
+    ASSERT_TRUE(engine
+                    ->Execute(s,
+                              "INSERT INTO cars VALUES "
+                              "(1, 'economy', 10.0), (2, 'suv', 20.0), "
+                              "(2, 'suv', NULL), (NULL, 'van', 30.0)")
                     .ok());
     ASSERT_TRUE(env_.AddService("svc", "site1", std::move(engine)).ok());
   }
@@ -211,6 +266,80 @@ TEST_F(CatalogOpsTest, ImportUnknownObjectsFail) {
   bad_table.service = "svc";
   bad_table.table = "ghost";
   EXPECT_FALSE(ImportDatabase(&env_, ad_, &gdd_, bad_table).ok());
+}
+
+TEST_F(CatalogOpsTest, AnalyzePopulatesMeasuredStats) {
+  ServiceDescriptor svc;
+  svc.name = "svc";
+  ASSERT_TRUE(IncorporateService(&env_, &ad_, svc).ok());
+  ImportSpec import;
+  import.database = "avis";
+  import.service = "svc";
+  ASSERT_TRUE(ImportDatabase(&env_, ad_, &gdd_, import).ok());
+
+  AnalyzeSpec spec;
+  spec.database = "avis";
+  auto analyzed = AnalyzeDatabase(&env_, ad_, &gdd_, spec);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_EQ(*analyzed, (std::vector<std::string>{"cars", "staff"}));
+
+  auto stats = gdd_.GetTableStats("avis", "cars");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ((*stats)->row_count, 4);
+  EXPECT_EQ((*stats)->version, 1);
+  EXPECT_TRUE(gdd_.TableStatsFresh("avis", "cars"));
+  ASSERT_EQ((*stats)->columns.count("code"), 1u);
+  // NULLs are excluded from distinct counts and extrema.
+  EXPECT_EQ((*stats)->columns.at("code").distinct_values, 2);
+  EXPECT_EQ((*stats)->columns.at("code").min_value, "1");
+  EXPECT_EQ((*stats)->columns.at("code").max_value, "2");
+  EXPECT_GT((*stats)->columns.at("code").avg_width_bytes, 0.0);
+  EXPECT_GT((*stats)->avg_row_bytes, 0.0);
+  // The empty table measures as empty, not as an error.
+  auto staff = gdd_.GetTableStats("avis", "staff");
+  ASSERT_TRUE(staff.ok());
+  EXPECT_EQ((*staff)->row_count, 0);
+
+  // Re-ANALYZE bumps versions; a re-IMPORT in between makes the stats
+  // stale until then.
+  ASSERT_TRUE(ImportDatabase(&env_, ad_, &gdd_, import).ok());
+  EXPECT_FALSE(gdd_.TableStatsFresh("avis", "cars"));
+  ASSERT_TRUE(AnalyzeDatabase(&env_, ad_, &gdd_, spec).ok());
+  EXPECT_TRUE(gdd_.TableStatsFresh("avis", "cars"));
+  EXPECT_EQ((*gdd_.GetTableStats("avis", "cars"))->version, 2);
+}
+
+TEST_F(CatalogOpsTest, AnalyzeUnknownObjectsFail) {
+  ServiceDescriptor svc;
+  svc.name = "svc";
+  ASSERT_TRUE(IncorporateService(&env_, &ad_, svc).ok());
+  ImportSpec import;
+  import.database = "avis";
+  import.service = "svc";
+  import.table = "cars";
+  ASSERT_TRUE(ImportDatabase(&env_, ad_, &gdd_, import).ok());
+
+  AnalyzeSpec unknown_db;
+  unknown_db.database = "ghost";
+  EXPECT_EQ(AnalyzeDatabase(&env_, ad_, &gdd_, unknown_db).status().code(),
+            StatusCode::kNotFound);
+
+  // `staff` exists at the service but was never imported: ANALYZE only
+  // measures what the GDD knows about.
+  AnalyzeSpec unknown_table;
+  unknown_table.database = "avis";
+  unknown_table.table = "staff";
+  EXPECT_EQ(
+      AnalyzeDatabase(&env_, ad_, &gdd_, unknown_table).status().code(),
+      StatusCode::kNotFound);
+
+  AnalyzeSpec whole;
+  whole.database = "avis";
+  auto analyzed = AnalyzeDatabase(&env_, ad_, &gdd_, whole);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_EQ(*analyzed, (std::vector<std::string>{"cars"}));
+  EXPECT_EQ(gdd_.GetTableStats("avis", "staff").status().code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -145,6 +145,25 @@ TEST(MsqlParserTest, ImportVariants) {
             (std::vector<std::string>{"code", "rate"}));
 }
 
+TEST(MsqlParserTest, AnalyzeVariants) {
+  auto whole = ParseOne("ANALYZE DATABASE avis");
+  ASSERT_TRUE(whole.ok()) << whole.status();
+  EXPECT_EQ(whole->kind, MsqlInput::Kind::kAnalyze);
+  EXPECT_EQ(whole->analyze->database, "avis");
+  EXPECT_FALSE(whole->analyze->table.has_value());
+  EXPECT_EQ(whole->analyze->ToMsql(), "ANALYZE DATABASE avis");
+
+  auto table = ParseOne("ANALYZE DATABASE avis TABLE cars");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_TRUE(table->analyze->table.has_value());
+  EXPECT_EQ(*table->analyze->table, "cars");
+  EXPECT_EQ(table->analyze->ToMsql(), "ANALYZE DATABASE avis TABLE cars");
+
+  EXPECT_FALSE(ParseOne("ANALYZE").ok());
+  EXPECT_FALSE(ParseOne("ANALYZE DATABASE").ok());
+  EXPECT_FALSE(ParseOne("ANALYZE avis").ok());
+}
+
 TEST(MsqlParserTest, ImportViewVariants) {
   auto view = ParseOne("IMPORT DATABASE d FROM SERVICE s VIEW pub");
   ASSERT_TRUE(view.ok()) << view.status();

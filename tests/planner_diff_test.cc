@@ -167,6 +167,43 @@ TEST(PlannerDiffTest, PlannedAndNaivePathsAgreeOnRandomizedWorkload) {
   }
 }
 
+TEST(PlannerDiffTest, EmptyTablesAgreeAndNeverEstimateZeroRows) {
+  // Regression for the 0-row estimate bug: all-empty sources must still
+  // plan (estimates clamp to >= 1), agree with the naive oracle, and
+  // EXPLAIN must never advertise a cost-free `est 0 row(s)` source.
+  Engines engines;
+  engines.planned = std::make_unique<LocalEngine>(
+      "p", CapabilityProfile::IngresLike());
+  engines.naive = std::make_unique<LocalEngine>(
+      "n", CapabilityProfile::IngresLike());
+  engines.naive->set_use_planner(false);
+  ASSERT_TRUE(engines.planned->CreateDatabase("db").ok());
+  ASSERT_TRUE(engines.naive->CreateDatabase("db").ok());
+  engines.planned_session = *engines.planned->OpenSession("db");
+  engines.naive_session = *engines.naive->OpenSession("db");
+  for (int t = 0; t < 3; ++t) {
+    engines.Exec("CREATE TABLE t" + std::to_string(t) +
+                 " (k INTEGER, g TEXT, v REAL)");
+  }
+  if (::testing::Test::HasFatalFailure()) return;
+
+  Rng rng(0x19930721);
+  for (int q = 0; q < 32; ++q) {
+    std::string sql = RandomQuery(&rng, 3);
+    auto planned = engines.planned->Execute(engines.planned_session, sql);
+    auto naive = engines.naive->Execute(engines.naive_session, sql);
+    ASSERT_EQ(planned.ok(), naive.ok()) << sql;
+    if (!planned.ok()) continue;
+    planned->SortRows();
+    naive->SortRows();
+    EXPECT_EQ(*planned, *naive) << sql;
+    auto text = engines.planned->ExplainSql(engines.planned_session, sql);
+    ASSERT_TRUE(text.ok()) << sql;
+    EXPECT_EQ(text->find("est 0 row(s)"), std::string::npos)
+        << sql << "\n" << *text;
+  }
+}
+
 TEST(PlannerDiffTest, PlannedPathNeverScansMoreThanNaive) {
   // rows_scanned on the planned path is bounded by the naive path's:
   // probes can only shrink the fetch, never grow it.

@@ -84,8 +84,10 @@ TEST_F(PlannerTest, GoldenExplainWithIndexProbeAndFallback) {
             "  source 0 (f): index probe idx_fno [fno = 3]; est 1 row(s)\n"
             "  source 1 (s): scan; filter s.fno = 3; est 1 row(s)\n"
             "join order:\n"
-            "  [0] start source 1 (s)\n"
-            "  [1] nested loop source 0 (f)\n");
+            // Both sources estimate 1 row; with no equi-join edges the
+            // tie breaks on source name ("f" < "s"), never FROM position.
+            "  [0] start source 0 (f)\n"
+            "  [1] nested loop source 1 (s)\n");
   // A WHERE naming an unknown column declines to plan; the naive path
   // owns the error surfacing.
   std::string fallback =
@@ -93,6 +95,57 @@ TEST_F(PlannerTest, GoldenExplainWithIndexProbeAndFallback) {
   EXPECT_EQ(fallback,
             "plan: naive cross-product fallback (unresolved column "
             "'ghost' in WHERE)\n");
+}
+
+TEST_F(PlannerTest, JoinOrderTieBreaksByNameNotFromPosition) {
+  // Both sources estimate the same row count and no equi-join edge
+  // favors either, so the starting source is decided by name alone.
+  // Before the fix the planner kept whichever source appeared first in
+  // the FROM clause, so `FROM beta, alpha` started on beta.
+  Exec("CREATE TABLE beta (x INTEGER)");
+  Exec("CREATE TABLE alpha (x INTEGER)");
+  Exec("INSERT INTO beta VALUES (1), (2)");
+  Exec("INSERT INTO alpha VALUES (3), (4)");
+  EXPECT_EQ(Explain("SELECT beta.x, alpha.x FROM beta, alpha"),
+            "plan: 2 source(s), 0 pushed conjunct(s), 0 equi-join key(s)\n"
+            "  source 0 (beta): scan; est 2 row(s)\n"
+            "  source 1 (alpha): scan; est 2 row(s)\n"
+            "join order:\n"
+            "  [0] start source 1 (alpha)\n"
+            "  [1] nested loop source 0 (beta)\n");
+  // Permuting the FROM clause must not change the chosen anchor.
+  EXPECT_EQ(Explain("SELECT beta.x, alpha.x FROM alpha, beta"),
+            "plan: 2 source(s), 0 pushed conjunct(s), 0 equi-join key(s)\n"
+            "  source 0 (alpha): scan; est 2 row(s)\n"
+            "  source 1 (beta): scan; est 2 row(s)\n"
+            "join order:\n"
+            "  [0] start source 0 (alpha)\n"
+            "  [1] nested loop source 1 (beta)\n");
+  const std::string sql = "SELECT beta.x, alpha.x FROM beta, alpha";
+  ResultSet planned = Exec(sql);
+  ResultSet naive = ExecNaive(sql);
+  EXPECT_EQ(planned, naive);  // reordering never leaks into the answer
+}
+
+TEST_F(PlannerTest, EmptySourceEstimatesClampToOneRow) {
+  // Regression: an empty table used to estimate 0 rows, making it look
+  // cost-free and letting `est 0 row(s)` propagate through join steps
+  // that still scan the other side. Estimates clamp to >= 1 post-filter.
+  Exec("CREATE TABLE empty_t (id INTEGER)");
+  Exec("CREATE TABLE full_t (id INTEGER)");
+  Exec("INSERT INTO full_t VALUES (1), (2), (3)");
+  EXPECT_EQ(Explain("SELECT empty_t.id, full_t.id FROM full_t, empty_t "
+                    "WHERE empty_t.id = full_t.id"),
+            "plan: 2 source(s), 0 pushed conjunct(s), 1 equi-join key(s)\n"
+            "  source 0 (full_t): scan; est 3 row(s)\n"
+            "  source 1 (empty_t): scan; est 1 row(s)\n"
+            "join order:\n"
+            "  [0] start source 1 (empty_t)\n"
+            "  [1] hash join source 0 (full_t) on empty_t.id = full_t.id\n");
+  ResultSet planned = Exec(
+      "SELECT empty_t.id, full_t.id FROM full_t, empty_t "
+      "WHERE empty_t.id = full_t.id");
+  EXPECT_TRUE(planned.rows.empty());
 }
 
 TEST_F(PlannerTest, PlannedJoinMatchesNaiveAnswerAndOrder) {
