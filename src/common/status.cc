@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Busy";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorrupted:
+      return "Corrupted";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnavailable,       // site or service unreachable
   kBusy,              // would block on a lock; retry once the holder ends
   kInternal,          // invariant breakage inside the MDBS itself
+  kCorrupted,         // engine state damaged (failed rollback, bad page)
 };
 
 /// Human-readable name of a StatusCode ("OK", "ParseError", ...).
@@ -82,6 +83,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corrupted(std::string msg) {
+    return Status(StatusCode::kCorrupted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

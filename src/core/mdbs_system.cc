@@ -1,5 +1,7 @@
 #include "core/mdbs_system.h"
 
+#include <algorithm>
+
 #include "analysis/dol_verifier.h"
 #include "analysis/msql_checker.h"
 #include "common/string_util.h"
@@ -865,10 +867,12 @@ Result<ExecutionReport> MultidatabaseSystem::FinishPreparedRun(
   if (ran && prepared.expansion.has_value()) {
     MSQL_RETURN_IF_ERROR(
         SyncGddAfterDdl(prepared.plan, report.run, *prepared.expansion));
+    RecordDmlChurn(*prepared.expansion, report.run);
   }
   for (const auto& expansion : prepared.mt_expansions) {
     MSQL_RETURN_IF_ERROR(SyncGddAfterDdl(translator::Plan{}, report.run,
                                          expansion));
+    if (ran) RecordDmlChurn(expansion, report.run);
   }
   if (prepared.fire_triggers && prepared.expansion.has_value()) {
     MSQL_RETURN_IF_ERROR(FireTriggers(*prepared.expansion, &report));
@@ -914,6 +918,38 @@ Status MultidatabaseSystem::SyncGddAfterDdl(
     }
   }
   return Status::OK();
+}
+
+void MultidatabaseSystem::RecordDmlChurn(
+    const lang::ExpansionResult& expansion, const dol::DolRunResult& run) {
+  for (const auto& eq : expansion.queries) {
+    StatementKind kind = eq.statement->kind();
+    const std::string* table = nullptr;
+    switch (kind) {
+      case StatementKind::kInsert:
+        table = &static_cast<const relational::InsertStmt&>(*eq.statement)
+                     .table.table;
+        break;
+      case StatementKind::kUpdate:
+        table = &static_cast<const relational::UpdateStmt&>(*eq.statement)
+                     .table.table;
+        break;
+      case StatementKind::kDelete:
+        table = &static_cast<const relational::DeleteStmt&>(*eq.statement)
+                     .table.table;
+        break;
+      default:
+        continue;
+    }
+    const dol::TaskOutcome* task = run.FindTask("t_" + eq.effective_name);
+    if (task == nullptr || task->state != dol::DolTaskState::kCommitted) {
+      continue;
+    }
+    // Even a no-op DML statement proves the snapshot can drift; count at
+    // least one row so repeated writes eventually trip the threshold.
+    gdd_.RecordWriteChurn(eq.database, *table,
+                          std::max<int64_t>(task->result.rows_affected, 1));
+  }
 }
 
 Status MultidatabaseSystem::ExecuteCreateMultidatabase(

@@ -358,6 +358,12 @@ class MultidatabaseSystem {
                          const dol::DolRunResult& run,
                          const lang::ExpansionResult& expansion);
 
+  /// Accumulates committed DML rows-affected into the GDD's per-table
+  /// write-churn counters, so heavy churn stales ANALYZE snapshots and
+  /// re-engages the per-query heuristic fallback.
+  void RecordDmlChurn(const lang::ExpansionResult& expansion,
+                      const dol::DolRunResult& run);
+
   /// Runs a query whose FROM names a multidatabase view: evaluates the
   /// stored definition, then applies the outer query to each element of
   /// the resulting multitable at the MDBS level.

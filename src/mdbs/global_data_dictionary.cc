@@ -1,5 +1,7 @@
 #include "mdbs/global_data_dictionary.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace msql::mdbs {
@@ -129,7 +131,28 @@ Status GlobalDataDictionary::PutTableStats(std::string_view database,
       stats_it == it->second.stats.end() ? 1 : stats_it->second.version + 1;
   stats.schema_generation = it->second.schema_generations[table_key];
   it->second.stats[table_key] = std::move(stats);
+  // A fresh snapshot supersedes whatever churn preceded it.
+  it->second.write_churn[table_key] = 0;
   return Status::OK();
+}
+
+void GlobalDataDictionary::RecordWriteChurn(std::string_view database,
+                                            std::string_view table,
+                                            int64_t rows) {
+  if (rows <= 0) return;
+  auto it = databases_.find(ToLower(database));
+  if (it == databases_.end()) return;
+  std::string table_key = ToLower(table);
+  if (it->second.tables.count(table_key) == 0) return;
+  it->second.write_churn[table_key] += rows;
+}
+
+int64_t GlobalDataDictionary::WriteChurn(std::string_view database,
+                                         std::string_view table) const {
+  auto it = databases_.find(ToLower(database));
+  if (it == databases_.end()) return 0;
+  auto churn_it = it->second.write_churn.find(ToLower(table));
+  return churn_it == it->second.write_churn.end() ? 0 : churn_it->second;
 }
 
 Result<const TableStats*> GlobalDataDictionary::GetTableStats(
@@ -158,7 +181,17 @@ bool GlobalDataDictionary::TableStatsFresh(std::string_view database,
   uint64_t current = gen_it == it->second.schema_generations.end()
                          ? 0
                          : gen_it->second;
-  return stats_it->second.schema_generation == current;
+  if (stats_it->second.schema_generation != current) return false;
+  // Data churn: past the threshold the snapshot's row counts are
+  // fiction, so the per-query heuristic fallback must re-engage.
+  auto churn_it = it->second.write_churn.find(table_key);
+  int64_t churn = churn_it == it->second.write_churn.end()
+                      ? 0
+                      : churn_it->second;
+  double allowed = std::max(
+      static_cast<double>(churn_floor_rows_),
+      churn_fraction_ * static_cast<double>(stats_it->second.row_count));
+  return static_cast<double>(churn) <= allowed;
 }
 
 Result<std::vector<std::string>> GlobalDataDictionary::MatchTables(

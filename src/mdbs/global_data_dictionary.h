@@ -52,6 +52,11 @@ struct GddDatabase {
   /// replaces the definition. Stats carrying an older generation are
   /// stale and the optimizer falls back to the paper heuristics.
   std::map<std::string, uint64_t> schema_generations;
+  /// table name → rows written (INSERT/UPDATE/DELETE) since the last
+  /// ANALYZE snapshot. Schema generation alone misses pure data churn:
+  /// heavy DML on an unchanged schema would otherwise never invalidate
+  /// the snapshot and the cost model would plan on stale row counts.
+  std::map<std::string, int64_t> write_churn;
 };
 
 /// The Global Data Dictionary: "a repository for the names of the
@@ -98,10 +103,34 @@ class GlobalDataDictionary {
   Result<const TableStats*> GetTableStats(std::string_view database,
                                           std::string_view table) const;
 
-  /// True iff a stats snapshot exists and was taken against the
-  /// table's current schema generation (i.e. no re-IMPORT since).
+  /// True iff a stats snapshot exists, was taken against the table's
+  /// current schema generation (i.e. no re-IMPORT since), and the
+  /// write churn recorded since the snapshot stays under the staleness
+  /// threshold.
   bool TableStatsFresh(std::string_view database,
                        std::string_view table) const;
+
+  /// Records `rows` rows written to `database.table` by committed DML.
+  /// Unknown objects are ignored (writes through unimported paths
+  /// cannot stale anything). Resets on the next PutTableStats.
+  void RecordWriteChurn(std::string_view database, std::string_view table,
+                        int64_t rows);
+
+  /// Rows written to `database.table` since its last ANALYZE (0 when
+  /// never written or just analyzed).
+  int64_t WriteChurn(std::string_view database,
+                     std::string_view table) const;
+
+  /// Staleness threshold: stats go stale once churn exceeds
+  /// max(`floor_rows`, `fraction` × analyzed row count). Defaults: 0.2
+  /// and 64 — a fifth of the table must change (or 64 rows for small
+  /// tables) before the optimizer drops back to the paper heuristics.
+  void set_stats_churn_limit(double fraction, int64_t floor_rows) {
+    churn_fraction_ = fraction;
+    churn_floor_rows_ = floor_rows;
+  }
+  double stats_churn_fraction() const { return churn_fraction_; }
+  int64_t stats_churn_floor_rows() const { return churn_floor_rows_; }
 
   /// Table names in `database` matching an MSQL '%' pattern.
   Result<std::vector<std::string>> MatchTables(
@@ -139,6 +168,8 @@ class GlobalDataDictionary {
  private:
   std::map<std::string, GddDatabase> databases_;
   std::map<std::string, std::vector<std::string>> multidatabases_;
+  double churn_fraction_ = 0.2;
+  int64_t churn_floor_rows_ = 64;
 };
 
 }  // namespace msql::mdbs

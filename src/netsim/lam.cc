@@ -187,7 +187,12 @@ LamResponse Lam::Handle(const LamRequest& request, int64_t* service_micros) {
           break;
         }
         const relational::TableSchema& schema = (*table)->schema();
-        const std::vector<relational::Row> rows = (*table)->ScanRows();
+        auto scanned = (*table)->ScanRows();
+        if (!scanned.ok()) {
+          response.status = scanned.status();
+          break;
+        }
+        const std::vector<relational::Row> rows = std::move(*scanned);
         rows_scanned += static_cast<int64_t>(rows.size());
         for (size_t c = 0; c < schema.columns().size(); ++c) {
           std::set<std::string> distinct;

@@ -1,6 +1,7 @@
 #include "relational/database.h"
 
 #include "common/string_util.h"
+#include "relational/storage_engine.h"
 
 namespace msql::relational {
 
@@ -51,6 +52,14 @@ Status Database::CreateTable(TableSchema schema) {
                                  "' already names a table or view in "
                                  "database '" + name_ + "'");
   }
+  if (storage_mgr_ != nullptr) {
+    MSQL_ASSIGN_OR_RETURN(TableStorage * storage,
+                          storage_mgr_->CreateTableStorage(name_, schema));
+    MSQL_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                          Table::CreatePaged(std::move(schema), storage));
+    tables_.emplace(std::move(name), std::move(table));
+    return Status::OK();
+  }
   tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
   return Status::OK();
 }
@@ -63,6 +72,12 @@ Result<std::unique_ptr<Table>> Database::DropTable(std::string_view table) {
   }
   std::unique_ptr<Table> owned = std::move(it->second);
   tables_.erase(it);
+  if (storage_mgr_ != nullptr && owned->paged()) {
+    // Logs DROP TABLE and moves the storage into the transaction's DDL
+    // delta; the Table keeps its (still valid) pointer for rollback.
+    MSQL_RETURN_IF_ERROR(
+        storage_mgr_->OnDropTable(name_, owned->schema().table_name()));
+  }
   return owned;
 }
 
@@ -94,6 +109,11 @@ Status Database::CreateView(std::string_view view,
                                  "' already names a table or view in '" +
                                  name_ + "'");
   }
+  if (storage_mgr_ != nullptr) {
+    // Views have no pages — the WAL record alone re-creates them.
+    MSQL_RETURN_IF_ERROR(
+        storage_mgr_->OnCreateView(name_, key, definition->ToSql()));
+  }
   views_.emplace(std::move(key), std::move(definition));
   return Status::OK();
 }
@@ -107,6 +127,9 @@ Result<std::unique_ptr<SelectStmt>> Database::DropView(
   }
   std::unique_ptr<SelectStmt> owned = std::move(it->second);
   views_.erase(it);
+  if (storage_mgr_ != nullptr) {
+    MSQL_RETURN_IF_ERROR(storage_mgr_->OnDropView(name_, ToLower(view)));
+  }
   return owned;
 }
 

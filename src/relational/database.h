@@ -13,14 +13,26 @@
 
 namespace msql::relational {
 
+class StorageManager;
+
 /// A named collection of tables — one Local Conceptual Schema (LCS).
 ///
 /// All names are canonicalized to lower case. DROP returns ownership of
 /// the dropped table so the transaction manager can restore it if the
 /// engine's capability profile makes DDL rollbackable (§3.2.2).
+///
+/// With a StorageManager attached, catalog changes are WAL-logged and
+/// new tables are paged; without one the database is purely in-memory
+/// (the original engine behavior).
 class Database {
  public:
   explicit Database(std::string name);
+
+  /// Routes subsequent DDL through `mgr` (nullptr to detach). Recovery
+  /// attaches only after rebuilding the catalog, so the rebuild itself
+  /// is not re-logged.
+  void AttachStorageManager(StorageManager* mgr) { storage_mgr_ = mgr; }
+  StorageManager* storage_manager() const { return storage_mgr_; }
 
   const std::string& name() const { return name_; }
 
@@ -63,6 +75,7 @@ class Database {
 
  private:
   std::string name_;
+  StorageManager* storage_mgr_ = nullptr;  // non-owning; null = in-memory
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<SelectStmt>> views_;
 };

@@ -44,6 +44,108 @@ void LocalEngine::SetFailureProbability(double p, uint64_t seed) {
   failure_rng_ = Rng(seed);
 }
 
+Status LocalEngine::AttachStorage(StorageConfig config) {
+  if (storage_ != nullptr) {
+    return Status::InvalidArgument("service '" + service_name_ +
+                                   "' already has storage attached");
+  }
+  if (!databases_.empty()) {
+    return Status::InvalidArgument(
+        "storage must be attached before any database exists on '" +
+        service_name_ + "'");
+  }
+  auto mgr = std::make_unique<StorageManager>(std::move(config));
+  MSQL_RETURN_IF_ERROR(mgr->Open());
+  storage_ = std::move(mgr);
+  if (metrics_ != nullptr) storage_->SetMetrics(metrics_);
+  return Status::OK();
+}
+
+Status LocalEngine::Checkpoint(size_t max_pages) {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("service '" + service_name_ +
+                                   "' has no storage to checkpoint");
+  }
+  return storage_->Checkpoint(max_pages);
+}
+
+void LocalEngine::SimulateCrash() {
+  // Process state vanishes: sessions, transactions, locks and the
+  // in-memory catalog. Destroy databases before the storage crash so
+  // paged index destructors still find the pool alive.
+  sessions_.clear();
+  LockManager::WaitPolicy policy = locks_.wait_policy();
+  locks_ = LockManager();
+  locks_.set_wait_policy(policy);
+  databases_.clear();
+  corrupted_dbs_.clear();
+  fail_point_ = FailPoint::kNone;
+  if (storage_ != nullptr) storage_->SimulateCrash();
+}
+
+Status LocalEngine::Recover() {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("service '" + service_name_ +
+                                   "' has no storage to recover from");
+  }
+  MSQL_ASSIGN_OR_RETURN(RecoveryReport report, storage_->Recover());
+
+  // Rebuild the catalog. Databases stay detached from the storage
+  // manager until fully rebuilt, so restoring tables/views/indexes is
+  // not re-logged.
+  for (auto& [db_name, info] : report.databases) {
+    auto db = std::make_unique<Database>(db_name);
+    for (auto& [table_name, tinfo] : info.tables) {
+      MSQL_ASSIGN_OR_RETURN(
+          std::unique_ptr<Table> table,
+          Table::CreatePaged(std::move(tinfo.schema), tinfo.storage));
+      for (const RecoveredIndexInfo& index : tinfo.indexes) {
+        MSQL_RETURN_IF_ERROR(table->RestoreIndex(index.name, index.column));
+      }
+      MSQL_RETURN_IF_ERROR(db->RestoreTable(std::move(table)));
+    }
+    for (const RecoveredViewInfo& view : info.views) {
+      MSQL_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSql(view.sql));
+      if (stmt->kind() != StatementKind::kSelect) {
+        return Status::Corrupted("recovered view '" + view.name +
+                                 "' does not parse as a SELECT");
+      }
+      std::unique_ptr<SelectStmt> select(
+          static_cast<SelectStmt*>(stmt.release()));
+      MSQL_RETURN_IF_ERROR(db->CreateView(view.name, std::move(select)));
+    }
+    db->AttachStorageManager(storage_.get());
+    databases_[db_name] = std::move(db);
+  }
+
+  // Re-instate transactions that crashed prepared: their effects are
+  // durable and their locks must still exclude other work until the
+  // coordinator resolves them.
+  for (PreparedTxnImage& img : report.prepared) {
+    Session s;
+    s.id = img.session_id;
+    s.db_name = img.db;
+    s.txn = std::make_unique<Transaction>(img.txn_id);
+    for (UndoRecord& rec : img.undo) s.txn->RecordUndo(std::move(rec));
+    s.txn->set_state(TxnState::kPrepared);
+    s.explicit_txn = true;
+    s.last_state = TxnState::kPrepared;
+    for (const std::string& key : img.lock_keys) {
+      MSQL_RETURN_IF_ERROR(
+          locks_.Acquire(s.txn.get(), key, LockManager::Mode::kExclusive));
+    }
+    SessionId id = s.id;
+    sessions_.emplace(id, std::move(s));
+  }
+
+  if (report.max_txn_id >= next_txn_id_) next_txn_id_ = report.max_txn_id + 1;
+  if (report.max_session_id >= next_session_id_) {
+    next_session_id_ = report.max_session_id + 1;
+  }
+  ClearCorruption();
+  return Status::OK();
+}
+
 Status LocalEngine::CreateDatabase(std::string_view name) {
   std::string key = ToLower(name);
   if (databases_.count(key) > 0) {
@@ -56,7 +158,12 @@ Status LocalEngine::CreateDatabase(std::string_view name) {
         "service '" + service_name_ +
         "' is NOCONNECT and already serves its single database");
   }
-  databases_.emplace(key, std::make_unique<Database>(key));
+  auto db = std::make_unique<Database>(key);
+  if (storage_ != nullptr) {
+    MSQL_RETURN_IF_ERROR(storage_->OnCreateDatabase(key));
+    db->AttachStorageManager(storage_.get());
+  }
+  databases_.emplace(key, std::move(db));
   return Status::OK();
 }
 
@@ -65,6 +172,11 @@ Status LocalEngine::DropDatabase(std::string_view name) {
   if (databases_.erase(key) == 0) {
     return Status::NotFound("database '" + key + "' does not exist on '" +
                             service_name_ + "'");
+  }
+  if (storage_ != nullptr) {
+    // After the Database (and its paged index objects) are gone, drop
+    // the heap storages and log the DDL.
+    MSQL_RETURN_IF_ERROR(storage_->OnDropDatabase(key));
   }
   return Status::OK();
 }
@@ -180,18 +292,56 @@ bool LocalEngine::ShouldFail(FailPoint point) {
 
 Status LocalEngine::AbortTxn(Session* session) {
   Transaction* txn = session->txn.get();
-  Status undo = txn->ApplyUndo(databases_);
+  // kNextUndo is consumed directly (not via ShouldFail) so it never
+  // perturbs the probabilistic failure stream seeded chaos tests pin.
+  size_t fail_after = SIZE_MAX;
+  if (fail_point_ == FailPoint::kNextUndo) {
+    fail_point_ = FailPoint::kNone;
+    ++stats_.injected_failures;
+    fail_after = txn->undo_log_size() / 2;
+  }
+  const TxnId txn_id = txn->id();
+  // Undo applied against paged tables must be logged as compensation
+  // (transaction 0), not as new work of the dying transaction.
+  if (storage_ != nullptr) storage_->SetUndoMode(true, txn_id);
+  Status undo = txn->ApplyUndo(databases_, fail_after);
+  if (storage_ != nullptr) {
+    storage_->SetUndoMode(false);
+    if (undo.ok()) {
+      // Logs ABORT after the compensations, flushes and releases the
+      // no-steal holds. A failure here is a durability failure: treat
+      // it like a failed undo (the poison path below).
+      undo = storage_->OnAbort(txn_id);
+    }
+    // On a failed undo the transaction stays unresolved in the WAL —
+    // recovery discards it wholesale, completing the rollback.
+  }
   locks_.ReleaseAll(txn);
   txn->set_state(TxnState::kAborted);
   session->last_state = TxnState::kAborted;
   session->txn.reset();
   session->explicit_txn = false;
   ++stats_.rollbacks;
+  if (!undo.ok()) {
+    // The database now holds a mix of done and undone effects of this
+    // transaction. Poison it: every later statement refuses cleanly
+    // instead of reading half-rolled-back rows.
+    std::string diag = "rollback of transaction " + std::to_string(txn_id) +
+                       " failed mid-undo (" + undo.message() + ")";
+    corrupted_dbs_[session->db_name] = diag;
+    return Status::Corrupted("database '" + session->db_name + "' on '" +
+                             service_name_ + "': " + diag);
+  }
   return undo;
 }
 
 Status LocalEngine::CommitTxn(Session* session) {
   Transaction* txn = session->txn.get();
+  if (storage_ != nullptr) {
+    // COMMIT record + WAL flush before any lock is released; read-only
+    // transactions never logged BEGIN and skip the WAL entirely.
+    MSQL_RETURN_IF_ERROR(storage_->OnCommit(txn->id()));
+  }
   txn->DiscardUndo();
   locks_.ReleaseAll(txn);
   txn->set_state(TxnState::kCommitted);
@@ -232,6 +382,12 @@ Status LocalEngine::Prepare(SessionId session_id) {
     if (!undo.ok()) return undo;
     return Status::Aborted("injected failure at prepare on '" +
                            service_name_ + "'");
+  }
+  if (storage_ != nullptr) {
+    // PREPARE must be durable before the promise is made; on failure
+    // the transaction simply stays active.
+    MSQL_RETURN_IF_ERROR(storage_->OnPrepare(session->txn->id(),
+                                             session->id, session->db_name));
   }
   session->txn->set_state(TxnState::kPrepared);
   session->last_state = TxnState::kPrepared;
@@ -274,6 +430,17 @@ Result<bool> LocalEngine::InTransaction(SessionId session_id) const {
   return session->txn != nullptr;
 }
 
+bool LocalEngine::IsCorrupted(std::string_view db_name) const {
+  return corrupted_dbs_.count(ToLower(db_name)) > 0;
+}
+
+std::vector<std::string> LocalEngine::CorruptedDatabases() const {
+  std::vector<std::string> out;
+  out.reserve(corrupted_dbs_.size());
+  for (const auto& [name, diag] : corrupted_dbs_) out.push_back(name);
+  return out;
+}
+
 std::vector<SessionId> LocalEngine::BlockingSessions() const {
   std::vector<SessionId> out;
   for (TxnId blocker : locks_.last_conflict()) {
@@ -296,6 +463,14 @@ Result<ResultSet> LocalEngine::Execute(SessionId session,
 Result<ResultSet> LocalEngine::ExecuteStatement(SessionId session_id,
                                                 const Statement& stmt) {
   MSQL_ASSIGN_OR_RETURN(Session * session, FindSession(session_id));
+  // A half-rolled-back database serves nothing until repaired: neither
+  // reads (inconsistent rows) nor writes (compounding the damage).
+  if (auto it = corrupted_dbs_.find(session->db_name);
+      it != corrupted_dbs_.end()) {
+    return Status::Corrupted("database '" + session->db_name + "' on '" +
+                             service_name_ +
+                             "' requires recovery: " + it->second);
+  }
   switch (stmt.kind()) {
     case StatementKind::kBegin: {
       MSQL_RETURN_IF_ERROR(Begin(session_id));
@@ -432,7 +607,12 @@ Result<ResultSet> LocalEngine::ExecuteInTxn(Session* session,
   options.tracer = tracer_;
   options.metrics = metrics_;
   Executor executor(db, session->txn.get(), &locks_, options);
+  if (storage_ != nullptr) {
+    storage_->SetCurrentTxn(session->txn->id(), session->id,
+                            session->db_name);
+  }
   auto result = executor.Execute(stmt);
+  if (storage_ != nullptr) storage_->ClearCurrentTxn();
   ++stats_.statements_executed;
   if (!result.ok()) {
     // A would-block verdict is not a failure: the transaction stays

@@ -13,6 +13,7 @@
 #include "relational/database.h"
 #include "relational/executor.h"
 #include "relational/result_set.h"
+#include "relational/storage_engine.h"
 #include "relational/txn.h"
 
 namespace msql::relational {
@@ -49,7 +50,15 @@ struct CapabilityProfile {
 
 /// Points where a failure can be injected to exercise the §3.2/§3.3
 /// recovery paths ("local conflicts, failure, deadlock, etc.").
-enum class FailPoint { kNone, kNextStatement, kNextPrepare, kNextCommit };
+/// kNextUndo fires halfway through the next rollback's undo application,
+/// leaving the database detectably half-rolled-back (kCorrupted).
+enum class FailPoint {
+  kNone,
+  kNextStatement,
+  kNextPrepare,
+  kNextCommit,
+  kNextUndo,
+};
 
 using SessionId = uint64_t;
 
@@ -81,6 +90,32 @@ class LocalEngine {
   const std::string& service_name() const { return service_name_; }
   const CapabilityProfile& profile() const { return profile_; }
   const EngineStats& stats() const { return stats_; }
+
+  // -- Persistence --------------------------------------------------------
+
+  /// Turns this engine durable: every database created afterwards is
+  /// paged (bounded by the configured buffer pool) and WAL-logged.
+  /// Must be called before any database exists. Call Recover() next
+  /// when the root may already hold a WAL from a previous incarnation.
+  Status AttachStorage(StorageConfig config);
+
+  /// The storage manager, or nullptr for a purely in-memory engine.
+  StorageManager* storage() { return storage_.get(); }
+
+  /// WAL flush + bounded page writeback + checkpoint record.
+  Status Checkpoint(size_t max_pages = SIZE_MAX);
+
+  /// Power-cut simulation: sessions, locks, the in-memory catalog, the
+  /// buffer pool and the unflushed WAL tail all vanish. Requires
+  /// attached storage (an in-memory engine cannot survive this).
+  void SimulateCrash();
+
+  /// Replays the WAL: rebuilds databases/tables/views/indexes, redoes
+  /// committed and prepared work, and re-instates prepared transactions
+  /// (sessions, undo logs, exclusive locks) so the 2PC coordinator can
+  /// still resolve them. Clears corruption marks — a half-rolled-back
+  /// transaction was active at the crash, so its effects are discarded.
+  Status Recover();
 
   // -- Database administration ------------------------------------------
 
@@ -128,6 +163,7 @@ class LocalEngine {
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
     tracer_ = tracer;
     metrics_ = metrics;
+    if (storage_ != nullptr) storage_->SetMetrics(metrics);
   }
 
   /// When true, every SELECT result carries its plan text (`\plan`).
@@ -155,6 +191,21 @@ class LocalEngine {
 
   /// True if the session has an open explicit transaction.
   Result<bool> InTransaction(SessionId session) const;
+
+  // -- Corruption containment ----------------------------------------------
+
+  /// True when a failed mid-rollback left `db_name` half-rolled-back.
+  /// Statements against a corrupted database refuse with kCorrupted
+  /// instead of reading inconsistent rows.
+  bool IsCorrupted(std::string_view db_name) const;
+
+  /// Databases currently marked corrupted (name order).
+  std::vector<std::string> CorruptedDatabases() const;
+
+  /// Clears the corruption marks (after an external repair — for
+  /// storage-backed engines, Recover() rebuilds a consistent state from
+  /// the WAL and calls this).
+  void ClearCorruption() { corrupted_dbs_.clear(); }
 
   // -- Concurrency ---------------------------------------------------------
 
@@ -201,7 +252,12 @@ class LocalEngine {
 
   std::string service_name_;
   CapabilityProfile profile_;
+  /// Declared before databases_ so paged tables and indexes (whose
+  /// destructors discard their buffered pages) die before the pool.
+  std::unique_ptr<StorageManager> storage_;
   std::map<std::string, std::unique_ptr<Database>> databases_;
+  /// Databases poisoned by a failed rollback: name → diagnostic.
+  std::map<std::string, std::string> corrupted_dbs_;
   std::map<SessionId, Session> sessions_;
   LockManager locks_;
   TxnId next_txn_id_ = 1;

@@ -573,12 +573,14 @@ Result<std::vector<Row>> Executor::RunNaiveJoin(
       FindIndexProbe(*stmt.where, *src.table, &index, &probe);
     }
     if (index != nullptr) {
-      if (const std::vector<RowId>* ids = index->Lookup(probe)) {
-        src.rows.reserve(ids->size());
-        for (RowId id : *ids) src.rows.push_back(src.table->GetRow(id));
+      MSQL_ASSIGN_OR_RETURN(std::vector<RowId> ids, index->LookupIds(probe));
+      src.rows.reserve(ids.size());
+      for (RowId id : ids) {
+        MSQL_ASSIGN_OR_RETURN(Row row, src.table->ReadRow(id));
+        src.rows.push_back(std::move(row));
       }
     } else {
-      src.rows = src.table->ScanRows();
+      MSQL_ASSIGN_OR_RETURN(src.rows, src.table->ScanRows());
     }
   }
   for (const auto& src : *sources) {
@@ -644,13 +646,15 @@ Result<std::vector<Row>> Executor::RunPlannedJoin(
       if (options_.metrics != nullptr) {
         options_.metrics->Inc("sql.index_probes");
       }
-      if (const std::vector<RowId>* ids =
-              probe->index->Lookup(probe->key)) {
-        src.rows.reserve(ids->size());
-        for (RowId id : *ids) src.rows.push_back(src.table->GetRow(id));
+      MSQL_ASSIGN_OR_RETURN(std::vector<RowId> ids,
+                            probe->index->LookupIds(probe->key));
+      src.rows.reserve(ids.size());
+      for (RowId id : ids) {
+        MSQL_ASSIGN_OR_RETURN(Row row, src.table->ReadRow(id));
+        src.rows.push_back(std::move(row));
       }
     } else {
-      src.rows = src.table->ScanRows();
+      MSQL_ASSIGN_OR_RETURN(src.rows, src.table->ScanRows());
     }
     *rows_scanned += static_cast<int64_t>(src.rows.size());
   }
@@ -946,7 +950,7 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
   };
   std::vector<Planned> planned;
   for (RowId id : table->ScanRowIds()) {
-    const Row& row = table->GetRow(id);
+    MSQL_ASSIGN_OR_RETURN(Row row, table->ReadRow(id));
     bool keep = true;
     if (stmt.where != nullptr) {
       MSQL_ASSIGN_OR_RETURN(keep, evaluator.EvalPredicate(*stmt.where, row));
@@ -996,7 +1000,7 @@ Result<ResultSet> Executor::ExecuteDelete(const DeleteStmt& stmt) {
 
   std::vector<RowId> victims;
   for (RowId id : table->ScanRowIds()) {
-    const Row& row = table->GetRow(id);
+    MSQL_ASSIGN_OR_RETURN(Row row, table->ReadRow(id));
     bool keep = true;
     if (stmt.where != nullptr) {
       MSQL_ASSIGN_OR_RETURN(keep, evaluator.EvalPredicate(*stmt.where, row));

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "relational/table.h"
 #include "relational/value.h"
 
@@ -17,10 +18,17 @@ namespace msql::relational {
 /// the executor consults it for single-table equality predicates. NULL
 /// keys are indexed too (IS NULL cannot use it — only `=` probes do, and
 /// `= NULL` never matches — but keeping them makes maintenance uniform).
+///
+/// The base class is the in-memory implementation (a std::map). Paged
+/// tables substitute BtreeIndex (storage_engine.h), which overrides the
+/// virtual surface with a page-backed B+-tree; the executor and planner
+/// only use that surface (LookupIds / distinct_keys), so they work
+/// against either.
 class Index {
  public:
   Index(std::string name, size_t column_index)
       : name_(std::move(name)), column_index_(column_index) {}
+  virtual ~Index() = default;
 
   Index(const Index&) = delete;
   Index& operator=(const Index&) = delete;
@@ -28,11 +36,14 @@ class Index {
   const std::string& name() const { return name_; }
   size_t column_index() const { return column_index_; }
 
-  void Insert(const Value& key, RowId id) { entries_[key].push_back(id); }
+  virtual Status Insert(const Value& key, RowId id) {
+    entries_[key].push_back(id);
+    return Status::OK();
+  }
 
-  void Erase(const Value& key, RowId id) {
+  virtual Status Erase(const Value& key, RowId id) {
     auto it = entries_.find(key);
-    if (it == entries_.end()) return;
+    if (it == entries_.end()) return Status::OK();
     auto& ids = it->second;
     for (size_t i = 0; i < ids.size(); ++i) {
       if (ids[i] == id) {
@@ -41,17 +52,27 @@ class Index {
       }
     }
     if (ids.empty()) entries_.erase(it);
+    return Status::OK();
   }
 
-  /// RowIds whose column equals `key` (nullptr when none).
+  /// RowIds whose column equals `key` (empty when none).
+  virtual Result<std::vector<RowId>> LookupIds(const Value& key) const {
+    const std::vector<RowId>* ids = Lookup(key);
+    if (ids == nullptr) return std::vector<RowId>{};
+    return *ids;
+  }
+
+  /// In-memory probe returning a stable pointer (nullptr when none).
+  /// Only meaningful on the base implementation — paged callers go
+  /// through LookupIds.
   const std::vector<RowId>* Lookup(const Value& key) const {
     auto it = entries_.find(key);
     return it == entries_.end() ? nullptr : &it->second;
   }
 
-  size_t distinct_keys() const { return entries_.size(); }
+  virtual size_t distinct_keys() const { return entries_.size(); }
 
- private:
+ protected:
   struct ValueLess {
     bool operator()(const Value& a, const Value& b) const {
       return a.Compare(b) < 0;

@@ -1,6 +1,7 @@
 #ifndef MSQL_RELATIONAL_TXN_H_
 #define MSQL_RELATIONAL_TXN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -80,8 +81,14 @@ class Transaction {
 
   /// Applies the undo log in reverse against `databases`, emptying it.
   /// Lock release is the caller's (LockManager's) job.
+  ///
+  /// `fail_after_records` injects a failure after that many records have
+  /// been undone (tests of the partial-rollback path); on any failure —
+  /// injected or real — the log keeps its unapplied prefix, so
+  /// undo_log_size() > 0 identifies a partially rolled-back transaction.
   Status ApplyUndo(
-      const std::map<std::string, std::unique_ptr<Database>>& databases);
+      const std::map<std::string, std::unique_ptr<Database>>& databases,
+      size_t fail_after_records = SIZE_MAX);
 
   /// Discards the undo log (at commit).
   void DiscardUndo() { undo_log_.clear(); }

@@ -1,0 +1,304 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace msql::storage {
+
+namespace {
+// Node header field offsets.
+constexpr uint32_t kNodeType = 0;      // u8: 1 leaf, 2 internal
+constexpr uint32_t kNodeKeys = 1;      // u16
+constexpr uint32_t kNodeNext = 4;      // u32 (leaf chain)
+constexpr uint32_t kNodeLeftmost = 8;  // u32 (internal)
+// Meta page field offsets.
+constexpr uint32_t kMetaMagicOff = 0;  // u32
+constexpr uint32_t kMetaRootOff = 4;   // u32
+}  // namespace
+
+Status BTree::Create() {
+  MSQL_ASSIGN_OR_RETURN(Frame * meta, pool_->NewPage(file_id_));
+  if (meta->page_id != 0) {
+    pool_->Unpin(meta);
+    return Status::Internal("btree Create on a non-empty file");
+  }
+  StoreU32(meta->data + kMetaMagicOff, kMagic);
+  pool_->MarkDirty(meta, 0);
+  pool_->Unpin(meta);
+  Node root;
+  root.is_leaf = true;
+  MSQL_ASSIGN_OR_RETURN(PageId root_id, NewNodePage(root));
+  return SetRoot(root_id);
+}
+
+Status BTree::Reset() {
+  if (pool_->file_size_pages(file_id_) == 0) return Create();
+  MSQL_ASSIGN_OR_RETURN(Frame * meta, pool_->Pin(file_id_, 0));
+  StoreU32(meta->data + kMetaMagicOff, kMagic);
+  pool_->MarkDirty(meta, 0);
+  pool_->Unpin(meta);
+  Node root;
+  root.is_leaf = true;
+  MSQL_ASSIGN_OR_RETURN(PageId root_id, NewNodePage(root));
+  return SetRoot(root_id);
+}
+
+Status BTree::Open() {
+  MSQL_ASSIGN_OR_RETURN(Frame * meta, pool_->Pin(file_id_, 0));
+  uint32_t magic = LoadU32(meta->data + kMetaMagicOff);
+  pool_->Unpin(meta);
+  if (magic != kMagic) {
+    return Status::Corrupted("btree file has a bad magic number");
+  }
+  return Status::OK();
+}
+
+Result<PageId> BTree::Root() const {
+  MSQL_ASSIGN_OR_RETURN(Frame * meta, pool_->Pin(file_id_, 0));
+  PageId root = LoadU32(meta->data + kMetaRootOff);
+  pool_->Unpin(meta);
+  return root;
+}
+
+Status BTree::SetRoot(PageId root) {
+  MSQL_ASSIGN_OR_RETURN(Frame * meta, pool_->Pin(file_id_, 0));
+  StoreU32(meta->data + kMetaRootOff, root);
+  pool_->MarkDirty(meta, 0);
+  pool_->Unpin(meta);
+  return Status::OK();
+}
+
+Result<BTree::Node> BTree::ReadNode(PageId id) const {
+  MSQL_ASSIGN_OR_RETURN(Frame * frame, pool_->Pin(file_id_, id));
+  Node node;
+  uint8_t type = static_cast<uint8_t>(frame->data[kNodeType]);
+  node.is_leaf = type == 1;
+  if (type != 1 && type != 2) {
+    pool_->Unpin(frame);
+    return Status::Corrupted("btree node page " + std::to_string(id) +
+                             " has a bad type byte");
+  }
+  uint16_t nkeys = LoadU16(frame->data + kNodeKeys);
+  node.next = LoadU32(frame->data + kNodeNext);
+  node.leftmost = LoadU32(frame->data + kNodeLeftmost);
+  node.cells.reserve(nkeys);
+  for (uint16_t i = 0; i < nkeys; ++i) {
+    uint16_t off = LoadU16(frame->data + kNodeHeader + 2 * i);
+    uint16_t klen = LoadU16(frame->data + off);
+    Cell cell;
+    cell.key.assign(frame->data + off + 2, klen);
+    if (!node.is_leaf) {
+      cell.child = LoadU32(frame->data + off + 2 + klen);
+    }
+    node.cells.push_back(std::move(cell));
+  }
+  pool_->Unpin(frame);
+  return node;
+}
+
+size_t BTree::NodeBytes(const Node& node) {
+  size_t bytes = kNodeHeader;
+  for (const Cell& cell : node.cells) {
+    bytes += 2 /*slot*/ + 2 /*klen*/ + cell.key.size() +
+             (node.is_leaf ? 0 : 4);
+  }
+  return bytes;
+}
+
+bool BTree::NodeFits(const Node& node) {
+  return NodeBytes(node) <= kPageSize;
+}
+
+Status BTree::WriteNode(PageId id, const Node& node) {
+  if (!NodeFits(node)) {
+    return Status::Internal("btree node overflow on page " +
+                            std::to_string(id));
+  }
+  MSQL_ASSIGN_OR_RETURN(Frame * frame, pool_->Pin(file_id_, id));
+  std::memset(frame->data, 0, kPageSize);
+  frame->data[kNodeType] = node.is_leaf ? 1 : 2;
+  StoreU16(frame->data + kNodeKeys,
+           static_cast<uint16_t>(node.cells.size()));
+  StoreU32(frame->data + kNodeNext, node.next);
+  StoreU32(frame->data + kNodeLeftmost, node.leftmost);
+  uint32_t cell_off = kPageSize;
+  for (size_t i = 0; i < node.cells.size(); ++i) {
+    const Cell& cell = node.cells[i];
+    uint32_t size =
+        2 + static_cast<uint32_t>(cell.key.size()) + (node.is_leaf ? 0 : 4);
+    cell_off -= size;
+    StoreU16(frame->data + cell_off,
+             static_cast<uint16_t>(cell.key.size()));
+    std::memcpy(frame->data + cell_off + 2, cell.key.data(),
+                cell.key.size());
+    if (!node.is_leaf) {
+      StoreU32(frame->data + cell_off + 2 + cell.key.size(), cell.child);
+    }
+    StoreU16(frame->data + kNodeHeader + 2 * i,
+             static_cast<uint16_t>(cell_off));
+  }
+  pool_->MarkDirty(frame, 0);
+  pool_->Unpin(frame);
+  return Status::OK();
+}
+
+Result<PageId> BTree::NewNodePage(const Node& node) {
+  MSQL_ASSIGN_OR_RETURN(Frame * frame, pool_->NewPage(file_id_));
+  PageId id = frame->page_id;
+  pool_->Unpin(frame);
+  MSQL_RETURN_IF_ERROR(WriteNode(id, node));
+  return id;
+}
+
+Result<std::optional<std::pair<std::string, PageId>>> BTree::InsertRec(
+    PageId id, std::string_view key) {
+  MSQL_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+  if (node.is_leaf) {
+    auto it = std::lower_bound(
+        node.cells.begin(), node.cells.end(), key,
+        [](const Cell& c, std::string_view k) { return c.key < k; });
+    if (it != node.cells.end() && it->key == key) {
+      return std::optional<std::pair<std::string, PageId>>{};  // duplicate
+    }
+    Cell cell;
+    cell.key.assign(key);
+    node.cells.insert(it, std::move(cell));
+    if (NodeFits(node)) {
+      MSQL_RETURN_IF_ERROR(WriteNode(id, node));
+      return std::optional<std::pair<std::string, PageId>>{};
+    }
+    size_t mid = node.cells.size() / 2;
+    Node right;
+    right.is_leaf = true;
+    right.next = node.next;
+    right.cells.assign(node.cells.begin() + mid, node.cells.end());
+    node.cells.resize(mid);
+    MSQL_ASSIGN_OR_RETURN(PageId right_id, NewNodePage(right));
+    node.next = right_id;
+    MSQL_RETURN_IF_ERROR(WriteNode(id, node));
+    return std::make_optional(
+        std::make_pair(right.cells.front().key, right_id));
+  }
+
+  // Internal: route to the child owning `key`.
+  size_t child_index = 0;  // 0 = leftmost
+  while (child_index < node.cells.size() &&
+         node.cells[child_index].key <= key) {
+    ++child_index;
+  }
+  PageId child = child_index == 0 ? node.leftmost
+                                  : node.cells[child_index - 1].child;
+  MSQL_ASSIGN_OR_RETURN(auto split, InsertRec(child, key));
+  if (!split.has_value()) {
+    return std::optional<std::pair<std::string, PageId>>{};
+  }
+  Cell cell;
+  cell.key = split->first;
+  cell.child = split->second;
+  node.cells.insert(node.cells.begin() + child_index, std::move(cell));
+  if (NodeFits(node)) {
+    MSQL_RETURN_IF_ERROR(WriteNode(id, node));
+    return std::optional<std::pair<std::string, PageId>>{};
+  }
+  size_t mid = node.cells.size() / 2;
+  std::string promoted = node.cells[mid].key;
+  Node right;
+  right.is_leaf = false;
+  right.leftmost = node.cells[mid].child;
+  right.cells.assign(node.cells.begin() + mid + 1, node.cells.end());
+  node.cells.resize(mid);
+  MSQL_ASSIGN_OR_RETURN(PageId right_id, NewNodePage(right));
+  MSQL_RETURN_IF_ERROR(WriteNode(id, node));
+  return std::make_optional(std::make_pair(std::move(promoted), right_id));
+}
+
+Status BTree::Insert(std::string_view key) {
+  if (key.size() > kMaxBtreeKeyBytes) {
+    return Status::InvalidArgument("btree key of " +
+                                   std::to_string(key.size()) +
+                                   " bytes exceeds the limit of " +
+                                   std::to_string(kMaxBtreeKeyBytes));
+  }
+  MSQL_ASSIGN_OR_RETURN(PageId root, Root());
+  MSQL_ASSIGN_OR_RETURN(auto split, InsertRec(root, key));
+  if (!split.has_value()) return Status::OK();
+  Node new_root;
+  new_root.is_leaf = false;
+  new_root.leftmost = root;
+  Cell cell;
+  cell.key = split->first;
+  cell.child = split->second;
+  new_root.cells.push_back(std::move(cell));
+  MSQL_ASSIGN_OR_RETURN(PageId new_root_id, NewNodePage(new_root));
+  return SetRoot(new_root_id);
+}
+
+Result<PageId> BTree::FindLeaf(std::string_view key) const {
+  MSQL_ASSIGN_OR_RETURN(PageId id, Root());
+  for (;;) {
+    MSQL_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+    if (node.is_leaf) return id;
+    size_t child_index = 0;
+    while (child_index < node.cells.size() &&
+           node.cells[child_index].key <= key) {
+      ++child_index;
+    }
+    id = child_index == 0 ? node.leftmost
+                          : node.cells[child_index - 1].child;
+  }
+}
+
+Status BTree::Erase(std::string_view key) {
+  MSQL_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  MSQL_ASSIGN_OR_RETURN(Node node, ReadNode(leaf_id));
+  auto it = std::lower_bound(
+      node.cells.begin(), node.cells.end(), key,
+      [](const Cell& c, std::string_view k) { return c.key < k; });
+  if (it == node.cells.end() || it->key != key) return Status::OK();
+  node.cells.erase(it);
+  return WriteNode(leaf_id, node);
+}
+
+Result<bool> BTree::Contains(std::string_view key) const {
+  MSQL_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  MSQL_ASSIGN_OR_RETURN(Node node, ReadNode(leaf_id));
+  auto it = std::lower_bound(
+      node.cells.begin(), node.cells.end(), key,
+      [](const Cell& c, std::string_view k) { return c.key < k; });
+  return it != node.cells.end() && it->key == key;
+}
+
+Status BTree::ScanRange(
+    std::string_view lo, std::string_view hi,
+    const std::function<bool(std::string_view)>& fn) const {
+  MSQL_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo));
+  while (leaf_id != 0) {
+    MSQL_ASSIGN_OR_RETURN(Node node, ReadNode(leaf_id));
+    for (const Cell& cell : node.cells) {
+      if (cell.key < lo) continue;
+      if (cell.key > hi) return Status::OK();
+      if (!fn(cell.key)) return Status::OK();
+    }
+    leaf_id = node.next;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> BTree::CountKeys() const {
+  // Walk the leaf chain from the leftmost leaf.
+  MSQL_ASSIGN_OR_RETURN(PageId id, Root());
+  for (;;) {
+    MSQL_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+    if (node.is_leaf) break;
+    id = node.leftmost;
+  }
+  int64_t count = 0;
+  while (id != 0) {
+    MSQL_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+    count += static_cast<int64_t>(node.cells.size());
+    id = node.next;
+  }
+  return count;
+}
+
+}  // namespace msql::storage

@@ -1,0 +1,109 @@
+#ifndef MSQL_STORAGE_BTREE_H_
+#define MSQL_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_manager.h"
+#include "storage/page.h"
+
+namespace msql::storage {
+
+/// Keys above this never enter the tree (a page must fit several
+/// cells or splitting degenerates).
+inline constexpr uint32_t kMaxBtreeKeyBytes = 900;
+
+/// Paged B+-tree over opaque, unique byte-string keys (lexicographic
+/// order). Secondary indexes get multimap semantics by appending the
+/// 8-byte row id to the encoded column value, which also makes every
+/// entry unique. Leaves are chained for range scans. Underflow is
+/// never rebalanced (deletes just shrink a node) — acceptable for the
+/// paper's workloads and it keeps the structure recovery-free: index
+/// files are rebuilt from a heap scan after a crash, so tree pages
+/// carry no LSNs.
+///
+/// Layout: page 0 is the meta page (magic, root id). Node pages hold a
+/// sorted slot array pointing at cells growing down from the page end:
+///   leaf cell      [klen u16][key bytes]
+///   internal cell  [klen u16][key bytes][child u32]
+/// An internal node keeps its leftmost child in the header; cell i
+/// routes keys >= its key to its child.
+class BTree {
+ public:
+  BTree(BufferManager* pool, uint32_t file_id) noexcept
+      : pool_(pool), file_id_(file_id) {}
+
+  /// Initializes a brand-new file (meta page + empty root leaf).
+  Status Create();
+
+  /// Makes the tree empty regardless of the file's prior content:
+  /// Create() on a fresh file, otherwise the meta page is rewritten to
+  /// point at a new empty root (old pages become unreachable — index
+  /// files are rebuilt wholesale after a crash, never compacted).
+  Status Reset();
+
+  /// Validates the meta page of an existing file.
+  Status Open();
+
+  /// Inserts `key` (no-op when already present).
+  Status Insert(std::string_view key);
+
+  /// Removes `key` (no-op when absent).
+  Status Erase(std::string_view key);
+
+  /// True when `key` is present.
+  Result<bool> Contains(std::string_view key) const;
+
+  /// Calls `fn(key)` for every key in [lo, hi] (inclusive, byte
+  /// order). `fn` returns false to stop early.
+  Status ScanRange(std::string_view lo, std::string_view hi,
+                   const std::function<bool(std::string_view)>& fn) const;
+
+  /// Number of keys (full leaf walk — diagnostics and tests).
+  Result<int64_t> CountKeys() const;
+
+ private:
+  struct Cell {
+    std::string key;
+    PageId child = 0;  // internal nodes only
+  };
+  struct Node {
+    bool is_leaf = true;
+    PageId next = 0;      // leaf chain (0 = end)
+    PageId leftmost = 0;  // internal: child for keys below cells[0]
+    std::vector<Cell> cells;
+  };
+
+  static constexpr uint32_t kMagic = 0x4d514254;  // "MQBT"
+  static constexpr uint32_t kNodeHeader = 16;
+
+  Result<Node> ReadNode(PageId id) const;
+  Status WriteNode(PageId id, const Node& node);
+  static size_t NodeBytes(const Node& node);
+  static bool NodeFits(const Node& node);
+
+  Result<PageId> Root() const;
+  Status SetRoot(PageId root);
+  Result<PageId> NewNodePage(const Node& node);
+
+  /// Inserts into the subtree at `id`; on split returns the promoted
+  /// separator key and the new right sibling.
+  Result<std::optional<std::pair<std::string, PageId>>> InsertRec(
+      PageId id, std::string_view key);
+
+  /// Leaf page whose range covers `key` (descends from the root).
+  Result<PageId> FindLeaf(std::string_view key) const;
+
+  BufferManager* pool_;
+  uint32_t file_id_;
+};
+
+}  // namespace msql::storage
+
+#endif  // MSQL_STORAGE_BTREE_H_

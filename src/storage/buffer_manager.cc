@@ -1,0 +1,162 @@
+#include "storage/buffer_manager.h"
+
+#include <cstring>
+
+namespace msql::storage {
+
+BufferManager::BufferManager(size_t frame_count) {
+  if (frame_count == 0) frame_count = 1;
+  frames_.reserve(frame_count);
+  for (size_t i = 0; i < frame_count; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+  }
+}
+
+uint32_t BufferManager::RegisterFile(DiskManager* disk) {
+  files_.push_back(disk);
+  return static_cast<uint32_t>(files_.size() - 1);
+}
+
+void BufferManager::Count(const char* name, int64_t delta) {
+  if (metrics_ != nullptr) metrics_->Inc(name, delta);
+}
+
+Status BufferManager::WriteBack(Frame* frame) {
+  MSQL_RETURN_IF_ERROR(
+      files_[frame->file_id]->WritePage(frame->page_id, frame->data));
+  frame->dirty = false;
+  ++page_writes_;
+  Count("storage.page_writes");
+  return Status::OK();
+}
+
+Result<size_t> BufferManager::AcquireFrame() {
+  // First choice: a frame never used or explicitly invalidated.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i]->valid) return i;
+  }
+  // Otherwise evict the least-recently-used unpinned frame whose dirty
+  // state is flushable (no active transaction wrote it — no-steal).
+  size_t victim = frames_.size();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = *frames_[i];
+    if (frame.pin_count > 0) continue;
+    if (frame.dirty && !frame.dirty_txns.empty()) continue;
+    if (victim == frames_.size() ||
+        frame.last_used < frames_[victim]->last_used) {
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::Internal(
+        "buffer pool exhausted: all " + std::to_string(frames_.size()) +
+        " frames are pinned or hold uncommitted writes (no-steal)");
+  }
+  Frame* frame = frames_[victim].get();
+  if (frame->dirty) MSQL_RETURN_IF_ERROR(WriteBack(frame));
+  resident_.erase({frame->file_id, frame->page_id});
+  frame->valid = false;
+  frame->dirty_txns.clear();
+  ++evictions_;
+  Count("storage.evictions");
+  return victim;
+}
+
+Result<Frame*> BufferManager::NewPage(uint32_t file_id) {
+  MSQL_ASSIGN_OR_RETURN(PageId id, files_[file_id]->AllocatePage());
+  MSQL_ASSIGN_OR_RETURN(size_t slot, AcquireFrame());
+  Frame* frame = frames_[slot].get();
+  std::memset(frame->data, 0, kPageSize);
+  frame->file_id = file_id;
+  frame->page_id = id;
+  frame->pin_count = 1;
+  frame->dirty = false;
+  frame->valid = true;
+  frame->last_used = ++clock_;
+  frame->dirty_txns.clear();
+  resident_[{file_id, id}] = slot;
+  return frame;
+}
+
+Result<Frame*> BufferManager::Pin(uint32_t file_id, PageId page_id) {
+  auto it = resident_.find({file_id, page_id});
+  if (it != resident_.end()) {
+    Frame* frame = frames_[it->second].get();
+    ++frame->pin_count;
+    frame->last_used = ++clock_;
+    ++pin_hits_;
+    Count("storage.pin_hits");
+    return frame;
+  }
+  MSQL_ASSIGN_OR_RETURN(size_t slot, AcquireFrame());
+  Frame* frame = frames_[slot].get();
+  MSQL_RETURN_IF_ERROR(files_[file_id]->ReadPage(page_id, frame->data));
+  ++page_reads_;
+  Count("storage.page_reads");
+  frame->file_id = file_id;
+  frame->page_id = page_id;
+  frame->pin_count = 1;
+  frame->dirty = false;
+  frame->valid = true;
+  frame->last_used = ++clock_;
+  frame->dirty_txns.clear();
+  resident_[{file_id, page_id}] = slot;
+  return frame;
+}
+
+void BufferManager::Unpin(Frame* frame) {
+  if (frame->pin_count > 0) --frame->pin_count;
+}
+
+void BufferManager::MarkDirty(Frame* frame, uint64_t txn_id) {
+  frame->dirty = true;
+  if (txn_id != 0) frame->dirty_txns.insert(txn_id);
+}
+
+void BufferManager::ReleaseTxn(uint64_t txn_id) {
+  for (auto& frame : frames_) {
+    if (frame->valid) frame->dirty_txns.erase(txn_id);
+  }
+}
+
+Status BufferManager::FlushEligible(size_t max_pages) {
+  size_t written = 0;
+  for (auto& frame : frames_) {
+    if (written >= max_pages) break;
+    if (frame->valid && frame->dirty && frame->dirty_txns.empty()) {
+      MSQL_RETURN_IF_ERROR(WriteBack(frame.get()));
+      ++written;
+    }
+  }
+  for (DiskManager* disk : files_) {
+    if (disk != nullptr && disk->is_open()) {
+      MSQL_RETURN_IF_ERROR(disk->Flush());
+    }
+  }
+  return Status::OK();
+}
+
+void BufferManager::DiscardFile(uint32_t file_id) {
+  for (auto& frame : frames_) {
+    if (frame->valid && frame->file_id == file_id) {
+      resident_.erase({frame->file_id, frame->page_id});
+      frame->valid = false;
+      frame->dirty = false;
+      frame->pin_count = 0;
+      frame->dirty_txns.clear();
+    }
+  }
+  if (file_id < files_.size()) files_[file_id] = nullptr;
+}
+
+void BufferManager::DropAll() {
+  for (auto& frame : frames_) {
+    frame->valid = false;
+    frame->dirty = false;
+    frame->pin_count = 0;
+    frame->dirty_txns.clear();
+  }
+  resident_.clear();
+}
+
+}  // namespace msql::storage

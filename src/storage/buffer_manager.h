@@ -1,0 +1,120 @@
+#ifndef MSQL_STORAGE_BUFFER_MANAGER_H_
+#define MSQL_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace msql::storage {
+
+/// A resident page. Callers Pin() to get one, mutate `data` through it,
+/// and Unpin() when done; the frame stays addressable only while
+/// pinned. MarkDirty records which transaction dirtied the page — the
+/// no-steal policy refuses to write a page to disk while any of its
+/// dirtying transactions is still active, so disk never holds
+/// uncommitted data and recovery is pure redo.
+struct Frame {
+  char data[kPageSize];
+  uint32_t file_id = 0;
+  PageId page_id = kInvalidPageId;
+  int pin_count = 0;
+  bool dirty = false;
+  bool valid = false;
+  uint64_t last_used = 0;
+  /// Transactions with unfinished writes on this page (no-steal set).
+  std::set<uint64_t> dirty_txns;
+};
+
+/// Bounded pool of page frames shared by every file of one storage
+/// root (heaps, directories, B+-trees). Eviction is LRU over unpinned
+/// frames; dirty victims are flushed first unless pinned-by-policy
+/// (dirty_txns non-empty), which makes them ineligible. With every
+/// frame pinned or ineligible, Pin fails with kResourceExhausted-like
+/// Internal status — the caller sized the pool too small for its
+/// concurrent working set.
+class BufferManager {
+ public:
+  explicit BufferManager(size_t frame_count);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Registers a file; the returned id keys every Pin on it.
+  uint32_t RegisterFile(DiskManager* disk);
+
+  /// Allocates a fresh page in `file_id` and pins it (zeroed).
+  Result<Frame*> NewPage(uint32_t file_id);
+
+  /// Pins page `page_id` of `file_id`, reading it from disk on miss.
+  Result<Frame*> Pin(uint32_t file_id, PageId page_id);
+
+  void Unpin(Frame* frame);
+
+  /// Marks `frame` dirty on behalf of `txn_id` (0 = system writes that
+  /// are always flushable, e.g. recovery redo or index build).
+  void MarkDirty(Frame* frame, uint64_t txn_id);
+
+  /// Releases `txn_id` from every no-steal set (call at commit/abort
+  /// AFTER the WAL records that make the pages redo-able are flushed).
+  void ReleaseTxn(uint64_t txn_id);
+
+  /// Writes every eligible dirty page (empty dirty_txns) to disk and
+  /// flushes the underlying files. Pages still guarded by active
+  /// transactions stay resident and dirty. `max_pages` bounds how many
+  /// pages are written before stopping early (still flushing the
+  /// files) — the crash-matrix tests use it to die mid-checkpoint.
+  Status FlushEligible(size_t max_pages = SIZE_MAX);
+
+  /// Drops the whole pool without writing anything — the crash
+  /// simulation: resident-only state is gone.
+  void DropAll();
+
+  /// Discards `file_id`'s resident pages without writing them and
+  /// forgets its DiskManager — for dropped tables/indexes whose file
+  /// content no longer matters. The id is never reused.
+  void DiscardFile(uint32_t file_id);
+
+  size_t frame_count() const { return frames_.size(); }
+
+  /// Page count of the file behind `file_id` (0 once discarded).
+  size_t file_size_pages(uint32_t file_id) const {
+    DiskManager* disk = files_[file_id];
+    return disk == nullptr ? 0 : disk->page_count();
+  }
+
+  int64_t page_reads() const { return page_reads_; }
+  int64_t page_writes() const { return page_writes_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t pin_hits() const { return pin_hits_; }
+
+  /// Mirrors counters into `metrics` under storage.* (nullptr to stop).
+  void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ private:
+  /// Finds a free or evictable frame, writing back a dirty victim.
+  Result<size_t> AcquireFrame();
+  Status WriteBack(Frame* frame);
+  void Count(const char* name, int64_t delta = 1);
+
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::vector<DiskManager*> files_;
+  /// (file_id, page_id) → frame index for resident pages.
+  std::map<std::pair<uint32_t, PageId>, size_t> resident_;
+  uint64_t clock_ = 0;
+  int64_t page_reads_ = 0;
+  int64_t page_writes_ = 0;
+  int64_t evictions_ = 0;
+  int64_t pin_hits_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace msql::storage
+
+#endif  // MSQL_STORAGE_BUFFER_MANAGER_H_

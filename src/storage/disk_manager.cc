@@ -1,0 +1,89 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace msql::storage {
+
+DiskManager::~DiskManager() { Close(); }
+
+Status DiskManager::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::InvalidArgument("disk manager already open on '" + path_ +
+                                   "'");
+  }
+  // "r+b" keeps existing contents; fall back to "w+b" to create.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::Internal("cannot open storage file '" + path + "'");
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::Internal("cannot seek storage file '" + path + "'");
+  }
+  long size = std::ftell(f);
+  if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
+    std::fclose(f);
+    return Status::Corrupted("storage file '" + path +
+                             "' is not a whole number of pages");
+  }
+  file_ = f;
+  path_ = path;
+  page_count_ = static_cast<uint32_t>(size / kPageSize);
+  return Status::OK();
+}
+
+void DiskManager::Close() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  if (file_ == nullptr) return Status::Internal("disk manager not open");
+  char zero[kPageSize];
+  std::memset(zero, 0, sizeof(zero));
+  PageId id = page_count_;
+  MSQL_RETURN_IF_ERROR(WritePage(id, zero));
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  if (file_ == nullptr) return Status::Internal("disk manager not open");
+  if (id >= page_count_) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(id) + " in '" + path_ + "'");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::Corrupted("short read of page " + std::to_string(id) +
+                             " in '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  if (file_ == nullptr) return Status::Internal("disk manager not open");
+  if (id > page_count_) {
+    return Status::InvalidArgument("write past end of '" + path_ + "'");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::Internal("short write of page " + std::to_string(id) +
+                            " in '" + path_ + "'");
+  }
+  if (id == page_count_) ++page_count_;
+  return Status::OK();
+}
+
+Status DiskManager::Flush() {
+  if (file_ == nullptr) return Status::Internal("disk manager not open");
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("flush of '" + path_ + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace msql::storage

@@ -1,0 +1,55 @@
+#ifndef MSQL_STORAGE_DISK_MANAGER_H_
+#define MSQL_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace msql::storage {
+
+/// Page-granular file I/O for one on-disk file. The disk manager knows
+/// nothing about page contents; the buffer manager sits on top and
+/// decides when pages move. Opening an existing file adopts its pages
+/// (size must be a whole number of pages).
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if absent) the file at `path`.
+  Status Open(const std::string& path);
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `out` (exactly kPageSize bytes).
+  Status ReadPage(PageId id, char* out);
+
+  /// Writes `data` (exactly kPageSize bytes) at page `id`. The page
+  /// must have been allocated.
+  Status WritePage(PageId id, const char* data);
+
+  /// Pushes buffered writes to the OS. In this simulation a flushed
+  /// write survives a "crash" (process keeps running; we only drop
+  /// in-memory state), so fflush is the durability boundary.
+  Status Flush();
+
+  uint32_t page_count() const { return page_count_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint32_t page_count_ = 0;
+};
+
+}  // namespace msql::storage
+
+#endif  // MSQL_STORAGE_DISK_MANAGER_H_

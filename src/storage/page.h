@@ -1,0 +1,61 @@
+#ifndef MSQL_STORAGE_PAGE_H_
+#define MSQL_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace msql::storage {
+
+/// Fixed page size for every on-disk file (heap data, row directory,
+/// B+-tree nodes). 4 KiB keeps the buffer pool granularity small enough
+/// that the e19 bench can run a dataset ~10x the pool without the pool
+/// itself dominating memory.
+inline constexpr uint32_t kPageSize = 4096;
+
+/// Page number within one file (offset = page_id * kPageSize).
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Little-endian accessors over a raw page image. All on-disk integers
+/// go through these so the format is byte-order independent.
+inline uint16_t LoadU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint16_t>(static_cast<unsigned char>(p[1])) << 8;
+}
+
+inline uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+inline uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+inline void StoreU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+inline void StoreU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+inline void StoreU64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+}  // namespace msql::storage
+
+#endif  // MSQL_STORAGE_PAGE_H_

@@ -1,0 +1,137 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+
+#include "storage/page.h"
+
+namespace msql::storage {
+
+namespace {
+constexpr size_t kFrameHeader = 4;           // len u32
+constexpr size_t kRecordHeader = 1 + 8;      // type u8, lsn u64
+constexpr uint32_t kMaxRecordBytes = 1 << 24;
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+Status WriteAheadLog::Open(const std::string& path) {
+  if (open_) return Status::InvalidArgument("WAL already open");
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::Internal("cannot open WAL '" + path + "'");
+  }
+  // Scan whole records to find the durable prefix and the last LSN; a
+  // torn tail (short frame) is cut off — it never reached durability.
+  uint64_t offset = 0;
+  uint64_t last_lsn = 0;
+  for (;;) {
+    char head[kFrameHeader];
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) break;
+    if (std::fread(head, 1, kFrameHeader, f) != kFrameHeader) break;
+    uint32_t len = LoadU32(head);
+    if (len < kRecordHeader || len > kMaxRecordBytes) break;
+    std::string body(len, '\0');
+    if (std::fread(body.data(), 1, len, f) != len) break;
+    last_lsn = LoadU64(body.data() + 1);
+    offset += kFrameHeader + len;
+  }
+  std::fclose(f);
+  path_ = path;
+  open_ = true;
+  durable_bytes_ = offset;
+  next_lsn_ = last_lsn + 1;
+  flushed_lsn_ = last_lsn;
+  tail_last_lsn_ = last_lsn;
+  tail_.clear();
+  return Status::OK();
+}
+
+void WriteAheadLog::Close() {
+  open_ = false;
+  tail_.clear();
+}
+
+Result<uint64_t> WriteAheadLog::Append(WalRecordType type,
+                                       std::string payload) {
+  if (!open_) return Status::Internal("WAL not open");
+  uint64_t lsn = next_lsn_++;
+  uint32_t len = static_cast<uint32_t>(kRecordHeader + payload.size());
+  char head[kFrameHeader + kRecordHeader];
+  StoreU32(head, len);
+  head[4] = static_cast<char>(type);
+  StoreU64(head + 5, lsn);
+  tail_.append(head, sizeof(head));
+  tail_.append(payload);
+  tail_last_lsn_ = lsn;
+  ++appends_;
+  if (metrics_ != nullptr) metrics_->Inc("storage.wal_appends");
+  return lsn;
+}
+
+Status WriteAheadLog::Flush() {
+  if (!open_) return Status::Internal("WAL not open");
+  if (tail_.empty()) return Status::OK();
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::Internal("cannot reopen WAL '" + path_ + "'");
+  }
+  if (std::fseek(f, static_cast<long>(durable_bytes_), SEEK_SET) != 0 ||
+      std::fwrite(tail_.data(), 1, tail_.size(), f) != tail_.size() ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    return Status::Internal("WAL flush to '" + path_ + "' failed");
+  }
+  std::fclose(f);
+  durable_bytes_ += tail_.size();
+  flushed_lsn_ = tail_last_lsn_;
+  tail_.clear();
+  ++flushes_;
+  if (metrics_ != nullptr) metrics_->Inc("storage.wal_flushes");
+  return Status::OK();
+}
+
+void WriteAheadLog::DropUnflushed() {
+  tail_.clear();
+  next_lsn_ = flushed_lsn_ + 1;
+  tail_last_lsn_ = flushed_lsn_;
+}
+
+Result<std::vector<WalRecord>> WriteAheadLog::ReadAll() const {
+  std::vector<WalRecord> out;
+  if (!open_) return Status::Internal("WAL not open");
+  if (durable_bytes_ == 0) return out;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Internal("cannot reopen WAL '" + path_ + "'");
+  }
+  uint64_t offset = 0;
+  while (offset < durable_bytes_) {
+    char head[kFrameHeader];
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+        std::fread(head, 1, kFrameHeader, f) != kFrameHeader) {
+      std::fclose(f);
+      return Status::Corrupted("WAL '" + path_ + "' truncated mid-prefix");
+    }
+    uint32_t len = LoadU32(head);
+    if (len < kRecordHeader || len > kMaxRecordBytes) {
+      std::fclose(f);
+      return Status::Corrupted("WAL '" + path_ + "' has a bad frame length");
+    }
+    std::string body(len, '\0');
+    if (std::fread(body.data(), 1, len, f) != len) {
+      std::fclose(f);
+      return Status::Corrupted("WAL '" + path_ + "' truncated mid-record");
+    }
+    WalRecord rec;
+    rec.type = static_cast<WalRecordType>(body[0]);
+    rec.lsn = LoadU64(body.data() + 1);
+    rec.payload = body.substr(kRecordHeader);
+    out.push_back(std::move(rec));
+    offset += kFrameHeader + len;
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace msql::storage

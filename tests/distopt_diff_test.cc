@@ -146,6 +146,48 @@ TEST(DistOptDiffTest, WithoutAnalyzeCostModeFallsBackPerQuery) {
   EXPECT_EQ(SortedRows(report->join_result), SortedRows(costed->join_result));
 }
 
+TEST(DistOptDiffTest, CommittedWriteChurnReengagesHeuristicUntilReanalyze) {
+  auto sys = BuildPaperFederation();
+  ASSERT_TRUE(sys.ok()) << sys.status();
+  ASSERT_TRUE((*sys)->Execute("ANALYZE DATABASE avis").ok());
+  ASSERT_TRUE((*sys)->Execute("ANALYZE DATABASE continental").ok());
+  const std::string sql =
+      "USE avis continental\n"
+      "SELECT cars.code, flights.flnu FROM avis.cars, continental.flights "
+      "WHERE cars.rate < flights.rate";
+  auto fresh = (*sys)->Execute(sql);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_NE(fresh->cost_text.find("mode=cost-based"), std::string::npos)
+      << fresh->cost_text;
+
+  // With a tight churn budget, one committed DML batch over avis.cars
+  // (4 rows) pushes its stats past max(floor=1, 0.2 × row_count) and the
+  // optimizer must stop trusting them.
+  (*sys)->gdd().set_stats_churn_limit(0.2, 1);
+  auto dml = (*sys)->Execute("USE avis UPDATE cars SET rate = rate * 1.01");
+  ASSERT_TRUE(dml.ok()) << dml.status();
+  ASSERT_EQ(dml->outcome, GlobalOutcome::kSuccess);
+  EXPECT_FALSE((*sys)->gdd().TableStatsFresh("avis", "cars"));
+
+  auto stale = (*sys)->Execute(sql);
+  ASSERT_TRUE(stale.ok()) << stale.status();
+  EXPECT_NE(stale->cost_text.find("mode=heuristic"), std::string::npos)
+      << stale->cost_text;
+  EXPECT_NE(stale->cost_text.find("run ANALYZE"), std::string::npos)
+      << stale->cost_text;
+  // The fallback is a planning decision only — answers still agree.
+  EXPECT_EQ(SortedRows(stale->join_result), SortedRows(fresh->join_result));
+
+  // Re-ANALYZE resets the churn counters and re-engages the cost model.
+  ASSERT_TRUE((*sys)->Execute("ANALYZE DATABASE avis").ok());
+  EXPECT_TRUE((*sys)->gdd().TableStatsFresh("avis", "cars"));
+  auto again = (*sys)->Execute(sql);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_NE(again->cost_text.find("mode=cost-based"), std::string::npos)
+      << again->cost_text;
+  EXPECT_EQ(SortedRows(again->join_result), SortedRows(fresh->join_result));
+}
+
 /// Skewed two-database federation: `alpha.small` holds 3 rows with 3
 /// distinct keys, `beta.big` holds `big_rows` rows keyed 0..big_rows-1.
 Result<std::unique_ptr<MultidatabaseSystem>> BuildSkewedPair(int big_rows) {

@@ -153,6 +153,46 @@ TEST(GddTest, StatsRoundTripVersioningAndFreshness) {
             StatusCode::kNotFound);
 }
 
+TEST(GddTest, WriteChurnStalesStatsPastThreshold) {
+  GlobalDataDictionary gdd;
+  ASSERT_TRUE(gdd.RegisterDatabase("avis", "svc").ok());
+  ASSERT_TRUE(gdd.PutTable("avis", MakeSchema("cars")).ok());
+  TableStats stats;
+  stats.row_count = 100;
+  ASSERT_TRUE(gdd.PutTableStats("avis", "cars", stats).ok());
+  ASSERT_TRUE(gdd.TableStatsFresh("avis", "cars"));
+
+  // Default threshold: max(64, 0.2 × 100) = 64 written rows.
+  gdd.RecordWriteChurn("avis", "cars", 60);
+  EXPECT_EQ(gdd.WriteChurn("avis", "cars"), 60);
+  EXPECT_TRUE(gdd.TableStatsFresh("avis", "cars"));
+  gdd.RecordWriteChurn("avis", "CARS", 5);  // case-insensitive
+  EXPECT_EQ(gdd.WriteChurn("avis", "cars"), 65);
+  EXPECT_FALSE(gdd.TableStatsFresh("avis", "cars"));
+
+  // A fresh ANALYZE snapshot resets the counter.
+  ASSERT_TRUE(gdd.PutTableStats("avis", "cars", stats).ok());
+  EXPECT_EQ(gdd.WriteChurn("avis", "cars"), 0);
+  EXPECT_TRUE(gdd.TableStatsFresh("avis", "cars"));
+
+  // Tunable limit: with a low floor the fraction term dominates and
+  // the boundary is inclusive (churn must exceed the allowance).
+  gdd.set_stats_churn_limit(0.1, 5);
+  gdd.RecordWriteChurn("avis", "cars", 10);
+  EXPECT_TRUE(gdd.TableStatsFresh("avis", "cars"));  // 10 <= max(5, 10)
+  gdd.RecordWriteChurn("avis", "cars", 1);
+  EXPECT_FALSE(gdd.TableStatsFresh("avis", "cars"));
+
+  // Writes through unknown objects stale nothing (and never throw).
+  gdd.RecordWriteChurn("avis", "ghost", 1000);
+  gdd.RecordWriteChurn("ghost", "cars", 1000);
+  EXPECT_EQ(gdd.WriteChurn("avis", "ghost"), 0);
+  // Non-positive deltas are ignored.
+  gdd.RecordWriteChurn("avis", "cars", 0);
+  gdd.RecordWriteChurn("avis", "cars", -5);
+  EXPECT_EQ(gdd.WriteChurn("avis", "cars"), 11);
+}
+
 class CatalogOpsTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -168,7 +168,47 @@ TEST(TableTest, ScanSkipsTombstones) {
   auto ids = table.ScanRowIds();
   ASSERT_EQ(ids.size(), 1u);
   EXPECT_EQ(table.GetRow(ids[0])[0], Value::Integer(2));
-  EXPECT_EQ(table.ScanRows().size(), 1u);
+  EXPECT_EQ(table.ScanRows()->size(), 1u);
+}
+
+TEST(TableTest, InsertReusesTombstonedSlots) {
+  Table table(MakeCarsSchema());
+  std::vector<RowId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(*table.Insert(
+        {Value::Integer(i), Value::Text("t"), Value::Real(1.0)}));
+  }
+  EXPECT_EQ(table.slot_count(), 4u);
+  ASSERT_TRUE(table.Delete(ids[1]).ok());
+  ASSERT_TRUE(table.Delete(ids[3]).ok());
+  EXPECT_EQ(table.free_slot_count(), 2u);
+
+  // The next insert takes the lowest tombstoned slot instead of growing
+  // the slot array.
+  RowId reused = *table.Insert(
+      {Value::Integer(10), Value::Text("r"), Value::Real(2.0)});
+  EXPECT_EQ(reused, ids[1]);
+  EXPECT_EQ(table.slot_count(), 4u);
+  EXPECT_EQ(table.free_slot_count(), 1u);
+  RowId reused2 = *table.Insert(
+      {Value::Integer(11), Value::Text("r"), Value::Real(2.0)});
+  EXPECT_EQ(reused2, ids[3]);
+  EXPECT_EQ(table.free_slot_count(), 0u);
+
+  // Only once the free list drains does the table grow again.
+  RowId grown = *table.Insert(
+      {Value::Integer(12), Value::Text("g"), Value::Real(3.0)});
+  EXPECT_EQ(grown, 4u);
+  EXPECT_EQ(table.slot_count(), 5u);
+
+  // Churning delete/insert in a loop must not leak slots.
+  for (int i = 0; i < 100; ++i) {
+    RowId id = *table.Insert(
+        {Value::Integer(100 + i), Value::Text("x"), Value::Real(1.0)});
+    ASSERT_TRUE(table.Delete(id).ok());
+  }
+  EXPECT_LE(table.slot_count(), 6u);
+  EXPECT_EQ(table.live_row_count(), 5u);
 }
 
 TEST(ResultSetTest, ToStringRendersTable) {
