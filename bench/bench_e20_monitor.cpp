@@ -1,0 +1,368 @@
+// E20: federation monitor overhead + alert-driven adaptive admission.
+//
+// Part A (overhead): the E16 read/update workload runs twice through the
+// FederationServer — monitor detached, then attached (adaptive admission
+// off) — and compares wall time. The monitor lives on the simulated
+// clock, so the virtual makespan must be bit-identical between the two
+// runs; the bench fails if it is not. The wall-clock ratio is printed to
+// stdout only (host time is nondeterministic and stays out of the JSON).
+//
+// Part B (chaos): the E17 deadlock-prone seat-booking workload with a
+// degraded site (latency spikes on continental's request legs stretch
+// lock hold times, inflating contention and deadlock aborts). Aborted
+// bookings are resubmitted round after round until every one commits —
+// the paper's user-retry model — and the per-round virtual makespans are
+// summed. Fixed admission is compared against adaptive admission, where
+// the monitor's deadlock-victim SLO budget drives session shedding:
+// while the budget is exhausted new admissions serialize, draining the
+// pile-up instead of feeding it. The bench fails if any session never
+// terminates.
+//
+// Results go to BENCH_monitor.json (simulated metrics only — the file is
+// byte-identical run to run for a fixed seed).
+//
+// Usage: bench_e20_monitor [--quick] [--out FILE] [--sessions N]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fixtures.h"
+#include "core/mdbs_system.h"
+#include "core/session_scheduler.h"
+#include "netsim/fault_injector.h"
+#include "obs/monitor.h"
+
+namespace {
+
+// -- Part A: monitor overhead on the E16 workload --------------------------
+
+std::string ReadQuery(int db) {
+  return "USE db" + std::to_string(db) + "\nSELECT fno FROM flight" +
+         std::to_string(db);
+}
+
+std::string UpdateMt(int db) {
+  const std::string n = std::to_string(db);
+  return "BEGIN MULTITRANSACTION\n"
+         "USE db" + n +
+         "\nUPDATE flight" + n +
+         " SET day = 'MON' WHERE fno = 1;\n"
+         "COMMIT\n  db" + n + "\nEND MULTITRANSACTION";
+}
+
+struct OverheadStats {
+  int sessions = 0;
+  double wall_off_ms = 0.0;
+  double wall_on_ms = 0.0;
+  double ratio = 0.0;
+  int64_t virtual_makespan_micros = 0;
+  int64_t windows_closed = 0;
+  int64_t alerts = 0;
+};
+
+bool RunOverhead(int sessions, OverheadStats* out) {
+  msql::core::SyntheticFederationOptions options;
+  options.n_databases = 8;
+  options.rows_per_table = 32;
+
+  int64_t makespans[2] = {0, 0};
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool with_monitor = pass == 1;
+    auto built = msql::core::BuildSyntheticFederation(options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "fixture: %s\n",
+                   built.status().ToString().c_str());
+      return false;
+    }
+    auto sys = std::move(*built);
+
+    msql::core::ServerConfig config;
+    config.max_admitted = 256;
+    msql::core::FederationServer server(sys.get(), config);
+
+    msql::obs::MonitorConfig mon_config;
+    // Narrow windows so the monitor closes many of them during the
+    // batch — the overhead ratio measures real per-window sampling, not
+    // an idle monitor.
+    mon_config.window_micros = 10'000;
+    mon_config.slo_max_error_rate = 0.5;
+    msql::obs::Monitor monitor(mon_config, &sys->environment().metrics(),
+                               &sys->environment().health());
+    if (with_monitor) server.set_monitor(&monitor);
+
+    msql::Rng rng(1993);
+    for (int i = 0; i < sessions; ++i) {
+      const int db = i % options.n_databases;
+      if (rng.NextBool(0.02)) {
+        server.Submit(UpdateMt(db));
+      } else {
+        server.Submit(ReadQuery(db));
+      }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    auto results = server.RunAll();
+    const auto stop = std::chrono::steady_clock::now();
+    if (!results.ok()) {
+      std::fprintf(stderr, "RunAll: %s\n",
+                   results.status().ToString().c_str());
+      return false;
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    makespans[pass] = server.virtual_now();
+    if (with_monitor) {
+      monitor.Flush(server.virtual_now());
+      out->wall_on_ms = wall_ms;
+      out->windows_closed = monitor.windows_closed();
+      out->alerts = static_cast<int64_t>(monitor.alerts().size());
+    } else {
+      out->wall_off_ms = wall_ms;
+    }
+  }
+  if (makespans[0] != makespans[1]) {
+    std::fprintf(stderr,
+                 "monitor changed the simulation: makespan %lld != %lld\n",
+                 static_cast<long long>(makespans[0]),
+                 static_cast<long long>(makespans[1]));
+    return false;
+  }
+  out->sessions = sessions;
+  out->virtual_makespan_micros = makespans[0];
+  out->ratio =
+      out->wall_off_ms > 0.0 ? out->wall_on_ms / out->wall_off_ms : 0.0;
+  return true;
+}
+
+// -- Part B: degraded-site chaos, fixed vs adaptive admission --------------
+
+std::string OrderedSeatMt(bool continental_first, const std::string& client) {
+  std::string continental =
+      "USE continental\n"
+      "UPDATE f838 SET seatstatus = 'TAKEN', clientname = '" + client +
+      "'\n"
+      "WHERE seatnu = (SELECT MIN(seatnu) FROM f838 "
+      "WHERE seatstatus = 'FREE');\n";
+  std::string delta =
+      "USE delta\n"
+      "UPDATE fnu747 SET sstat = 'TAKEN', passname = '" + client +
+      "'\n"
+      "WHERE snu = (SELECT MIN(snu) FROM fnu747 WHERE sstat = 'FREE');\n";
+  return "BEGIN MULTITRANSACTION\n" +
+         (continental_first ? continental + delta : delta + continental) +
+         "COMMIT\n"
+         "  continental AND delta\n"
+         "END MULTITRANSACTION";
+}
+
+struct ChaosStats {
+  int sessions = 0;
+  bool adaptive = false;
+  double wall_ms = 0.0;
+  int64_t deadlock_victims = 0;
+  int64_t aborted = 0;
+  int64_t committed = 0;
+  int64_t sessions_shed = 0;
+  int64_t shed_engagements = 0;
+  int retry_rounds = 0;
+  int64_t retried_sessions = 0;
+  int64_t completion_makespan_micros = 0;
+};
+
+msql::obs::MonitorConfig ChaosMonitorConfig() {
+  msql::obs::MonitorConfig config;
+  // Windows narrow enough that one batch spans many of them, so the
+  // deadlock budget can exhaust (and recover) inside a single round.
+  config.window_micros = 50'000;
+  config.slo_max_deadlock_victims = 0;
+  config.budget_horizon_windows = 8;
+  config.slo_budget_fraction = 0.1;  // allowed = max(1, 0) = 1 window
+  config.recover_after_clean_windows = 2;
+  return config;
+}
+
+/// One batch + user-retry rounds until every booking commits. Returns
+/// false on infrastructure failure or when a session never terminates.
+bool RunChaos(uint64_t seed, int sessions, bool adaptive, ChaosStats* out) {
+  msql::core::PaperFederationOptions options;
+  options.seats_per_airline = 2 * sessions;
+  auto built = msql::core::BuildPaperFederation(options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "fixture: %s\n", built.status().ToString().c_str());
+    return false;
+  }
+  auto sys = std::move(*built);
+
+  // Degraded site: every request leg to continental is slowed. Longer
+  // lock hold times at one site stretch the two-site bookings, widening
+  // the window in which opposite-order bookings deadlock.
+  msql::netsim::FaultPlan plan;
+  plan.seed = seed;
+  plan.rules.push_back(
+      msql::netsim::FaultRule::Spike("continental_svc", 20'000));
+  sys->environment().fault_injector().SetPlan(plan);
+
+  msql::core::ServerConfig config;
+  // Small enough that a backlog of unadmitted sessions exists while the
+  // batch runs — the population the shedding signal can actually act on.
+  config.max_admitted = 12;
+  config.adaptive_admission = adaptive;
+
+  msql::Rng rng(seed);
+  std::vector<std::string> texts;
+  for (int i = 0; i < sessions; ++i) {
+    const std::string client = "c" + std::to_string(i);
+    texts.push_back(OrderedSeatMt(rng.NextBool(0.5), client));
+  }
+
+  out->sessions = sessions;
+  out->adaptive = adaptive;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::string> pending = texts;
+  constexpr int kMaxRounds = 50;
+  int round = 0;
+  while (!pending.empty() && round < kMaxRounds) {
+    ++round;
+    if (round > 1) {
+      out->retry_rounds = round - 1;
+      out->retried_sessions += static_cast<int64_t>(pending.size());
+    }
+    // Fresh server + monitor per round: each batch restarts the virtual
+    // clock at zero, and the monitor's windows are monotone in it.
+    msql::core::FederationServer server(sys.get(), config);
+    msql::obs::Monitor monitor(ChaosMonitorConfig(),
+                               &sys->environment().metrics(),
+                               &sys->environment().health());
+    if (adaptive) server.set_monitor(&monitor);
+    for (const std::string& text : pending) server.Submit(text);
+    auto results = server.RunAll();
+    if (!results.ok()) {
+      std::fprintf(stderr, "round %d: %s\n", round,
+                   results.status().ToString().c_str());
+      return false;
+    }
+    out->completion_makespan_micros += server.virtual_now();
+    out->shed_engagements += monitor.shed_engagements();
+    std::vector<std::string> next;
+    for (size_t i = 0; i < results->size(); ++i) {
+      const msql::core::SessionResult& r = (*results)[i];
+      if (!r.report.has_value()) {
+        std::fprintf(stderr, "round %d session %zu: no report (%s)\n",
+                     round, i, r.status.ToString().c_str());
+        return false;
+      }
+      if (r.deadlock_victim) ++out->deadlock_victims;
+      if (r.admission_shed) ++out->sessions_shed;
+      if (r.report->outcome == msql::core::GlobalOutcome::kSuccess) {
+        ++out->committed;
+      } else {
+        ++out->aborted;
+        next.push_back(pending[i]);
+      }
+    }
+    pending = std::move(next);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  out->wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  sys->environment().fault_injector().Clear();
+  if (!pending.empty()) {
+    std::fprintf(stderr, "%zu bookings never completed in %d rounds\n",
+                 pending.size(), kMaxRounds);
+    return false;
+  }
+  return true;
+}
+
+void PrintChaos(const ChaosStats& s) {
+  std::printf(
+      "adaptive=%-5s sessions=%-4d wall=%8.1fms victims=%-4lld "
+      "aborted=%-4lld committed=%-4lld shed=%-4lld engage=%-2lld "
+      "retries=%lld/%dr completion=%9lldus\n",
+      s.adaptive ? "true" : "false", s.sessions, s.wall_ms,
+      static_cast<long long>(s.deadlock_victims),
+      static_cast<long long>(s.aborted),
+      static_cast<long long>(s.committed),
+      static_cast<long long>(s.sessions_shed),
+      static_cast<long long>(s.shed_engagements),
+      static_cast<long long>(s.retried_sessions), s.retry_rounds,
+      static_cast<long long>(s.completion_makespan_micros));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_monitor.json";
+  int sessions = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc)
+      sessions = std::atoi(argv[++i]);
+  }
+  const uint64_t seed = 1993;
+  const int overhead_sessions = quick ? 1000 : 5000;
+  const int chaos_sessions = sessions > 0 ? sessions : (quick ? 60 : 120);
+
+  OverheadStats overhead;
+  if (!RunOverhead(overhead_sessions, &overhead)) return 1;
+  std::printf(
+      "overhead: sessions=%d wall_off=%.1fms wall_on=%.1fms ratio=%.3f "
+      "(windows=%lld alerts=%lld)\n",
+      overhead.sessions, overhead.wall_off_ms, overhead.wall_on_ms,
+      overhead.ratio, static_cast<long long>(overhead.windows_closed),
+      static_cast<long long>(overhead.alerts));
+
+  std::vector<ChaosStats> chaos;
+  for (bool adaptive : {false, true}) {
+    ChaosStats s;
+    if (!RunChaos(seed, chaos_sessions, adaptive, &s)) return 1;
+    PrintChaos(s);
+    chaos.push_back(s);
+  }
+  if (chaos[1].completion_makespan_micros <
+      chaos[0].completion_makespan_micros) {
+    std::printf("adaptive admission wins by %.1f%% on completion makespan\n",
+                100.0 *
+                    (chaos[0].completion_makespan_micros -
+                     chaos[1].completion_makespan_micros) /
+                    static_cast<double>(chaos[0].completion_makespan_micros));
+  } else {
+    std::printf("WARNING: adaptive admission did not improve completion "
+                "makespan\n");
+  }
+
+  // Simulated metrics only: for a fixed seed this file is byte-identical
+  // run to run (wall times and ratios live on stdout above).
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"e20_monitor\",\n  \"seed\": " << seed
+       << ",\n  \"overhead\": {\"sessions\": " << overhead.sessions
+       << ", \"virtual_makespan_micros\": "
+       << overhead.virtual_makespan_micros
+       << ", \"windows_closed\": " << overhead.windows_closed
+       << ", \"alerts\": " << overhead.alerts << "},\n  \"chaos\": [\n";
+  for (size_t i = 0; i < chaos.size(); ++i) {
+    const ChaosStats& s = chaos[i];
+    json << "    {\"adaptive\": " << (s.adaptive ? "true" : "false")
+         << ", \"sessions\": " << s.sessions
+         << ", \"deadlock_victims\": " << s.deadlock_victims
+         << ", \"aborted\": " << s.aborted
+         << ", \"committed\": " << s.committed
+         << ", \"sessions_shed\": " << s.sessions_shed
+         << ", \"shed_engagements\": " << s.shed_engagements
+         << ", \"retry_rounds\": " << s.retry_rounds
+         << ", \"retried_sessions\": " << s.retried_sessions
+         << ", \"completion_makespan_micros\": "
+         << s.completion_makespan_micros << "}"
+         << (i + 1 < chaos.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

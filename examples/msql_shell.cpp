@@ -13,8 +13,12 @@
 // counters/histograms), \metrics on|off (toggle counter collection
 // independently of tracing), \profile (toggle per-input EXPLAIN ANALYZE
 // profiles — phase breakdown, per-site attribution, critical path),
-// \health (per-site health table), \qlog FILE (append a JSONL audit
-// record per executed input to FILE; \qlog off stops), \cost (toggle
+// \health (per-site health table; \health --json for the same snapshot
+// as JSON), \watch (federation monitor dashboard — SLO budgets, shed
+// state, recent windows, alert tail; \watch --json for JSON), \slo
+// (SLO budget table), \alerts (alert stream as JSON Lines), \qlog FILE
+// (append a JSONL audit record per executed input to FILE; \qlog off
+// stops), \cost (toggle
 // printing the distributed optimizer's cost breakdown — movement
 // strategy and estimated transfer micros per subquery), \cost on|off
 // (switch between the cost-based optimizer and the paper-heuristic
@@ -24,6 +28,7 @@
 // run; \conflicts additionally prints the plan's predicted access
 // summary (per-site read/write sets, lock modes, acquisition order,
 // 2PC holds — the DL3xx conflict analyzer's view).
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -36,6 +41,7 @@
 #include "common/string_util.h"
 #include "core/fixtures.h"
 #include "core/mdbs_system.h"
+#include "obs/monitor.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
 
@@ -135,6 +141,16 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
   bool show_dol = false;
   bool show_cost = false;
   std::string qlog_file;  // "" = query log not writing to a file
+  // Always-on federation monitor behind \watch/\slo/\alerts. The shell
+  // is serial, so each executed input is one "session"; inputs advance
+  // a cumulative simulated cursor (the shell has no batch clock of its
+  // own) and land in 1s monitor windows.
+  msql::obs::MonitorConfig mon_config;
+  mon_config.slo_max_error_rate = 0.5;
+  msql::obs::Monitor monitor(mon_config, &sys->environment().metrics(),
+                             &sys->environment().health());
+  monitor.set_query_log(&sys->query_log());
+  int64_t sim_cursor = 0;
   std::string buffer;
   std::string line;
   // "" — execute; "check" — analyze only; "explain" — analyze + DOL;
@@ -185,7 +201,9 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
         if (!out) {
           std::printf("cannot open %s\n", arg.c_str());
         } else {
-          out << msql::obs::ExportChromeTrace(tracer);
+          msql::obs::ChromeTraceOptions options;
+          options.counter_tracks = monitor.CounterTracks();
+          out << msql::obs::ExportChromeTrace(tracer, options);
           std::printf("(%zu spans written to %s — load in Perfetto)\n",
                       tracer.spans().size(), arg.c_str());
         }
@@ -235,8 +253,47 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
       if (echo) std::printf("msql> ");
       continue;
     }
-    if (trimmed == "\\health") {
-      std::printf("%s", sys->environment().health().RenderText().c_str());
+    if (trimmed == "\\health" || trimmed.rfind("\\health ", 0) == 0) {
+      std::string arg(msql::Trim(trimmed.substr(std::strlen("\\health"))));
+      if (arg == "--json" || arg == "json") {
+        std::printf("%s\n", sys->environment().health().RenderJson().c_str());
+      } else {
+        std::printf("%s", sys->environment().health().RenderText().c_str());
+      }
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\watch" || trimmed.rfind("\\watch ", 0) == 0) {
+      std::string arg(msql::Trim(trimmed.substr(std::strlen("\\watch"))));
+      monitor.Flush(sim_cursor);
+      if (arg == "--json" || arg == "json") {
+        std::printf("%s\n", monitor.RenderDashboardJson().c_str());
+      } else {
+        std::printf("%s", monitor.RenderDashboardText().c_str());
+      }
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\slo") {
+      monitor.Flush(sim_cursor);
+      for (const auto& slo : monitor.SloStatuses()) {
+        if (!slo.enabled) continue;
+        std::printf("%-16s limit=%g last=%g budget=%d/%d state=%s\n",
+                    slo.name.c_str(), slo.limit, slo.last_value,
+                    slo.violations_in_horizon, slo.allowed_in_horizon,
+                    slo.state.c_str());
+      }
+      if (echo) std::printf("msql> ");
+      continue;
+    }
+    if (trimmed == "\\alerts") {
+      monitor.Flush(sim_cursor);
+      std::string jsonl = monitor.AlertsJsonl();
+      if (jsonl.empty()) {
+        std::printf("(no alerts)\n");
+      } else {
+        std::printf("%s", jsonl.c_str());
+      }
       if (echo) std::printf("msql> ");
       continue;
     }
@@ -311,6 +368,16 @@ int RunStream(MultidatabaseSystem* sys, std::istream& in, bool echo) {
       std::printf("error: %s\n", report.status().ToString().c_str());
     } else {
       PrintReport(*report, show_dol, show_cost);
+      // Feed the monitor: one input = one session on the cumulative
+      // simulated cursor (each input's run starts its own sim timeline,
+      // so the shell strings them end to end).
+      sim_cursor += std::max<int64_t>(report->run.makespan_micros, 1);
+      msql::obs::Monitor::SessionSample sample;
+      sample.finish_micros = sim_cursor;
+      sample.makespan_micros = report->run.makespan_micros;
+      sample.ok = report->outcome == GlobalOutcome::kSuccess;
+      monitor.RecordSession(sample);
+      if (monitor.NeedsSample(sim_cursor)) monitor.AdvanceTo(sim_cursor);
     }
     if (!qlog_file.empty() && sys->query_log().enabled()) {
       // Rewrite the whole JSONL file: records are small and the final
@@ -344,7 +411,8 @@ int main(int argc, char** argv) {
   std::printf(
       "Extended MSQL shell — federation: continental delta united avis "
       "national\nmeta: \\gdd \\dol \\plan \\cost [on|off] \\trace [file] "
-      "\\metrics [on|off] \\profile \\health \\qlog [file|off] \\check "
+      "\\metrics [on|off] \\profile \\health [--json] \\watch [--json] "
+      "\\slo \\alerts \\qlog [file|off] \\check "
       "\\explain \\conflicts \\quit; end inputs with ';'\n");
   return RunStream(sys.get(), std::cin, /*echo=*/true);
 }

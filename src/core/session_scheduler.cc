@@ -99,7 +99,11 @@ Result<std::vector<SessionResult>> FederationServer::RunBatch() {
         }
       }
     }
+    if (monitor_ != nullptr && monitor_->NeedsSample(clock_)) {
+      SampleMonitor();
+    }
   }
+  shed_active_ = false;
   std::vector<SessionResult> results;
   results.reserve(sessions_.size());
   for (auto& entry : sessions_) results.push_back(std::move(entry->result));
@@ -115,6 +119,14 @@ Result<std::vector<SessionResult>> FederationServer::RunBatch() {
 }
 
 void FederationServer::AdmitEligible() {
+  // Adaptive shedding narrows admission to one-at-a-time: the active
+  // set drains, but one session always runs so the batch keeps making
+  // progress and every shed session still terminates.
+  const bool shed = ShedActive();
+  auto may_admit = [&]() {
+    if (shed) return active_ < 1;
+    return config_.max_admitted <= 0 || active_ < config_.max_admitted;
+  };
   // Deferred sessions first (they were submitted earlier): once a risky
   // peer finishes, the deferral reason may be gone. Only worth
   // re-checking when the admitted set changed.
@@ -122,7 +134,7 @@ void FederationServer::AdmitEligible() {
     std::vector<size_t> still_deferred;
     for (size_t index : deferred_) {
       Session& s = *sessions_[index];
-      if (config_.max_admitted > 0 && active_ >= config_.max_admitted) {
+      if (!may_admit()) {
         still_deferred.push_back(index);
         continue;
       }
@@ -139,8 +151,7 @@ void FederationServer::AdmitEligible() {
     graph_dirty_ = false;
   }
   // Fill the remaining slots in submit order.
-  while (next_unadmitted_ < sessions_.size() &&
-         (config_.max_admitted <= 0 || active_ < config_.max_admitted)) {
+  while (next_unadmitted_ < sessions_.size() && may_admit()) {
     Session& s = *sessions_[next_unadmitted_];
     Consider(s);
     if (config_.conflict_aware && s.summary != nullptr) {
@@ -220,6 +231,10 @@ void FederationServer::Admit(Session& s) {
   ++active_;
   s.result.admit_micros = clock_;
   s.resume_at = clock_;
+  if (s.shed_since >= 0) {
+    s.result.shed_wait_micros += clock_ - s.shed_since;
+    s.shed_since = -1;
+  }
   SwapSpans(s);
   if (!s.prepare_status.ok()) {
     s.result.status = s.prepare_status;
@@ -488,6 +503,50 @@ void FederationServer::CloseSession(Session& s) {
   graph_dirty_ = true;
   s.result.makespan_micros =
       s.result.finish_micros - s.result.admit_micros;
+  RecordSessionSample(s);
+}
+
+bool FederationServer::ShedActive() const {
+  return config_.adaptive_admission && monitor_ != nullptr &&
+         monitor_->shedding();
+}
+
+void FederationServer::SampleMonitor() {
+  monitor_->SetGauge("sessions.active", static_cast<double>(active_));
+  const size_t waiting =
+      sessions_.size() - next_unadmitted_ + deferred_.size();
+  monitor_->SetGauge("sessions.waiting", static_cast<double>(waiting));
+  monitor_->AdvanceTo(clock_);
+  if (!config_.adaptive_admission) return;
+  const bool shed = monitor_->shedding();
+  if (shed == shed_active_) return;
+  shed_active_ = shed;
+  if (!shed) return;
+  // Stamp the decision trail of every session the engagement holds
+  // back. O(waiting), but only on the rare shed transitions.
+  auto mark = [this](Session& s) {
+    if (s.shed_since < 0) {
+      s.shed_since = clock_;
+      s.result.admission_shed = true;
+    }
+  };
+  for (size_t i = next_unadmitted_; i < sessions_.size(); ++i) {
+    mark(*sessions_[i]);
+  }
+  for (size_t index : deferred_) mark(*sessions_[index]);
+}
+
+void FederationServer::RecordSessionSample(const Session& s) {
+  if (monitor_ == nullptr) return;
+  obs::Monitor::SessionSample sample;
+  sample.finish_micros = s.result.finish_micros;
+  sample.makespan_micros = s.result.makespan_micros;
+  sample.ok = s.result.status.ok() && s.result.report.has_value() &&
+              s.result.report->outcome == GlobalOutcome::kSuccess;
+  sample.deadlock_victim = s.result.deadlock_victim;
+  sample.lock_timeout = s.result.lock_timeout;
+  sample.was_shed = s.result.admission_shed;
+  monitor_->RecordSession(sample);
 }
 
 }  // namespace msql::core

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "core/mdbs_system.h"
 #include "dol/engine.h"
+#include "obs/monitor.h"
 
 namespace msql::core {
 
@@ -35,6 +36,13 @@ struct ServerConfig {
   /// already-admitted one (analysis::ConflictGraph). Deadlocks become a
   /// scheduling decision instead of a runtime victim abort.
   bool conflict_aware = false;
+  /// Alert-driven adaptive admission (DESIGN.md §16): while the
+  /// attached monitor reports an exhausted SLO error budget
+  /// (obs::Monitor::shedding()), new-session admission is shed to
+  /// one-at-a-time — the federation drains instead of melting down —
+  /// and normal admission resumes when the monitor recovers. Requires
+  /// set_monitor; a no-op without one.
+  bool adaptive_admission = false;
 };
 
 /// The scheduler-facing name of the server knobs.
@@ -73,6 +81,12 @@ struct SessionResult {
   /// Distinct sessions this one was held back from running against —
   /// each a statically predicted deadlock that never got to happen.
   int64_t avoided_deadlocks = 0;
+  /// Adaptive admission held this session back while an SLO budget was
+  /// burning (the alert decision trail: the matching alert events carry
+  /// rule "admission.shed").
+  bool admission_shed = false;
+  /// Simulated time the session sat unadmitted because of shedding.
+  int64_t shed_wait_micros = 0;
   /// Federation sessions observed blocking this one at runtime (every
   /// park's resolved waits-for edges; input to the differential oracle
   /// that checks prediction soundness).
@@ -119,6 +133,13 @@ class FederationServer {
   /// Final value of the shared simulated clock after the last RunAll.
   int64_t virtual_now() const { return clock_; }
 
+  /// Attaches the federation monitor (not owned; null detaches). The
+  /// server samples it on the shared clock each time a window boundary
+  /// passes, feeds it every finished session, and — when
+  /// `adaptive_admission` is set — follows its shedding() signal.
+  void set_monitor(obs::Monitor* monitor) { monitor_ = monitor; }
+  obs::Monitor* monitor() const { return monitor_; }
+
  private:
   enum class SessionState { kWaiting, kReady, kParked, kDone };
 
@@ -153,6 +174,9 @@ class FederationServer {
     std::string parked_service;
     int64_t parked_since = 0;
     std::vector<uint64_t> waits_for;
+    /// Clock value when adaptive shedding started holding this
+    /// still-unadmitted session back (-1 = not currently held).
+    int64_t shed_since = -1;
     SessionResult result;
   };
 
@@ -201,6 +225,14 @@ class FederationServer {
   /// Toggles the tracer between the session's span context and the
   /// outer one.
   void SwapSpans(Session& s);
+  /// True while adaptive admission is shedding (monitor attached, mode
+  /// on, budget burning).
+  bool ShedActive() const;
+  /// Closes monitor windows the clock has passed and, on a shed-state
+  /// transition, stamps the waiting sessions' decision trail.
+  void SampleMonitor();
+  /// Feeds the session's final result to the monitor.
+  void RecordSessionSample(const Session& s);
 
   MultidatabaseSystem* system_;
   ServerConfig config_;
@@ -225,6 +257,9 @@ class FederationServer {
   size_t watermark_ = 0;
   int active_ = 0;
   int64_t clock_ = 0;
+  obs::Monitor* monitor_ = nullptr;
+  /// Shed state as of the last SampleMonitor (transition detection).
+  bool shed_active_ = false;
 };
 
 }  // namespace msql::core

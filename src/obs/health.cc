@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/json_util.h"
+
 namespace msql::obs {
 
 std::string_view HealthStateName(HealthState state) {
@@ -71,55 +73,116 @@ std::string_view HealthRegistry::SiteOf(std::string_view service) const {
   return it == sites_.end() ? std::string_view() : it->second.site;
 }
 
+HealthSnapshot HealthRegistry::Snapshot() const {
+  HealthSnapshot snapshot;
+  snapshot.services.reserve(sites_.size());
+  for (const auto& [service, entry] : sites_) {
+    const SiteHealth& h = entry.health;
+    HealthSnapshot::Service s;
+    s.service = service;
+    s.site = entry.site;
+    s.state = h.state();
+    s.attempts = h.attempts();
+    s.failures = h.failures();
+    s.timeouts = h.timeouts();
+    s.faults = h.faults();
+    s.window_failures = h.window_failures();
+    s.window_attempts = h.window_attempts();
+    s.latency_p50 = h.latency().Quantile(0.5);
+    s.latency_p95 = h.latency().Quantile(0.95);
+    s.latency_p99 = h.latency().Quantile(0.99);
+    s.queue_waits = h.queue_waits();
+    s.queue_p50 = h.queue_delay().Quantile(0.5);
+    s.queue_p95 = h.queue_delay().Quantile(0.95);
+    s.queue_p99 = h.queue_delay().Quantile(0.99);
+    if (s.state == HealthState::kDegraded) ++snapshot.degraded;
+    if (s.state == HealthState::kUnreachable) ++snapshot.unreachable;
+    snapshot.services.push_back(std::move(s));
+  }
+  return snapshot;
+}
+
 std::string HealthRegistry::RenderText() const {
+  const HealthSnapshot snapshot = Snapshot();
   std::string out =
       "service          site             state        att  fail  t/o  flt"
       "  win(fail/att)  p50_us  p95_us  p99_us\n";
-  if (sites_.empty()) {
+  if (snapshot.services.empty()) {
     out += "(no calls recorded)\n";
     return out;
   }
-  for (const auto& [service, entry] : sites_) {
-    const SiteHealth& h = entry.health;
+  for (const HealthSnapshot::Service& s : snapshot.services) {
     char window[24];
-    std::snprintf(window, sizeof(window), "%d/%d", h.window_failures(),
-                  h.window_attempts());
+    std::snprintf(window, sizeof(window), "%d/%d", s.window_failures,
+                  s.window_attempts);
     char line[256];
     std::snprintf(
         line, sizeof(line),
         "%-16s %-16s %-11s %5lld %5lld %4lld %4lld  %13s %7lld %7lld %7lld\n",
-        service.c_str(), entry.site.c_str(),
-        std::string(HealthStateName(h.state())).c_str(),
-        static_cast<long long>(h.attempts()),
-        static_cast<long long>(h.failures()),
-        static_cast<long long>(h.timeouts()),
-        static_cast<long long>(h.faults()), window,
-        static_cast<long long>(h.latency().Quantile(0.5)),
-        static_cast<long long>(h.latency().Quantile(0.95)),
-        static_cast<long long>(h.latency().Quantile(0.99)));
+        s.service.c_str(), s.site.c_str(),
+        std::string(HealthStateName(s.state)).c_str(),
+        static_cast<long long>(s.attempts),
+        static_cast<long long>(s.failures),
+        static_cast<long long>(s.timeouts),
+        static_cast<long long>(s.faults), window,
+        static_cast<long long>(s.latency_p50),
+        static_cast<long long>(s.latency_p95),
+        static_cast<long long>(s.latency_p99));
     out += line;
   }
   bool any_queued = false;
-  for (const auto& [service, entry] : sites_) {
-    if (entry.health.queue_waits() > 0) any_queued = true;
+  for (const HealthSnapshot::Service& s : snapshot.services) {
+    if (s.queue_waits > 0) any_queued = true;
   }
   if (any_queued) {
     out += "queue delay (admission wait at capacity-limited services):\n";
-    for (const auto& [service, entry] : sites_) {
-      const SiteHealth& h = entry.health;
-      if (h.queue_waits() == 0) continue;
+    for (const HealthSnapshot::Service& s : snapshot.services) {
+      if (s.queue_waits == 0) continue;
       char line[160];
       std::snprintf(line, sizeof(line),
                     "  %-16s waits %5lld  p50_us %7lld  p95_us %7lld  "
                     "p99_us %7lld\n",
-                    service.c_str(),
-                    static_cast<long long>(h.queue_waits()),
-                    static_cast<long long>(h.queue_delay().Quantile(0.5)),
-                    static_cast<long long>(h.queue_delay().Quantile(0.95)),
-                    static_cast<long long>(h.queue_delay().Quantile(0.99)));
+                    s.service.c_str(),
+                    static_cast<long long>(s.queue_waits),
+                    static_cast<long long>(s.queue_p50),
+                    static_cast<long long>(s.queue_p95),
+                    static_cast<long long>(s.queue_p99));
       out += line;
     }
   }
+  return out;
+}
+
+std::string HealthRegistry::RenderJson() const {
+  const HealthSnapshot snapshot = Snapshot();
+  std::string out = "{\"services\":[";
+  for (size_t i = 0; i < snapshot.services.size(); ++i) {
+    if (i > 0) out += ",";
+    const HealthSnapshot::Service& s = snapshot.services[i];
+    out += "{\"service\":";
+    AppendJsonString(&out, s.service);
+    out += ",\"site\":";
+    AppendJsonString(&out, s.site);
+    out += ",\"state\":";
+    AppendJsonString(&out, HealthStateName(s.state));
+    out += ",\"attempts\":" + std::to_string(s.attempts);
+    out += ",\"failures\":" + std::to_string(s.failures);
+    out += ",\"timeouts\":" + std::to_string(s.timeouts);
+    out += ",\"faults\":" + std::to_string(s.faults);
+    out += ",\"window_failures\":" + std::to_string(s.window_failures);
+    out += ",\"window_attempts\":" + std::to_string(s.window_attempts);
+    out += ",\"latency_p50_us\":" + std::to_string(s.latency_p50);
+    out += ",\"latency_p95_us\":" + std::to_string(s.latency_p95);
+    out += ",\"latency_p99_us\":" + std::to_string(s.latency_p99);
+    out += ",\"queue_waits\":" + std::to_string(s.queue_waits);
+    out += ",\"queue_p50_us\":" + std::to_string(s.queue_p50);
+    out += ",\"queue_p95_us\":" + std::to_string(s.queue_p95);
+    out += ",\"queue_p99_us\":" + std::to_string(s.queue_p99);
+    out += "}";
+  }
+  out += "],\"degraded\":" + std::to_string(snapshot.degraded);
+  out += ",\"unreachable\":" + std::to_string(snapshot.unreachable);
+  out += "}";
   return out;
 }
 

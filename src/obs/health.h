@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -71,6 +72,35 @@ class SiteHealth {
   int window_next_ = 0;
 };
 
+/// Point-in-time copy of the whole registry — the one struct the text
+/// renderer, the JSON renderer and the federation monitor all consume,
+/// so every consumer sees the same quantile/state arithmetic.
+struct HealthSnapshot {
+  struct Service {
+    std::string service;
+    std::string site;
+    HealthState state = HealthState::kHealthy;
+    int64_t attempts = 0;
+    int64_t failures = 0;
+    int64_t timeouts = 0;
+    int64_t faults = 0;
+    int window_failures = 0;
+    int window_attempts = 0;
+    int64_t latency_p50 = 0;
+    int64_t latency_p95 = 0;
+    int64_t latency_p99 = 0;
+    int64_t queue_waits = 0;
+    int64_t queue_p50 = 0;
+    int64_t queue_p95 = 0;
+    int64_t queue_p99 = 0;
+  };
+  /// Sorted by service name (the registry's iteration order).
+  std::vector<Service> services;
+
+  int degraded = 0;
+  int unreachable = 0;
+};
+
 /// Per-site health monitor of the federation. Unlike the tracer and the
 /// metrics registry this is always on: it costs a map lookup and a few
 /// integer updates per RPC, and an operator's first question about a
@@ -94,9 +124,16 @@ class HealthRegistry {
   /// site name recorded for `service` ("" when never called).
   std::string_view SiteOf(std::string_view service) const;
 
+  /// Everything a consumer needs in one copy, sorted by service.
+  HealthSnapshot Snapshot() const;
+
   /// Deterministic table (sorted by service): state, totals, rolling
   /// window and latency quantiles — the shell's `\health`.
   std::string RenderText() const;
+
+  /// The same snapshot as one JSON object — the shell's
+  /// `\health --json` (obs/json_util escaping, fixed key order).
+  std::string RenderJson() const;
 
  private:
   struct Entry {

@@ -1,5 +1,7 @@
 #include "obs/json_util.h"
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace msql::obs {
@@ -24,6 +26,16 @@ void AppendJsonString(std::string* out, std::string_view text) {
     }
   }
   out->push_back('"');
+}
+
+std::string FormatMetricNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  if (value == std::floor(value) && std::fabs(value) < 9e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
 }
 
 }  // namespace msql::obs

@@ -13,6 +13,12 @@ namespace msql::obs {
 /// all observability JSON escapes identically.
 void AppendJsonString(std::string* out, std::string_view text);
 
+/// Renders `value` as a deterministic JSON number: integral values
+/// print with no fraction, everything else as fixed 4-decimal notation
+/// (never scientific). Shared by the monitor's dashboards/alerts and
+/// the trace exporter's counter tracks so golden output is stable.
+std::string FormatMetricNumber(double value);
+
 }  // namespace msql::obs
 
 #endif  // MSQL_OBS_JSON_UTIL_H_

@@ -225,6 +225,16 @@ QueryProfile BuildQueryProfile(const Tracer& tracer,
       if (value != before) profile.counter_deltas[name] = value - before;
     }
   }
+  auto storage_delta = [&profile](std::string_view name) {
+    auto it = profile.counter_deltas.find(std::string(name));
+    return it == profile.counter_deltas.end() ? int64_t{0} : it->second;
+  };
+  profile.storage_io.page_reads = storage_delta("storage.page_reads");
+  profile.storage_io.page_writes = storage_delta("storage.page_writes");
+  profile.storage_io.evictions = storage_delta("storage.evictions");
+  profile.storage_io.pin_hits = storage_delta("storage.pin_hits");
+  profile.storage_io.wal_appends = storage_delta("storage.wal_appends");
+  profile.storage_io.wal_flushes = storage_delta("storage.wal_flushes");
   return profile;
 }
 
@@ -315,6 +325,22 @@ std::string RenderProfileText(const QueryProfile& profile,
       out += " (task " + profile.bounding_task + ")";
     }
     out += "\n";
+  }
+  if (profile.storage_io.any()) {
+    const StorageIoProfile& io = profile.storage_io;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "storage io: reads=%lld writes=%lld evictions=%lld"
+                  " pin_hits=%lld hit_rate=%s wal_appends=%lld"
+                  " wal_flushes=%lld\n",
+                  static_cast<long long>(io.page_reads),
+                  static_cast<long long>(io.page_writes),
+                  static_cast<long long>(io.evictions),
+                  static_cast<long long>(io.pin_hits),
+                  FormatMetricNumber(io.hit_rate()).c_str(),
+                  static_cast<long long>(io.wal_appends),
+                  static_cast<long long>(io.wal_flushes));
+    out += line;
   }
   if (!profile.counter_deltas.empty()) {
     out += "counters (delta):\n";
@@ -415,6 +441,17 @@ std::string RenderProfileJson(const QueryProfile& profile) {
   AppendJsonString(&out, profile.bounding_service);
   out += ",\"bounding_task\":";
   AppendJsonString(&out, profile.bounding_task);
+  if (profile.storage_io.any()) {
+    const StorageIoProfile& io = profile.storage_io;
+    out += ",\"storage_io\":{\"page_reads\":" +
+           std::to_string(io.page_reads) +
+           ",\"page_writes\":" + std::to_string(io.page_writes) +
+           ",\"evictions\":" + std::to_string(io.evictions) +
+           ",\"pin_hits\":" + std::to_string(io.pin_hits) +
+           ",\"hit_rate\":" + FormatMetricNumber(io.hit_rate()) +
+           ",\"wal_appends\":" + std::to_string(io.wal_appends) +
+           ",\"wal_flushes\":" + std::to_string(io.wal_flushes) + "}";
+  }
   out += ",\"counter_deltas\":{";
   bool first = true;
   for (const auto& [name, delta] : profile.counter_deltas) {

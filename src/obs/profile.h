@@ -88,6 +88,31 @@ struct CriticalPathStep {
   std::string service;
 };
 
+/// Storage-engine work attributed to one input, derived from the
+/// storage.* counter deltas — the I/O cost next to the RPC cost. All
+/// zeros (any() false) for purely in-memory engines, in which case the
+/// renderers omit the section so existing golden output is unchanged.
+struct StorageIoProfile {
+  int64_t page_reads = 0;
+  int64_t page_writes = 0;
+  int64_t evictions = 0;
+  int64_t pin_hits = 0;
+  int64_t wal_appends = 0;
+  int64_t wal_flushes = 0;
+
+  bool any() const {
+    return page_reads != 0 || page_writes != 0 || evictions != 0 ||
+           pin_hits != 0 || wal_appends != 0 || wal_flushes != 0;
+  }
+  /// pin_hits / (pin_hits + page_reads); 1 when the pool saw no pins.
+  double hit_rate() const {
+    const int64_t pins = pin_hits + page_reads;
+    return pins == 0 ? 1.0
+                     : static_cast<double>(pin_hits) /
+                           static_cast<double>(pins);
+  }
+};
+
 /// Full cost attribution of one executed MSQL input: the answer to
 /// "where did the makespan go and which site bounded it" computed from
 /// the input's span subtree plus metrics deltas.
@@ -114,6 +139,9 @@ struct QueryProfile {
   std::string bounding_task;
   /// Counter growth attributed to this input (after − before snapshot).
   std::map<std::string, int64_t> counter_deltas;
+  /// storage.* slice of `counter_deltas`: buffer-pool and WAL work
+  /// this input caused across the federation's persistent engines.
+  StorageIoProfile storage_io;
 };
 
 /// What the caller (the MDBS) knows that the span tree does not.

@@ -77,6 +77,8 @@ std::string QueryLogRecord::ToJson() const {
 
 void QueryLog::Clear() {
   records_.clear();
+  events_.clear();
+  order_.clear();
   next_seq_ = 1;
   sim_cursor_micros_ = 0;
 }
@@ -87,13 +89,20 @@ const QueryLogRecord* QueryLog::Append(QueryLogRecord record) {
   record.sim_start_micros = sim_cursor_micros_;
   sim_cursor_micros_ += record.makespan_micros;
   records_.push_back(std::move(record));
+  order_.emplace_back(false, records_.size() - 1);
   return &records_.back();
+}
+
+void QueryLog::AppendEventJson(std::string json_line) {
+  if (!enabled_) return;
+  events_.push_back(std::move(json_line));
+  order_.emplace_back(true, events_.size() - 1);
 }
 
 std::string QueryLog::ToJsonl() const {
   std::string out;
-  for (const QueryLogRecord& record : records_) {
-    out += record.ToJson();
+  for (const auto& [is_event, index] : order_) {
+    out += is_event ? events_[index] : records_[index].ToJson();
     out += "\n";
   }
   return out;

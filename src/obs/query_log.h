@@ -78,9 +78,18 @@ class QueryLog {
   /// the log is disabled.
   const QueryLogRecord* Append(QueryLogRecord record);
 
-  const std::vector<QueryLogRecord>& records() const { return records_; }
+  /// Interleaves one pre-rendered single-line JSON object (no trailing
+  /// newline) into the stream at the current position — the monitor's
+  /// alert events enter the audit log this way, ordered against the
+  /// query records around them. No-op while disabled.
+  void AppendEventJson(std::string json_line);
 
-  /// All records as JSON Lines (one object per line).
+  const std::vector<QueryLogRecord>& records() const { return records_; }
+  /// Interleaved event lines, in append order.
+  const std::vector<std::string>& events() const { return events_; }
+
+  /// All records and interleaved events as JSON Lines (one object per
+  /// line, in append order).
   std::string ToJsonl() const;
 
  private:
@@ -88,6 +97,9 @@ class QueryLog {
   int64_t next_seq_ = 1;
   int64_t sim_cursor_micros_ = 0;
   std::vector<QueryLogRecord> records_;
+  std::vector<std::string> events_;
+  /// Append order over both streams: (is_event, index into its vector).
+  std::vector<std::pair<bool, size_t>> order_;
 };
 
 }  // namespace msql::obs

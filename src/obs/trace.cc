@@ -185,6 +185,16 @@ std::string ExportChromeTrace(const Tracer& tracer,
     event += "}}";
     emit(event);
   }
+  for (const CounterTrack& track : options.counter_tracks) {
+    for (const auto& [ts, value] : track.points) {
+      std::string event = "{\"name\":";
+      AppendJsonString(&event, track.name);
+      event += ",\"ph\":\"C\",\"ts\":" + std::to_string(ts);
+      event += ",\"pid\":1,\"args\":{\"value\":" + FormatMetricNumber(value);
+      event += "}}";
+      emit(event);
+    }
+  }
   out += "\n]}\n";
   return out;
 }

@@ -136,11 +136,22 @@ class ScopedSpan {
   int64_t sim_end_micros_ = 0;
 };
 
+/// One named counter series rendered as a Perfetto counter track:
+/// (simulated timestamp, value) points in ascending time order. The
+/// monitor exports its per-window series this way so SLO signals line
+/// up under the span lanes in the same trace.
+struct CounterTrack {
+  std::string name;
+  std::vector<std::pair<int64_t, double>> points;
+};
+
 /// Options of the Chrome trace-event exporter.
 struct ChromeTraceOptions {
   /// Include host-clock durations as args ("host_us"). Off by default:
   /// host times vary run to run and would break golden traces.
   bool include_host_time = false;
+  /// Counter tracks appended after the span events (ph:"C", pid 1).
+  std::vector<CounterTrack> counter_tracks;
 };
 
 /// Renders the collected spans as Chrome trace-event JSON (one complete

@@ -58,6 +58,7 @@ Status LocalEngine::AttachStorage(StorageConfig config) {
   MSQL_RETURN_IF_ERROR(mgr->Open());
   storage_ = std::move(mgr);
   if (metrics_ != nullptr) storage_->SetMetrics(metrics_);
+  if (tracer_ != nullptr) storage_->SetTracer(tracer_);
   return Status::OK();
 }
 

@@ -163,7 +163,10 @@ class LocalEngine {
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
     tracer_ = tracer;
     metrics_ = metrics;
-    if (storage_ != nullptr) storage_->SetMetrics(metrics);
+    if (storage_ != nullptr) {
+      storage_->SetMetrics(metrics);
+      storage_->SetTracer(tracer);
+    }
   }
 
   /// When true, every SELECT result carries its plan text (`\plan`).

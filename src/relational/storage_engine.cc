@@ -582,6 +582,8 @@ Status StorageManager::OnPrepare(TxnId txn, uint64_t session,
 }
 
 Status StorageManager::Checkpoint(size_t max_pages) {
+  obs::ScopedSpan span(tracer_, "storage.checkpoint", "storage");
+  const int64_t writes_before = pool_.page_writes();
   MSQL_RETURN_IF_ERROR(wal_.Flush());
   MSQL_RETURN_IF_ERROR(pool_.FlushEligible(max_pages));
   std::string payload;
@@ -589,7 +591,10 @@ Status StorageManager::Checkpoint(size_t max_pages) {
   MSQL_RETURN_IF_ERROR(
       wal_.Append(storage::WalRecordType::kCheckpoint, std::move(payload))
           .status());
-  return wal_.Flush();
+  Status flushed = wal_.Flush();
+  span.Annotate("pages_written", pool_.page_writes() - writes_before);
+  span.Annotate("flushed_lsn", static_cast<int64_t>(wal_.flushed_lsn()));
+  return flushed;
 }
 
 void StorageManager::SimulateCrash() {
@@ -605,6 +610,7 @@ void StorageManager::SimulateCrash() {
 }
 
 Result<RecoveryReport> StorageManager::Recover() {
+  obs::ScopedSpan span(tracer_, "storage.recover", "storage");
   tables_.clear();
   deltas_.clear();
   begun_.clear();
@@ -614,6 +620,7 @@ Result<RecoveryReport> StorageManager::Recover() {
 
   MSQL_ASSIGN_OR_RETURN(std::vector<storage::WalRecord> records,
                         wal_.ReadAll());
+  span.Annotate("wal_records", static_cast<int64_t>(records.size()));
 
   // Pass 1: transaction fates and identities. A transaction with no
   // outcome record was active at the crash — its records are discarded

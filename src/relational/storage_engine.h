@@ -192,6 +192,13 @@ class StorageManager {
     pool_.SetMetrics(metrics);
     wal_.SetMetrics(metrics);
   }
+  /// Emits "storage.checkpoint"/"storage.recover" spans (and forwards
+  /// to the pool's eviction and the WAL's flush spans). Nullptr stops.
+  void SetTracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    pool_.SetTracer(tracer);
+    wal_.SetTracer(tracer);
+  }
 
   // -- Transaction context (set by the engine around execution) ----------
 
@@ -314,6 +321,7 @@ class StorageManager {
   StorageConfig config_;
   storage::BufferManager pool_;
   storage::WriteAheadLog wal_;
+  obs::Tracer* tracer_ = nullptr;
 
   TxnId current_txn_ = 0;
   uint64_t current_session_ = 0;

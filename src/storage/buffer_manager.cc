@@ -53,6 +53,10 @@ Result<size_t> BufferManager::AcquireFrame() {
         " frames are pinned or hold uncommitted writes (no-steal)");
   }
   Frame* frame = frames_[victim].get();
+  obs::ScopedSpan span(tracer_, "storage.evict", "storage");
+  span.Annotate("file", static_cast<int64_t>(frame->file_id));
+  span.Annotate("page", static_cast<int64_t>(frame->page_id));
+  span.Annotate("dirty", frame->dirty ? "true" : "false");
   if (frame->dirty) MSQL_RETURN_IF_ERROR(WriteBack(frame));
   resident_.erase({frame->file_id, frame->page_id});
   frame->valid = false;

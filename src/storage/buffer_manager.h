@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -97,6 +98,9 @@ class BufferManager {
   /// Mirrors counters into `metrics` under storage.* (nullptr to stop).
   void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Emits "storage.evict" spans into `tracer` (nullptr to stop).
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Finds a free or evictable frame, writing back a dirty victim.
   Result<size_t> AcquireFrame();
@@ -113,6 +117,7 @@ class BufferManager {
   int64_t evictions_ = 0;
   int64_t pin_hits_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace msql::storage

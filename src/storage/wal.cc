@@ -72,6 +72,9 @@ Result<uint64_t> WriteAheadLog::Append(WalRecordType type,
 Status WriteAheadLog::Flush() {
   if (!open_) return Status::Internal("WAL not open");
   if (tail_.empty()) return Status::OK();
+  obs::ScopedSpan span(tracer_, "wal.flush", "storage");
+  span.Annotate("bytes", static_cast<int64_t>(tail_.size()));
+  span.Annotate("through_lsn", static_cast<int64_t>(tail_last_lsn_));
   std::FILE* f = std::fopen(path_.c_str(), "r+b");
   if (f == nullptr) {
     return Status::Internal("cannot reopen WAL '" + path_ + "'");

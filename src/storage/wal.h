@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace msql::storage {
 
@@ -71,6 +72,9 @@ class WriteAheadLog {
 
   void SetMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Emits "wal.flush" spans into `tracer` (nullptr to stop).
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::string path_;
   bool open_ = false;
@@ -84,6 +88,7 @@ class WriteAheadLog {
   int64_t appends_ = 0;
   int64_t flushes_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace msql::storage
